@@ -1,0 +1,68 @@
+"""E3 — AGG and GROUP BY scaling (Examples 3.4 / 3.8 at size).
+
+Aggregation over annotated relations must stay linear in the input: the
+tensor has one summand per contributing tuple and GROUP BY adds one
+delta-annotated tuple per group.  Timed over N[X] (symbolic) and N (bags).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    bag_salary_relation,
+    print_series,
+    tagged_salary_relation,
+    tagged_value_column,
+)
+from repro.core import aggregate, group_by
+from repro.monoids import MAX, SUM
+from repro.semirings import NAT, NX, valuation_hom
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_agg_symbolic(benchmark, n):
+    rel = tagged_value_column(n)
+    result = benchmark(lambda: aggregate(rel, "Sal", SUM))
+    (t,) = result.support()
+    assert t["Sal"].size() == n  # linear representation
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_group_by_symbolic(benchmark, n):
+    rel = tagged_salary_relation(n, n_groups=max(4, n // 16))
+    result = benchmark(lambda: group_by(rel, ["Dept"], {"Sal": SUM}))
+    assert len(result) <= max(4, n // 16)
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_group_by_bags(benchmark, n):
+    rel = bag_salary_relation(n)
+    benchmark(lambda: group_by(rel, ["Dept"], {"Sal": SUM}))
+
+
+def test_aggregate_value_sizes_linear():
+    rows = []
+    for n in (16, 64, 256, 1024):
+        rel = tagged_value_column(n)
+        (t,) = aggregate(rel, "Sal", SUM).support()
+        rows.append((n, t["Sal"].size()))
+        assert t["Sal"].size() == n
+    print_series("E3: tensor size grows linearly with input", ("n", "summands"), rows)
+
+
+def test_specialisation_matches_direct_bag_aggregation():
+    """Evaluating symbolically then valuating == aggregating the bag."""
+    rows = []
+    for n in (16, 64, 256):
+        rel = tagged_salary_relation(n)
+        symbolic = group_by(rel, ["Dept"], {"Sal": SUM})
+        valuation = {f"t{i}": (i % 3) for i in range(n)}
+        h = valuation_hom(NX, NAT, valuation)
+        specialised = symbolic.apply_hom(h)
+        direct = group_by(rel.apply_hom(h), ["Dept"], {"Sal": SUM})
+        assert specialised == direct
+        rows.append((n, len(specialised)))
+    print_series(
+        "E3: Thm 3.3 commutation at size (GROUP BY, SUM)",
+        ("n", "groups surviving"),
+        rows,
+    )

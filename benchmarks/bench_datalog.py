@@ -1,0 +1,93 @@
+"""E17 (extension) — annotated Datalog fixpoints at size.
+
+Transitive closure over chain/grid graphs under four semirings.  The
+naive fixpoint's round count is the graph diameter + 1; per-round cost
+scales with the number of derivable facts.  Bag annotations on DAGs count
+paths (no divergence); boolean/tropical/PosBool handle cycles.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.datalog import Atom, Program, Rule, Var, evaluate_datalog
+from repro.semirings import BOOL, NAT, POSBOOL, TROPICAL
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+PROGRAM = Program(
+    [
+        Rule(Atom("path", (X, Y)), [Atom("edge", (X, Y))]),
+        Rule(Atom("path", (X, Z)), [Atom("edge", (X, Y)), Atom("path", (Y, Z))]),
+    ]
+)
+
+
+def chain_edges(n, value):
+    return {"edge": {(i, i + 1): value for i in range(n)}}
+
+
+def ladder_edges(n, value_fn):
+    """A DAG with two parallel edges per step: 2^n paths end to end."""
+    edges = {}
+    for i in range(n):
+        edges[(i, i + 1)] = value_fn(i, "a")
+    return {"edge": edges}
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_bench_boolean_closure(benchmark, n):
+    edb = chain_edges(n, True)
+    result = benchmark(lambda: evaluate_datalog(PROGRAM, BOOL, edb))
+    assert result.annotation("path", (0, n)) is True
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_bench_tropical_closure(benchmark, n):
+    edb = chain_edges(n, 1.0)
+    result = benchmark(lambda: evaluate_datalog(PROGRAM, TROPICAL, edb))
+    assert result.annotation("path", (0, n)) == float(n)
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_bench_posbool_witnesses(benchmark, n):
+    edb = {"edge": {(i, i + 1): POSBOOL.variable(f"e{i}") for i in range(n)}}
+    result = benchmark(lambda: evaluate_datalog(PROGRAM, POSBOOL, edb))
+    witness = result.annotation("path", (0, n))
+    (only,) = witness
+    assert len(only) == n  # the single end-to-end witness uses every edge
+
+
+def test_round_counts_track_diameter():
+    rows = []
+    for n in (4, 8, 16, 32):
+        result = evaluate_datalog(PROGRAM, BOOL, chain_edges(n, True))
+        facts = sum(len(result.predicate(p)) for p in ("edge", "path"))
+        rows.append((n, result.rounds, facts))
+        assert result.rounds <= n + 2
+    print_series(
+        "E17: naive Datalog rounds track the chain diameter",
+        ("chain length", "rounds", "total facts"),
+        rows,
+    )
+
+
+def test_bag_path_counting_on_dags():
+    # parallel edges double the path count at every step
+    rows = []
+    for n in (2, 4, 8):
+        edges = {}
+        for i in range(n):
+            # two distinguishable parallel edges via an intermediate node
+            edges[(f"n{i}", f"m{i}")] = 1
+            edges[(f"n{i}", f"m{i}'")] = 1
+            edges[(f"m{i}", f"n{i+1}")] = 1
+            edges[(f"m{i}'", f"n{i+1}")] = 1
+        result = evaluate_datalog(PROGRAM, NAT, {"edge": edges})
+        count = result.annotation("path", ("n0", f"n{n}"))
+        rows.append((n, count))
+        assert count == 2 ** n
+    print_series(
+        "E17: bag annotations count derivations (2 per stage)",
+        ("stages", "paths counted"),
+        rows,
+    )

@@ -1,0 +1,92 @@
+"""E8 / E16 — difference: direct Prop.-5.1 form vs the literal encoding.
+
+Both implement the Section 5 semantics; the encoding pays for the full
+GB/join/projection pipeline while the direct form is a single pass.  We
+time both, assert they agree, and record the overhead factor — the
+design-choice ablation DESIGN.md calls out.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core import KRelation, difference, difference_via_aggregation
+from repro.semirings import NAT, NX, valuation_hom
+
+
+def bag_pair(n: int, overlap: float = 0.5, seed: int = 5):
+    rng = random.Random(seed)
+    r = KRelation.from_rows(NAT, ("a",), [((i,), rng.randrange(1, 4)) for i in range(n)])
+    s_keys = [i for i in range(n) if rng.random() < overlap]
+    s = KRelation.from_rows(NAT, ("a",), [((i,), 1) for i in s_keys])
+    return r, s
+
+
+def tagged_pair(n: int, overlap: float = 0.5, seed: int = 5):
+    rng = random.Random(seed)
+    r = KRelation.from_rows(NX, ("a",), [((i,), NX.variable(f"r{i}")) for i in range(n)])
+    s_keys = [i for i in range(n) if rng.random() < overlap]
+    s = KRelation.from_rows(NX, ("a",), [((i,), NX.variable(f"s{i}")) for i in s_keys])
+    return r, s
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_direct_difference(benchmark, n):
+    r, s = bag_pair(n)
+    result = benchmark(lambda: difference(r, s))
+    assert result.semiring is NAT
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_bench_encoded_difference(benchmark, n):
+    r, s = bag_pair(n)
+    result = benchmark(lambda: difference_via_aggregation(r, s))
+    assert result.semiring is NAT
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_bench_symbolic_difference(benchmark, n):
+    r, s = tagged_pair(n)
+    benchmark(lambda: difference(r, s))
+
+
+def test_agreement_and_overhead_shape():
+    import time
+
+    rows = []
+    for n in (8, 32, 128):
+        r, s = bag_pair(n)
+        t0 = time.perf_counter()
+        direct = difference(r, s)
+        t1 = time.perf_counter()
+        encoded = difference_via_aggregation(r, s)
+        t2 = time.perf_counter()
+        assert direct == encoded
+        factor = (t2 - t1) / max(t1 - t0, 1e-9)
+        rows.append((n, f"{(t1 - t0) * 1e3:.2f}ms", f"{(t2 - t1) * 1e3:.2f}ms",
+                     f"{factor:.1f}x"))
+        # the encoding is never cheaper (it strictly contains the work)
+        assert (t2 - t1) >= (t1 - t0) * 0.5
+    print_series(
+        "E16: direct Prop-5.1 difference vs literal Section-5 encoding",
+        ("n", "direct", "encoding", "overhead"),
+        rows,
+    )
+
+
+def test_symbolic_difference_resolves_consistently():
+    rows = []
+    for n in (8, 32):
+        r, s = tagged_pair(n)
+        symbolic = difference(r, s)
+        h = valuation_hom(NX, NAT, lambda token: 1)
+        resolved = symbolic.apply_hom(h)
+        direct = difference(r.apply_hom(h), s.apply_hom(h))
+        assert resolved == direct
+        rows.append((n, len(symbolic), len(resolved)))
+    print_series(
+        "E8: symbolic difference then valuation == valuate then difference",
+        ("n", "symbolic tuples", "resolved tuples"),
+        rows,
+    )

@@ -1,0 +1,82 @@
+"""E14 — factorisation through provenance polynomials.
+
+The practical payoff of commutation with homomorphisms: evaluate the query
+once over ``N[X]``, then answer k what-if scenarios (deletions, trust
+levels, clearances) by applying k cheap homomorphisms to the stored
+result — versus re-running the query k times on each specialised input.
+The bench measures both strategies and asserts identical answers.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_series, tagged_salary_relation
+from repro.core import GroupBy, KDatabase, Project, Table
+from repro.semirings import NAT, NX, valuation_hom
+from repro.monoids import SUM
+
+K_SCENARIOS = 16
+
+
+def scenarios(n, k=K_SCENARIOS, seed=13):
+    rng = random.Random(seed)
+    return [
+        {f"t{i}": rng.randrange(0, 2) for i in range(n)} for _ in range(k)
+    ]
+
+
+def query():
+    return GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_bench_evaluate_once_specialise_k(benchmark, n):
+    rel = tagged_salary_relation(n)
+    db = KDatabase(NX, {"R": rel})
+    vals = scenarios(n)
+
+    def factorised():
+        stored = query().evaluate(db)
+        return [
+            stored.apply_hom(valuation_hom(NX, NAT, v)) for v in vals
+        ]
+
+    results = benchmark(factorised)
+    assert len(results) == K_SCENARIOS
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_bench_reevaluate_k_times(benchmark, n):
+    rel = tagged_salary_relation(n)
+    db = KDatabase(NX, {"R": rel})
+    vals = scenarios(n)
+
+    def naive():
+        out = []
+        for v in vals:
+            h = valuation_hom(NX, NAT, v)
+            out.append(query().evaluate(KDatabase(NAT, {"R": rel.apply_hom(h)})))
+        return out
+
+    results = benchmark(naive)
+    assert len(results) == K_SCENARIOS
+
+
+def test_strategies_agree():
+    rows = []
+    for n in (32, 128):
+        rel = tagged_salary_relation(n)
+        db = KDatabase(NX, {"R": rel})
+        stored = query().evaluate(db)
+        for v in scenarios(n, k=4):
+            h = valuation_hom(NX, NAT, v)
+            factorised = stored.apply_hom(h)
+            reevaluated = query().evaluate(KDatabase(NAT, {"R": rel.apply_hom(h)}))
+            assert factorised == reevaluated
+        rows.append((n, len(stored)))
+    print_series(
+        "E14: factorisation through N[X] (both strategies agree)",
+        ("n", "stored groups"),
+        rows,
+    )

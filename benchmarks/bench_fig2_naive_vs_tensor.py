@@ -1,0 +1,59 @@
+"""E2 — Figure 2 vs Section 3.2: naive subset enumeration vs tensors.
+
+The paper's headline representational claim: tuple-level annotation of
+SUM-aggregates needs exponentially many output tuples (``2^n``), while the
+tensor representation is linear in ``n``.  We measure output sizes and
+construction times for both and assert the shapes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, tagged_value_column
+from repro.core import KRelation, aggregate
+from repro.monoids import SUM
+from repro.naive import naive_aggregate_zx, naive_output_size
+from repro.semirings import NX
+
+
+SIZES_NAIVE = [2, 4, 6, 8, 10]
+
+
+def powers_of_two_column(n: int) -> KRelation:
+    """Values 2^i so that every subset has a distinct sum (tight bound)."""
+    rows = [((2 ** i,), NX.variable(f"t{i}")) for i in range(n)]
+    return KRelation.from_rows(NX, ("Sal",), rows)
+
+
+def test_size_shape_exponential_vs_linear():
+    """Output-size series: the paper's lower bound, numerically."""
+    rows = []
+    for n in SIZES_NAIVE:
+        rel = powers_of_two_column(n)
+        naive = naive_aggregate_zx(rel, "Sal", SUM)
+        (t,) = aggregate(rel, "Sal", SUM).support()
+        tensor_size = t["Sal"].size()
+        rows.append((n, len(naive), naive_output_size(n), tensor_size))
+        # shapes: naive is exactly 2^n tuples (distinct sums), tensor is n
+        assert len(naive) == naive_output_size(n)
+        assert tensor_size == n
+    print_series(
+        "E2: naive (Fig. 2) vs tensor (Sec. 3.2) representation size",
+        ("n", "naive tuples", "2^n", "tensor summands"),
+        rows,
+    )
+    # crossover: naive is larger than the tensor from n = 2 on, and the
+    # gap is at least 2^n / n
+    for n, naive_tuples, _pow, tensor_size in rows[1:]:
+        assert naive_tuples / tensor_size >= (2 ** n) / n
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_bench_naive_enumeration(benchmark, n):
+    rel = powers_of_two_column(n)
+    benchmark(lambda: naive_aggregate_zx(rel, "Sal", SUM))
+
+
+@pytest.mark.parametrize("n", [8, 64, 512])
+def test_bench_tensor_aggregation(benchmark, n):
+    rel = tagged_value_column(n)
+    benchmark(lambda: aggregate(rel, "Sal", SUM))

@@ -1,0 +1,85 @@
+"""E10 — the poly-size-overhead desideratum, measured across the algebra.
+
+For a fixed query shape and growing database, total output size (tuples +
+annotation sizes + tensor sizes) must grow polynomially — here we assert
+the tighter shapes the constructions actually give (linear or quadratic),
+per operator family.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, tagged_salary_relation
+from repro.core import (
+    AttrEq,
+    Difference,
+    GroupBy,
+    KDatabase,
+    NaturalJoin,
+    Project,
+    Select,
+    Table,
+)
+from repro.core.relation import KRelation
+from repro.monoids import SUM
+from repro.semirings import NX
+
+SIZES = (16, 64, 256)
+
+
+def measure(query, db, mode="standard"):
+    out = query.evaluate(db, mode=mode)
+    return len(out), out.annotation_size() + out.value_size()
+
+
+def make_db(n):
+    groups = max(4, n // 16)
+    r = tagged_salary_relation(n, n_groups=groups)
+    s = KRelation.from_rows(
+        NX, ("Dept",),
+        [((f"d{i}",), NX.variable(f"s{i}")) for i in range(0, groups, 2)],
+    )
+    return KDatabase(NX, {"R": r, "S": s})
+
+
+QUERIES = {
+    "projection": (Project(Table("R"), ["Dept"]), "standard"),
+    "join": (NaturalJoin(Table("R"), Table("S")), "standard"),
+    "group-by": (GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), "standard"),
+    "nested-select": (
+        Select(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), [AttrEq("Sal", 40)]),
+        "extended",
+    ),
+    "difference": (
+        Difference(Project(Table("R"), ["Dept"]), Table("S")),
+        "standard",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_output_size_is_polynomial(name):
+    query, mode = QUERIES[name]
+    rows = []
+    sizes = []
+    for n in SIZES:
+        tuples, size = measure(query, make_db(n), mode)
+        rows.append((n, tuples, size))
+        sizes.append(size)
+    print_series(
+        f"E10: output size for {name}", ("n", "tuples", "total size"), rows
+    )
+    # shape assertion: quadrupling the input may grow output at most
+    # ~quadratically (with slack for small-n constants)
+    for (n1, s1), (n2, s2) in zip(zip(SIZES, sizes), list(zip(SIZES, sizes))[1:]):
+        ratio = s2 / max(s1, 1)
+        input_ratio = n2 / n1
+        assert ratio <= input_ratio ** 2 + 8, (
+            f"{name}: size grew {ratio:.1f}x for a {input_ratio}x input"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_bench_query_family(benchmark, name):
+    query, mode = QUERIES[name]
+    db = make_db(128)
+    benchmark(lambda: query.evaluate(db, mode=mode))

@@ -1,0 +1,112 @@
+"""E4 / E6 — security aggregation (Examples 3.5 and 3.16) at size.
+
+Security views from one evaluation: aggregate once under S (or SN)
+annotations, then answer *every* credential by homomorphism.  The bench
+compares that against the naive per-credential re-evaluation and asserts
+both give identical answers.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core import KRelation, aggregate
+from repro.monoids import MAX, SUM
+from repro.semirings import (
+    CONFIDENTIAL,
+    NAT,
+    PUBLIC,
+    SEC,
+    SECBAG,
+    SECRET,
+    TOP_SECRET,
+    semiring_hom,
+)
+
+LEVELS = [PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET]
+CREDENTIALS = [PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET]
+
+
+def security_column(n: int, seed: int = 3) -> KRelation:
+    rng = random.Random(seed)
+    rows = [((10 * rng.randrange(1, 100),), rng.choice(LEVELS)) for _ in range(n)]
+    return KRelation.from_rows(SEC, ("Sal",), rows)
+
+
+def secbag_column(n: int, seed: int = 3) -> KRelation:
+    rng = random.Random(seed)
+    rows = [
+        ((10 * rng.randrange(1, 100),), SECBAG.level(rng.choice(LEVELS)))
+        for _ in range(n)
+    ]
+    return KRelation.from_rows(SECBAG, ("Sal",), rows)
+
+
+def cred_hom(cred):
+    from repro.semirings import BOOL
+
+    return semiring_hom(SEC, BOOL, lambda level: level <= cred)
+
+
+def cred_hom_bag(cred):
+    return semiring_hom(
+        SECBAG, NAT, lambda bag: sum(c for lvl, c in bag.items() if lvl <= cred)
+    )
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_max_then_all_credentials(benchmark, n):
+    """Example 3.5 at size: one aggregation + 4 credential homs."""
+    rel = security_column(n)
+
+    def workflow():
+        (t,) = aggregate(rel, "Sal", MAX).support()
+        return [t["Sal"].apply_hom(cred_hom(c)).collapse() for c in CREDENTIALS]
+
+    answers = benchmark(workflow)
+    assert answers == sorted(answers)  # higher clearance sees >= maxima
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_secbag_sum(benchmark, n):
+    """Example 3.16 at size: SN (x) SUM with per-credential totals."""
+    rel = secbag_column(n)
+
+    def workflow():
+        (t,) = aggregate(rel, "Sal", SUM).support()
+        return [t["Sal"].apply_hom(cred_hom_bag(c)).collapse() for c in CREDENTIALS]
+
+    answers = benchmark(workflow)
+    assert answers == sorted(answers)  # totals grow with clearance
+
+
+def test_factorised_view_equals_reevaluation():
+    """The claim behind Example 3.5's 'we can do better': homomorphic
+    specialisation of one stored result equals per-credential filtering
+    and re-aggregation."""
+    rows = []
+    for n in (32, 128, 512):
+        rel = security_column(n)
+        (t,) = aggregate(rel, "Sal", MAX).support()
+        stored = t["Sal"]
+        for cred in CREDENTIALS:
+            via_hom = stored.apply_hom(cred_hom(cred)).collapse()
+            visible = KRelation.from_rows(
+                SEC,
+                ("Sal",),
+                [
+                    ((tup["Sal"],), ann)
+                    for tup, ann in rel.items()
+                    if ann <= cred
+                ],
+            )
+            (tv,) = aggregate(visible, "Sal", MAX).support()
+            naive = tv["Sal"].apply_hom(cred_hom(cred)).collapse()
+            assert via_hom == naive
+        rows.append((n, len(stored)))
+    print_series(
+        "E4: stored S(x)MAX tensors answer all credentials",
+        ("n", "tensor summands"),
+        rows,
+    )

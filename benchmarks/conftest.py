@@ -1,0 +1,70 @@
+"""Shared workload generators for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E16)
+and — beyond timing — asserts the *shape* the paper claims (linear vs
+exponential growth, who wins, where factors land) and prints the series it
+measured, so `pytest benchmarks/ --benchmark-only -s` reproduces the
+paper-facing tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core import KDatabase, KRelation
+from repro.semirings import NAT, NX
+
+
+def tagged_salary_relation(n: int, n_groups: int = 4, seed: int = 7) -> KRelation:
+    """An abstractly-tagged N[X] employee relation of n tuples."""
+    rng = random.Random(seed)
+    rows = [
+        ((f"d{rng.randrange(n_groups)}", 10 * rng.randrange(1, 10)), NX.variable(f"t{i}"))
+        for i in range(n)
+    ]
+    return KRelation.from_rows(NX, ("Dept", "Sal"), rows)
+
+
+def tagged_value_column(n: int, seed: int = 7) -> KRelation:
+    """A single-attribute tagged relation with distinct values."""
+    rng = random.Random(seed)
+    values = rng.sample(range(1, 20 * n + 1), n)
+    rows = [((v,), NX.variable(f"t{i}")) for i, v in enumerate(values)]
+    return KRelation.from_rows(NX, ("Sal",), rows)
+
+
+def bag_salary_relation(n: int, n_groups: int = 4, seed: int = 11) -> KRelation:
+    rng = random.Random(seed)
+    rows = [
+        ((f"d{rng.randrange(n_groups)}", 10 * rng.randrange(1, 10)), rng.randrange(1, 4))
+        for i in range(n)
+    ]
+    return KRelation.from_rows(NAT, ("Dept", "Sal"), rows)
+
+
+def tagged_database(n: int, n_groups: int = 4, seed: int = 7) -> Tuple[KDatabase, int]:
+    r = tagged_salary_relation(n, n_groups, seed)
+    rng = random.Random(seed + 1)
+    depts = sorted({t["Dept"] for t in r.support()})
+    s_rows = [
+        ((d,), NX.variable(f"s{i}"))
+        for i, d in enumerate(depts)
+        if rng.random() < 0.5
+    ]
+    s = KRelation.from_rows(NX, ("Dept",), s_rows)
+    return KDatabase(NX, {"R": r, "S": s}), n
+
+
+def print_series(title: str, header: Tuple[str, ...], rows: List[tuple]) -> None:
+    """Render a measured series as the table EXPERIMENTS.md records."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,75 @@
+"""Deletion propagation on aggregate views (Examples 3.4 and 5.3).
+
+A payroll dashboard keeps a materialised per-department salary total and a
+"departments not scheduled for closure" view.  Upstream, HR keeps deleting
+and restoring records; the dashboard never re-runs its queries — it
+rewrites stored provenance.
+
+Run:  python examples/deletion_propagation.py
+"""
+
+from repro import (
+    NAT,
+    NX,
+    SUM,
+    Difference,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    Project,
+    Table,
+    valuation_hom,
+)
+from repro.apps import DeletionTracker
+
+
+def main() -> None:
+    tokens = {f"e{i}": NX.variable(f"e{i}") for i in range(1, 7)}
+    employees = KRelation.from_rows(
+        NX,
+        ("EmpId", "Dept", "Sal"),
+        [
+            ((1, "sales", 50), tokens["e1"]),
+            ((2, "sales", 40), tokens["e2"]),
+            ((3, "sales", 60), tokens["e3"]),
+            ((4, "eng", 80), tokens["e4"]),
+            ((5, "eng", 90), tokens["e5"]),
+            ((6, "ops", 30), tokens["e6"]),
+        ],
+    )
+    closures = KRelation.from_rows(NX, ("Dept",), [(("ops",), NX.variable("c1"))])
+    db = KDatabase(NX, {"Emp": employees, "Closure": closures})
+
+    payroll = GroupBy(Table("Emp"), ["Dept"], {"Sal": SUM})
+    survivors = Difference(Project(Table("Emp"), ["Dept"]), Table("Closure"))
+
+    # materialise once; all subsequent updates are annotation rewrites
+    payroll_view = DeletionTracker(payroll, db)
+    survivors_view = DeletionTracker(survivors, db)
+
+    def show(title):
+        everyone = valuation_hom(NX, NAT, lambda token: 1)
+        print(title)
+        print(payroll_view.result().apply_hom(everyone).pretty())
+        print(survivors_view.result().apply_hom(everyone).pretty(), "\n")
+
+    show("Initial state (ops scheduled for closure):")
+
+    print(">>> employee 2 resigns; employee 5 resigns")
+    for view in (payroll_view, survivors_view):
+        view.delete("e2", "e5")
+    show("After two resignations:")
+
+    print(">>> the ops closure is revoked (Example 5.3's move: set c1 = 0)")
+    for view in (payroll_view, survivors_view):
+        view.delete("c1")
+    show("After revoking the closure:")
+
+    print(">>> employee 5 is re-hired")
+    for view in (payroll_view, survivors_view):
+        view.restore("e5")
+    show("After the re-hire:")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Explaining query answers: witnesses, responsibility, and costs.
+
+A data-integration scenario: a "suspicious transfers" report joins three
+feeds of varying acquisition cost and trustworthiness.  For every answer,
+stored provenance explains which sources suffice, who is most responsible,
+and what the cheapest sufficient evidence costs.
+
+Run:  python examples/explanations_and_costs.py
+"""
+
+from repro import (
+    NX,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    POSBOOL,
+    Project,
+    Table,
+)
+from repro.apps import explain_tuple
+
+ACQUISITION_COSTS = {
+    "bank1": 10.0,  # subpoenaed bank records: expensive
+    "bank2": 10.0,
+    "osint1": 1.0,  # public registries: cheap
+    "osint2": 1.0,
+    "tip1": 4.0,    # paid informant
+}
+
+
+def main() -> None:
+    transfers = KRelation.from_rows(
+        NX,
+        ("Account", "Target"),
+        [
+            (("acc7", "shell-co"), NX.variable("bank1")),
+            (("acc7", "shell-co"), NX.variable("tip1")),  # corroborating tip
+            (("acc9", "shell-co"), NX.variable("bank2")),
+        ],
+    )
+    shells = KRelation.from_rows(
+        NX,
+        ("Target", "Risk"),
+        [
+            (("shell-co", "high"), NX.variable("osint1")),
+            (("shell-co", "high"), NX.variable("osint2")),  # two registries agree
+        ],
+    )
+    db = KDatabase(NX, {"Transfers": transfers, "Shells": shells})
+
+    report = Project(
+        NaturalJoin(Table("Transfers"), Table("Shells")), ["Account", "Risk"]
+    ).evaluate(db)
+    print("Suspicious-transfer report with provenance:")
+    print(report.pretty(), "\n")
+
+    for tup in report.support():
+        record = explain_tuple(report, tup, costs=ACQUISITION_COSTS)
+        print(f"Explanation for {tup}:")
+        print(f"  provenance   : {record['provenance']}")
+        print(f"  witnesses    : {POSBOOL.format(record['witnesses'])}")
+        print(f"  cheapest cost: {record['cheapest_cost']}")
+        print("  responsibility:")
+        for token, rho in sorted(record["responsibility"].items()):
+            bar = "#" * int(rho * 10)
+            print(f"    {token:<7} {rho:.2f}  {bar}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

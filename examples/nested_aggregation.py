@@ -1,0 +1,62 @@
+"""Nested aggregation with equality atoms (Section 4, Examples 4.1-4.5).
+
+"Which departments spend exactly the target budget?" — the selection
+compares a symbolic aggregate against a constant, so its truth value is
+genuinely open until the provenance tokens are valuated.  The K^M
+construction keeps every candidate answer with a constrained annotation;
+valuations then resolve non-monotonically.
+
+Run:  python examples/nested_aggregation.py
+"""
+
+from repro import (
+    NAT,
+    NX,
+    SUM,
+    AttrEq,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    Select,
+    Table,
+    valuation_hom,
+)
+
+
+def main() -> None:
+    r1, r2, r3 = NX.variables("r1", "r2", "r3")
+    spending = KRelation.from_rows(
+        NX,
+        ("Dept", "Sal"),
+        [(("d1", 20), r1), (("d1", 10), r2), (("d2", 10), r3)],
+    )
+    db = KDatabase(NX, {"R": spending})
+
+    by_dept = GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+    on_target = Select(by_dept, [AttrEq("Sal", 20)])
+
+    print("Departments whose total salary equals 20 (symbolic, Example 4.3):")
+    symbolic = on_target.evaluate(db, mode="extended")
+    print(symbolic.pretty(), "\n")
+    print("Every tuple is conditional: its annotation multiplies the group's")
+    print("delta by an equality atom  [aggregate = 1⊗20].\n")
+
+    scenarios = [
+        ("r1=1, r2=0, r3=2", {"r1": 1, "r2": 0, "r3": 2}),
+        ("r1=1, r2=1, r3=2", {"r1": 1, "r2": 1, "r3": 2}),
+        ("r1=0, r2=2, r3=1", {"r1": 0, "r2": 2, "r3": 1}),
+    ]
+    for label, valuation in scenarios:
+        h = valuation_hom(NX, NAT, valuation)
+        resolved = symbolic.apply_hom(h)
+        answers = sorted(t["Dept"] for t in resolved.support())
+        print(f"  multiplicities {label:<18} -> qualifying: {answers or 'none'}")
+
+    print(
+        "\nNote the NON-MONOTONICITY (the heart of Prop. 4.2): adding the"
+        "\nr2 tuple between scenario 1 and 2 *removes* d1 from the answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

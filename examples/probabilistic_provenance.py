@@ -1,0 +1,84 @@
+"""Probabilistic databases through provenance (the Section 6 outlook).
+
+A sensor network reports sightings with per-sensor reliability.  Evaluate
+queries once over N[X]; tuple probabilities and expected aggregates follow
+from the stored provenance — no per-world re-evaluation.
+
+Run:  python examples/probabilistic_provenance.py
+"""
+
+from repro import (
+    NX,
+    SUM,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Table,
+)
+from repro.apps import aggregate_expectation, probability, tuple_probabilities
+from repro.semirings.hierarchy import nx_to_boolexpr
+
+RELIABILITY = {
+    "s1": 0.9,  # roadside camera
+    "s2": 0.6,  # drone pass
+    "s3": 0.8,  # satellite frame
+    "s4": 0.5,  # crowd report
+}
+
+
+def main() -> None:
+    sightings = KRelation.from_rows(
+        NX,
+        ("Zone", "Count"),
+        [
+            (("north", 3), NX.variable("s1")),
+            (("north", 2), NX.variable("s2")),
+            (("south", 5), NX.variable("s3")),
+            (("south", 1), NX.variable("s4")),
+        ],
+    )
+    zones = KRelation.from_rows(
+        NX,
+        ("Zone", "Priority"),
+        [(("north", "high"), NX.variable("z1")), (("south", "low"), NX.variable("z2"))],
+    )
+    db = KDatabase(NX, {"Sightings": sightings, "Zones": zones})
+    probs = dict(RELIABILITY, z1=1.0, z2=1.0)
+
+    # -- which zones have at least one sighting? --------------------------
+    active = Project(
+        NaturalJoin(Table("Sightings"), Table("Zones")), ["Zone", "Priority"]
+    ).evaluate(db)
+    print("Active zones with provenance:")
+    print(active.pretty(), "\n")
+
+    print("Existence probabilities (exact, via Shannon expansion):")
+    for tup, p in tuple_probabilities(active, probs).items():
+        print(f"  {tup} -> {p:.3f}")
+    print()
+
+    # -- expected total count per zone ------------------------------------
+    by_zone = GroupBy(Table("Sightings"), ["Zone"], {"Count": SUM}).evaluate(db)
+    print("Per-zone aggregates (symbolic):")
+    print(by_zone.pretty(), "\n")
+
+    print("Expected total sightings per zone (linearity of expectation):")
+    for tup, _annotation in by_zone.items():
+        expected = aggregate_expectation(tup["Count"], probs)
+        print(f"  {tup['Zone']:<6} -> {expected:.2f}")
+    print()
+
+    # -- a compound event: both zones active ------------------------------
+    north = active.annotation(next(t for t in active.support() if t["Zone"] == "north"))
+    south = active.annotation(next(t for t in active.support() if t["Zone"] == "south"))
+    both = NX.times(north, south)
+    print(
+        "P(both zones active) =",
+        f"{probability(nx_to_boolexpr(both), probs):.3f}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Security-clearance aggregation (Examples 3.5 and 3.16).
+
+An intelligence-budget database annotates line items with clearance
+levels.  One MAX aggregation under S answers "largest visible line item"
+for every credential; one SUM aggregation under SN answers "total visible
+budget" — both from a single evaluation.
+
+Run:  python examples/security_clearance.py
+"""
+
+from repro import (
+    CONFIDENTIAL,
+    MAX,
+    PUBLIC,
+    SEC,
+    SECBAG,
+    SECRET,
+    SUM,
+    TOP_SECRET,
+    KRelation,
+    aggregate,
+)
+from repro.apps import credential_hom, credential_hom_bag
+
+CREDENTIALS = [
+    ("public intern", PUBLIC),
+    ("confidential analyst", CONFIDENTIAL),
+    ("secret officer", SECRET),
+    ("top-secret director", TOP_SECRET),
+]
+
+LINE_ITEMS = [
+    (120, PUBLIC),       # office supplies
+    (900, CONFIDENTIAL), # training programme
+    (2500, SECRET),      # field operation
+    (7000, TOP_SECRET),  # satellite time
+    (1800, SECRET),      # informant network
+]
+
+
+def main() -> None:
+    # ---- Example 3.5 style: MAX under the security semiring S ----------
+    items_s = KRelation.from_rows(
+        SEC, ("Amount",), [((amount,), level) for amount, level in LINE_ITEMS]
+    )
+    print("Line items (clearance annotated):")
+    print(items_s.pretty(), "\n")
+
+    (t,) = aggregate(items_s, "Amount", MAX).support()
+    stored_max = t["Amount"]
+    print(f"Stored MAX tensor: {stored_max}\n")
+
+    print("Largest visible line item, per credential (one stored tensor):")
+    for name, cred in CREDENTIALS:
+        visible = stored_max.apply_hom(credential_hom(cred)).collapse()
+        rendered = "none" if visible == float("-inf") else visible
+        print(f"  {name:<22} -> {rendered}")
+    print()
+
+    # ---- Example 3.16 style: SUM under the security-bag semiring SN ----
+    # S is idempotent, so SUM needs the quotient semiring SN (Cor. 3.15).
+    items_sn = KRelation.from_rows(
+        SECBAG,
+        ("Amount",),
+        [((amount,), SECBAG.level(level)) for amount, level in LINE_ITEMS],
+    )
+    (t,) = aggregate(items_sn, "Amount", SUM).support()
+    stored_sum = t["Amount"]
+    print(f"Stored SUM tensor over SN: {stored_sum}\n")
+
+    print("Total visible budget, per credential:")
+    for name, cred in CREDENTIALS:
+        total = stored_sum.apply_hom(credential_hom_bag(cred)).collapse()
+        print(f"  {name:<22} -> {total}")
+
+
+if __name__ == "__main__":
+    main()

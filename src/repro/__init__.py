@@ -1,0 +1,49 @@
+"""repro — Provenance for Aggregate Queries.
+
+A from-scratch reproduction of Amsterdamer, Deutch & Tannen,
+*Provenance for Aggregate Queries*, PODS 2011:
+
+* semiring-annotated relations (K-relations) and the positive relational
+  algebra with annotation propagation;
+* commutative-monoid aggregation through the tensor-product construction
+  ``K (x) M`` (annotated aggregate values);
+* delta-semirings for GROUP BY;
+* the ``K^M`` equality-token semantics for nested aggregation queries;
+* relational difference encoded through aggregation, with the rival
+  monus / Z-semantics for comparison;
+* the provenance-semiring hierarchy, homomorphic specialisation
+  (deletion propagation, security, probabilities, costs), provenance
+  circuits, and a small SQL front end.
+
+Quickstart::
+
+    from repro import *
+
+    R = KRelation.from_rows(NX, ("Dept", "Sal"), [
+        (("d1", 20), NX.variable("r1")),
+        (("d1", 10), NX.variable("r2")),
+        (("d2", 10), NX.variable("r3")),
+    ])
+    db = KDatabase(NX, {"R": R})
+    q = GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+    print(q.evaluate(db).pretty())
+"""
+
+from repro.core import *  # noqa: F401,F403
+from repro.core import __all__ as _core_all
+from repro.monoids import *  # noqa: F401,F403
+from repro.monoids import __all__ as _monoids_all
+from repro.semimodules import *  # noqa: F401,F403
+from repro.semimodules import __all__ as _semimodules_all
+from repro.semirings import *  # noqa: F401,F403
+from repro.semirings import __all__ as _semirings_all
+
+__version__ = "1.0.0"
+
+__all__ = (
+    list(_semirings_all)
+    + list(_monoids_all)
+    + list(_semimodules_all)
+    + list(_core_all)
+    + ["__version__"]
+)

@@ -1,0 +1,83 @@
+"""Deletion propagation through provenance (Section 1, Figure 1).
+
+Provenance-aware evaluation "commutes with deletions": instead of
+re-running a query after source tuples disappear, set their tokens to 0
+and normalise the stored annotations.  This module packages that workflow
+over relations, databases, and materialised query results — the algebraic
+generalisation of counting-based view maintenance that motivated the
+semiring framework in Orchestra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.database import KDatabase
+from repro.core.query import Query
+from repro.core.relation import KRelation
+from repro.exceptions import QueryError
+from repro.semirings.homomorphism import deletion_hom
+from repro.semirings.polynomials import PolynomialSemiring
+
+__all__ = ["propagate_deletions", "DeletionTracker"]
+
+
+def propagate_deletions(
+    target: KRelation | KDatabase, deleted_tokens: Iterable[Any]
+) -> KRelation | KDatabase:
+    """Zero the given tokens in every annotation (and tensor value).
+
+    ``target`` may be a relation or a whole database annotated in a
+    polynomial semiring; the result is its deletion-propagated image.
+    """
+    semiring = target.semiring
+    if not isinstance(semiring, PolynomialSemiring):
+        raise QueryError(
+            f"deletion propagation needs token-based annotations; "
+            f"{semiring.name} has no tokens"
+        )
+    return target.apply_hom(deletion_hom(semiring, deleted_tokens))
+
+
+class DeletionTracker:
+    """A materialised query result that absorbs deletions incrementally.
+
+    Evaluate once over provenance polynomials; afterwards each
+    :meth:`delete` call is a cheap annotation rewrite — no re-evaluation.
+    This is experiment E14's "factorisation" workflow as an object.
+
+    Example::
+
+        tracker = DeletionTracker(query, db)
+        tracker.delete("p3", "r2")
+        current = tracker.result()
+    """
+
+    def __init__(self, query: Query, db: KDatabase, mode: str = "standard"):
+        semiring = db.semiring
+        if not isinstance(semiring, PolynomialSemiring):
+            raise QueryError("DeletionTracker requires a polynomial-annotated database")
+        self.semiring = semiring
+        self.query = query
+        self._materialised = query.evaluate(db, mode=mode)
+        self._deleted: set = set()
+
+    def delete(self, *tokens: Any) -> None:
+        """Mark source tuples (by token) as deleted."""
+        self._deleted.update(tokens)
+
+    def restore(self, *tokens: Any) -> None:
+        """Undo deletions (the Example 5.3 "revoke" move)."""
+        self._deleted.difference_update(tokens)
+
+    def result(self) -> KRelation:
+        """The query result under the current deletion set."""
+        if not self._deleted:
+            return self._materialised
+        return self._materialised.apply_hom(
+            deletion_hom(self.semiring, self._deleted)
+        )
+
+    def deleted_tokens(self) -> frozenset:
+        """The tokens currently marked deleted."""
+        return frozenset(self._deleted)

@@ -1,0 +1,121 @@
+"""Answer explanations from provenance: witnesses, costs, causality.
+
+Three classical "explain this query answer" services, all obtained by
+*specialising stored N[X] provenance* — no re-evaluation:
+
+* :func:`minimal_witnesses` — the minimal sets of source tuples that
+  suffice for the answer (why-provenance minimised through PosBool(X));
+* :func:`cheapest_derivation` — the lowest-cost way to derive the answer
+  given per-tuple costs (evaluation in the tropical semiring);
+* :func:`responsibility` — Meliou et al.'s causal responsibility (cited
+  in the paper's introduction): token x is a *counterfactual cause* given
+  a contingency set Γ if, after removing Γ, the answer exists with x and
+  vanishes without it; responsibility is ``1 / (1 + min |Γ|)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, FrozenSet, Mapping, Tuple
+
+from repro.core.relation import KRelation
+from repro.core.tuples import Tup
+from repro.exceptions import QueryError
+from repro.semirings.hierarchy import nx_to_posbool
+from repro.semirings.homomorphism import valuation_hom
+from repro.semirings.polynomials import NX, Polynomial
+from repro.semirings.tropical import TROPICAL
+
+__all__ = [
+    "minimal_witnesses",
+    "cheapest_derivation",
+    "responsibility",
+    "explain_tuple",
+]
+
+
+def _require_nx(annotation: Any) -> Polynomial:
+    if not (isinstance(annotation, Polynomial) and annotation.semiring is NX):
+        raise QueryError("explanations require N[X] provenance annotations")
+    return annotation
+
+
+def minimal_witnesses(annotation: Polynomial) -> FrozenSet[FrozenSet[Any]]:
+    """The minimal token sets sufficient to derive the answer.
+
+    Specialises through ``PosBool(X)``: absorption removes non-minimal
+    witnesses, so the result is exactly the antichain of minimal support
+    sets.
+    """
+    return nx_to_posbool(_require_nx(annotation))
+
+
+def cheapest_derivation(
+    annotation: Polynomial, costs: Mapping[Any, float]
+) -> float:
+    """The minimum total token cost of any derivation (tropical evaluation).
+
+    Joint use within a derivation *adds* costs (including multiplicity:
+    using a tuple twice costs twice); alternatives take the minimum.
+    Returns ``inf`` when the answer is underivable.
+    """
+    _require_nx(annotation)
+    hom = valuation_hom(NX, TROPICAL, dict(costs))
+    return hom(annotation)
+
+
+def responsibility(
+    annotation: Polynomial, token: Any, *, max_contingency: int | None = None
+) -> float:
+    """Causal responsibility of ``token`` for the annotated answer.
+
+    Brute-force over contingency sets (exact; exponential in the number of
+    tokens, which is fine at explanation scale — cap the search with
+    ``max_contingency``).  Returns 0.0 when the token is not a cause.
+    """
+    poly = _require_nx(annotation)
+    tokens = sorted(poly.variables(), key=str)
+    if token not in tokens:
+        return 0.0
+    others = [t for t in tokens if t != token]
+    limit = len(others) if max_contingency is None else min(max_contingency, len(others))
+
+    def exists(present: FrozenSet[Any]) -> bool:
+        hom = valuation_hom(NX, __import__("repro.semirings", fromlist=["BOOL"]).BOOL,
+                            lambda v: v in present)
+        return hom(poly)
+
+    all_tokens = frozenset(tokens)
+    for k in range(limit + 1):
+        for contingency in itertools.combinations(others, k):
+            remaining = all_tokens - frozenset(contingency)
+            if exists(remaining) and not exists(remaining - {token}):
+                return 1.0 / (1.0 + k)
+    return 0.0
+
+
+def explain_tuple(
+    rel: KRelation, tup: Tup, *, costs: Mapping[Any, float] | None = None
+) -> Dict[str, Any]:
+    """A combined explanation record for one answer tuple.
+
+    Returns a dict with the raw provenance, minimal witnesses, per-token
+    responsibilities, and (when ``costs`` are given) the cheapest
+    derivation cost.
+    """
+    annotation = _require_nx(rel.annotation(tup))
+    if not annotation:
+        raise QueryError(f"tuple {tup} is not in the result")
+    witnesses = minimal_witnesses(annotation)
+    record: Dict[str, Any] = {
+        "provenance": annotation,
+        "witnesses": witnesses,
+        "responsibility": {
+            token: responsibility(annotation, token)
+            for token in sorted(annotation.variables(), key=str)
+        },
+    }
+    if costs is not None:
+        record["cheapest_cost"] = cheapest_derivation(annotation, costs)
+    return record

@@ -1,0 +1,66 @@
+"""Security-clearance views over annotated query results (Examples 3.5, 3.16).
+
+A user with credential ``c`` sees a tuple iff its clearance annotation is
+at most ``c``.  Rather than filtering the sources and re-running the
+query, evaluate once under ``S`` (or ``SN``) annotations and apply the
+credential *homomorphism* to the result — including inside aggregate
+tensors, where unseen contributions drop out of the sum.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import KDatabase
+from repro.core.relation import KRelation
+from repro.exceptions import QueryError
+from repro.semirings.boolean import BOOL
+from repro.semirings.homomorphism import Homomorphism, semiring_hom
+from repro.semirings.natural import NAT
+from repro.semirings.security import SEC, SecurityLevel
+from repro.semirings.security_bag import SECBAG
+
+__all__ = ["credential_hom", "credential_hom_bag", "view_for"]
+
+
+def credential_hom(credential: SecurityLevel) -> Homomorphism:
+    """The homomorphism ``S -> B`` of Example 3.5.
+
+    Maps clearance ``t`` to true iff ``t <= credential`` ("the deletion of
+    tuples is equivalent to applying a homomorphism that maps every
+    annotation t > cred to 0 and t <= cred to 1").
+    """
+    return semiring_hom(
+        SEC, BOOL, lambda level: level <= credential, name=f"cred≤{credential}"
+    )
+
+
+def credential_hom_bag(credential: SecurityLevel) -> Homomorphism:
+    """The homomorphism ``SN -> N`` of Example 3.16.
+
+    Keeps the multiplicity of every contribution whose level is within the
+    credential, drops the rest — enabling per-credential SUM readouts.
+    """
+
+    def fn(value):
+        return sum(count for level, count in value.items() if level <= credential)
+
+    return semiring_hom(SECBAG, NAT, fn, name=f"cred≤{credential}(SN)")
+
+
+def view_for(
+    credential: SecurityLevel, annotated: KRelation | KDatabase
+) -> KRelation | KDatabase:
+    """The relation/database as visible to a user with ``credential``.
+
+    Dispatches on the annotation semiring: ``S`` results become set
+    relations, ``SN`` results become bag relations.  Aggregate tensor
+    values are specialised through the lifted homomorphism, so e.g. a MAX
+    over secret salaries degrades gracefully for lower clearances.
+    """
+    semiring = annotated.semiring
+    if semiring is SEC:
+        return annotated.apply_hom(credential_hom(credential))
+    if semiring is SECBAG:
+        return annotated.apply_hom(credential_hom_bag(credential))
+    raise QueryError(
+        f"security views need S or SN annotations, got {semiring.name}"
+    )

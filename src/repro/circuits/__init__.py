@@ -1,0 +1,15 @@
+"""Provenance circuits: shared-DAG annotations (the ProvSQL-style substrate)."""
+
+from repro.circuits.convert import circuit_to_polynomial, polynomial_to_circuit
+from repro.circuits.evaluate import evaluate_circuit
+from repro.circuits.nodes import CircuitBuilder, CircuitNode
+from repro.circuits.semiring import CircuitSemiring
+
+__all__ = [
+    "CircuitNode",
+    "CircuitBuilder",
+    "CircuitSemiring",
+    "evaluate_circuit",
+    "circuit_to_polynomial",
+    "polynomial_to_circuit",
+]

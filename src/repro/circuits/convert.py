@@ -1,0 +1,59 @@
+"""Conversions between circuits and provenance polynomials.
+
+``circuit -> polynomial`` is just evaluation in ``N[X]`` (tokens map to
+themselves), i.e. full expansion; ``polynomial -> circuit`` re-encodes the
+canonical form as gates.  Round-tripping through ``N[X]`` canonicalises a
+circuit; the size comparison between the two representations is
+experiment E15.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.evaluate import evaluate_circuit
+from repro.circuits.nodes import CircuitNode
+from repro.circuits.semiring import CircuitSemiring
+from repro.exceptions import SemiringError
+from repro.semirings.polynomials import NX, Polynomial
+
+__all__ = ["circuit_to_polynomial", "polynomial_to_circuit"]
+
+
+def circuit_to_polynomial(node: CircuitNode) -> Polynomial:
+    """Expand a circuit into a canonical ``N[X]`` polynomial.
+
+    Delta gates expand into the free delta-semiring (``DeltaTerm``
+    indeterminates), matching what the polynomial engine itself produces.
+    """
+    return evaluate_circuit(node, NX, lambda token: NX.variable(token))
+
+
+def polynomial_to_circuit(poly: Polynomial, semiring: CircuitSemiring) -> CircuitNode:
+    """Encode an ``N[X]`` polynomial as a circuit over ``semiring``.
+
+    Each monomial becomes a chain of multiplication gates; interning
+    shares repeated sub-monomials across terms.
+    """
+    if poly.semiring is not NX:
+        raise SemiringError(
+            f"polynomial_to_circuit expects N[X] elements, got {poly.semiring.name}"
+        )
+    builder = semiring.builder
+    total = builder.zero
+    for mono, coeff in poly.terms():
+        acc = builder.const(coeff)
+        for var, exp in mono:
+            gate = _var_gate(var, semiring)
+            for _ in range(exp):
+                acc = builder.times(acc, gate)
+        total = builder.plus(total, acc)
+    return total
+
+
+def _var_gate(var, semiring: CircuitSemiring) -> CircuitNode:
+    from repro.semirings.delta import DeltaTerm
+
+    if isinstance(var, DeltaTerm):
+        return semiring.builder.delta(
+            polynomial_to_circuit(var.argument, semiring)
+        )
+    return semiring.builder.var(var)

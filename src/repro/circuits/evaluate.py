@@ -1,0 +1,74 @@
+"""Memoized circuit evaluation into arbitrary semirings.
+
+Evaluating a circuit under a valuation is the circuit analogue of applying
+a freely-extended homomorphism to a provenance polynomial: each distinct
+gate is computed once (the point of sharing), in any target semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.circuits.nodes import CircuitNode
+from repro.exceptions import HomomorphismError
+from repro.semirings.base import Semiring
+
+__all__ = ["evaluate_circuit"]
+
+
+def evaluate_circuit(
+    node: CircuitNode,
+    target: Semiring,
+    valuation: Mapping[Any, Any] | Callable[[Any], Any],
+) -> Any:
+    """Evaluate ``node`` in ``target`` under a token valuation.
+
+    ``valuation`` maps tokens to target elements (mapping or callable).
+    Iterative post-order with memoization: shared gates are evaluated
+    once, and recursion depth is independent of circuit depth.
+    """
+    if isinstance(valuation, Mapping):
+        mapping = dict(valuation)
+
+        def image(token: Any) -> Any:
+            try:
+                return mapping[token]
+            except KeyError:
+                raise HomomorphismError(
+                    f"valuation does not cover token {token!r}"
+                ) from None
+
+    else:
+        image = valuation
+
+    memo: Dict[int, Any] = {}
+    stack = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current._id in memo:
+            continue
+        if not expanded:
+            stack.append((current, True))
+            for child in current.children:
+                if child._id not in memo:
+                    stack.append((child, False))
+            continue
+        kind = current.kind
+        if kind == "zero":
+            value = target.zero
+        elif kind == "one":
+            value = target.one
+        elif kind == "const":
+            value = target.from_int(current.payload)
+        elif kind == "var":
+            value = image(current.payload)
+        elif kind == "plus":
+            value = target.plus(*(memo[c._id] for c in current.children))
+        elif kind == "times":
+            value = target.times(*(memo[c._id] for c in current.children))
+        elif kind == "delta":
+            value = target.delta(memo[current.children[0]._id])
+        else:  # pragma: no cover - builder only produces the kinds above
+            raise HomomorphismError(f"unknown circuit gate {kind!r}")
+        memo[current._id] = value
+    return memo[node._id]

@@ -1,0 +1,169 @@
+"""Provenance circuits: hash-consed DAGs of semiring operations.
+
+Expanded polynomials can blow up (a chain of ``n`` self-joins squares the
+term count each step), while the *circuit* that produced them stays linear
+in the number of operator applications.  Production systems (ProvSQL,
+Orchestra-style implementations the paper cites as its intended execution
+substrate) therefore store provenance as circuits and evaluate them under
+each valuation.  This subpackage provides that representation as a
+drop-in annotation semiring: run the very same query engine with
+:class:`~repro.circuits.semiring.CircuitSemiring` and every annotation is
+a shared node instead of an expanded polynomial (experiment E15 measures
+the gap).
+
+Nodes are interned per builder ("hash-consing"): structurally identical
+subcircuits are the same Python object, so common subexpressions are
+stored and evaluated once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+__all__ = ["CircuitNode", "CircuitBuilder"]
+
+
+class CircuitNode:
+    """One gate of a provenance circuit.
+
+    ``kind`` is one of ``"zero"``, ``"one"``, ``"const"`` (a natural
+    number), ``"var"`` (a provenance token), ``"plus"``, ``"times"``,
+    ``"delta"``.  Children are other interned nodes.  Instances are
+    created only through :class:`CircuitBuilder`; identity equality is
+    object equality thanks to interning.
+    """
+
+    __slots__ = ("kind", "payload", "children", "_id")
+
+    def __init__(self, kind: str, payload: Any, children: Tuple["CircuitNode", ...], node_id: int):
+        self.kind = kind
+        self.payload = payload
+        self.children = children
+        self._id = node_id
+
+    def __hash__(self) -> int:
+        return self._id
+
+    # identity equality is correct because of interning; defining __eq__
+    # explicitly documents the invariant.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    # -- structure ----------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["CircuitNode"]:
+        """All distinct nodes reachable from this one (DAG traversal)."""
+        seen: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node._id in seen:
+                continue
+            seen.add(node._id)
+            yield node
+            stack.extend(node.children)
+
+    def dag_size(self) -> int:
+        """Number of distinct gates (the honest circuit-size measure)."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def tree_size(self) -> int:
+        """Size of the fully-expanded expression tree (can be exponential)."""
+        if not self.children:
+            return 1
+        return 1 + sum(child.tree_size() for child in self.children)
+
+    def variables(self) -> frozenset:
+        """All provenance tokens appearing in the circuit."""
+        return frozenset(
+            node.payload for node in self.iter_nodes() if node.kind == "var"
+        )
+
+    # -- display --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.kind == "zero":
+            return "0"
+        if self.kind == "one":
+            return "1"
+        if self.kind == "const":
+            return str(self.payload)
+        if self.kind == "var":
+            return str(self.payload)
+        if self.kind == "delta":
+            return f"δ({self.children[0]})"
+        op = " + " if self.kind == "plus" else "*"
+        return "(" + op.join(str(c) for c in self.children) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<circuit #{self._id} {self.kind} size={self.dag_size()}>"
+
+
+class CircuitBuilder:
+    """Interning factory for circuit nodes (one per CircuitSemiring)."""
+
+    def __init__(self) -> None:
+        self._intern: Dict[Tuple, CircuitNode] = {}
+        self._counter = 0
+        self.zero = self._make("zero", None, ())
+        self.one = self._make("one", None, ())
+
+    def _make(self, kind: str, payload: Any, children: Tuple[CircuitNode, ...]) -> CircuitNode:
+        key = (kind, payload, tuple(c._id for c in children))
+        node = self._intern.get(key)
+        if node is None:
+            self._counter += 1
+            node = CircuitNode(kind, payload, children, self._counter)
+            self._intern[key] = node
+        return node
+
+    # -- constructors with local simplification --------------------------------
+
+    def var(self, token: Any) -> CircuitNode:
+        """A provenance-token input gate."""
+        return self._make("var", token, ())
+
+    def const(self, n: int) -> CircuitNode:
+        """A natural-number constant gate."""
+        if n == 0:
+            return self.zero
+        if n == 1:
+            return self.one
+        return self._make("const", n, ())
+
+    def plus(self, a: CircuitNode, b: CircuitNode) -> CircuitNode:
+        """Addition gate with unit simplification (0 + x = x)."""
+        if a is self.zero:
+            return b
+        if b is self.zero:
+            return a
+        # canonical child order maximises sharing of commutative gates
+        if b._id < a._id:
+            a, b = b, a
+        return self._make("plus", None, (a, b))
+
+    def times(self, a: CircuitNode, b: CircuitNode) -> CircuitNode:
+        """Multiplication gate with unit/annihilator simplification."""
+        if a is self.zero or b is self.zero:
+            return self.zero
+        if a is self.one:
+            return b
+        if b is self.one:
+            return a
+        if b._id < a._id:
+            a, b = b, a
+        return self._make("times", None, (a, b))
+
+    def delta(self, a: CircuitNode) -> CircuitNode:
+        """Delta gate (Definition 3.6) with constant folding."""
+        if a is self.zero:
+            return self.zero
+        if a is self.one:
+            return self.one
+        if a.kind == "const":
+            return self.one
+        return self._make("delta", None, (a,))
+
+    def interned_count(self) -> int:
+        """Total number of distinct gates ever created (sharing metric)."""
+        return len(self._intern)

@@ -1,0 +1,75 @@
+"""The circuit semiring: annotations as shared DAG nodes.
+
+``CircuitSemiring`` satisfies the :class:`~repro.semirings.base.Semiring`
+interface with circuit nodes as elements, so the entire query engine —
+operators, aggregation, GROUP BY, tensors — runs over it unchanged.  The
+resulting annotations have size proportional to the *work performed by the
+query*, not to the expanded polynomial (experiment E15).
+
+Caveat: circuit equality is structural-after-simplification (interning),
+which is finer than semantic polynomial equality; circuits are an
+execution representation, not a canonical form.  Convert to ``N[X]`` with
+:func:`~repro.circuits.convert.circuit_to_polynomial` when canonical
+comparison is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.circuits.nodes import CircuitBuilder, CircuitNode
+from repro.semirings.base import Semiring
+
+__all__ = ["CircuitSemiring"]
+
+
+class CircuitSemiring(Semiring):
+    """Free semiring over tokens, represented as hash-consed circuits."""
+
+    idempotent_plus = False
+    idempotent_times = False
+    positive = True
+    has_hom_to_nat = True
+    has_delta = True
+
+    def __init__(self, name: str = "Circ[X]"):
+        self.name = name
+        self.builder = CircuitBuilder()
+
+    @property
+    def zero(self) -> CircuitNode:
+        return self.builder.zero
+
+    @property
+    def one(self) -> CircuitNode:
+        return self.builder.one
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, CircuitNode)
+
+    def variable(self, token: Any) -> CircuitNode:
+        """The input gate for a provenance token."""
+        return self.builder.var(token)
+
+    def plus(self, a: CircuitNode, b: CircuitNode) -> CircuitNode:
+        return self.builder.plus(a, b)
+
+    def times(self, a: CircuitNode, b: CircuitNode) -> CircuitNode:
+        return self.builder.times(a, b)
+
+    def delta(self, a: CircuitNode) -> CircuitNode:
+        return self.builder.delta(a)
+
+    def from_int(self, n: int) -> CircuitNode:
+        return self.builder.const(n)
+
+    def hom_to_nat(self, a: CircuitNode) -> int:
+        from repro.circuits.evaluate import evaluate_circuit  # avoid cycle
+        from repro.semirings.natural import NAT
+
+        return evaluate_circuit(a, NAT, lambda token: 1)
+
+    def format(self, a: CircuitNode) -> str:
+        # full expansion can be exponential; cap the rendering
+        text = str(a)
+        return text if len(text) <= 120 else f"<circuit: {a.dag_size()} gates>"

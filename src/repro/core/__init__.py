@@ -1,0 +1,77 @@
+"""The K-relational core: relations, the SPJU-AGB algebra, nested
+aggregation (Section 4.3), and difference-via-aggregation (Section 5)."""
+
+from repro.core.aggregates import (
+    aggregate,
+    avg_aggregate,
+    count_aggregate,
+    group_by,
+)
+from repro.core.database import KDatabase
+from repro.core.difference import (
+    difference,
+    difference_via_aggregation,
+    monus_difference,
+    z_difference,
+)
+from repro.core.comparisons import ComparisonAtom
+from repro.core.equality import (
+    EqualityAtom,
+    compare_tensors,
+    equality_annotation,
+    km_semiring,
+)
+from repro.core.operators import (
+    cartesian,
+    equijoin,
+    natural_join,
+    projection,
+    rename,
+    selection,
+    union,
+)
+from repro.core.query import (
+    Aggregate,
+    AttrCompare,
+    AttrEq,
+    AttrEqAttr,
+    AvgAgg,
+    Cartesian,
+    Condition,
+    CountAgg,
+    Difference,
+    Distinct,
+    GroupBy,
+    NaturalJoin,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.core.relation import KRelation
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+
+__all__ = [
+    # data model
+    "Schema", "Tup", "KRelation", "KDatabase",
+    # SPJU operators
+    "union", "projection", "selection", "natural_join", "equijoin",
+    "cartesian", "rename",
+    # aggregation
+    "aggregate", "group_by", "count_aggregate", "avg_aggregate",
+    # nested aggregation machinery
+    "EqualityAtom", "ComparisonAtom", "km_semiring", "compare_tensors",
+    "equality_annotation",
+    # difference
+    "difference", "difference_via_aggregation", "monus_difference",
+    "z_difference",
+    # query AST
+    "Query", "Table", "Union", "Project", "Select", "NaturalJoin",
+    "ValueJoin", "Cartesian", "Rename", "Aggregate", "GroupBy", "CountAgg",
+    "AvgAgg", "Distinct", "Difference", "Condition", "AttrEq", "AttrEqAttr",
+    "AttrCompare",
+]

@@ -1,0 +1,70 @@
+"""K-databases: named collections of K-relations over one semiring."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.core.relation import KRelation
+from repro.exceptions import QueryError, SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import Homomorphism
+
+__all__ = ["KDatabase"]
+
+
+class KDatabase:
+    """A named-relation database where every relation shares one semiring."""
+
+    __slots__ = ("semiring", "_relations")
+
+    def __init__(self, semiring: Semiring, relations: Mapping[str, KRelation] = ()):
+        self.semiring = semiring
+        self._relations: Dict[str, KRelation] = {}
+        for name, relation in dict(relations).items():
+            self.add(name, relation)
+
+    def add(self, name: str, relation: KRelation) -> None:
+        """Register ``relation`` under ``name`` (same semiring required)."""
+        if relation.semiring is not self.semiring:
+            raise SemiringError(
+                f"relation {name!r} is annotated in {relation.semiring.name}, "
+                f"database uses {self.semiring.name}"
+            )
+        self._relations[name] = relation
+
+    def relation(self, name: str) -> KRelation:
+        """Look up a relation; raises :class:`QueryError` when absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise QueryError(f"no relation named {name!r} in database") from None
+
+    def __getitem__(self, name: str) -> KRelation:
+        return self.relation(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Tuple[str, KRelation]]:
+        return iter(sorted(self._relations.items()))
+
+    def names(self) -> Tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def apply_hom(self, hom: Homomorphism) -> "KDatabase":
+        """``h_Rel`` on every relation: the homomorphic database image."""
+        out = KDatabase(hom.target)
+        for name, relation in self:
+            out.add(name, relation.apply_hom(hom))
+        return out
+
+    def pretty(self) -> str:
+        """Render every relation as a titled text table."""
+        blocks = []
+        for name, relation in self:
+            blocks.append(f"{name}:\n{relation.pretty()}")
+        return "\n\n".join(blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KDatabase over {self.semiring.name}: {', '.join(self.names())}>"

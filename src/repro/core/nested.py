@@ -1,0 +1,469 @@
+"""The extended semantics for nested aggregation queries (Section 4.3).
+
+When selections, joins or further aggregations consume *symbolic* aggregate
+values, tuple existence becomes conditional on comparisons that cannot yet
+be decided.  The paper's semantics keeps every candidate tuple and
+multiplies its ``K^M`` annotation by equality atoms; a later homomorphism
+resolves the atoms (axiom (*)) and the conditional tuples collapse to the
+classical answer.
+
+Every operator below implements the corresponding item of Section 4.3
+with **eager atom resolution**: comparisons whose truth value is already
+determined (plain values, or tensors over collapsing spaces, or identical
+normal forms) contribute ``1``/``0`` immediately, so on ordinary inputs the
+extended operators reduce to the standard SPJU-AGB semantics — exactly the
+reduction the paper's definitions perform implicitly.  Only genuinely
+undetermined comparisons leave symbolic ``[a = b]`` tokens behind.
+
+The quadratic candidate sums of items 2-3 (union/projection compare every
+support tuple against every candidate) are computed with zero
+short-circuiting, so resolvable inputs cost the same as the standard
+operators up to constant factors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.aggregates import normalize_agg_specs
+from repro.core.equality import (
+    coerce_annotation,
+    collapse_constant,
+    equality_annotation,
+    km_semiring,
+)
+from repro.core.relation import KRelation
+from repro.core.tuples import Tup
+from repro.exceptions import QueryError, SchemaError
+from repro.monoids.base import CommutativeMonoid
+from repro.semimodules.tensor import Tensor, tensor_space
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import semiring_hom
+from repro.semirings.polynomials import Polynomial, PolynomialSemiring
+
+__all__ = [
+    "lift_to_km",
+    "collapse_km_relation",
+    "value_match",
+    "tuple_match",
+    "ext_union",
+    "ext_projection",
+    "ext_selection_const",
+    "ext_selection_attrs",
+    "ext_natural_join",
+    "ext_value_join",
+    "ext_cartesian",
+    "ext_aggregate",
+    "ext_group_by",
+]
+
+
+# ---------------------------------------------------------------------------
+# K <-> K^M plumbing
+# ---------------------------------------------------------------------------
+
+
+def lift_to_km(r: KRelation, km: PolynomialSemiring) -> KRelation:
+    """Coerce a ``K``-relation into a ``K^M``-relation (annotations embed)."""
+    if r.semiring is km:
+        return r
+    return r.map_annotations(km, lambda k: coerce_annotation(km, k))
+
+
+def collapse_km_relation(r: KRelation, base: Semiring) -> KRelation:
+    """The Prop. 4.4 collapse ``K^M = K`` applied to a whole relation.
+
+    If every annotation is a *constant* ``K^M`` polynomial (every equality
+    atom resolved) the relation is re-expressed over the base semiring,
+    with tensor values retargeted accordingly.  Otherwise the relation is
+    returned unchanged — symbols genuinely remain.
+    """
+    km = r.semiring
+    if km is base or not isinstance(km, PolynomialSemiring):
+        return r
+
+    for _tup, annotation in r.items():
+        if isinstance(annotation, Polynomial) and not annotation.is_constant():
+            return r
+    for tup, _annotation in r.items():
+        for value in tup.values():
+            if isinstance(value, Tensor):
+                for _m, scalar in value:
+                    if isinstance(scalar, Polynomial) and not scalar.is_constant():
+                        return r
+
+    collapse = semiring_hom(
+        km, base, lambda p: collapse_constant(km, p), name=f"{km.name}⇒{base.name}"
+    )
+    return r.apply_hom(collapse)
+
+
+def _retarget_tensor(value: Tensor, km: PolynomialSemiring) -> Tensor:
+    """Re-express a ``K (x) M`` tensor over ``K^M (x) M`` (scalars embed)."""
+    if value.space.semiring is km:
+        return value
+    source = value.space.semiring
+    embed = semiring_hom(
+        source, km, lambda k: coerce_annotation(km, k), name=f"{source.name}↪{km.name}"
+    )
+    return value.apply_hom(embed)
+
+
+# ---------------------------------------------------------------------------
+# value and tuple comparison (the heart of Section 4.3)
+# ---------------------------------------------------------------------------
+
+
+def value_match(km: PolynomialSemiring, a: Any, b: Any) -> Polynomial:
+    """The ``K^M`` annotation of the comparison ``a = b``.
+
+    * two plain values: decided by ordinary equality;
+    * a tensor against a plain value: the plain value embeds via ``iota``
+      when it belongs to the tensor's monoid, else the comparison is
+      definitely false (a tensor denotes a monoid element);
+    * two tensors: :func:`~repro.core.equality.equality_annotation`
+      (eager resolution, symbolic atom when undetermined).
+    """
+    a_tensor = isinstance(a, Tensor)
+    b_tensor = isinstance(b, Tensor)
+    if not a_tensor and not b_tensor:
+        return km.one if a == b else km.zero
+    if a_tensor and not b_tensor:
+        return _tensor_vs_plain(km, a, b)
+    if b_tensor and not a_tensor:
+        return _tensor_vs_plain(km, b, a)
+    a = _retarget_tensor(a, km)
+    b = _retarget_tensor(b, km)
+    if a.space.monoid is not b.space.monoid:
+        return km.zero
+    return equality_annotation(km, a, b)
+
+
+def _tensor_vs_plain(km: PolynomialSemiring, t: Tensor, plain: Any) -> Polynomial:
+    monoid = t.space.monoid
+    if not monoid.contains(plain):
+        return km.zero
+    t = _retarget_tensor(t, km)
+    embedded = t.space.iota(plain)
+    return equality_annotation(km, t, embedded)
+
+
+def tuple_match(
+    km: PolynomialSemiring, t1: Tup, t2: Tup, attributes: Iterable[str]
+) -> Polynomial:
+    """``prod over u of [t1(u) = t2(u)]`` with zero short-circuiting."""
+    result = km.one
+    for attr in attributes:
+        factor = value_match(km, t1[attr], t2[attr])
+        if km.is_zero(factor):
+            return km.zero
+        result = km.times(result, factor)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 4.3 operators
+# ---------------------------------------------------------------------------
+
+
+def ext_union(r1: KRelation, r2: KRelation, km: PolynomialSemiring) -> KRelation:
+    """Item 2: candidate tuples drawn from both supports, matched symbolically."""
+    if r1.schema != r2.schema:
+        raise SchemaError(f"union of incompatible schemas {r1.schema} / {r2.schema}")
+    r1, r2 = lift_to_km(r1, km), lift_to_km(r2, km)
+    attrs = r1.schema.attributes
+    candidates = _dedup_tuples(list(r1.support()) + list(r2.support()))
+    pairs = []
+    for t in candidates:
+        total = km.zero
+        for source in (r1, r2):
+            for t_prime, annotation in source.items():
+                match = tuple_match(km, t_prime, t, attrs)
+                if not km.is_zero(match):
+                    total = km.plus(total, km.times(annotation, match))
+        pairs.append((t, total))
+    return KRelation(km, r1.schema, pairs)
+
+
+def ext_projection(
+    r: KRelation, attributes: Iterable[str], km: PolynomialSemiring
+) -> KRelation:
+    """Item 3: project, matching every support tuple against each candidate."""
+    r = lift_to_km(r, km)
+    out_schema = r.schema.restrict(attributes)
+    candidates = _dedup_tuples(
+        t.restrict(out_schema.attributes) for t in r.support()
+    )
+    pairs = []
+    for t in candidates:
+        total = km.zero
+        for t_prime, annotation in r.items():
+            match = tuple_match(km, t_prime, t, out_schema.attributes)
+            if not km.is_zero(match):
+                total = km.plus(total, km.times(annotation, match))
+        pairs.append((t, total))
+    return KRelation(km, out_schema, pairs)
+
+
+def ext_selection_const(
+    r: KRelation, attribute: str, value: Any, km: PolynomialSemiring
+) -> KRelation:
+    """Item 4: ``sigma_{u = m}(R)(t) = R(t) * [t(u) = iota(m)]``."""
+    r = lift_to_km(r, km)
+    pairs = []
+    for t, annotation in r.items():
+        factor = value_match(km, t[attribute], value)
+        pairs.append((t, km.times(annotation, factor)))
+    return KRelation(km, r.schema, pairs)
+
+
+def ext_selection_attrs(
+    r: KRelation, attr1: str, attr2: str, km: PolynomialSemiring
+) -> KRelation:
+    """Selection comparing two attributes of the same relation."""
+    r = lift_to_km(r, km)
+    pairs = []
+    for t, annotation in r.items():
+        factor = value_match(km, t[attr1], t[attr2])
+        pairs.append((t, km.times(annotation, factor)))
+    return KRelation(km, r.schema, pairs)
+
+
+def ext_selection_order(
+    r: KRelation, attribute: str, op: str, value: Any, km: PolynomialSemiring
+) -> KRelation:
+    """Order-predicate selection ``sigma_{u op m}`` (paper's extension note).
+
+    Symbolic aggregate values yield :class:`ComparisonAtom` tokens that
+    resolve under homomorphisms exactly like equality atoms — the HAVING
+    use case.
+    """
+    r = lift_to_km(r, km)
+    pairs = []
+    for t, annotation in r.items():
+        factor = order_match(km, t[attribute], value, op)
+        pairs.append((t, km.times(annotation, factor)))
+    return KRelation(km, r.schema, pairs)
+
+
+def order_match(km: PolynomialSemiring, a: Any, b: Any, op: str) -> Polynomial:
+    """The ``K^M`` annotation of the ordered comparison ``a op b``."""
+    from repro.core.comparisons import comparison_annotation  # avoid cycle
+
+    a_tensor = isinstance(a, Tensor)
+    b_tensor = isinstance(b, Tensor)
+    if not a_tensor and not b_tensor:
+        verdict = _plain_order(a, b, op)
+        return km.one if verdict else km.zero
+    if a_tensor and not b_tensor:
+        a = _retarget_tensor(a, km)
+        if not a.space.monoid.contains(b):
+            return km.zero
+        return comparison_annotation(km, op, a, a.space.iota(b))
+    if b_tensor and not a_tensor:
+        b = _retarget_tensor(b, km)
+        if not b.space.monoid.contains(a):
+            return km.zero
+        return comparison_annotation(km, op, b.space.iota(a), b)
+    a = _retarget_tensor(a, km)
+    b = _retarget_tensor(b, km)
+    if a.space.monoid is not b.space.monoid:
+        return km.zero
+    return comparison_annotation(km, op, a, b)
+
+
+def _plain_order(a: Any, b: Any, op: str) -> bool:
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def ext_value_join(
+    r1: KRelation,
+    r2: KRelation,
+    on: Mapping[str, str] | Iterable[Tuple[str, str]],
+    km: PolynomialSemiring,
+) -> KRelation:
+    """Item 5 (value-based join): disjoint schemas, atoms per join pair.
+
+    Output tuples keep **both** compared columns, exactly as the paper's
+    definition does; the annotation carries the equality constraints.
+    """
+    pairs_on = list(on.items()) if isinstance(on, Mapping) else list(on)
+    if not r1.schema.is_disjoint(r2.schema):
+        raise SchemaError("value-based join requires disjoint schemas")
+    r1, r2 = lift_to_km(r1, km), lift_to_km(r2, km)
+    out_schema = r1.schema.union(r2.schema)
+    out = []
+    for t1, k1 in r1.items():
+        for t2, k2 in r2.items():
+            annotation = km.times(k1, k2)
+            for left, right in pairs_on:
+                if km.is_zero(annotation):
+                    break
+                annotation = km.times(
+                    annotation, value_match(km, t1[left], t2[right])
+                )
+            if not km.is_zero(annotation):
+                out.append((t1.merge(t2), annotation))
+    return KRelation(km, out_schema, out)
+
+
+def ext_natural_join(
+    r1: KRelation, r2: KRelation, km: PolynomialSemiring
+) -> KRelation:
+    """Item 5 (natural-join variant): atoms on the shared attributes.
+
+    The output keeps the left operand's value on each shared attribute;
+    the annotation constrains it to equal the right operand's (so under
+    any homomorphism that falsifies the constraint the tuple vanishes).
+    """
+    r1, r2 = lift_to_km(r1, km), lift_to_km(r2, km)
+    common = r1.schema.intersection(r2.schema)
+    out_schema = r1.schema.union(r2.schema)
+    r2_only = tuple(a for a in r2.schema.attributes if a not in common)
+    out = []
+    for t1, k1 in r1.items():
+        for t2, k2 in r2.items():
+            annotation = km.times(k1, k2)
+            for attr in common:
+                if km.is_zero(annotation):
+                    break
+                annotation = km.times(
+                    annotation, value_match(km, t1[attr], t2[attr])
+                )
+            if km.is_zero(annotation):
+                continue
+            merged = dict(t1.items())
+            for attr in r2_only:
+                merged[attr] = t2[attr]
+            out.append((Tup(merged), annotation))
+    return KRelation(km, out_schema, out)
+
+
+def ext_cartesian(r1: KRelation, r2: KRelation, km: PolynomialSemiring) -> KRelation:
+    """Item 5 (cartesian variant): no equality atoms, disjoint schemas."""
+    if not r1.schema.is_disjoint(r2.schema):
+        raise SchemaError("cartesian product requires disjoint schemas")
+    r1, r2 = lift_to_km(r1, km), lift_to_km(r2, km)
+    out_schema = r1.schema.union(r2.schema)
+    out = [
+        (t1.merge(t2), km.times(k1, k2))
+        for t1, k1 in r1.items()
+        for t2, k2 in r2.items()
+    ]
+    return KRelation(km, out_schema, out)
+
+
+def ext_aggregate(
+    r: KRelation, attribute: str, monoid: CommutativeMonoid, km: PolynomialSemiring
+) -> KRelation:
+    """Item 6: ``t(u) = sum over t' of R(t') * t'(u)`` in ``K^M (x) M``.
+
+    Unlike Section 3's AGG, the input values may already be tensors (the
+    nested case, Example 4.5): the semimodule action then multiplies the
+    tuple's annotation into the existing tensor — no "tensor of tensors"
+    arises because ``K^M (x) M`` is closed under the action.
+    """
+    if tuple(r.schema.attributes) != (attribute,):
+        raise QueryError(
+            f"AGG expects a relation over exactly ({attribute!r},); got {r.schema}"
+        )
+    r = lift_to_km(r, km)
+    space = tensor_space(km, monoid)
+    total = space.zero
+    for t, annotation in r.items():
+        embedded = _embed_value(t[attribute], monoid, km, attribute)
+        total = space.add(total, space.scalar(annotation, embedded))
+    return KRelation(km, r.schema, [(Tup({attribute: total}), km.one)])
+
+
+def ext_group_by(
+    r: KRelation,
+    group_attributes: Iterable[str],
+    aggregations: Mapping[str, CommutativeMonoid] | Iterable[Tuple[str, CommutativeMonoid]],
+    km: PolynomialSemiring,
+) -> KRelation:
+    """Item 7: symbolic GROUP BY.
+
+    For each *candidate key* (a distinct restriction of a support tuple to
+    the group attributes) the annotation is ``delta`` of the matched sum
+    ``(Pi_{U'} R)(key)`` and each aggregate value weights every support
+    tuple by its key-match product.  When keys are plain this reduces to
+    Definition 3.7 bucketing; tensor-valued keys stay separate candidates
+    with symbolic cross-terms — the paper notes the resulting duplicates
+    merge once a homomorphism resolves the equalities.
+    """
+    group_attrs = tuple(group_attributes)
+    agg_specs = normalize_agg_specs(aggregations)
+    overlap = set(group_attrs) & set(agg_specs)
+    if overlap:
+        raise QueryError(
+            f"attributes {sorted(overlap)} cannot be both grouped and aggregated"
+        )
+    r = lift_to_km(r, km)
+    spaces = {attr: tensor_space(km, monoid) for attr, monoid in agg_specs.items()}
+
+    candidates = _dedup_tuples(t.restrict(group_attrs) for t in r.support())
+    out_schema = r.schema.restrict(group_attrs).extend(*agg_specs.keys())
+    pairs = []
+    for key in candidates:
+        matched: List[Tuple[Tup, Polynomial]] = []
+        group_total = km.zero
+        for t_prime, annotation in r.items():
+            match = tuple_match(km, t_prime, key, group_attrs)
+            if km.is_zero(match):
+                continue
+            weight = km.times(annotation, match)
+            matched.append((t_prime, weight))
+            group_total = km.plus(group_total, weight)
+        if km.is_zero(group_total):
+            continue
+        values = dict(key.items())
+        for attr, monoid in agg_specs.items():
+            space = spaces[attr]
+            total = space.zero
+            for t_prime, weight in matched:
+                embedded = _embed_value(t_prime[attr], monoid, km, attr)
+                total = space.add(total, space.scalar(weight, embedded))
+            values[attr] = total
+        pairs.append((Tup(values), km.delta(group_total)))
+    return KRelation(km, out_schema, pairs)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _embed_value(
+    value: Any, monoid: CommutativeMonoid, km: PolynomialSemiring, attribute: str
+) -> Tensor:
+    """Embed an attribute value into ``K^M (x) M`` (``iota`` on plain values)."""
+    space = tensor_space(km, monoid)
+    if isinstance(value, Tensor):
+        if value.space.monoid is not monoid:
+            raise QueryError(
+                f"attribute {attribute!r} holds a {value.space.monoid.name} "
+                f"aggregate; cannot aggregate it with {monoid.name}"
+            )
+        return _retarget_tensor(value, km)
+    if not monoid.contains(value):
+        raise QueryError(
+            f"value {value!r} of attribute {attribute!r} is not an element "
+            f"of monoid {monoid.name}"
+        )
+    return space.iota(value)
+
+
+def _dedup_tuples(tuples: Iterable[Tup]) -> List[Tup]:
+    seen: Dict[Tup, None] = {}
+    for t in tuples:
+        seen.setdefault(t, None)
+    return sorted(seen, key=str)

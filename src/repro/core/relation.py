@@ -1,0 +1,233 @@
+"""K-relations: finitely-supported maps from tuples to annotations.
+
+A ``K``-relation with schema ``U`` is a function ``R : D^U -> K`` with
+finite support (Section 2.1).  ``B``-relations are sets, ``N``-relations
+are bags, ``N[X]``-relations carry symbolic provenance.  After aggregation,
+tuple *values* may be tensors in ``K (x) M`` — the paper's
+``(M, K)``-relations — and applying a homomorphism maps both the
+annotations and those tensor values (the ``h_Rel`` of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+from repro.exceptions import SchemaError, SemiringError
+from repro.semimodules.tensor import Tensor
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import Homomorphism
+from repro.semirings.polynomials import Polynomial
+
+__all__ = ["KRelation"]
+
+RowSpec = Union[Tuple[Any, ...], list]
+
+
+class KRelation:
+    """An annotated relation: ``{tuple -> non-zero annotation}``.
+
+    Immutable by convention: every operation returns a new relation.
+    Duplicate tuples supplied at construction are merged with ``+_K``
+    (inserting the same tuple twice *is* alternative derivation).
+    """
+
+    __slots__ = ("semiring", "schema", "_rows")
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        schema: Schema | Iterable[str],
+        rows: Mapping[Tup, Any] | Iterable[Tuple[Tup, Any]] = (),
+    ):
+        self.semiring = semiring
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        data: Dict[Tup, Any] = {}
+        items = rows.items() if isinstance(rows, Mapping) else rows
+        attr_set = set(self.schema.attributes)
+        for tup, annotation in items:
+            if set(tup.keys()) != attr_set:
+                raise SchemaError(
+                    f"tuple {tup} does not match schema {self.schema}"
+                )
+            if tup in data:
+                annotation = semiring.plus(data[tup], annotation)
+            data[tup] = annotation
+        self._rows = {t: k for t, k in data.items() if not semiring.is_zero(k)}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        semiring: Semiring,
+        attributes: Iterable[str],
+        rows: Iterable[Tuple[RowSpec, Any]],
+    ) -> "KRelation":
+        """Build from positional rows: ``[((v1, v2, ...), annotation), ...]``."""
+        schema = Schema(attributes)
+        pairs = [
+            (Tup.from_values(schema, values), annotation)
+            for values, annotation in rows
+        ]
+        return cls(semiring, schema, pairs)
+
+    @classmethod
+    def empty(cls, semiring: Semiring, attributes: Iterable[str]) -> "KRelation":
+        """The empty K-relation (every annotation ``0_K``)."""
+        return cls(semiring, Schema(attributes), ())
+
+    # -- access ---------------------------------------------------------------
+
+    def annotation(self, tup: Tup) -> Any:
+        """``R(t)`` — the annotation of ``tup`` (``0_K`` when unsupported)."""
+        return self._rows.get(tup, self.semiring.zero)
+
+    def support(self) -> Tuple[Tup, ...]:
+        """``supp(R)`` in a deterministic order."""
+        return tuple(sorted(self._rows, key=str))
+
+    def items(self) -> Iterator[Tuple[Tup, Any]]:
+        """Iterate ``(tuple, annotation)`` pairs in support order."""
+        for tup in self.support():
+            yield tup, self._rows[tup]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, tup: object) -> bool:
+        return tup in self._rows
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self.support())
+
+    def __eq__(self, other: object) -> bool:
+        """Equality of K-relations: same semiring, schema, and annotation map."""
+        if not isinstance(other, KRelation):
+            return NotImplemented
+        return (
+            self.semiring is other.semiring
+            and self.schema == other.schema
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (id(self.semiring), self.schema, frozenset(self._rows.items()))
+        )
+
+    # -- homomorphic images (h_Rel of Sections 2.1 / 3.2) ----------------------
+
+    def apply_hom(self, hom: Homomorphism) -> "KRelation":
+        """Apply ``h`` to every annotation and lift ``h^M`` over tensor values.
+
+        Tuples whose annotation maps to ``0`` drop out of the support.
+        Formally-distinct tuples whose symbolic values *coincide* after the
+        homomorphism resolve them become **duplicates, which are ignored**
+        (one representative is kept) — this is the merging discipline of
+        the paper's commutation proofs for Section 4.3: each candidate
+        tuple's annotation already carries the equality-weighted
+        contributions of every tuple it might merge with, so merging
+        candidates map to *equal* annotations and summing them would double
+        count.  If surviving merged annotations disagree, the homomorphic
+        image is genuinely ambiguous and :class:`SemiringError` is raised
+        (this cannot happen for relations produced by the Section 4.3
+        operators).
+        """
+        if hom.source is not self.semiring:
+            raise SemiringError(
+                f"homomorphism {hom.name} does not start at {self.semiring.name}"
+            )
+
+        def map_value(value: Any) -> Any:
+            return value.apply_hom(hom) if isinstance(value, Tensor) else value
+
+        target = hom.target
+        merged: Dict[Tup, Any] = {}
+        for tup, annotation in self.items():
+            image_tup = Tup({a: map_value(v) for a, v in tup.items()})
+            image_ann = hom(annotation)
+            if target.is_zero(image_ann):
+                continue
+            if image_tup in merged and merged[image_tup] != image_ann:
+                raise SemiringError(
+                    f"ambiguous homomorphic image: tuples merging into "
+                    f"{image_tup} carry distinct annotations "
+                    f"{target.format(merged[image_tup])} vs {target.format(image_ann)}"
+                )
+            merged[image_tup] = image_ann
+        return KRelation(target, self.schema, merged)
+
+    def map_annotations(
+        self, semiring: Semiring, fn: Callable[[Any], Any]
+    ) -> "KRelation":
+        """Rebuild with annotations transformed by ``fn`` into ``semiring``.
+
+        Lower-level than :meth:`apply_hom`: no lifting over values, no
+        homomorphism checking.  Used by the evaluators to coerce plain
+        ``K`` annotations into ``K^M``.
+        """
+        return KRelation(
+            semiring, self.schema, [(t, fn(k)) for t, k in self.items()]
+        )
+
+    # -- measures (poly-size experiments) ----------------------------------------
+
+    def annotation_size(self) -> int:
+        """Total representation size of all annotations (poly-size metric)."""
+        total = 0
+        for _tup, annotation in self.items():
+            if isinstance(annotation, Polynomial):
+                total += annotation.size()
+            else:
+                total += 1
+        return total
+
+    def value_size(self) -> int:
+        """Total representation size of all tensor values (poly-size metric)."""
+        total = 0
+        for tup, _annotation in self.items():
+            for value in tup.values():
+                if isinstance(value, Tensor):
+                    total += value.size()
+                    for _m, k in value:
+                        if isinstance(k, Polynomial):
+                            total += k.size()
+                else:
+                    total += 1
+        return total
+
+    # -- display --------------------------------------------------------------
+
+    def pretty(self, *, max_rows: int | None = None) -> str:
+        """Render as an aligned text table (annotation in the last column)."""
+        headers = list(self.schema.attributes) + [f"@{self.semiring.name}"]
+        rows = []
+        for i, (tup, annotation) in enumerate(self.items()):
+            if max_rows is not None and i >= max_rows:
+                rows.append(["..."] * len(headers))
+                break
+            cells = [str(tup[a]) for a in self.schema.attributes]
+            cells.append(self.semiring.format(annotation))
+            rows.append(cells)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KRelation {self.schema} over {self.semiring.name}, {len(self)} tuples>"

@@ -1,0 +1,241 @@
+"""Provenance-preserving query rewrites.
+
+A rewrite is admissible in the annotated setting only if it preserves the
+*annotation*, not merely the support — which is exactly what the semiring
+laws license (and why "the laws of semimodules follow from desired
+equivalences between aggregation queries", footnote 9 of the paper).
+Implemented rules, each justified by a named law:
+
+==============================  =============================================
+σ_c(R ∪ S) = σ_c(R) ∪ σ_c(S)    distributivity of * over +
+σ_c(Π_A R) = Π_A(σ_c R)         commutativity of * (when attrs(c) ⊆ A)
+σ_c(R ⋈ S) pushes to a side     associativity/commutativity of *
+σ_c1(σ_c2 R) = σ_{c1 ∧ c2}(R)   associativity of *
+Π_A(Π_B R) = Π_A(R)             associativity of + (when A ⊆ B)
+Π_A(R ∪ S) = Π_A(R) ∪ Π_A(S)    commutativity/associativity of +
+==============================  =============================================
+
+``optimize`` applies the rules bottom-up to a fixpoint.  The property
+suite verifies preservation by evaluating original and rewritten queries
+over ``N[X]`` databases and comparing *annotated* results — equality over
+the free semiring implies equality under every specialisation.
+
+Static schemas come from :func:`infer_schema` against a catalog of base
+schemas (needed to know which join side owns a selection's attributes).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from repro.core.query import (
+    Aggregate,
+    AvgAgg,
+    Cartesian,
+    Condition,
+    CountAgg,
+    Difference,
+    Distinct,
+    GroupBy,
+    NaturalJoin,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.core.schema import Schema
+from repro.exceptions import QueryError
+
+__all__ = ["infer_schema", "optimize", "rewrite_once"]
+
+
+def infer_schema(query: Query, catalog: Mapping[str, Schema]) -> Schema:
+    """The output schema of ``query`` against base-table schemas."""
+    if isinstance(query, Table):
+        try:
+            return catalog[query.name]
+        except KeyError:
+            raise QueryError(f"table {query.name!r} not in catalog") from None
+    if isinstance(query, (Union, Difference)):
+        return infer_schema(query.left, catalog)
+    if isinstance(query, Project):
+        return infer_schema(query.child, catalog).restrict(query.attributes)
+    if isinstance(query, (Select, Distinct)):
+        return infer_schema(query.child, catalog)
+    if isinstance(query, (NaturalJoin, Cartesian)):
+        return infer_schema(query.left, catalog).union(
+            infer_schema(query.right, catalog)
+        )
+    if isinstance(query, ValueJoin):
+        return infer_schema(query.left, catalog).union(
+            infer_schema(query.right, catalog)
+        )
+    if isinstance(query, Rename):
+        return infer_schema(query.child, catalog).rename(query.mapping)
+    if isinstance(query, Aggregate):
+        return Schema((query.attribute,))
+    if isinstance(query, GroupBy):
+        attrs = tuple(query.group_attributes) + tuple(query.aggregations)
+        if query.count_attr is not None:
+            attrs += (query.count_attr,)
+        return Schema(attrs)
+    if isinstance(query, CountAgg):
+        return Schema((query.attribute,))
+    if isinstance(query, AvgAgg):
+        return Schema((query.attribute,))
+    raise QueryError(f"cannot infer schema of {type(query).__name__}")
+
+
+def optimize(query: Query, catalog: Mapping[str, Schema]) -> Query:
+    """Apply the rewrite rules bottom-up until no rule fires."""
+    for _ in range(100):  # generous fixpoint bound; each rule shrinks or pushes
+        rewritten, changed = _rewrite(query, catalog)
+        if not changed:
+            return rewritten
+        query = rewritten
+    return query
+
+
+def rewrite_once(query: Query, catalog: Mapping[str, Schema]) -> Tuple[Query, bool]:
+    """One bottom-up rewriting pass (exposed for tests)."""
+    return _rewrite(query, catalog)
+
+
+def _rewrite(query: Query, catalog: Mapping[str, Schema]) -> Tuple[Query, bool]:
+    # rewrite children first
+    changed = False
+    query, child_changed = _rewrite_children(query, catalog)
+    changed |= child_changed
+
+    if isinstance(query, Select):
+        replaced = _rewrite_select(query, catalog)
+        if replaced is not None:
+            return replaced, True
+    if isinstance(query, Project):
+        replaced = _rewrite_project(query, catalog)
+        if replaced is not None:
+            return replaced, True
+    return query, changed
+
+
+def _rewrite_children(query: Query, catalog) -> Tuple[Query, bool]:
+    def go(child: Query) -> Tuple[Query, bool]:
+        return _rewrite(child, catalog)
+
+    if isinstance(query, Select):
+        child, changed = go(query.child)
+        return (Select(child, query.conditions), changed)
+    if isinstance(query, Project):
+        child, changed = go(query.child)
+        return (Project(child, query.attributes), changed)
+    if isinstance(query, Distinct):
+        child, changed = go(query.child)
+        return (Distinct(child), changed)
+    if isinstance(query, Rename):
+        child, changed = go(query.child)
+        return (Rename(child, query.mapping), changed)
+    if isinstance(query, Union):
+        left, c1 = go(query.left)
+        right, c2 = go(query.right)
+        return (Union(left, right), c1 or c2)
+    if isinstance(query, NaturalJoin):
+        left, c1 = go(query.left)
+        right, c2 = go(query.right)
+        return (NaturalJoin(left, right), c1 or c2)
+    if isinstance(query, Cartesian):
+        left, c1 = go(query.left)
+        right, c2 = go(query.right)
+        return (Cartesian(left, right), c1 or c2)
+    if isinstance(query, ValueJoin):
+        left, c1 = go(query.left)
+        right, c2 = go(query.right)
+        return (ValueJoin(left, right, query.on), c1 or c2)
+    if isinstance(query, Difference):
+        left, c1 = go(query.left)
+        right, c2 = go(query.right)
+        return (Difference(left, right, query.method), c1 or c2)
+    if isinstance(query, Aggregate):
+        child, changed = go(query.child)
+        return (Aggregate(child, query.attribute, query.monoid), changed)
+    if isinstance(query, GroupBy):
+        child, changed = go(query.child)
+        return (
+            GroupBy(child, query.group_attributes, query.aggregations,
+                    count_attr=query.count_attr),
+            changed,
+        )
+    if isinstance(query, CountAgg):
+        child, changed = go(query.child)
+        return (CountAgg(child, query.attribute), changed)
+    if isinstance(query, AvgAgg):
+        child, changed = go(query.child)
+        return (AvgAgg(child, query.attribute), changed)
+    return query, False
+
+
+def _condition_attrs(conditions: Tuple[Condition, ...]) -> set:
+    out: set = set()
+    for condition in conditions:
+        out |= set(condition.attributes())
+    return out
+
+
+def _rewrite_select(query: Select, catalog) -> Query | None:
+    child = query.child
+    conditions = query.conditions
+    if not conditions:
+        return child  # σ_true is the identity
+
+    # σ(σ(R)) -> σ_{conjunction}(R)
+    if isinstance(child, Select):
+        return Select(child.child, tuple(child.conditions) + tuple(conditions))
+
+    # σ(R ∪ S) -> σ(R) ∪ σ(S)
+    if isinstance(child, Union):
+        return Union(Select(child.left, conditions), Select(child.right, conditions))
+
+    # σ_c(Π_A R) -> Π_A(σ_c R) when c only reads surviving attributes
+    if isinstance(child, Project):
+        if _condition_attrs(conditions) <= set(child.attributes):
+            return Project(Select(child.child, conditions), child.attributes)
+
+    # σ_c(R ⋈ S): push each condition to the side(s) owning its attributes
+    if isinstance(child, (NaturalJoin, Cartesian)):
+        left_schema = set(infer_schema(child.left, catalog).attributes)
+        right_schema = set(infer_schema(child.right, catalog).attributes)
+        to_left, to_right, stuck = [], [], []
+        for condition in conditions:
+            attrs = set(condition.attributes())
+            if attrs <= left_schema:
+                to_left.append(condition)
+            elif attrs <= right_schema:
+                to_right.append(condition)
+            else:
+                stuck.append(condition)
+        if to_left or to_right:
+            left = Select(child.left, to_left) if to_left else child.left
+            right = Select(child.right, to_right) if to_right else child.right
+            joined = type(child)(left, right)
+            return Select(joined, stuck) if stuck else joined
+    return None
+
+
+def _rewrite_project(query: Project, catalog) -> Query | None:
+    child = query.child
+    # Π_A(Π_B R) -> Π_A(R) when A ⊆ B (guaranteed by validity)
+    if isinstance(child, Project):
+        return Project(child.child, query.attributes)
+    # Π_A(R ∪ S) -> Π_A(R) ∪ Π_A(S)
+    if isinstance(child, Union):
+        return Union(
+            Project(child.left, query.attributes),
+            Project(child.right, query.attributes),
+        )
+    # identity projection
+    child_schema = infer_schema(child, catalog)
+    if set(query.attributes) == set(child_schema.attributes):
+        return child
+    return None

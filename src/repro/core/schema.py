@@ -1,0 +1,101 @@
+"""Relation schemas in the named perspective (Section 2.1).
+
+A schema is an ordered collection of distinct attribute names.  The paper
+works with tuples as functions ``t : U -> D`` over an attribute set ``U``;
+we keep a deterministic order for display and result construction, while
+all set-like operations (restriction, union for joins, disjointness) treat
+the schema as the underlying set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Tuple
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered, duplicate-free tuple of attribute names."""
+
+    __slots__ = ("attributes", "_index")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        seen: set = set()
+        for attr in attrs:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(f"attribute names must be non-empty strings, got {attr!r}")
+            if attr in seen:
+                raise SchemaError(f"duplicate attribute {attr!r} in schema")
+            seen.add(attr)
+        self.attributes: Tuple[str, ...] = attrs
+        self._index = {attr: i for i, attr in enumerate(attrs)}
+
+    # -- protocol ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, attr: object) -> bool:
+        return attr in self._index
+
+    def __eq__(self, other: object) -> bool:
+        """Schemas are equal as *sets* of attributes (named perspective)."""
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return set(self.attributes) == set(other.attributes)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.attributes))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.attributes) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schema({self.attributes!r})"
+
+    # -- operations ----------------------------------------------------------
+
+    def index_of(self, attr: str) -> int:
+        """Position of ``attr`` in the display order."""
+        try:
+            return self._index[attr]
+        except KeyError:
+            raise SchemaError(f"attribute {attr!r} not in schema {self}") from None
+
+    def restrict(self, attrs: Iterable[str]) -> "Schema":
+        """The sub-schema on ``attrs``, in *this* schema's order."""
+        wanted = set(attrs)
+        missing = wanted - set(self.attributes)
+        if missing:
+            raise SchemaError(f"attributes {sorted(missing)} not in schema {self}")
+        return Schema(a for a in self.attributes if a in wanted)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Join schema: this schema's attributes, then the new ones of ``other``."""
+        extra = tuple(a for a in other.attributes if a not in self._index)
+        return Schema(self.attributes + extra)
+
+    def intersection(self, other: "Schema") -> Tuple[str, ...]:
+        """Common attributes (in this schema's order) — the natural-join keys."""
+        return tuple(a for a in self.attributes if a in other)
+
+    def is_disjoint(self, other: "Schema") -> bool:
+        """True iff the schemas share no attribute (cartesian product guard)."""
+        return not set(self.attributes) & set(other.attributes)
+
+    def extend(self, *attrs: str) -> "Schema":
+        """Append fresh attributes (used by GROUP BY result construction)."""
+        return Schema(self.attributes + attrs)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Apply an attribute renaming; unknown keys are rejected."""
+        unknown = set(mapping) - set(self.attributes)
+        if unknown:
+            raise SchemaError(f"cannot rename absent attributes {sorted(unknown)}")
+        return Schema(mapping.get(a, a) for a in self.attributes)

@@ -1,0 +1,105 @@
+"""Database tuples: immutable attribute-to-value mappings.
+
+A tuple is a function ``t : U -> D`` (named perspective).  Values may be
+ordinary constants (numbers, strings, booleans) or — in the outputs of
+aggregation queries — :class:`~repro.semimodules.tensor.Tensor` elements of
+``K (x) M``, the paper's ``(M, K)``-relations.  Tuples are hashable so that
+relations can be finite maps ``tuple -> annotation``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.core.schema import Schema
+from repro.exceptions import SchemaError
+
+__all__ = ["Tup"]
+
+
+class Tup(Mapping[str, Any]):
+    """An immutable, hashable tuple over named attributes."""
+
+    __slots__ = ("_attrs", "_values", "_hash")
+
+    def __init__(self, mapping: Mapping[str, Any] | Iterable[Tuple[str, Any]]):
+        items = dict(mapping)
+        attrs = tuple(sorted(items))
+        self._attrs: Tuple[str, ...] = attrs
+        self._values: Tuple[Any, ...] = tuple(items[a] for a in attrs)
+        self._hash = hash((self._attrs, self._values))
+
+    @classmethod
+    def from_values(cls, schema: Schema, values: Iterable[Any]) -> "Tup":
+        """Build a tuple by position against ``schema``."""
+        vals = tuple(values)
+        if len(vals) != len(schema):
+            raise SchemaError(
+                f"{len(vals)} values supplied for schema {schema} of arity {len(schema)}"
+            )
+        return cls(dict(zip(schema.attributes, vals)))
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, attr: str) -> Any:
+        try:
+            idx = self._attrs.index(attr)
+        except ValueError:
+            raise SchemaError(f"attribute {attr!r} not present in tuple {self}") from None
+        return self._values[idx]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tup):
+            return NotImplemented
+        return self._attrs == other._attrs and self._values == other._values
+
+    # -- relational operations ------------------------------------------------
+
+    def restrict(self, attrs: Iterable[str]) -> "Tup":
+        """The restriction ``t|U'`` of the paper: keep only ``attrs``."""
+        keep = set(attrs)
+        return Tup({a: v for a, v in self.items() if a in keep})
+
+    def merge(self, other: "Tup") -> "Tup":
+        """Combine two join-compatible tuples (shared attributes must agree)."""
+        merged: Dict[str, Any] = dict(self.items())
+        for attr, value in other.items():
+            if attr in merged and merged[attr] != value:
+                raise SchemaError(
+                    f"tuples disagree on {attr!r}: {merged[attr]!r} vs {value!r}"
+                )
+            merged[attr] = value
+        return Tup(merged)
+
+    def replace(self, **updates: Any) -> "Tup":
+        """A copy with some attribute values replaced."""
+        merged = dict(self.items())
+        for attr, value in updates.items():
+            if attr not in merged:
+                raise SchemaError(f"attribute {attr!r} not present in tuple {self}")
+            merged[attr] = value
+        return Tup(merged)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Tup":
+        """Rename attributes (unknown keys ignored by design: partial maps)."""
+        return Tup({mapping.get(a, a): v for a, v in self.items()})
+
+    def values_by(self, schema: Schema) -> Tuple[Any, ...]:
+        """Values ordered by ``schema`` (for display and row export)."""
+        return tuple(self[a] for a in schema.attributes)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{a}={v}" for a, v in zip(self._attrs, self._values))
+        return f"⟨{inner}⟩"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tup({dict(self.items())!r})"

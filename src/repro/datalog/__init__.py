@@ -1,0 +1,20 @@
+"""Annotated positive Datalog: the recursive extension of the framework."""
+
+from repro.datalog.engine import (
+    ConvergenceError,
+    DatalogResult,
+    evaluate_datalog,
+    evaluate_datalog_seminaive,
+)
+from repro.datalog.syntax import Atom, Program, Rule, Var
+
+__all__ = [
+    "Var",
+    "Atom",
+    "Rule",
+    "Program",
+    "evaluate_datalog",
+    "evaluate_datalog_seminaive",
+    "DatalogResult",
+    "ConvergenceError",
+]

@@ -1,0 +1,278 @@
+"""Naive bottom-up evaluation of annotated Datalog.
+
+Semantics (the Datalog extension of the semiring framework): at each
+iteration, the annotation of a derivable fact is
+
+    EDB(fact)  +K  sum over rules r, substitutions s with head(r)s = fact
+                   of  prod over b in body(r) of  ann(b s)
+
+iterated to a fixpoint.  The fixpoint exists and is reached in finitely
+many rounds whenever annotation growth is bounded — guaranteed for
+plus-idempotent semirings whose multiplication cannot produce infinitely
+many distinct values along a derivation (B, S, fuzzy; PosBool(X) via
+absorption; the tropical semiring with non-negative costs behaves like
+Bellman-Ford).  For bag-like semirings (N, N[X]) on cyclic data the sum
+over derivation trees genuinely diverges; the engine raises
+:class:`ConvergenceError` after ``max_rounds`` instead of looping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.datalog.syntax import Atom, Program, Rule, Var
+from repro.exceptions import QueryError, ReproError
+from repro.semirings.base import Semiring
+
+__all__ = ["ConvergenceError", "DatalogResult", "evaluate_datalog",
+           "evaluate_datalog_seminaive"]
+
+FactKey = Tuple[Any, ...]
+FactStore = Dict[str, Dict[FactKey, Any]]
+
+
+class ConvergenceError(ReproError):
+    """The annotation fixpoint did not stabilise within the round budget."""
+
+
+class DatalogResult:
+    """Evaluation output: per-predicate ground facts with annotations."""
+
+    def __init__(self, semiring: Semiring, facts: FactStore, rounds: int):
+        self.semiring = semiring
+        self._facts = facts
+        #: Number of naive-iteration rounds until the fixpoint.
+        self.rounds = rounds
+
+    def predicate(self, name: str) -> Dict[FactKey, Any]:
+        """All facts of ``name``: ``{argument-tuple: annotation}``."""
+        return dict(self._facts.get(name, {}))
+
+    def annotation(self, name: str, args: Tuple[Any, ...]) -> Any:
+        """The annotation of one ground fact (``0_K`` when underivable)."""
+        return self._facts.get(name, {}).get(tuple(args), self.semiring.zero)
+
+    def __contains__(self, fact: Tuple[str, Tuple[Any, ...]]) -> bool:
+        name, args = fact
+        return tuple(args) in self._facts.get(name, {})
+
+    def pretty(self) -> str:
+        blocks = []
+        for name in sorted(self._facts):
+            lines = [f"{name}:"]
+            for args, annotation in sorted(
+                self._facts[name].items(), key=lambda kv: str(kv[0])
+            ):
+                rendered = ", ".join(map(str, args))
+                lines.append(f"  ({rendered})  @ {self.semiring.format(annotation)}")
+            blocks.append("\n".join(lines))
+        return "\n".join(blocks)
+
+
+def evaluate_datalog_seminaive(
+    program: Program,
+    semiring: Semiring,
+    edb: Dict[str, Dict[FactKey, Any]],
+    *,
+    max_rounds: int = 1000,
+) -> DatalogResult:
+    """Semi-naive *support* discovery + one naive annotation pass per level.
+
+    For plus-idempotent semirings the naive fixpoint recomputes every
+    fact's annotation each round even when nothing near it changed.  This
+    variant tracks the *delta support* (facts whose annotation changed
+    last round) and only re-instantiates rules with at least one body atom
+    matching the delta — the classic semi-naive optimisation, sound here
+    because a fact's annotation can only change if some body fact's did.
+    Produces the same fixpoint as :func:`evaluate_datalog` (tested), with
+    per-round work proportional to the frontier.
+    """
+    facts: FactStore = {}
+    for name, rows in edb.items():
+        store = facts.setdefault(name, {})
+        for args, annotation in rows.items():
+            if not semiring.is_zero(annotation):
+                key = tuple(args)
+                if key in store:
+                    annotation = semiring.plus(store[key], annotation)
+                store[key] = annotation
+    edb_snapshot = {name: dict(rows) for name, rows in facts.items()}
+    delta = {name: set(rows) for name, rows in facts.items()}
+
+    for round_number in range(1, max_rounds + 1):
+        new_facts = _apply_rules_delta(program, semiring, facts, edb_snapshot, delta)
+        new_delta: Dict[str, set] = {}
+        for name, rows in new_facts.items():
+            old_rows = facts.get(name, {})
+            changed = {
+                key for key, value in rows.items() if old_rows.get(key) != value
+            }
+            changed |= set(old_rows) - set(rows)
+            if changed:
+                new_delta[name] = changed
+        if not new_delta:
+            return DatalogResult(semiring, facts, round_number)
+        facts, delta = new_facts, new_delta
+    raise ConvergenceError(
+        f"no fixpoint after {max_rounds} rounds in {semiring.name}"
+    )
+
+
+def _apply_rules_delta(
+    program: Program,
+    semiring: Semiring,
+    facts: FactStore,
+    edb: FactStore,
+    delta: Dict[str, set],
+) -> FactStore:
+    """Recompute only the heads reachable from the changed facts."""
+    derived: FactStore = {name: dict(rows) for name, rows in edb.items()}
+    # heads whose rules touch the delta must be fully recomputed; collect
+    # the affected rule set first
+    affected = [
+        rule
+        for rule in program.rules
+        if any(atom.predicate in delta for atom in rule.body)
+    ]
+    unaffected_heads = {
+        rule.head.predicate for rule in program.rules
+    } - {rule.head.predicate for rule in affected}
+    # keep previous IDB annotations for predicates none of whose rules fired
+    for name in unaffected_heads:
+        if name in facts:
+            previous = derived.setdefault(name, {})
+            for key, value in facts[name].items():
+                if key not in previous:
+                    previous[key] = value
+    # recompute affected head predicates from scratch (their rules may
+    # interleave, so per-rule incrementality would double count)
+    recompute = {rule.head.predicate for rule in affected}
+    for rule in program.rules:
+        if rule.head.predicate not in recompute:
+            continue
+        for binding, annotation in _rule_instantiations(rule, semiring, facts):
+            head = rule.head.substitute(binding)
+            store = derived.setdefault(head.predicate, {})
+            key = head.terms
+            if key in store:
+                store[key] = semiring.plus(store[key], annotation)
+            else:
+                store[key] = annotation
+    return {
+        name: {k: v for k, v in rows.items() if not semiring.is_zero(v)}
+        for name, rows in derived.items()
+        if any(not semiring.is_zero(v) for v in rows.values())
+    }
+
+
+def evaluate_datalog(
+    program: Program,
+    semiring: Semiring,
+    edb: Dict[str, Dict[FactKey, Any]],
+    *,
+    max_rounds: int = 1000,
+) -> DatalogResult:
+    """Run the annotated naive fixpoint.
+
+    ``edb`` maps predicate names to ``{argument-tuple: annotation}``.
+    Returns every derivable fact (EDB facts included) with its fixpoint
+    annotation.
+    """
+    facts: FactStore = {}
+    for name, rows in edb.items():
+        store = facts.setdefault(name, {})
+        for args, annotation in rows.items():
+            if not semiring.is_zero(annotation):
+                key = tuple(args)
+                if key in store:
+                    annotation = semiring.plus(store[key], annotation)
+                store[key] = annotation
+
+    edb_snapshot = {name: dict(rows) for name, rows in facts.items()}
+
+    for round_number in range(1, max_rounds + 1):
+        new_facts = _apply_rules_once(program, semiring, facts, edb_snapshot)
+        if new_facts == facts:
+            return DatalogResult(semiring, facts, round_number)
+        facts = new_facts
+    raise ConvergenceError(
+        f"no fixpoint after {max_rounds} rounds; the annotation sum likely "
+        f"diverges in {semiring.name} (cyclic derivations under a "
+        "non-idempotent semiring)"
+    )
+
+
+def _apply_rules_once(
+    program: Program,
+    semiring: Semiring,
+    facts: FactStore,
+    edb: FactStore,
+) -> FactStore:
+    """One naive-iteration round: recompute every IDB annotation."""
+    derived: FactStore = {
+        name: dict(rows) for name, rows in edb.items()
+    }
+    for rule in program.rules:
+        for binding, annotation in _rule_instantiations(rule, semiring, facts):
+            head = rule.head.substitute(binding)
+            store = derived.setdefault(head.predicate, {})
+            key = head.terms
+            if key in store:
+                store[key] = semiring.plus(store[key], annotation)
+            else:
+                store[key] = annotation
+    # drop zero annotations for canonical comparison
+    return {
+        name: {k: v for k, v in rows.items() if not semiring.is_zero(v)}
+        for name, rows in derived.items()
+        if any(not semiring.is_zero(v) for v in rows.values())
+    }
+
+
+def _rule_instantiations(
+    rule: Rule, semiring: Semiring, facts: FactStore
+) -> Iterator[Tuple[Dict[Var, Any], Any]]:
+    """Enumerate satisfying substitutions with their body-product annotation."""
+
+    def match(
+        index: int, binding: Dict[Var, Any], annotation: Any
+    ) -> Iterator[Tuple[Dict[Var, Any], Any]]:
+        if semiring.is_zero(annotation):
+            return
+        if index == len(rule.body):
+            yield dict(binding), annotation
+            return
+        atom = rule.body[index].substitute(binding)
+        for args, fact_annotation in facts.get(atom.predicate, {}).items():
+            extended = _unify(atom, args, binding)
+            if extended is None:
+                continue
+            yield from match(
+                index + 1, extended, semiring.times(annotation, fact_annotation)
+            )
+
+    yield from match(0, {}, semiring.one)
+
+
+def _unify(
+    atom: Atom, args: FactKey, binding: Dict[Var, Any]
+) -> Dict[Var, Any] | None:
+    """Match a (partially substituted) atom against a ground fact."""
+    if len(atom.terms) != len(args):
+        raise QueryError(
+            f"arity mismatch on {atom.predicate}: {len(atom.terms)} vs {len(args)}"
+        )
+    extended = dict(binding)
+    for term, value in zip(atom.terms, args):
+        if isinstance(term, Var):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+_UNBOUND = object()

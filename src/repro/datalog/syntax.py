@@ -1,0 +1,115 @@
+"""Positive Datalog syntax: atoms, rules, programs.
+
+The semiring framework of [24] covers Datalog: the annotation of a derived
+fact is the (possibly infinite) sum over derivation trees of the product
+of leaf annotations.  This subpackage implements the finite-convergence
+fragment — annotation semirings where the naive fixpoint stabilises
+(idempotent/absorptive structures such as B, S, PosBool(X), tropical
+costs, fuzzy confidences) — with a divergence guard for bag-like
+semirings on cyclic data, where the sum is genuinely infinite.
+
+Terms are either :class:`Var` objects or plain constants.  Only *positive*
+bodies are supported (negation would need stratification and a monus,
+which Section 5 of the paper replaces with difference-via-aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.exceptions import QueryError
+
+__all__ = ["Var", "Atom", "Rule", "Program"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable (upper-case by convention, not requirement)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, ...)`` — terms are :class:`Var` or constants."""
+
+    predicate: str
+    terms: Tuple[Any, ...]
+
+    def __init__(self, predicate: str, terms):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Var))
+
+    def substitute(self, binding: Dict[Var, Any]) -> "Atom":
+        """Apply a (possibly partial) variable binding."""
+        return Atom(
+            self.predicate,
+            tuple(binding.get(t, t) if isinstance(t, Var) else t for t in self.terms),
+        )
+
+    def is_ground(self) -> bool:
+        return not any(isinstance(t, Var) for t in self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body1, ..., bodyn`` (n >= 1; facts live in the EDB)."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __init__(self, head: Atom, body):
+        body = tuple(body)
+        if not body:
+            raise QueryError("rules need a non-empty body; put facts in the EDB")
+        head_vars = set(head.variables())
+        body_vars = {v for atom in body for v in atom.variables()}
+        unsafe = head_vars - body_vars
+        if unsafe:
+            raise QueryError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
+                "do not occur in the body"
+            )
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(map(str, self.body))}"
+
+
+class Program:
+    """An ordered collection of rules over shared predicates."""
+
+    def __init__(self, rules: List[Rule]):
+        self.rules = list(rules)
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                seen = arities.setdefault(atom.predicate, atom.arity)
+                if seen != atom.arity:
+                    raise QueryError(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{seen} and {atom.arity}"
+                    )
+        self.arities = arities
+
+    def idb_predicates(self) -> Tuple[str, ...]:
+        """Predicates that appear in some rule head."""
+        return tuple(sorted({rule.head.predicate for rule in self.rules}))
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,28 @@
+"""Persistence: JSON round-tripping and CSV ingestion for K-relations."""
+
+from repro.io.csv_io import CsvError, load_csv, save_csv
+from repro.io.serialize import (
+    MONOID_REGISTRY,
+    SEMIRING_REGISTRY,
+    SerializationError,
+    annotation_from_jsonable,
+    annotation_to_jsonable,
+    database_from_jsonable,
+    database_to_jsonable,
+    dumps,
+    loads,
+    relation_from_jsonable,
+    relation_to_jsonable,
+    tensor_from_jsonable,
+    tensor_to_jsonable,
+)
+
+__all__ = [
+    "load_csv", "save_csv", "CsvError",
+    "dumps", "loads", "SerializationError",
+    "annotation_to_jsonable", "annotation_from_jsonable",
+    "tensor_to_jsonable", "tensor_from_jsonable",
+    "relation_to_jsonable", "relation_from_jsonable",
+    "database_to_jsonable", "database_from_jsonable",
+    "SEMIRING_REGISTRY", "MONOID_REGISTRY",
+]

@@ -1,0 +1,136 @@
+"""CSV ingestion and export for annotated relations.
+
+Loading supports three annotation modes:
+
+* ``annotation_column`` names a CSV column holding annotations (parsed by
+  the semiring-specific reader: ints for N, booleans for B, level names
+  for S);
+* ``tag_prefix`` (with a polynomial semiring) abstractly tags every row
+  with a fresh token — the standard way to provenance-enable a plain CSV;
+* neither: every row is annotated ``1_K`` (set-style load).
+
+Column types are inferred (int -> float -> str) unless ``types`` is given.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+
+from repro.core.relation import KRelation
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+from repro.exceptions import ReproError
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOL
+from repro.semirings.natural import NAT
+from repro.semirings.polynomials import PolynomialSemiring
+from repro.semirings.security import SEC, SecurityLevel
+
+__all__ = ["load_csv", "save_csv", "CsvError"]
+
+
+class CsvError(ReproError):
+    """Malformed CSV input for relation loading."""
+
+
+def _parse_cell(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _annotation_parser(semiring: Semiring) -> Callable[[str], Any]:
+    if semiring is NAT:
+        return int
+    if semiring is BOOL:
+        return lambda text: text.strip().lower() in ("1", "true", "t", "yes")
+    if semiring is SEC:
+        return lambda text: SecurityLevel[text.strip()]
+    if isinstance(semiring, PolynomialSemiring):
+        return lambda text: semiring.variable(text.strip())
+    raise CsvError(f"no annotation parser for semiring {semiring.name}")
+
+
+def load_csv(
+    source: str,
+    semiring: Semiring,
+    *,
+    annotation_column: Optional[str] = None,
+    tag_prefix: Optional[str] = None,
+    types: Optional[Dict[str, Callable[[str], Any]]] = None,
+    delimiter: str = ",",
+) -> KRelation:
+    """Load an annotated relation from CSV text (header row required).
+
+    ``source`` is the CSV *content* (read files with ``Path.read_text``).
+    """
+    if annotation_column is not None and tag_prefix is not None:
+        raise CsvError("choose either annotation_column or tag_prefix, not both")
+    if tag_prefix is not None and not isinstance(semiring, PolynomialSemiring):
+        raise CsvError(
+            f"tag_prefix requires a polynomial semiring, got {semiring.name}"
+        )
+
+    reader = csv.reader(io.StringIO(source), delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CsvError("empty CSV input") from None
+    header = [h.strip() for h in header]
+
+    if annotation_column is not None:
+        if annotation_column not in header:
+            raise CsvError(f"annotation column {annotation_column!r} not in header")
+        ann_index = header.index(annotation_column)
+        attributes = [h for h in header if h != annotation_column]
+        parse_annotation = _annotation_parser(semiring)
+    else:
+        ann_index = None
+        attributes = list(header)
+        parse_annotation = None
+
+    converters = [
+        (types or {}).get(attr, _parse_cell) for attr in attributes
+    ]
+    schema = Schema(attributes)
+
+    pairs = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != len(header):
+            raise CsvError(
+                f"line {line_number}: expected {len(header)} cells, got {len(row)}"
+            )
+        cells = [cell.strip() for cell in row]
+        if ann_index is not None:
+            annotation = parse_annotation(cells[ann_index])
+            cells = [c for i, c in enumerate(cells) if i != ann_index]
+        elif tag_prefix is not None:
+            annotation = semiring.variable(f"{tag_prefix}{line_number - 1}")
+        else:
+            annotation = semiring.one
+        values = [convert(cell) for convert, cell in zip(converters, cells)]
+        pairs.append((Tup.from_values(schema, values), annotation))
+    return KRelation(semiring, schema, pairs)
+
+
+def save_csv(rel: KRelation, *, annotation_column: str = "annotation") -> str:
+    """Render a relation (plain values only) back to CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(list(rel.schema.attributes) + [annotation_column])
+    for tup, annotation in rel.items():
+        writer.writerow(
+            [tup[a] for a in rel.schema.attributes]
+            + [rel.semiring.format(annotation)]
+        )
+    return out.getvalue()

@@ -1,0 +1,302 @@
+"""JSON (de)serialisation for annotations, tensors, relations, databases.
+
+Storing provenance is the whole point of the framework — "storing
+provenance polynomials allows for many other practical applications" — so
+results must round-trip to disk.  The format is plain JSON-able Python
+structures with explicit semiring/monoid names resolved through
+registries; symbolic structures (polynomials with delta-terms) are
+supported, equality/comparison atoms are not (they reference live tensor
+spaces; resolve them before persisting, as a production system would).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from repro.core.relation import KRelation
+from repro.core.database import KDatabase
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+from repro.exceptions import ReproError
+from repro.monoids.base import CommutativeMonoid
+from repro.monoids.boolmonoid import ALL, BHAT
+from repro.monoids.counting import AVG, AvgPair
+from repro.monoids.numeric import MAX, MIN, PROD, SUM
+from repro.semimodules.tensor import Tensor, tensor_space
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOL
+from repro.semirings.delta import DeltaTerm
+from repro.semirings.fuzzy import FUZZY
+from repro.semirings.integers import INT
+from repro.semirings.natural import NAT
+from repro.semirings.polynomials import NX, ZX, Monomial, Polynomial
+from repro.semirings.security import SEC, SecurityLevel
+from repro.semirings.security_bag import SECBAG, SecurityBagValue
+from repro.semirings.tropical import TROPICAL
+
+__all__ = [
+    "SEMIRING_REGISTRY",
+    "MONOID_REGISTRY",
+    "SerializationError",
+    "annotation_to_jsonable",
+    "annotation_from_jsonable",
+    "tensor_to_jsonable",
+    "tensor_from_jsonable",
+    "relation_to_jsonable",
+    "relation_from_jsonable",
+    "database_to_jsonable",
+    "database_from_jsonable",
+    "dumps",
+    "loads",
+]
+
+
+class SerializationError(ReproError):
+    """A value cannot be (de)serialised."""
+
+
+SEMIRING_REGISTRY: Dict[str, Semiring] = {
+    s.name: s for s in (BOOL, NAT, INT, SEC, SECBAG, TROPICAL, FUZZY, NX, ZX)
+}
+
+MONOID_REGISTRY: Dict[str, CommutativeMonoid] = {
+    m.name: m for m in (SUM, PROD, MIN, MAX, BHAT, ALL, AVG)
+}
+
+
+# ---------------------------------------------------------------------------
+# annotations
+# ---------------------------------------------------------------------------
+
+
+def annotation_to_jsonable(semiring: Semiring, value: Any) -> Any:
+    """Encode one annotation of ``semiring`` as JSON-able data."""
+    if semiring is BOOL:
+        return bool(value)
+    if semiring in (NAT, INT):
+        return int(value)
+    if semiring in (TROPICAL, FUZZY):
+        return "inf" if isinstance(value, float) and math.isinf(value) else float(value)
+    if semiring is SEC:
+        return value.name
+    if semiring is SECBAG:
+        return {level.name: count for level, count in value.items()}
+    if semiring in (NX, ZX):
+        return _polynomial_to_jsonable(value)
+    raise SerializationError(f"no serialiser for semiring {semiring.name}")
+
+
+def annotation_from_jsonable(semiring: Semiring, data: Any) -> Any:
+    """Decode one annotation of ``semiring``."""
+    if semiring is BOOL:
+        return bool(data)
+    if semiring in (NAT, INT):
+        return int(data)
+    if semiring in (TROPICAL, FUZZY):
+        return math.inf if data == "inf" else float(data)
+    if semiring is SEC:
+        return SecurityLevel[data]
+    if semiring is SECBAG:
+        return SecurityBagValue({SecurityLevel[k]: v for k, v in data.items()})
+    if semiring in (NX, ZX):
+        return _polynomial_from_jsonable(semiring, data)
+    raise SerializationError(f"no deserialiser for semiring {semiring.name}")
+
+
+def _variable_to_jsonable(var: Any) -> Any:
+    if isinstance(var, str):
+        return var
+    if isinstance(var, DeltaTerm):
+        return {"__delta__": _polynomial_to_jsonable(var.argument)}
+    raise SerializationError(
+        f"indeterminate {var!r} is not serialisable (resolve equality atoms "
+        "before persisting)"
+    )
+
+
+def _variable_from_jsonable(semiring: Any, data: Any) -> Any:
+    if isinstance(data, str):
+        return data
+    if isinstance(data, dict) and "__delta__" in data:
+        return DeltaTerm(_polynomial_from_jsonable(semiring, data["__delta__"]))
+    raise SerializationError(f"unknown indeterminate encoding {data!r}")
+
+
+def _polynomial_to_jsonable(poly: Polynomial) -> Any:
+    terms = []
+    for mono, coeff in poly.terms():
+        terms.append(
+            {
+                "coeff": int(coeff),
+                "monomial": [[_variable_to_jsonable(v), e] for v, e in mono],
+            }
+        )
+    return {"__poly__": terms}
+
+
+def _polynomial_from_jsonable(semiring: Any, data: Any) -> Polynomial:
+    if not (isinstance(data, dict) and "__poly__" in data):
+        raise SerializationError(f"not a polynomial encoding: {data!r}")
+    total = semiring.zero
+    for term in data["__poly__"]:
+        mono = Monomial(
+            {
+                _variable_from_jsonable(semiring, v): e
+                for v, e in term["monomial"]
+            }
+        )
+        total = semiring.plus(
+            total,
+            Polynomial(semiring, {mono: semiring.coefficients.from_int(term["coeff"])})
+            if term["coeff"] >= 0
+            else Polynomial(semiring, {mono: term["coeff"]}),
+        )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# tensors and tuples
+# ---------------------------------------------------------------------------
+
+
+def _monoid_value_to_jsonable(monoid: CommutativeMonoid, value: Any) -> Any:
+    if monoid is AVG:
+        return {"total": value.total, "count": value.count}
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _monoid_value_from_jsonable(monoid: CommutativeMonoid, data: Any) -> Any:
+    if monoid is AVG:
+        return AvgPair(data["total"], data["count"])
+    if data == "inf":
+        return math.inf
+    if data == "-inf":
+        return -math.inf
+    return data
+
+
+def tensor_to_jsonable(tensor: Tensor) -> Any:
+    """Encode a ``K (x) M`` tensor value."""
+    space = tensor.space
+    if space.semiring.name not in SEMIRING_REGISTRY:
+        raise SerializationError(f"unregistered semiring {space.semiring.name}")
+    if space.monoid.name not in MONOID_REGISTRY:
+        raise SerializationError(f"unregistered monoid {space.monoid.name}")
+    return {
+        "__tensor__": {
+            "semiring": space.semiring.name,
+            "monoid": space.monoid.name,
+            "items": [
+                [
+                    _monoid_value_to_jsonable(space.monoid, m),
+                    annotation_to_jsonable(space.semiring, k),
+                ]
+                for m, k in tensor
+            ],
+        }
+    }
+
+
+def tensor_from_jsonable(data: Any) -> Tensor:
+    """Decode a tensor value."""
+    body = data["__tensor__"]
+    semiring = SEMIRING_REGISTRY[body["semiring"]]
+    monoid = MONOID_REGISTRY[body["monoid"]]
+    space = tensor_space(semiring, monoid)
+    return space.sum(
+        space.simple(
+            annotation_from_jsonable(semiring, k),
+            _monoid_value_from_jsonable(monoid, m),
+        )
+        for m, k in body["items"]
+    )
+
+
+def _value_to_jsonable(value: Any) -> Any:
+    if isinstance(value, Tensor):
+        return tensor_to_jsonable(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise SerializationError(f"attribute value {value!r} is not serialisable")
+
+
+def _value_from_jsonable(data: Any) -> Any:
+    if isinstance(data, dict) and "__tensor__" in data:
+        return tensor_from_jsonable(data)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# relations and databases
+# ---------------------------------------------------------------------------
+
+
+def relation_to_jsonable(rel: KRelation) -> Any:
+    """Encode a whole K-relation (schema, rows, annotations)."""
+    if rel.semiring.name not in SEMIRING_REGISTRY:
+        raise SerializationError(f"unregistered semiring {rel.semiring.name}")
+    return {
+        "semiring": rel.semiring.name,
+        "schema": list(rel.schema.attributes),
+        "rows": [
+            {
+                "values": [_value_to_jsonable(t[a]) for a in rel.schema.attributes],
+                "annotation": annotation_to_jsonable(rel.semiring, k),
+            }
+            for t, k in rel.items()
+        ],
+    }
+
+
+def relation_from_jsonable(data: Any) -> KRelation:
+    """Decode a K-relation."""
+    semiring = SEMIRING_REGISTRY[data["semiring"]]
+    schema = Schema(data["schema"])
+    pairs = []
+    for row in data["rows"]:
+        values = [_value_from_jsonable(v) for v in row["values"]]
+        annotation = annotation_from_jsonable(semiring, row["annotation"])
+        pairs.append((Tup.from_values(schema, values), annotation))
+    return KRelation(semiring, schema, pairs)
+
+
+def database_to_jsonable(db: KDatabase) -> Any:
+    """Encode a whole database."""
+    return {
+        "semiring": db.semiring.name,
+        "relations": {name: relation_to_jsonable(rel) for name, rel in db},
+    }
+
+
+def database_from_jsonable(data: Any) -> KDatabase:
+    """Decode a database."""
+    semiring = SEMIRING_REGISTRY[data["semiring"]]
+    db = KDatabase(semiring)
+    for name, rel in data["relations"].items():
+        db.add(name, relation_from_jsonable(rel))
+    return db
+
+
+def dumps(obj: KRelation | KDatabase, **json_kwargs: Any) -> str:
+    """Serialise a relation or database to a JSON string."""
+    if isinstance(obj, KRelation):
+        payload = {"kind": "relation", "data": relation_to_jsonable(obj)}
+    elif isinstance(obj, KDatabase):
+        payload = {"kind": "database", "data": database_to_jsonable(obj)}
+    else:
+        raise SerializationError(f"cannot serialise {type(obj).__name__}")
+    return json.dumps(payload, **json_kwargs)
+
+
+def loads(text: str) -> KRelation | KDatabase:
+    """Deserialise the output of :func:`dumps`."""
+    payload = json.loads(text)
+    if payload.get("kind") == "relation":
+        return relation_from_jsonable(payload["data"])
+    if payload.get("kind") == "database":
+        return database_from_jsonable(payload["data"])
+    raise SerializationError(f"unknown payload kind {payload.get('kind')!r}")

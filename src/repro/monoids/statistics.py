@@ -1,0 +1,91 @@
+"""Statistical moments as a commutative monoid: VAR and STDEV.
+
+The paper's footnote-6 recipe (AVG = SUM + COUNT) generalises: variance
+and standard deviation are derived from the first two power sums, so the
+monoid of triples ``(count, sum, sum of squares)`` under componentwise
+addition carries them through the tensor construction with full
+provenance.  Welford-style streaming is unnecessary here — the monoid is
+associative/commutative by construction, which is exactly what annotated
+aggregation needs.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any, NamedTuple
+
+from repro.exceptions import MonoidError
+from repro.monoids.base import CommutativeMonoid
+
+__all__ = ["Moments", "MomentsMonoid", "MOMENTS"]
+
+
+class Moments(NamedTuple):
+    """Power sums ``(count, total, total of squares)`` of a multiset."""
+
+    count: int
+    total: Any
+    total_sq: Any
+
+    def mean(self) -> Any:
+        """The average (exact for integer totals)."""
+        if self.count == 0:
+            raise MonoidError("mean of an empty aggregation is undefined")
+        if isinstance(self.total, int):
+            result = Fraction(self.total, self.count)
+            return int(result) if result.denominator == 1 else result
+        return self.total / self.count
+
+    def variance(self) -> Any:
+        """The population variance ``E[x^2] - E[x]^2``."""
+        if self.count == 0:
+            raise MonoidError("variance of an empty aggregation is undefined")
+        if isinstance(self.total, int) and isinstance(self.total_sq, int):
+            value = (
+                Fraction(self.total_sq, self.count)
+                - Fraction(self.total, self.count) ** 2
+            )
+            return int(value) if value.denominator == 1 else value
+        return self.total_sq / self.count - (self.total / self.count) ** 2
+
+    def stdev(self) -> float:
+        """The population standard deviation."""
+        return math.sqrt(float(self.variance()))
+
+    def __str__(self) -> str:
+        return f"⟨n={self.count}, Σx={self.total}, Σx²={self.total_sq}⟩"
+
+
+class MomentsMonoid(CommutativeMonoid):
+    """Componentwise addition on moment triples."""
+
+    name = "MOMENTS"
+    idempotent = False
+
+    @property
+    def identity(self) -> Moments:
+        return Moments(0, 0, 0)
+
+    def plus(self, a: Moments, b: Moments) -> Moments:
+        return Moments(a.count + b.count, a.total + b.total, a.total_sq + b.total_sq)
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, Moments)
+            and isinstance(value.count, int)
+            and value.count >= 0
+        )
+
+    def nat_action(self, n: int, a: Moments) -> Moments:
+        if n < 0:
+            raise MonoidError(f"natural action requires n >= 0, got {n}")
+        return Moments(n * a.count, n * a.total, n * a.total_sq)
+
+    def lift(self, value: Any) -> Moments:
+        """Embed a raw value as ``(1, x, x^2)`` before aggregation."""
+        return Moments(1, value, value * value)
+
+
+#: Singleton instance used throughout the library.
+MOMENTS = MomentsMonoid()

@@ -1,0 +1,9 @@
+"""The rejected tuple-level aggregation baselines of Figure 2."""
+
+from repro.naive.subset_enumeration import (
+    naive_aggregate_boolexpr,
+    naive_aggregate_zx,
+    naive_output_size,
+)
+
+__all__ = ["naive_aggregate_zx", "naive_aggregate_boolexpr", "naive_output_size"]

@@ -1,0 +1,19 @@
+"""Semimodules and the tensor product ``K (x) M`` (Sections 2.2-2.3, 3.4)."""
+
+from repro.semimodules.base import check_semimodule_axioms
+from repro.semimodules.compatibility import (
+    compatibility_reason,
+    is_compatible,
+    readback,
+)
+from repro.semimodules.tensor import Tensor, TensorSpace, tensor_space
+
+__all__ = [
+    "check_semimodule_axioms",
+    "Tensor",
+    "TensorSpace",
+    "tensor_space",
+    "is_compatible",
+    "compatibility_reason",
+    "readback",
+]

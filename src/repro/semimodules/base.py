@@ -1,0 +1,80 @@
+"""K-semimodules (Definition 2.1): the algebra of annotated aggregation.
+
+A ``K``-semimodule is a commutative monoid ``(W, +_W, 0_W)`` with a scalar
+action ``* : K x W -> W`` satisfying six laws (distributivity over both
+additions, both annihilations, action associativity, unit action).  The
+paper's insight is that aggregating a ``K``-annotated column of monoid
+values is exactly a semimodule computation — and when ``M`` itself is not a
+``K``-semimodule, the tensor product ``K (x) M`` manufactures the smallest
+semimodule containing it (see :mod:`repro.semimodules.tensor`).
+
+This module holds the abstract law-checking helper used by the test suite
+(including on ``K``-relations themselves, which form a ``K``-semimodule
+under union and annotation scaling — Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.exceptions import SemimoduleError
+from repro.semirings.base import Semiring
+
+__all__ = ["check_semimodule_axioms"]
+
+
+def check_semimodule_axioms(
+    semiring: Semiring,
+    scalars: Iterable[Any],
+    vectors: Iterable[Any],
+    *,
+    add: Callable[[Any, Any], Any],
+    zero: Any,
+    action: Callable[[Any, Any], Any],
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> None:
+    """Verify the six semimodule laws of Definition 2.1 on finite samples.
+
+    Parameters mirror the structure: ``add``/``zero`` give the commutative
+    monoid on vectors, ``action(k, w)`` the scalar multiplication.  Raises
+    :class:`SemimoduleError` naming the first violated law.
+    """
+    eq = equal if equal is not None else (lambda x, y: x == y)
+    ks = list(scalars)
+    ws = list(vectors)
+
+    def _require(cond: bool, law: str) -> None:
+        if not cond:
+            raise SemimoduleError(f"semimodule law violated: {law}")
+
+    for w in ws:
+        _require(eq(add(w, zero), w), "w + 0 = w")
+        _require(eq(action(semiring.zero, w), zero), "0_K * w = 0_W  (law 4)")
+        _require(eq(action(semiring.one, w), w), "1_K * w = w  (law 6)")
+
+    for k in ks:
+        _require(eq(action(k, zero), zero), "k * 0_W = 0_W  (law 2)")
+        for w1 in ws:
+            for w2 in ws:
+                _require(
+                    eq(action(k, add(w1, w2)), add(action(k, w1), action(k, w2))),
+                    "k * (w1 + w2) = k*w1 + k*w2  (law 1)",
+                )
+
+    for k1 in ks:
+        for k2 in ks:
+            for w in ws:
+                _require(
+                    eq(
+                        action(semiring.plus(k1, k2), w),
+                        add(action(k1, w), action(k2, w)),
+                    ),
+                    "(k1 + k2) * w = k1*w + k2*w  (law 3)",
+                )
+                _require(
+                    eq(
+                        action(semiring.times(k1, k2), w),
+                        action(k1, action(k2, w)),
+                    ),
+                    "(k1 * k2) * w = k1 * (k2 * w)  (law 5)",
+                )

@@ -1,0 +1,93 @@
+"""Annotation-aggregation compatibility (Section 3.4).
+
+``K`` and ``M`` are *compatible* when ``iota : M -> K (x) M`` is injective
+(Definition 3.10): results landing in ``iota(M)`` can then be safely read
+back as ordinary aggregate values.  The paper gives a complete practical
+picture, implemented here:
+
+* **Prop. 3.11** — if ``+_K`` is idempotent, a compatible ``M`` must be
+  idempotent too (so ``B``/``S`` cannot host SUM: the classic "sum needs
+  bags" fact, algebraically).
+* **Thm. 3.12** — idempotent monoids are compatible with every *positive*
+  semiring (witness: drop zero-scalar entries, sum the rest).
+* **Thm. 3.13** — a semiring with a homomorphism to ``N`` is compatible
+  with **every** commutative monoid (witness: push scalars through the
+  homomorphism and use the canonical ``N``-action).  Cor. 3.14: ``N[X]``
+  qualifies; Cor. 3.15: so does ``SN``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import CompatibilityError
+from repro.monoids.base import CommutativeMonoid
+from repro.semimodules.tensor import Tensor
+from repro.semirings.base import Semiring
+
+__all__ = ["is_compatible", "compatibility_reason", "readback"]
+
+
+def compatibility_reason(semiring: Semiring, monoid: CommutativeMonoid) -> str:
+    """Which result of Section 3.4 decides this (K, M) pair, as a label.
+
+    Returns one of ``"hom-to-N"`` (Thm. 3.13), ``"idempotent-positive"``
+    (Thm. 3.12), ``"incompatible-idempotence"`` (Prop. 3.11), or
+    ``"undetermined"`` (the paper's conditions are sufficient, not
+    exhaustive; we stay conservative).
+    """
+    if semiring.has_hom_to_nat:
+        return "hom-to-N"
+    if monoid.idempotent and semiring.positive:
+        return "idempotent-positive"
+    if semiring.idempotent_plus and not monoid.idempotent:
+        return "incompatible-idempotence"
+    return "undetermined"
+
+
+def is_compatible(semiring: Semiring, monoid: CommutativeMonoid) -> bool:
+    """Decide compatibility of ``(K, M)`` per Section 3.4.
+
+    Raises :class:`CompatibilityError` when the paper's conditions do not
+    determine the answer (neither sufficient condition applies and the
+    Prop. 3.11 obstruction is absent).
+    """
+    reason = compatibility_reason(semiring, monoid)
+    if reason in ("hom-to-N", "idempotent-positive"):
+        return True
+    if reason == "incompatible-idempotence":
+        return False
+    raise CompatibilityError(
+        f"compatibility of {semiring.name} with {monoid.name} is not determined "
+        "by the paper's criteria (Thms. 3.12/3.13, Prop. 3.11)"
+    )
+
+
+def readback(tensor: Tensor) -> Any:
+    """Map a tensor back into ``M`` along a compatibility witness.
+
+    * If ``iota`` is an isomorphism, this is its exact inverse
+      (:meth:`Tensor.collapse`).
+    * Otherwise, if ``K`` has a homomorphism to ``N`` (Thm. 3.13), apply
+      ``h(sum k_i (x) m_i) = sum h'(k_i) . m_i``.
+    * Otherwise, if ``M`` is idempotent and ``K`` positive (Thm. 3.12),
+      apply ``h(sum k_i (x) m_i) = sum over nonzero k_i of m_i``.
+
+    These maps are left inverses of ``iota`` — ``readback(iota(m)) = m`` —
+    which is exactly what Definition 3.10 (injectivity) requires.  For
+    tensors *outside* ``iota(M)`` they are lossy summaries, not inverses.
+    """
+    space = tensor.space
+    semiring, monoid = space.semiring, space.monoid
+    if space.collapses:
+        return tensor.collapse()
+    if semiring.has_hom_to_nat:
+        return monoid.sum(
+            monoid.nat_action(semiring.hom_to_nat(k), m) for m, k in tensor
+        )
+    if monoid.idempotent and semiring.positive:
+        return monoid.sum(m for m, k in tensor if not semiring.is_zero(k))
+    raise CompatibilityError(
+        f"no readback from {space.name}: {semiring.name} and {monoid.name} "
+        "have no compatibility witness"
+    )

@@ -1,0 +1,99 @@
+"""Annotation semirings: structures, instances, homomorphisms, hierarchy.
+
+Quick tour
+----------
+Concrete semirings (elements are plain Python values)::
+
+    BOOL      sets                  B = ({F,T}, or, and)
+    NAT       bags                  N = (N, +, *)
+    INT       signed multiplicities Z
+    SEC       clearances            S = (levels, min, max)
+    SECBAG    clearances with bag   SN (quotient of N[S]; Sec. 3.4)
+    TROPICAL  costs                 (R∪{∞}, min, +)
+    FUZZY     confidences           ([0,1], max, *)
+
+Free / symbolic semirings::
+
+    NX        provenance polynomials N[X]
+    ZX        integer polynomials    Z[X]     (naive Figure-2 baseline)
+    BX        boolean-coefficient    B[X]
+    BOOLEXPR  c-table expressions    BoolExp(X) (with negation)
+    TRIO/WHY/POSBOOL/LIN             classical provenance forms
+
+Homomorphisms: :func:`valuation_hom` freely extends token valuations out of
+polynomial semirings; :mod:`~repro.semirings.hierarchy` wires the canonical
+specialisation diagram.
+"""
+
+from repro.semirings.base import ProvenanceTerm, Semiring, check_semiring_axioms
+from repro.semirings.boolean import BOOL, BooleanSemiring
+from repro.semirings.boolexpr import (
+    BOOLEXPR,
+    BoolExpr,
+    BoolExprSemiring,
+    BVar,
+    band,
+    bnot,
+    bor,
+    evaluate_boolexpr,
+    semantic_equals,
+)
+from repro.semirings.bx import BX
+from repro.semirings.delta import DeltaTerm
+from repro.semirings.fuzzy import FUZZY, FuzzySemiring
+from repro.semirings.homomorphism import (
+    Homomorphism,
+    deletion_hom,
+    identity_hom,
+    nat_hom,
+    semiring_hom,
+    support_hom,
+    valuation_hom,
+)
+from repro.semirings.integers import INT, IntegerRing
+from repro.semirings.lineage import BOTTOM, LIN, LineageSemiring
+from repro.semirings.natural import NAT, NaturalSemiring
+from repro.semirings.polynomials import (
+    NX,
+    ZX,
+    Monomial,
+    Polynomial,
+    PolynomialSemiring,
+    polynomials_over,
+)
+from repro.semirings.posbool import POSBOOL, PosBoolSemiring
+from repro.semirings.security import (
+    CONFIDENTIAL,
+    NEVER,
+    PUBLIC,
+    SEC,
+    SECRET,
+    TOP_SECRET,
+    SecurityLevel,
+    SecuritySemiring,
+)
+from repro.semirings.security_bag import SECBAG, SecurityBagSemiring, SecurityBagValue
+from repro.semirings.trio import TRIO, TrioSemiring, TrioValue
+from repro.semirings.tropical import TROPICAL, TropicalSemiring
+from repro.semirings.why import WHY, WhySemiring, witness_set
+
+__all__ = [
+    # framework
+    "Semiring", "ProvenanceTerm", "check_semiring_axioms",
+    # concrete semirings
+    "BOOL", "BooleanSemiring", "NAT", "NaturalSemiring", "INT", "IntegerRing",
+    "SEC", "SecuritySemiring", "SecurityLevel",
+    "PUBLIC", "CONFIDENTIAL", "SECRET", "TOP_SECRET", "NEVER",
+    "SECBAG", "SecurityBagSemiring", "SecurityBagValue",
+    "TROPICAL", "TropicalSemiring", "FUZZY", "FuzzySemiring",
+    # polynomial / symbolic semirings
+    "NX", "ZX", "BX", "Polynomial", "Monomial", "PolynomialSemiring",
+    "polynomials_over", "DeltaTerm",
+    "BOOLEXPR", "BoolExprSemiring", "BoolExpr", "BVar", "band", "bor", "bnot",
+    "evaluate_boolexpr", "semantic_equals",
+    "TRIO", "TrioSemiring", "TrioValue", "WHY", "WhySemiring", "witness_set",
+    "POSBOOL", "PosBoolSemiring", "LIN", "LineageSemiring", "BOTTOM",
+    # homomorphisms
+    "Homomorphism", "identity_hom", "semiring_hom", "valuation_hom",
+    "deletion_hom", "support_hom", "nat_hom",
+]

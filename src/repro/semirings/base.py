@@ -1,0 +1,301 @@
+"""Commutative semirings: the annotation structures of the paper.
+
+A commutative semiring is a structure ``(K, +, *, 0, 1)`` where ``(K, +, 0)``
+and ``(K, *, 1)`` are commutative monoids, ``*`` distributes over ``+``, and
+``0`` is absorbing for ``*`` (Section 2.1 of the paper).
+
+Design
+------
+Semirings are represented by *singleton objects* implementing the
+:class:`Semiring` interface, while their **elements are ordinary Python
+values** (``bool`` for the boolean semiring, ``int`` for the natural-numbers
+semiring, :class:`~repro.semirings.polynomials.Polynomial` for provenance
+polynomials, and so on).  This keeps element arithmetic allocation-free for
+the concrete semirings while letting every database operator be written once,
+generically, against the interface.
+
+The interface also exposes the *structural properties* the paper's theory
+keys on:
+
+``idempotent_plus``
+    whether ``a + a = a`` (Prop. 3.11: such semirings are only compatible
+    with idempotent aggregation monoids);
+``positive``
+    whether ``a + b = 0`` implies ``a = b = 0`` (Thm. 3.12: positive
+    semirings are compatible with every idempotent monoid);
+``has_hom_to_nat``
+    whether a semiring homomorphism into the naturals exists (Thm. 3.13:
+    such "bag-like" semirings are compatible with *every* commutative
+    monoid).
+
+Finally, a semiring may be a **delta-semiring** (Definition 3.6): it then
+carries a unary ``delta`` with ``delta(0) = 0`` and ``delta(n * 1) = 1`` for
+``n >= 1``, used to annotate GROUP BY results.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.exceptions import SemiringError
+
+__all__ = ["Semiring", "ProvenanceTerm", "check_semiring_axioms"]
+
+
+class ProvenanceTerm(abc.ABC):
+    """An indeterminate that knows how to map itself under a homomorphism.
+
+    Provenance polynomials admit three kinds of indeterminate: plain tokens
+    (any hashable value, typically strings), :class:`~repro.semirings.delta.DeltaTerm`
+    wrappers (for the free delta-semiring ``N[X, d]``), and
+    :class:`~repro.core.equality.EqualityAtom` comparison tokens (for the
+    ``K^M`` construction of Section 4).  The latter two are *structured*: a
+    homomorphism does not simply substitute a value for them but recurses
+    into their structure (``h(d(e)) = d(h(e))``; equality atoms map their
+    tensor sides and may then resolve).  Subclassing this ABC is how a
+    structured indeterminate opts into that behaviour.
+    """
+
+    @abc.abstractmethod
+    def apply_hom(self, hom: "Any") -> Any:
+        """Return the image of this indeterminate under ``hom``.
+
+        ``hom`` is a :class:`~repro.semirings.homomorphism.Homomorphism`
+        whose source contains this term; the result is an element of
+        ``hom.target``.
+        """
+
+
+class Semiring(abc.ABC):
+    """Abstract commutative semiring ``(K, +, *, 0, 1)``.
+
+    Concrete subclasses define the carrier (via :meth:`contains`), the two
+    operations, and the structural flags.  Elements are plain Python values;
+    all operations are pure.
+    """
+
+    #: Human-readable name, e.g. ``"N"`` or ``"N[X]"``.
+    name: str = "K"
+
+    #: True iff ``a + a = a`` for all elements.
+    idempotent_plus: bool = False
+
+    #: True iff ``a * a = a`` for all elements.
+    idempotent_times: bool = False
+
+    #: True iff ``a + b = 0`` implies ``a = b = 0`` ("positive w.r.t. +").
+    positive: bool = True
+
+    #: True iff a semiring homomorphism ``K -> N`` exists (Thm. 3.13).
+    has_hom_to_nat: bool = False
+
+    #: True iff :meth:`delta` is defined (Definition 3.6).
+    has_delta: bool = False
+
+    #: True for the canonical naturals semiring (drives ``N (x) M ~ M``).
+    is_naturals: bool = False
+
+    #: True for the canonical boolean semiring (drives ``B (x) M ~ M``).
+    is_booleans: bool = False
+
+    # ------------------------------------------------------------------
+    # Carrier and constants
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def zero(self) -> Any:
+        """The additive identity ``0_K`` (also multiplicatively absorbing)."""
+
+    @property
+    @abc.abstractmethod
+    def one(self) -> Any:
+        """The multiplicative identity ``1_K``."""
+
+    @abc.abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return ``True`` iff ``value`` is an element of this semiring."""
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def plus(self, a: Any, b: Any) -> Any:
+        """Return ``a +_K b``."""
+
+    @abc.abstractmethod
+    def times(self, a: Any, b: Any) -> Any:
+        """Return ``a *_K b``."""
+
+    def is_zero(self, a: Any) -> bool:
+        """Return ``True`` iff ``a`` equals ``0_K``."""
+        return a == self.zero
+
+    def is_one(self, a: Any) -> bool:
+        """Return ``True`` iff ``a`` equals ``1_K``."""
+        return a == self.one
+
+    def sum(self, items: Iterable[Any]) -> Any:
+        """Fold ``+_K`` over ``items`` (``0_K`` for the empty iterable)."""
+        result = self.zero
+        for item in items:
+            result = self.plus(result, item)
+        return result
+
+    def prod(self, items: Iterable[Any]) -> Any:
+        """Fold ``*_K`` over ``items`` (``1_K`` for the empty iterable)."""
+        result = self.one
+        for item in items:
+            result = self.times(result, item)
+        return result
+
+    def pow(self, a: Any, n: int) -> Any:
+        """Return ``a`` multiplied with itself ``n`` times (``a^0 = 1_K``)."""
+        if n < 0:
+            raise SemiringError(f"negative exponent {n} in semiring {self.name}")
+        result = self.one
+        for _ in range(n):
+            result = self.times(result, a)
+        return result
+
+    def from_int(self, n: int) -> Any:
+        """The canonical image of the natural number ``n``: ``n * 1_K``.
+
+        Every semiring receives a unique homomorphism-like map from ``N``
+        this way (it is a genuine homomorphism exactly when the semiring's
+        characteristic permits); it is how polynomial coefficients embed.
+        """
+        if n < 0:
+            raise SemiringError(f"cannot embed negative integer {n} into {self.name}")
+        result = self.zero
+        for _ in range(n):
+            result = self.plus(result, self.one)
+        return result
+
+    # ------------------------------------------------------------------
+    # Optional structure
+    # ------------------------------------------------------------------
+
+    def delta(self, a: Any) -> Any:
+        """The delta operation of Definition 3.6 (GROUP BY annotations).
+
+        Must satisfy ``delta(0) = 0`` and ``delta(n * 1) = 1`` for ``n >= 1``.
+        Only available when :attr:`has_delta` is true.
+        """
+        raise SemiringError(f"semiring {self.name} does not define a delta operation")
+
+    def hom_to_nat(self, a: Any) -> int:
+        """Apply a fixed semiring homomorphism ``K -> N`` to ``a``.
+
+        Only available when :attr:`has_hom_to_nat` is true.  The choice of
+        homomorphism is canonical per semiring (e.g. "evaluate every
+        indeterminate at 1" for provenance polynomials); Theorem 3.13 shows
+        its existence suffices for compatibility with every monoid.
+        """
+        raise SemiringError(f"semiring {self.name} has no homomorphism to N")
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def format(self, a: Any) -> str:
+        """Render element ``a`` for display (tables, examples, docs)."""
+        return str(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<semiring {self.name}>"
+
+
+def check_semiring_axioms(
+    semiring: Semiring,
+    samples: Iterable[Any],
+    *,
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> None:
+    """Verify the commutative-semiring axioms on a finite sample of elements.
+
+    Exercises associativity, commutativity, identities, distributivity and
+    annihilation over every pair/triple drawn from ``samples``.  Raises
+    :class:`SemiringError` naming the first violated law.  Used by the unit
+    and property-based test suites; exposed publicly so users can sanity
+    check semirings of their own.
+
+    Parameters
+    ----------
+    semiring:
+        The structure under test.
+    samples:
+        Elements to combine.  Axioms are checked on all pairs and triples,
+        so keep the sample modest (|samples| <= ~8 gives <= 512 triples).
+    equal:
+        Optional equality override (useful for semirings whose structural
+        equality is finer than semantic equality, e.g. boolean expressions).
+    """
+    eq = equal if equal is not None else (lambda x, y: x == y)
+    elems = list(samples)
+    zero, one = semiring.zero, semiring.one
+
+    def _require(condition: bool, law: str, *args: Any) -> None:
+        if not condition:
+            shown = ", ".join(semiring.format(a) for a in args)
+            raise SemiringError(f"{semiring.name}: {law} violated on ({shown})")
+
+    for a in elems:
+        _require(eq(semiring.plus(a, zero), a), "additive identity", a)
+        _require(eq(semiring.times(a, one), a), "multiplicative identity", a)
+        _require(eq(semiring.times(a, zero), zero), "annihilation", a)
+        _require(eq(semiring.times(zero, a), zero), "annihilation (left)", a)
+        if semiring.idempotent_plus:
+            _require(eq(semiring.plus(a, a), a), "plus idempotence", a)
+        if semiring.idempotent_times:
+            _require(eq(semiring.times(a, a), a), "times idempotence", a)
+
+    for a, b in itertools.product(elems, repeat=2):
+        _require(
+            eq(semiring.plus(a, b), semiring.plus(b, a)), "plus commutativity", a, b
+        )
+        _require(
+            eq(semiring.times(a, b), semiring.times(b, a)), "times commutativity", a, b
+        )
+        if semiring.positive and eq(semiring.plus(a, b), zero):
+            _require(
+                eq(a, zero) and eq(b, zero), "positivity (a+b=0 => a=b=0)", a, b
+            )
+
+    for a, b, c in itertools.product(elems, repeat=3):
+        _require(
+            eq(
+                semiring.plus(semiring.plus(a, b), c),
+                semiring.plus(a, semiring.plus(b, c)),
+            ),
+            "plus associativity",
+            a, b, c,
+        )
+        _require(
+            eq(
+                semiring.times(semiring.times(a, b), c),
+                semiring.times(a, semiring.times(b, c)),
+            ),
+            "times associativity",
+            a, b, c,
+        )
+        _require(
+            eq(
+                semiring.times(a, semiring.plus(b, c)),
+                semiring.plus(semiring.times(a, b), semiring.times(a, c)),
+            ),
+            "distributivity",
+            a, b, c,
+        )
+
+    if semiring.has_delta:
+        _require(eq(semiring.delta(zero), zero), "delta(0) = 0", zero)
+        _require(eq(semiring.delta(one), one), "delta(1) = 1", one)
+        _require(
+            eq(semiring.delta(semiring.plus(one, one)), one),
+            "delta(1+1) = 1",
+            one,
+        )

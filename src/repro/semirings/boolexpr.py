@@ -1,0 +1,308 @@
+"""Boolean expressions with negation: ``BoolExp(X)``.
+
+The annotation structure of c-tables (Imielinski & Lipski [28]) and of the
+*naive* approach to aggregate provenance sketched in the paper's
+introduction: add a unary ``p-hat = not p`` to express "tuple p was
+deleted".  The paper rejects this route for aggregation (tuple-level
+annotations force exponentially many result tuples — see
+:mod:`repro.naive.subset_enumeration`), but the structure remains useful:
+evaluating ``N[X]`` provenance into ``BoolExp(X)`` and then into
+probabilities powers the probabilistic-database application
+(:mod:`repro.apps.probabilistic`).
+
+Elements are lightly normalised expression trees (flattening, constant
+absorption, involution of negation, idempotent child sets).  Structural
+equality is sound but *finer* than logical equivalence;
+:func:`semantic_equals` decides true equivalence by truth-table enumeration
+for the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, FrozenSet, Mapping
+
+from repro.exceptions import SemiringError
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "BoolExpr",
+    "BVar",
+    "BConst",
+    "BNot",
+    "BAnd",
+    "BOr",
+    "band",
+    "bor",
+    "bnot",
+    "evaluate_boolexpr",
+    "boolexpr_variables",
+    "semantic_equals",
+    "BoolExprSemiring",
+    "BOOLEXPR",
+    "TRUE",
+    "FALSE",
+]
+
+
+class BoolExpr:
+    """Base class for boolean expression nodes (immutable, hashable)."""
+
+    __slots__ = ()
+
+
+class BConst(BoolExpr):
+    """A boolean constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *a: Any) -> None:  # pragma: no cover - immutability
+        raise AttributeError("BoolExpr nodes are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BConst) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("BConst", self.value))
+
+    def __str__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+class BVar(BoolExpr):
+    """A propositional variable (a provenance token)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Any):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a: Any) -> None:  # pragma: no cover - immutability
+        raise AttributeError("BoolExpr nodes are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BVar) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("BVar", self.name))
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+
+class BNot(BoolExpr):
+    """Negation — the extra structure beyond a plain semiring."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: BoolExpr):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, *a: Any) -> None:  # pragma: no cover - immutability
+        raise AttributeError("BoolExpr nodes are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNot) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("BNot", self.child))
+
+    def __str__(self) -> str:
+        return f"¬{_paren(self.child)}"
+
+
+class _NaryExpr(BoolExpr):
+    """Shared implementation of AND / OR over an unordered child set."""
+
+    __slots__ = ("children",)
+    _tag = ""
+    _sep = ""
+
+    def __init__(self, children: FrozenSet[BoolExpr]):
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, *a: Any) -> None:  # pragma: no cover - immutability
+        raise AttributeError("BoolExpr nodes are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.children))
+
+    def __str__(self) -> str:
+        parts = sorted(_paren(c) for c in self.children)
+        return self._sep.join(parts)
+
+
+class BAnd(_NaryExpr):
+    """Conjunction over an unordered, duplicate-free child set."""
+
+    __slots__ = ()
+    _tag = "BAnd"
+    _sep = " ∧ "
+
+
+class BOr(_NaryExpr):
+    """Disjunction over an unordered, duplicate-free child set."""
+
+    __slots__ = ()
+    _tag = "BOr"
+    _sep = " ∨ "
+
+
+def _paren(e: BoolExpr) -> str:
+    text = str(e)
+    return f"({text})" if isinstance(e, (BAnd, BOr)) else text
+
+
+TRUE = BConst(True)
+FALSE = BConst(False)
+
+
+def band(*exprs: BoolExpr) -> BoolExpr:
+    """Smart conjunction: flattens, absorbs constants, dedupes children."""
+    children: set = set()
+    for e in exprs:
+        if isinstance(e, BConst):
+            if not e.value:
+                return FALSE
+            continue
+        if isinstance(e, BAnd):
+            children |= e.children
+        else:
+            children.add(e)
+    if not children:
+        return TRUE
+    if len(children) == 1:
+        return next(iter(children))
+    return BAnd(frozenset(children))
+
+
+def bor(*exprs: BoolExpr) -> BoolExpr:
+    """Smart disjunction: flattens, absorbs constants, dedupes children."""
+    children: set = set()
+    for e in exprs:
+        if isinstance(e, BConst):
+            if e.value:
+                return TRUE
+            continue
+        if isinstance(e, BOr):
+            children |= e.children
+        else:
+            children.add(e)
+    if not children:
+        return FALSE
+    if len(children) == 1:
+        return next(iter(children))
+    return BOr(frozenset(children))
+
+
+def bnot(expr: BoolExpr) -> BoolExpr:
+    """Smart negation: flips constants, cancels double negation."""
+    if isinstance(expr, BConst):
+        return FALSE if expr.value else TRUE
+    if isinstance(expr, BNot):
+        return expr.child
+    return BNot(expr)
+
+
+def evaluate_boolexpr(expr: BoolExpr, assignment: Mapping[Any, bool]) -> bool:
+    """Evaluate under a total assignment of the expression's variables."""
+    if isinstance(expr, BConst):
+        return expr.value
+    if isinstance(expr, BVar):
+        try:
+            return bool(assignment[expr.name])
+        except KeyError:
+            raise SemiringError(f"assignment misses variable {expr.name!r}") from None
+    if isinstance(expr, BNot):
+        return not evaluate_boolexpr(expr.child, assignment)
+    if isinstance(expr, BAnd):
+        return all(evaluate_boolexpr(c, assignment) for c in expr.children)
+    if isinstance(expr, BOr):
+        return any(evaluate_boolexpr(c, assignment) for c in expr.children)
+    raise SemiringError(f"not a boolean expression: {expr!r}")
+
+
+def boolexpr_variables(expr: BoolExpr) -> frozenset:
+    """All variables occurring in ``expr``."""
+    if isinstance(expr, BVar):
+        return frozenset([expr.name])
+    if isinstance(expr, BNot):
+        return boolexpr_variables(expr.child)
+    if isinstance(expr, (BAnd, BOr)):
+        out: frozenset = frozenset()
+        for c in expr.children:
+            out |= boolexpr_variables(c)
+        return out
+    return frozenset()
+
+
+def semantic_equals(a: BoolExpr, b: BoolExpr, max_vars: int = 20) -> bool:
+    """Logical equivalence by truth-table enumeration (test-suite helper)."""
+    names = sorted(boolexpr_variables(a) | boolexpr_variables(b), key=str)
+    if len(names) > max_vars:
+        raise SemiringError(
+            f"semantic comparison over {len(names)} variables exceeds limit {max_vars}"
+        )
+    for bits in product([False, True], repeat=len(names)):
+        assignment = dict(zip(names, bits))
+        if evaluate_boolexpr(a, assignment) != evaluate_boolexpr(b, assignment):
+            return False
+    return True
+
+
+class BoolExprSemiring(Semiring):
+    """``(BoolExp(X), or, and, false, true)`` with extra ``negate``.
+
+    Plus-idempotent, so Prop. 3.11 applies: incompatible with SUM/PROD.
+    Structural equality means the axiom checks hold on normal forms;
+    semantic equality is available separately for verification.
+    """
+
+    name = "BoolExp[X]"
+    idempotent_plus = True
+    idempotent_times = True
+    positive = True
+    has_hom_to_nat = False
+    has_delta = True
+
+    @property
+    def zero(self) -> BoolExpr:
+        return FALSE
+
+    @property
+    def one(self) -> BoolExpr:
+        return TRUE
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, BoolExpr)
+
+    def variable(self, name: Any) -> BoolExpr:
+        """The generator (propositional variable) for token ``name``."""
+        return BVar(name)
+
+    def plus(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return bor(a, b)
+
+    def times(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return band(a, b)
+
+    def negate(self, a: BoolExpr) -> BoolExpr:
+        """The ``p-hat`` operation of the naive baseline: logical negation."""
+        return bnot(a)
+
+    def delta(self, a: BoolExpr) -> BoolExpr:
+        # Identity: n * 1 is already TRUE for n >= 1 under idempotent or.
+        return a
+
+    def format(self, a: BoolExpr) -> str:
+        return str(a)
+
+
+#: Singleton instance used throughout the library.
+BOOLEXPR = BoolExprSemiring()

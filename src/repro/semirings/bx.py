@@ -1,0 +1,18 @@
+"""``B[X]``: polynomials with boolean coefficients.
+
+The specialisation of ``N[X]`` that forgets *how many* derivations share a
+monomial but keeps joint-use multiplicity (exponents).  Obtained for free
+from the generic polynomial engine by choosing ``B`` as the coefficient
+semiring; see :mod:`repro.semirings.hierarchy` for its place in the
+specialisation order.
+"""
+
+from __future__ import annotations
+
+from repro.semirings.boolean import BOOL
+from repro.semirings.polynomials import PolynomialSemiring, polynomials_over
+
+__all__ = ["BX"]
+
+#: The semiring ``B[X]`` (plus-idempotent, positive, no hom to ``N``).
+BX: PolynomialSemiring = polynomials_over(BOOL)

@@ -1,0 +1,141 @@
+"""The provenance-semiring specialisation hierarchy.
+
+``N[X]`` is the most informative provenance form: every other annotation
+semantics *factors through it* via the canonical surjective homomorphisms
+assembled here (Green, ICDT 2009; recalled in Section 2.1 of the paper).
+
+::
+
+                N[X]
+               /    \\
+            B[X]    Trio(X)
+               \\    /
+               Why(X)
+               /    \\
+       PosBool(X)   Lin(X)
+               \\    /
+                 B
+
+Each edge is a :class:`~repro.semirings.homomorphism.Homomorphism`; the
+property-based test suite verifies both the homomorphism laws and the
+commutativity of the diagram on random polynomials.  ``BoolExp(X)`` (with
+negation) and the concrete semirings ``N``, ``B`` are reachable through
+valuations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semirings.boolean import BOOL
+from repro.semirings.boolexpr import BOOLEXPR
+from repro.semirings.bx import BX
+from repro.semirings.homomorphism import Homomorphism, valuation_hom
+from repro.semirings.lineage import BOTTOM, LIN
+from repro.semirings.natural import NAT
+from repro.semirings.polynomials import NX, Polynomial
+from repro.semirings.posbool import POSBOOL, minimize_witnesses
+from repro.semirings.trio import TRIO, TrioValue
+from repro.semirings.why import WHY
+
+__all__ = [
+    "nx_to_bx",
+    "nx_to_trio",
+    "nx_to_why",
+    "nx_to_posbool",
+    "nx_to_lin",
+    "nx_to_boolexpr",
+    "nx_to_nat",
+    "nx_to_bool",
+    "bx_to_why",
+    "trio_to_why",
+    "why_to_posbool",
+    "why_to_lin",
+    "posbool_to_bool",
+    "lin_to_bool",
+    "HIERARCHY_EDGES",
+]
+
+
+def _generator_hom(target: Any, name: str, coeff_hom: Any = None) -> Homomorphism:
+    """Map each token to the target's generator: the canonical surjection."""
+    return valuation_hom(
+        NX, target, lambda token: target.variable(token), coeff_hom=coeff_hom, name=name
+    )
+
+
+#: ``N[X] -> B[X]``: forget coefficients (keep exponents).
+nx_to_bx: Homomorphism = valuation_hom(
+    NX, BX, lambda token: BX.variable(token), name="N[X]→B[X]"
+)
+
+#: ``N[X] -> Trio(X)``: forget exponents (keep coefficients).
+nx_to_trio: Homomorphism = _generator_hom(TRIO, "N[X]→Trio[X]")
+
+#: ``N[X] -> Why(X)``: forget both.
+nx_to_why: Homomorphism = _generator_hom(WHY, "N[X]→Why[X]")
+
+#: ``N[X] -> BoolExp(X)``: tokens become propositional variables.
+nx_to_boolexpr: Homomorphism = _generator_hom(BOOLEXPR, "N[X]→BoolExp[X]")
+
+#: ``N[X] -> N``: evaluate every token at 1 (total derivation count).
+nx_to_nat: Homomorphism = valuation_hom(NX, NAT, lambda token: 1, name="N[X]→N")
+
+#: ``N[X] -> B``: evaluate every token at T ("all tuples present" support).
+nx_to_bool: Homomorphism = valuation_hom(NX, BOOL, lambda token: True, name="N[X]→B")
+
+
+def _bx_to_why_fn(poly: Polynomial) -> Any:
+    return frozenset(mono.variables() for mono in poly.monomials())
+
+
+#: ``B[X] -> Why(X)``: each monomial becomes its variable set.
+bx_to_why: Homomorphism = Homomorphism(BX, WHY, _bx_to_why_fn, name="B[X]→Why[X]")
+
+
+def _trio_to_why_fn(value: TrioValue) -> Any:
+    return frozenset(witness for witness, _count in value.items())
+
+
+#: ``Trio(X) -> Why(X)``: forget derivation counts.
+trio_to_why: Homomorphism = Homomorphism(TRIO, WHY, _trio_to_why_fn, name="Trio[X]→Why[X]")
+
+#: ``Why(X) -> PosBool(X)``: absorption (drop non-minimal witnesses).
+why_to_posbool: Homomorphism = Homomorphism(
+    WHY, POSBOOL, lambda value: minimize_witnesses(value), name="Why[X]→PosBool[X]"
+)
+
+
+def _why_to_lin_fn(value: Any) -> Any:
+    if not value:
+        return BOTTOM
+    flat: frozenset = frozenset()
+    for witness in value:
+        flat |= witness
+    return flat
+
+
+#: ``Why(X) -> Lin(X)``: flatten every witness into one token set.
+why_to_lin: Homomorphism = Homomorphism(WHY, LIN, _why_to_lin_fn, name="Why[X]→Lin[X]")
+
+#: ``N[X] -> PosBool(X)`` and ``N[X] -> Lin(X)`` via Why(X).
+nx_to_posbool: Homomorphism = nx_to_why.then(why_to_posbool)
+nx_to_lin: Homomorphism = nx_to_why.then(why_to_lin)
+
+#: ``PosBool(X) -> B`` and ``Lin(X) -> B``: support.
+posbool_to_bool: Homomorphism = Homomorphism(
+    POSBOOL, BOOL, lambda value: bool(value), name="PosBool[X]→B"
+)
+lin_to_bool: Homomorphism = Homomorphism(
+    LIN, BOOL, lambda value: value is not BOTTOM, name="Lin[X]→B"
+)
+
+#: The full diagram, for the property tests that check it commutes.
+HIERARCHY_EDGES = {
+    ("N[X]", "B[X]"): nx_to_bx,
+    ("N[X]", "Trio[X]"): nx_to_trio,
+    ("B[X]", "Why[X]"): bx_to_why,
+    ("Trio[X]", "Why[X]"): trio_to_why,
+    ("Why[X]", "PosBool[X]"): why_to_posbool,
+    ("Why[X]", "Lin[X]"): why_to_lin,
+}

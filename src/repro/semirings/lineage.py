@@ -1,0 +1,71 @@
+"""Lineage: ``Lin(X)`` — which tokens contributed at all.
+
+The coarsest token-tracking specialisation: an element is either absent
+(``bottom``, the semiring zero) or the flat set of every token that played
+any role.  Both ``+`` and ``*`` union the token sets; ``bottom`` is the
+additive identity and multiplicatively absorbing.  Cui/Widom/Wiener lineage
+recast as a semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from repro.semirings.base import Semiring
+
+__all__ = ["LineageSemiring", "LIN", "BOTTOM"]
+
+#: The zero of Lin(X); distinct from the *empty token set*, which is its one.
+BOTTOM: Optional[FrozenSet[Any]] = None
+
+LineageValue = Optional[FrozenSet[Any]]
+
+
+class LineageSemiring(Semiring):
+    """Flat token sets plus a bottom element; union everywhere."""
+
+    name = "Lin[X]"
+    idempotent_plus = True
+    idempotent_times = True
+    positive = True
+    has_hom_to_nat = False
+    has_delta = True
+
+    @property
+    def zero(self) -> LineageValue:
+        return BOTTOM
+
+    @property
+    def one(self) -> LineageValue:
+        return frozenset()
+
+    def contains(self, value: Any) -> bool:
+        return value is BOTTOM or isinstance(value, frozenset)
+
+    def variable(self, name: Any) -> LineageValue:
+        """The generator for token ``name``: the singleton set."""
+        return frozenset([name])
+
+    def plus(self, a: LineageValue, b: LineageValue) -> LineageValue:
+        if a is BOTTOM:
+            return b
+        if b is BOTTOM:
+            return a
+        return a | b
+
+    def times(self, a: LineageValue, b: LineageValue) -> LineageValue:
+        if a is BOTTOM or b is BOTTOM:
+            return BOTTOM
+        return a | b
+
+    def delta(self, a: LineageValue) -> LineageValue:
+        return a if a is BOTTOM else frozenset()
+
+    def format(self, a: LineageValue) -> str:
+        if a is BOTTOM:
+            return "⊥"
+        return "{" + ",".join(sorted(map(str, a))) + "}"
+
+
+#: Singleton instance used throughout the library.
+LIN = LineageSemiring()

@@ -1,0 +1,114 @@
+"""Monus: the m-semiring difference of Geerts & Poggi ([19] in the paper).
+
+A naturally-ordered semiring (``a ≼ b`` iff ``a + c = b`` for some ``c``)
+is an *m-semiring* when every pair has a least ``c`` with ``a ≼ b + c``;
+that ``c`` is the monus ``a ⊖ b``.  Section 5.2 contrasts this semantics
+for difference with the paper's hybrid one; this module supplies monus
+for every shipped semiring that has one:
+
+=============  ======================================================
+``N``          truncated subtraction ``max(0, a - b)``
+``B``          ``a and not b``
+``V`` (fuzzy)  ``a`` if ``b < a`` else ``0`` (residual of max)
+``Why(X)``     witness-set difference
+``PosBool(X)`` drop witnesses already covered by the subtrahend
+``Lin(X)``     token-set difference (with ⊥ absorbing)
+=============  ======================================================
+
+``natural_leq`` decides the natural order for positive semirings with
+idempotent plus (where ``a ≼ b  iff  a + b = b``) and for ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.exceptions import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOL
+from repro.semirings.fuzzy import FUZZY
+from repro.semirings.lineage import BOTTOM, LIN
+from repro.semirings.natural import NAT
+from repro.semirings.posbool import POSBOOL, minimize_witnesses
+from repro.semirings.why import WHY
+
+__all__ = ["monus", "has_monus", "natural_leq"]
+
+
+def natural_leq(semiring: Semiring, a: Any, b: Any) -> bool:
+    """The natural order ``a ≼ b`` (exists c with a + c = b).
+
+    Decidable here for ``N`` (numeric order) and for plus-idempotent
+    semirings (where ``a ≼ b iff a + b = b``).
+    """
+    if semiring is NAT:
+        return a <= b
+    if semiring.idempotent_plus:
+        return semiring.plus(a, b) == b
+    raise SemiringError(
+        f"natural order of {semiring.name} is not implemented"
+    )
+
+
+def _monus_nat(a: int, b: int) -> int:
+    return a - b if a > b else 0
+
+
+def _monus_bool(a: bool, b: bool) -> bool:
+    return a and not b
+
+
+def _monus_fuzzy(a: float, b: float) -> float:
+    # least c with max(b, c) >= a
+    return a if b < a else 0.0
+
+
+def _monus_why(a, b):
+    return a - b  # frozenset difference: least c with a ⊆ b ∪ c
+
+
+def _monus_posbool(a, b):
+    # drop the witnesses of a already implied by (covered by) some witness
+    # of b; the rest is the least c with a <= b ∨ c in the lattice order
+    kept = [w for w in a if not any(v <= w for v in b)]
+    return minimize_witnesses(kept)
+
+
+def _monus_lin(a, b):
+    if a is BOTTOM:
+        return BOTTOM
+    if b is BOTTOM:
+        return a
+    # when a is already covered by b the least solution is the bottom
+    # element (BOTTOM ≼ everything), not the empty token set (= 1)
+    return a - b if not a <= b else BOTTOM
+
+
+_MONUS: Dict[int, Callable[[Any, Any], Any]] = {
+    id(NAT): _monus_nat,
+    id(BOOL): _monus_bool,
+    id(FUZZY): _monus_fuzzy,
+    id(WHY): _monus_why,
+    id(POSBOOL): _monus_posbool,
+    id(LIN): _monus_lin,
+}
+
+
+def has_monus(semiring: Semiring) -> bool:
+    """Is a monus implemented for ``semiring``?"""
+    return id(semiring) in _MONUS
+
+
+def monus(semiring: Semiring, a: Any, b: Any) -> Any:
+    """``a ⊖ b``: the least ``c`` with ``a ≼ b + c``.
+
+    Raises :class:`SemiringError` for semirings without a (implemented)
+    monus — e.g. free polynomial semirings, where difference needs the
+    paper's Section 5 construction instead.
+    """
+    fn = _MONUS.get(id(semiring))
+    if fn is None:
+        raise SemiringError(
+            f"{semiring.name} has no monus; use difference-via-aggregation"
+        )
+    return fn(a, b)

@@ -1,0 +1,149 @@
+"""Parsing provenance-polynomial expressions.
+
+Round-trips the library's own rendering: ``parse_polynomial(str(p)) == p``
+for every ``N[X]``/``Z[X]`` element over string tokens (including
+δ-terms).  Grammar::
+
+    expr    := term ('+' term)*
+    term    := factor ('*' factor)*
+    factor  := INT | token ['^' INT] | 'δ' '(' expr ')' | 'd' '(' expr ')'
+             | '(' expr ')'
+    token   := identifier
+
+Useful for tests, docs, and REPL work: annotations can be written the way
+the paper writes them (``2*x^2*y + δ(x + y)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import ParseError
+from repro.semirings.delta import DeltaTerm
+from repro.semirings.polynomials import NX, Polynomial, PolynomialSemiring
+
+__all__ = ["parse_polynomial"]
+
+
+def parse_polynomial(text: str, semiring: PolynomialSemiring = NX) -> Polynomial:
+    """Parse an expression string into a polynomial of ``semiring``."""
+    parser = _PolyParser(_tokenize(text), semiring)
+    result = parser.parse_expr()
+    parser.expect_end()
+    return result
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "+*^()":
+            tokens.append(("PUNCT", ch, i))
+            i += 1
+            continue
+        if ch == "δ":
+            tokens.append(("DELTA", ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(("INT", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(("NAME", text[i:j], i))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r} in polynomial", position=i)
+    tokens.append(("END", "", n))
+    return tokens
+
+
+class _PolyParser:
+    def __init__(self, tokens: List[Tuple[str, str, int]], semiring: PolynomialSemiring):
+        self.tokens = tokens
+        self.index = 0
+        self.semiring = semiring
+
+    @property
+    def current(self) -> Tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> bool:
+        k, t, _pos = self.current
+        if k == kind and (text is None or t == text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, text: str) -> None:
+        if not self.accept(kind, text):
+            k, t, pos = self.current
+            raise ParseError(f"expected {text!r}, found {t!r}", position=pos)
+
+    def expect_end(self) -> None:
+        if self.current[0] != "END":
+            _k, t, pos = self.current
+            raise ParseError(f"trailing input at {t!r}", position=pos)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_expr(self) -> Polynomial:
+        total = self.parse_term()
+        while self.accept("PUNCT", "+"):
+            total = self.semiring.plus(total, self.parse_term())
+        return total
+
+    def parse_term(self) -> Polynomial:
+        product = self.parse_factor()
+        while self.accept("PUNCT", "*"):
+            product = self.semiring.times(product, self.parse_factor())
+        return product
+
+    def parse_factor(self) -> Polynomial:
+        kind, text, pos = self.current
+        if kind == "INT":
+            self.advance()
+            return self.semiring.from_int(int(text))
+        if kind == "DELTA" or (kind == "NAME" and text == "d" and self._peek_paren()):
+            self.advance()
+            self.expect("PUNCT", "(")
+            inner = self.parse_expr()
+            self.expect("PUNCT", ")")
+            if inner.is_constant():
+                return self.semiring.delta(inner)
+            return self.semiring.variable(DeltaTerm(inner))
+        if kind == "NAME":
+            self.advance()
+            exponent = 1
+            if self.accept("PUNCT", "^"):
+                k, t, p = self.current
+                if k != "INT":
+                    raise ParseError(f"expected exponent, found {t!r}", position=p)
+                self.advance()
+                exponent = int(t)
+            return self.semiring.variable(text, exponent)
+        if kind == "PUNCT" and text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return inner
+        raise ParseError(f"unexpected token {text!r}", position=pos)
+
+    def _peek_paren(self) -> bool:
+        nxt = self.tokens[self.index + 1]
+        return nxt[0] == "PUNCT" and nxt[1] == "("

@@ -1,0 +1,454 @@
+"""Generic multivariate polynomial semirings ``K[X]``.
+
+The paper's central provenance structure is ``N[X]``, the commutative
+semiring *freely generated* by a set ``X`` of provenance tokens: any
+valuation ``X -> K`` extends uniquely to a semiring homomorphism
+``N[X] -> K``, which is what makes "compute provenance once, specialise
+many times" work (trust, security, deletion propagation, multiplicity...).
+
+This module implements polynomials **generically over the coefficient
+semiring**, which buys three structures for the price of one:
+
+* ``N[X]`` — provenance polynomials (coefficients in :data:`~repro.semirings.natural.NAT`);
+* ``Z[X]`` — the ring of polynomials used by the naive tuple-level
+  aggregation baseline of Figure 2 (``p-hat = 1 - p``);
+* ``K^M`` — the Section-4 construction for nested aggregation: polynomials
+  whose indeterminates include *equality atoms* ``[a = b]`` and whose
+  coefficients come from ``K``.  (When ``K`` is itself a polynomial
+  semiring the atoms simply join its variable universe, because variable
+  universes here are open-ended.)
+
+Variables ("indeterminates") may be any hashable value.  Plain tokens
+(strings) map under homomorphisms via the supplied valuation; *structured*
+indeterminates — :class:`~repro.semirings.delta.DeltaTerm` and
+:class:`~repro.core.equality.EqualityAtom` — subclass
+:class:`~repro.semirings.base.ProvenanceTerm` and map themselves (this is
+how the free delta-semiring ``N[X, d]`` and the ``K^M`` quotient are
+realised without special-casing the polynomial arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.exceptions import SemiringError
+from repro.semirings.base import ProvenanceTerm, Semiring
+from repro.semirings.natural import NAT
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "PolynomialSemiring",
+    "polynomials_over",
+    "NX",
+    "ZX",
+    "evaluate_polynomial",
+    "variable_sort_key",
+]
+
+
+def variable_sort_key(var: Any) -> Tuple[str, str]:
+    """A deterministic display-ordering key for heterogeneous variables.
+
+    Variables may be strings, delta-terms, equality atoms, or anything
+    hashable; we order by type name then by string rendering.  The key is
+    used only for *presentation* (canonical printing); equality and hashing
+    of monomials never depend on it.
+    """
+    return (type(var).__name__, str(var))
+
+
+class Monomial:
+    """A product of variables with positive integer exponents.
+
+    Immutable and hashable; the empty monomial is the multiplicative unit.
+    Stored as a mapping ``variable -> exponent`` with all exponents >= 1.
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[Any, int] | Iterable[Tuple[Any, int]] = ()):
+        items = dict(powers)
+        for var, exp in list(items.items()):
+            if not isinstance(exp, int) or exp < 0:
+                raise SemiringError(f"monomial exponent must be a natural number, got {exp!r}")
+            if exp == 0:
+                del items[var]
+        self._powers: Dict[Any, int] = items
+        self._hash = hash(frozenset(items.items()))
+
+    # -- basic protocol -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[Tuple[Any, int]]:
+        return iter(sorted(self._powers.items(), key=lambda kv: variable_sort_key(kv[0])))
+
+    def __len__(self) -> int:
+        return len(self._powers)
+
+    def __bool__(self) -> bool:
+        return bool(self._powers)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Total degree: the sum of all exponents."""
+        return sum(self._powers.values())
+
+    def exponent(self, var: Any) -> int:
+        """The exponent of ``var`` (0 when absent)."""
+        return self._powers.get(var, 0)
+
+    def variables(self) -> frozenset:
+        """The set of variables occurring in this monomial."""
+        return frozenset(self._powers)
+
+    def mul(self, other: "Monomial") -> "Monomial":
+        """Monomial product: exponents add."""
+        merged = dict(self._powers)
+        for var, exp in other._powers.items():
+            merged[var] = merged.get(var, 0) + exp
+        return Monomial(merged)
+
+    def drop_exponents(self) -> "Monomial":
+        """Cap every exponent at 1 (the Trio / Why specialisations)."""
+        return Monomial({var: 1 for var in self._powers})
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = []
+        for var, exp in self:
+            text = str(var)
+            parts.append(text if exp == 1 else f"{text}^{exp}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Monomial({self._powers!r})"
+
+
+#: The multiplicative-unit monomial (no variables).
+_UNIT_MONOMIAL = Monomial()
+
+
+class Polynomial:
+    """An element of ``K[X]``: a finite ``monomial -> coefficient`` map.
+
+    Immutable and hashable (so polynomials may themselves serve as
+    coefficients of other polynomial semirings, and may appear inside
+    tensors and equality atoms).  All arithmetic is delegated to the owning
+    :class:`PolynomialSemiring`, which knows the coefficient semiring.
+    """
+
+    __slots__ = ("semiring", "_terms", "_hash")
+
+    def __init__(self, semiring: "PolynomialSemiring", terms: Mapping[Monomial, Any]):
+        coeff = semiring.coefficients
+        clean: Dict[Monomial, Any] = {}
+        for mono, c in terms.items():
+            if not coeff.is_zero(c):
+                clean[mono] = c
+        self.semiring = semiring
+        self._terms = clean
+        self._hash: int | None = None
+
+    # -- basic protocol ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.semiring is other.semiring and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.semiring.name, frozenset(self._terms.items())))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    # -- arithmetic sugar ---------------------------------------------------
+
+    def __add__(self, other: Any) -> "Polynomial":
+        return self.semiring.plus(self, self.semiring.coerce(other))
+
+    __radd__ = __add__
+
+    def __mul__(self, other: Any) -> "Polynomial":
+        return self.semiring.times(self, self.semiring.coerce(other))
+
+    __rmul__ = __mul__
+
+    def __pow__(self, n: int) -> "Polynomial":
+        return self.semiring.pow(self, n)
+
+    # -- structure ----------------------------------------------------------
+
+    def terms(self) -> Iterator[Tuple[Monomial, Any]]:
+        """Iterate ``(monomial, coefficient)`` pairs in canonical order."""
+        return iter(
+            sorted(
+                self._terms.items(),
+                key=lambda kv: (-kv[0].degree, str(kv[0])),
+            )
+        )
+
+    def monomials(self) -> frozenset:
+        """The support: the set of monomials with non-zero coefficient."""
+        return frozenset(self._terms)
+
+    def coefficient(self, mono: Monomial) -> Any:
+        """The coefficient of ``mono`` (coefficient-semiring zero if absent)."""
+        return self._terms.get(mono, self.semiring.coefficients.zero)
+
+    def variables(self) -> frozenset:
+        """All indeterminates occurring anywhere in the polynomial."""
+        out: set = set()
+        for mono in self._terms:
+            out |= mono.variables()
+        return frozenset(out)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (0 for constants; 0 for the zero polynomial)."""
+        return max((m.degree for m in self._terms), default=0)
+
+    def is_constant(self) -> bool:
+        """True iff the polynomial is ``c * 1`` for some coefficient ``c``."""
+        return not self._terms or set(self._terms) == {_UNIT_MONOMIAL}
+
+    def constant_value(self) -> Any:
+        """The coefficient value of a constant polynomial.
+
+        Raises :class:`SemiringError` when the polynomial has variables.
+        This realises the Prop. 4.4 collapse ``K^M = K`` once every
+        equality atom has been resolved.
+        """
+        if not self.is_constant():
+            raise SemiringError(f"polynomial {self} is not constant")
+        return self._terms.get(_UNIT_MONOMIAL, self.semiring.coefficients.zero)
+
+    def size(self) -> int:
+        """A representation-size measure: total monomial length + #terms.
+
+        Used by the poly-size-overhead experiments (E2, E10) to measure
+        annotation growth.
+        """
+        return len(self._terms) + sum(m.degree for m in self._terms)
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return self.semiring.coefficients.format(self.semiring.coefficients.zero)
+        coeff = self.semiring.coefficients
+        parts = []
+        for mono, c in self.terms():
+            if not mono:
+                parts.append(coeff.format(c))
+            elif coeff.is_one(c):
+                parts.append(str(mono))
+            else:
+                parts.append(f"{coeff.format(c)}*{mono}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.semiring.name}: {self}>"
+
+
+class PolynomialSemiring(Semiring):
+    """The semiring ``K[X]`` of polynomials over coefficient semiring ``K``.
+
+    The variable universe is open-ended: any hashable value can be an
+    indeterminate, including the structured :class:`ProvenanceTerm`
+    indeterminates (delta-terms, equality atoms).  Structural properties
+    are inherited from the coefficient semiring:
+
+    * plus-idempotent  iff the coefficients are (``p + p`` doubles coefficients);
+    * positive         iff the coefficients are;
+    * hom-to-N         iff the coefficients have one (evaluate all variables at 1).
+    """
+
+    def __init__(self, coefficients: Semiring, name: str | None = None):
+        self.coefficients = coefficients
+        self.name = name if name is not None else f"{coefficients.name}[X]"
+        self.idempotent_plus = coefficients.idempotent_plus
+        self.idempotent_times = False
+        self.positive = coefficients.positive
+        self.has_hom_to_nat = coefficients.has_hom_to_nat
+        self.has_delta = True
+        self._zero = Polynomial(self, {})
+        self._one = Polynomial(self, {_UNIT_MONOMIAL: coefficients.one})
+
+    # -- constants and constructors ---------------------------------------
+
+    @property
+    def zero(self) -> Polynomial:
+        return self._zero
+
+    @property
+    def one(self) -> Polynomial:
+        return self._one
+
+    def variable(self, var: Any, exponent: int = 1) -> Polynomial:
+        """The polynomial consisting of the single indeterminate ``var``."""
+        if exponent == 0:
+            return self._one
+        return Polynomial(self, {Monomial({var: exponent}): self.coefficients.one})
+
+    def variables(self, *names: Any) -> Tuple[Polynomial, ...]:
+        """Convenience: several single-variable polynomials at once."""
+        return tuple(self.variable(name) for name in names)
+
+    def constant(self, c: Any) -> Polynomial:
+        """Embed the coefficient ``c`` as a constant polynomial."""
+        if not self.coefficients.contains(c):
+            raise SemiringError(
+                f"{c!r} is not an element of coefficient semiring {self.coefficients.name}"
+            )
+        return Polynomial(self, {_UNIT_MONOMIAL: c})
+
+    def monomial(self, powers: Mapping[Any, int], coefficient: Any = None) -> Polynomial:
+        """Build ``coefficient * prod(var^exp)`` directly."""
+        c = self.coefficients.one if coefficient is None else coefficient
+        return Polynomial(self, {Monomial(powers): c})
+
+    def coerce(self, value: Any) -> Polynomial:
+        """Coerce ``value`` into this semiring.
+
+        Accepts polynomials of this semiring, coefficient elements, and
+        (when coefficients are numeric) Python ints via ``from_int``.
+        """
+        if isinstance(value, Polynomial):
+            if value.semiring is not self:
+                raise SemiringError(
+                    f"polynomial from {value.semiring.name} used in {self.name}"
+                )
+            return value
+        if self.coefficients.contains(value):
+            return self.constant(value)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return self.constant(self.coefficients.from_int(value))
+        raise SemiringError(f"cannot coerce {value!r} into {self.name}")
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Polynomial) and value.semiring is self
+
+    # -- semiring operations ----------------------------------------------
+
+    def plus(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        coeff = self.coefficients
+        merged = dict(a._terms)
+        for mono, c in b._terms.items():
+            if mono in merged:
+                merged[mono] = coeff.plus(merged[mono], c)
+            else:
+                merged[mono] = c
+        return Polynomial(self, merged)
+
+    def times(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        coeff = self.coefficients
+        out: Dict[Monomial, Any] = {}
+        for mono_a, ca in a._terms.items():
+            for mono_b, cb in b._terms.items():
+                mono = mono_a.mul(mono_b)
+                c = coeff.times(ca, cb)
+                if mono in out:
+                    out[mono] = coeff.plus(out[mono], c)
+                else:
+                    out[mono] = c
+        return Polynomial(self, out)
+
+    def from_int(self, n: int) -> Polynomial:
+        return self.constant(self.coefficients.from_int(n))
+
+    # -- delta-semiring structure (free construction, Definition 3.6) ------
+
+    def delta(self, a: Polynomial) -> Polynomial:
+        """The delta of the free delta-semiring ``K[X, d]``.
+
+        Constants are handled by the coefficient semiring's own delta when
+        it has one (this realises the d-laws ``d(0) = 0``, ``d(n 1) = 1``);
+        any polynomial with genuine indeterminates becomes a fresh symbolic
+        indeterminate ``d(p)`` (a :class:`~repro.semirings.delta.DeltaTerm`),
+        which homomorphisms push inward: ``h(d(p)) = d(h(p))``.
+        """
+        from repro.semirings.delta import DeltaTerm  # local import: avoid cycle
+
+        if a.is_constant():
+            c = a.constant_value()
+            if self.coefficients.has_delta:
+                return self.constant(self.coefficients.delta(c))
+        return self.variable(DeltaTerm(a))
+
+    # -- homomorphism to N (Thm. 3.13 route to compatibility) --------------
+
+    def hom_to_nat(self, a: Polynomial) -> int:
+        """Evaluate every indeterminate at 1 and coefficients via their hom.
+
+        This is the canonical homomorphism ``K[X] -> N`` (it exists exactly
+        when the coefficient semiring has one).
+        """
+        if not self.has_hom_to_nat:
+            raise SemiringError(f"{self.name} has no homomorphism to N")
+        from repro.semirings.homomorphism import valuation_hom  # avoid cycle
+
+        hom = valuation_hom(self, NAT, lambda var: 1)
+        return hom(a)
+
+
+def evaluate_polynomial(
+    poly: Polynomial,
+    var_image: Callable[[Any], Any],
+    target: Semiring,
+    coeff_image: Callable[[Any], Any],
+) -> Any:
+    """Evaluate ``poly`` into ``target``: ``sum_t coeff_image(c) * prod var_image(v)^e``.
+
+    The basic substitution engine used by
+    :func:`~repro.semirings.homomorphism.valuation_hom`; ``var_image`` must
+    already dispatch structured indeterminates.
+    """
+    total = target.zero
+    for mono, c in poly._terms.items():
+        acc = coeff_image(c)
+        for var, exp in mono:
+            if target.is_zero(acc):
+                break
+            acc = target.times(acc, target.pow(var_image(var), exp))
+        total = target.plus(total, acc)
+    return total
+
+
+_POLYNOMIAL_CACHE: Dict[int, PolynomialSemiring] = {}
+
+
+def polynomials_over(coefficients: Semiring) -> PolynomialSemiring:
+    """The polynomial semiring over ``coefficients`` (cached per semiring).
+
+    Caching makes ``polynomials_over(NAT) is polynomials_over(NAT)`` hold,
+    so polynomials built in different modules interoperate.
+    """
+    key = id(coefficients)
+    if key not in _POLYNOMIAL_CACHE:
+        _POLYNOMIAL_CACHE[key] = PolynomialSemiring(coefficients)
+    return _POLYNOMIAL_CACHE[key]
+
+
+#: The provenance polynomials ``N[X]`` of Green, Karvounarakis & Tannen.
+NX = polynomials_over(NAT)
+
+# Z[X] is built here (rather than lazily) because the naive Figure-2
+# baseline and the Z-difference comparisons both need it.
+from repro.semirings.integers import INT  # noqa: E402  (import placed late by design)
+
+#: Polynomials with integer coefficients; hosts ``p-hat = 1 - p``.
+ZX = polynomials_over(INT)

@@ -1,0 +1,81 @@
+"""Positive boolean expressions: ``PosBool(X)``, the free distributive lattice.
+
+Elements are *antichains* of token sets — monotone boolean functions in
+minimal DNF.  Absorption (``a + a*b = a``) makes structural equality
+coincide with logical equivalence, unlike :mod:`~repro.semirings.boolexpr`.
+PosBool is the most compact of the classical provenance forms and the
+target of the ``Why(X) -> PosBool(X)`` minimisation step in the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable
+
+from repro.semirings.base import Semiring
+
+__all__ = ["PosBoolSemiring", "POSBOOL", "minimize_witnesses"]
+
+PosBoolValue = FrozenSet[FrozenSet[Any]]
+
+
+def minimize_witnesses(witnesses: Iterable[FrozenSet[Any]]) -> PosBoolValue:
+    """Remove non-minimal witness sets (absorption: drop strict supersets)."""
+    items = sorted(set(witnesses), key=len)
+    kept: list = []
+    for w in items:
+        if not any(k <= w for k in kept):
+            kept.append(w)
+    return frozenset(kept)
+
+
+class PosBoolSemiring(Semiring):
+    """Antichains of token sets with absorbing union / pairwise-union."""
+
+    name = "PosBool[X]"
+    idempotent_plus = True
+    idempotent_times = True
+    positive = True
+    has_hom_to_nat = False
+    has_delta = True
+
+    @property
+    def zero(self) -> PosBoolValue:
+        return frozenset()
+
+    @property
+    def one(self) -> PosBoolValue:
+        return frozenset([frozenset()])
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, frozenset):
+            return False
+        if not all(isinstance(w, frozenset) for w in value):
+            return False
+        return value == minimize_witnesses(value)
+
+    def variable(self, name: Any) -> PosBoolValue:
+        """The generator for token ``name``."""
+        return frozenset([frozenset([name])])
+
+    def plus(self, a: PosBoolValue, b: PosBoolValue) -> PosBoolValue:
+        return minimize_witnesses(a | b)
+
+    def times(self, a: PosBoolValue, b: PosBoolValue) -> PosBoolValue:
+        return minimize_witnesses(wa | wb for wa in a for wb in b)
+
+    def delta(self, a: PosBoolValue) -> PosBoolValue:
+        return self.zero if not a else self.one
+
+    def format(self, a: PosBoolValue) -> str:
+        if not a:
+            return "⊥"
+        if a == self.one:
+            return "⊤"
+        rendered = sorted(
+            "∧".join(sorted(map(str, w))) if w else "⊤" for w in a
+        )
+        return " ∨ ".join(rendered)
+
+
+#: Singleton instance used throughout the library.
+POSBOOL = PosBoolSemiring()

@@ -1,0 +1,98 @@
+"""The security (access-control) semiring of Section 2.1.
+
+``S = ({1s, C, S, T, 0s}, min, max, 0s, 1s)`` over the total order
+
+    1s (public)  <  C (confidential)  <  S (secret)  <  T (top secret)  <  0s (never)
+
+``+`` is ``min`` (alternative derivations: the *most available* clearance
+wins) and ``*`` is ``max`` (joint use: the *most restrictive* input
+dominates).  Annotating a query answer with an element of ``S`` tells you the
+minimum credential needed to see it; Example 3.5 of the paper evaluates a
+MAX-aggregation under these annotations.
+
+``S`` is plus-idempotent, hence (Prop. 3.11) only compatible with idempotent
+monoids; to aggregate with SUM under security annotations the paper builds
+the quotient semiring ``SN`` (see :mod:`repro.semirings.security_bag`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+__all__ = ["SecurityLevel", "SecuritySemiring", "SEC", "PUBLIC", "CONFIDENTIAL",
+           "SECRET", "TOP_SECRET", "NEVER"]
+
+
+class SecurityLevel(enum.IntEnum):
+    """Clearance levels ordered by restrictiveness (higher = more secret).
+
+    The integer values realise the paper's order ``1s < C < S < T < 0s``;
+    comparisons and min/max on the enum agree with it directly.
+    """
+
+    PUBLIC = 0        # 1s: "always available"
+    CONFIDENTIAL = 1  # C
+    SECRET = 2        # S
+    TOP_SECRET = 3    # T
+    NEVER = 4         # 0s: "never available"
+
+    def __str__(self) -> str:
+        return _LEVEL_SYMBOLS[self]
+
+
+_LEVEL_SYMBOLS = {
+    SecurityLevel.PUBLIC: "1s",
+    SecurityLevel.CONFIDENTIAL: "C",
+    SecurityLevel.SECRET: "S",
+    SecurityLevel.TOP_SECRET: "T",
+    SecurityLevel.NEVER: "0s",
+}
+
+PUBLIC = SecurityLevel.PUBLIC
+CONFIDENTIAL = SecurityLevel.CONFIDENTIAL
+SECRET = SecurityLevel.SECRET
+TOP_SECRET = SecurityLevel.TOP_SECRET
+NEVER = SecurityLevel.NEVER
+
+
+class SecuritySemiring(Semiring):
+    """Clearance propagation: ``min`` for alternatives, ``max`` for joint use."""
+
+    name = "S"
+    idempotent_plus = True
+    idempotent_times = True
+    positive = True
+    has_hom_to_nat = False
+    has_delta = True
+
+    @property
+    def zero(self) -> SecurityLevel:
+        return SecurityLevel.NEVER
+
+    @property
+    def one(self) -> SecurityLevel:
+        return SecurityLevel.PUBLIC
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, SecurityLevel)
+
+    def plus(self, a: SecurityLevel, b: SecurityLevel) -> SecurityLevel:
+        return a if a <= b else b
+
+    def times(self, a: SecurityLevel, b: SecurityLevel) -> SecurityLevel:
+        return a if a >= b else b
+
+    def delta(self, a: SecurityLevel) -> SecurityLevel:
+        # The paper: "a reasonable choice for delta_S is the identity".
+        # It satisfies the delta-laws because n * 1s = 1s for n >= 1.
+        return a
+
+    def format(self, a: SecurityLevel) -> str:
+        return str(a)
+
+
+#: Singleton instance used throughout the library.
+SEC = SecuritySemiring()

@@ -1,0 +1,155 @@
+"""The security-bag semiring ``SN`` of Section 3.4 (Example 3.16).
+
+The security semiring ``S`` is plus-idempotent, hence incompatible with
+non-idempotent aggregation (SUM).  The paper's fix: start from ``N[S]``
+(polynomials whose indeterminates are security levels) and quotient by
+
+* ``s1 >= s2  =>  s1 * s2 = s1``   (joint use keeps the most restrictive level),
+* ``0 * s = c * 0s = 0``           (zero coefficient / never-available absorb),
+* ``c * 1s = c``                   (public labels vanish into the coefficient).
+
+After the quotient every element is a finite formal sum ``sum_s c_s * s``
+with natural coefficients and at most one term per level, the ``1s`` term
+acting as a plain natural number.  ``SN`` embeds both ``N`` and ``S``
+faithfully and still has a homomorphism onto ``N`` (drop the labels), so by
+Theorem 3.13 it is compatible with **every** commutative monoid — this is
+what lets Example 3.16 sum salaries under clearance annotations and read
+back per-credential totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.exceptions import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.security import SecurityLevel
+
+__all__ = ["SecurityBagValue", "SecurityBagSemiring", "SECBAG"]
+
+
+class SecurityBagValue:
+    """A formal sum ``level -> count`` over levels below ``0s`` (``NEVER``).
+
+    The ``PUBLIC`` (``1s``) entry is the embedded natural-number part.
+    Immutable and hashable.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[SecurityLevel, int]):
+        clean: Dict[SecurityLevel, int] = {}
+        for level, count in terms.items():
+            if not isinstance(level, SecurityLevel):
+                raise SemiringError(f"{level!r} is not a SecurityLevel")
+            if count < 0:
+                raise SemiringError("SN counts must be natural numbers")
+            if level is SecurityLevel.NEVER or count == 0:
+                continue  # 0s * c = 0 and zero coefficients vanish
+            clean[level] = clean.get(level, 0) + count
+        self._terms = clean
+        self._hash = hash(frozenset(clean.items()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SecurityBagValue) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def items(self):
+        """Iterate ``(level, count)`` pairs, most-available level first."""
+        return sorted(self._terms.items())
+
+    def count(self, level: SecurityLevel) -> int:
+        """The coefficient of ``level`` (0 when absent)."""
+        return self._terms.get(level, 0)
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for level, count in self.items():
+            if level is SecurityLevel.PUBLIC:
+                parts.append(str(count))
+            elif count == 1:
+                parts.append(str(level))
+            else:
+                parts.append(f"{count}*{level}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SecurityBagValue({self._terms!r})"
+
+
+class SecurityBagSemiring(Semiring):
+    """The quotient ``SN`` of ``N[S]``: security levels with multiplicities."""
+
+    name = "SN"
+    idempotent_plus = False
+    idempotent_times = False
+    positive = True
+    has_hom_to_nat = True
+    has_delta = True
+
+    @property
+    def zero(self) -> SecurityBagValue:
+        return SecurityBagValue({})
+
+    @property
+    def one(self) -> SecurityBagValue:
+        return SecurityBagValue({SecurityLevel.PUBLIC: 1})
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, SecurityBagValue)
+
+    def level(self, level: SecurityLevel) -> SecurityBagValue:
+        """Embed a clearance level of ``S`` into ``SN`` (faithful)."""
+        return SecurityBagValue({level: 1})
+
+    def plus(self, a: SecurityBagValue, b: SecurityBagValue) -> SecurityBagValue:
+        merged = dict(a._terms)
+        for level, count in b._terms.items():
+            merged[level] = merged.get(level, 0) + count
+        return SecurityBagValue(merged)
+
+    def times(self, a: SecurityBagValue, b: SecurityBagValue) -> SecurityBagValue:
+        out: Dict[SecurityLevel, int] = {}
+        for la, ca in a._terms.items():
+            for lb, cb in b._terms.items():
+                level = la if la >= lb else lb  # s1*s2 = max (most restrictive)
+                out[level] = out.get(level, 0) + ca * cb
+        return SecurityBagValue(out)
+
+    def delta(self, a: SecurityBagValue) -> SecurityBagValue:
+        """``delta``: 1 at the most-available level present, else 0.
+
+        Satisfies the delta-laws and commutes with every credential
+        homomorphism ``SN -> N`` (the ones Example 3.16 applies).
+        """
+        if not a:
+            return self.zero
+        best = min(a._terms)
+        return SecurityBagValue({best: 1})
+
+    def hom_to_nat(self, a: SecurityBagValue) -> int:
+        """Forget the labels: total multiplicity (the Thm. 3.13 witness)."""
+        return sum(a._terms.values())
+
+    def to_security(self, a: SecurityBagValue) -> SecurityLevel:
+        """The homomorphism ``SN -> S``: most available level present."""
+        if not a:
+            return SecurityLevel.NEVER
+        return min(a._terms)
+
+    def from_int(self, n: int) -> SecurityBagValue:
+        return SecurityBagValue({SecurityLevel.PUBLIC: n})
+
+    def format(self, a: SecurityBagValue) -> str:
+        return str(a)
+
+
+#: Singleton instance used throughout the library.
+SECBAG = SecurityBagSemiring()

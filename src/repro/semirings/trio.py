@@ -1,0 +1,113 @@
+"""Trio-style lineage: ``Trio(X)`` — ``N[X]`` with exponents dropped.
+
+An element is a bag of witness sets: each derivation remembers *which*
+tokens it used (a set — joint multiplicity inside one derivation is
+forgotten) and *how many* derivations use each set (the coefficient
+survives).  This is the provenance model of the Trio uncertainty system,
+placed between ``N[X]`` and ``Why(X)`` in the specialisation hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Mapping
+
+from repro.semirings.base import Semiring
+
+__all__ = ["TrioValue", "TrioSemiring", "TRIO"]
+
+
+class TrioValue:
+    """A finite bag of token sets: ``witness-set -> positive count``."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[FrozenSet[Any], int]):
+        clean = {w: c for w, c in terms.items() if c != 0}
+        if any(c < 0 for c in clean.values()):
+            raise ValueError("Trio counts must be natural numbers")
+        self._terms: Dict[FrozenSet[Any], int] = clean
+        self._hash = hash(frozenset(clean.items()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrioValue) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def items(self):
+        """Iterate ``(witness-set, count)`` pairs in canonical order."""
+        return sorted(
+            self._terms.items(), key=lambda kv: (len(kv[0]), sorted(map(str, kv[0])))
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for w, c in self.items():
+            body = "*".join(sorted(map(str, w))) if w else "1"
+            parts.append(body if c == 1 else f"{c}*{body}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TrioValue({self._terms!r})"
+
+
+class TrioSemiring(Semiring):
+    """Bags of witness sets; counts add under ``+``, multiply under ``*``."""
+
+    name = "Trio[X]"
+    idempotent_plus = False
+    idempotent_times = False
+    positive = True
+    has_hom_to_nat = True
+    has_delta = True
+
+    @property
+    def zero(self) -> TrioValue:
+        return TrioValue({})
+
+    @property
+    def one(self) -> TrioValue:
+        return TrioValue({frozenset(): 1})
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, TrioValue)
+
+    def variable(self, name: Any) -> TrioValue:
+        """The generator for token ``name``."""
+        return TrioValue({frozenset([name]): 1})
+
+    def plus(self, a: TrioValue, b: TrioValue) -> TrioValue:
+        merged = dict(a._terms)
+        for w, c in b._terms.items():
+            merged[w] = merged.get(w, 0) + c
+        return TrioValue(merged)
+
+    def times(self, a: TrioValue, b: TrioValue) -> TrioValue:
+        out: Dict[FrozenSet[Any], int] = {}
+        for wa, ca in a._terms.items():
+            for wb, cb in b._terms.items():
+                w = wa | wb
+                out[w] = out.get(w, 0) + ca * cb
+        return TrioValue(out)
+
+    def delta(self, a: TrioValue) -> TrioValue:
+        return self.zero if not a else self.one
+
+    def hom_to_nat(self, a: TrioValue) -> int:
+        """Total derivation count: sum of all coefficients."""
+        return sum(a._terms.values())
+
+    def from_int(self, n: int) -> TrioValue:
+        return TrioValue({frozenset(): n}) if n else TrioValue({})
+
+    def format(self, a: TrioValue) -> str:
+        return str(a)
+
+
+#: Singleton instance used throughout the library.
+TRIO = TrioSemiring()

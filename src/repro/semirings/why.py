@@ -1,0 +1,75 @@
+"""Why-provenance: ``Why(X) = (P(P(X)), union, pairwise-union, {}, {{}})``.
+
+An element is a set of *witnesses*; each witness is the set of tokens
+jointly used in one derivation of the tuple (Buneman, Khanna & Tan's
+why-provenance, recast as a commutative semiring by Green et al.).  It is
+the specialisation of ``N[X]`` that forgets both coefficients and
+exponents, sitting between ``B[X]`` / ``Trio(X)`` and ``PosBool(X)`` in the
+provenance hierarchy (see :mod:`repro.semirings.hierarchy`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet
+
+from repro.semirings.base import Semiring
+
+__all__ = ["WhySemiring", "WHY", "witness_set"]
+
+WhyValue = FrozenSet[FrozenSet[Any]]
+
+
+def witness_set(*witnesses: tuple | frozenset) -> WhyValue:
+    """Build a Why(X) element from iterables of tokens."""
+    return frozenset(frozenset(w) for w in witnesses)
+
+
+class WhySemiring(Semiring):
+    """Sets of witness sets; union for ``+``, pairwise union for ``*``."""
+
+    name = "Why[X]"
+    idempotent_plus = True
+    idempotent_times = False  # {{a},{b}} * {{a},{b}} = {{a},{b},{a,b}}
+    positive = True
+    has_hom_to_nat = False
+    has_delta = True
+
+    @property
+    def zero(self) -> WhyValue:
+        return frozenset()
+
+    @property
+    def one(self) -> WhyValue:
+        return frozenset([frozenset()])
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, frozenset) and all(
+            isinstance(w, frozenset) for w in value
+        )
+
+    def variable(self, name: Any) -> WhyValue:
+        """The generator for token ``name``: one singleton witness."""
+        return frozenset([frozenset([name])])
+
+    def plus(self, a: WhyValue, b: WhyValue) -> WhyValue:
+        return a | b
+
+    def times(self, a: WhyValue, b: WhyValue) -> WhyValue:
+        return frozenset(wa | wb for wa in a for wb in b)
+
+    def delta(self, a: WhyValue) -> WhyValue:
+        # n * 1 = {{}} for n >= 1 under idempotent union; identity obeys the
+        # laws, but the support indicator matches GROUP BY's intent.
+        return self.zero if not a else self.one
+
+    def format(self, a: WhyValue) -> str:
+        if not a:
+            return "{}"
+        rendered = sorted(
+            "{" + ",".join(sorted(map(str, w))) + "}" for w in a
+        )
+        return "{" + ", ".join(rendered) + "}"
+
+
+#: Singleton instance used throughout the library.
+WHY = WhySemiring()

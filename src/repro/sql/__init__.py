@@ -1,0 +1,7 @@
+"""A small SQL front end compiling to the annotated relational algebra."""
+
+from repro.sql.compiler import compile_sql, compile_statement
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = ["compile_sql", "compile_statement", "parse", "tokenize", "Token"]

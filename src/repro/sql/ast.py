@@ -1,0 +1,110 @@
+"""Abstract syntax for the SQL front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = [
+    "OutputColumn",
+    "AggColumn",
+    "CountStar",
+    "TableRef",
+    "JoinClause",
+    "Comparison",
+    "SelectStatement",
+    "SetOperation",
+    "SqlQuery",
+]
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """A plain projection column, optionally renamed (``col AS name``)."""
+
+    column: str
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.column
+
+
+@dataclass(frozen=True)
+class AggColumn:
+    """An aggregate output: ``SUM(col)``, ``MIN(col)``, ... with alias."""
+
+    function: str  # SUM | MIN | MAX | PROD | AVG
+    column: str
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.column
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)`` with optional alias."""
+
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or "count"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base table reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left = right``."""
+
+    table: TableRef
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A WHERE conjunct: ``column op literal`` or ``column = column``.
+
+    ``op`` is one of ``=``, ``<``, ``<=``, ``>``, ``>=``; column-to-column
+    comparisons support ``=`` only.
+    """
+
+    left: str
+    right: Any
+    right_is_column: bool
+    op: str = "="
+
+
+@dataclass
+class SelectStatement:
+    """One SELECT block."""
+
+    columns: List[Union[OutputColumn, AggColumn, CountStar]]
+    table: TableRef
+    joins: List[JoinClause] = field(default_factory=list)
+    cross_tables: List[TableRef] = field(default_factory=list)
+    where: List[Comparison] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    having: List[Comparison] = field(default_factory=list)
+    distinct: bool = False
+
+
+@dataclass
+class SetOperation:
+    """``left UNION right`` or ``left EXCEPT right``."""
+
+    operator: str  # UNION | EXCEPT
+    left: "SqlQuery"
+    right: "SqlQuery"
+
+
+SqlQuery = Union[SelectStatement, SetOperation]

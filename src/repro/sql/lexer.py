@@ -1,0 +1,99 @@
+"""Tokenizer for the small SQL dialect of the front end.
+
+Supports identifiers, integer/float literals, single-quoted strings, the
+punctuation ``( ) , = * .`` and the (case-insensitive) keywords used by
+the grammar in :mod:`repro.sql.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AND", "AS",
+        "JOIN", "ON", "UNION", "EXCEPT", "SUM", "MIN", "MAX", "PROD",
+        "COUNT", "AVG",
+    }
+)
+
+_PUNCT = {"(", ")", ",", "=", "*", "."}
+_COMPARE_START = {"<", ">"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a ``kind`` in {KEYWORD, IDENT, NUMBER, STRING,
+    PUNCT, EOF}, its ``text`` and source ``position``."""
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad characters."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _COMPARE_START:
+            if i + 1 < n and source[i + 1] == "=":
+                yield Token("PUNCT", ch + "=", i)
+                i += 2
+            else:
+                yield Token("PUNCT", ch, i)
+                i += 1
+            continue
+        if ch in _PUNCT:
+            yield Token("PUNCT", ch, i)
+            i += 1
+            continue
+        if ch == "'":
+            end = source.find("'", i + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", position=i)
+            yield Token("STRING", source[i + 1 : end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # a dot not followed by a digit is punctuation, not a decimal
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("NUMBER", source[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, i)
+            else:
+                yield Token("IDENT", word, i)
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i)
+    yield Token("EOF", "", n)

@@ -1,0 +1,213 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query    := select ( (UNION | EXCEPT) select )*
+    select   := SELECT [DISTINCT] columns FROM table
+                (COMMA table | JOIN table ON ident = ident)*
+                [WHERE comparison (AND comparison)*]
+                [GROUP BY ident (, ident)* [HAVING comparison (AND ...)*]]
+    columns  := column (, column)*
+    column   := ident [AS ident]
+              | (SUM|MIN|MAX|PROD|AVG) ( ident ) [AS ident]
+              | COUNT ( * ) [AS ident]
+    comparison := ident = (number | string | ident)
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Union
+
+from repro.exceptions import ParseError
+from repro.sql.ast import (
+    AggColumn,
+    Comparison,
+    CountStar,
+    JoinClause,
+    OutputColumn,
+    SelectStatement,
+    SetOperation,
+    SqlQuery,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_AGG_KEYWORDS = ("SUM", "MIN", "MAX", "PROD", "AVG")
+
+
+def parse(source: str) -> SqlQuery:
+    """Parse a query string into SQL AST; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(source))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {self.current.text or 'end of input'!r}",
+                position=self.current.position,
+            )
+
+    def accept_punct(self, text: str) -> bool:
+        if self.current.kind == "PUNCT" and self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text or 'end of input'!r}",
+                position=self.current.position,
+            )
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "IDENT":
+            raise ParseError(
+                f"expected identifier, found {self.current.text or 'end of input'!r}",
+                position=self.current.position,
+            )
+        return self.advance().text
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "EOF":
+            raise ParseError(
+                f"trailing input at {self.current.text!r}",
+                position=self.current.position,
+            )
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> SqlQuery:
+        left: SqlQuery = self.parse_select()
+        while True:
+            if self.accept_keyword("UNION"):
+                left = SetOperation("UNION", left, self.parse_select())
+            elif self.accept_keyword("EXCEPT"):
+                left = SetOperation("EXCEPT", left, self.parse_select())
+            else:
+                return left
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        columns = [self.parse_column()]
+        while self.accept_punct(","):
+            columns.append(self.parse_column())
+
+        self.expect_keyword("FROM")
+        table = TableRef(self.expect_ident())
+        stmt = SelectStatement(columns=columns, table=table, distinct=distinct)
+
+        while True:
+            if self.accept_punct(","):
+                stmt.cross_tables.append(TableRef(self.expect_ident()))
+            elif self.accept_keyword("JOIN"):
+                joined = TableRef(self.expect_ident())
+                self.expect_keyword("ON")
+                left_col = self.expect_ident()
+                self.expect_punct("=")
+                right_col = self.expect_ident()
+                stmt.joins.append(JoinClause(joined, left_col, right_col))
+            else:
+                break
+
+        if self.accept_keyword("WHERE"):
+            stmt.where.append(self.parse_comparison())
+            while self.accept_keyword("AND"):
+                stmt.where.append(self.parse_comparison())
+
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            stmt.group_by.append(self.expect_ident())
+            while self.accept_punct(","):
+                stmt.group_by.append(self.expect_ident())
+            if self.accept_keyword("HAVING"):
+                stmt.having.append(self.parse_comparison())
+                while self.accept_keyword("AND"):
+                    stmt.having.append(self.parse_comparison())
+        return stmt
+
+    def parse_column(self) -> Union[OutputColumn, AggColumn, CountStar]:
+        token = self.current
+        if token.kind == "KEYWORD" and token.text in _AGG_KEYWORDS:
+            self.advance()
+            self.expect_punct("(")
+            column = self.expect_ident()
+            self.expect_punct(")")
+            return AggColumn(token.text, column, self.parse_alias())
+        if token.is_keyword("COUNT"):
+            self.advance()
+            self.expect_punct("(")
+            self.expect_punct("*")
+            self.expect_punct(")")
+            return CountStar(self.parse_alias())
+        return OutputColumn(self.expect_ident(), self.parse_alias())
+
+    def parse_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect_ident()
+        return None
+
+    def parse_comparison(self) -> Comparison:
+        left = self.expect_ident()
+        op = self.expect_comparison_op()
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Comparison(left, _number(token.text), right_is_column=False, op=op)
+        if token.kind == "STRING":
+            self.advance()
+            return Comparison(left, token.text, right_is_column=False, op=op)
+        if token.kind == "IDENT":
+            if op != "=":
+                raise ParseError(
+                    "column-to-column comparisons support '=' only",
+                    position=token.position,
+                )
+            self.advance()
+            return Comparison(left, token.text, right_is_column=True, op=op)
+        raise ParseError(
+            f"expected literal or column after {op!r}, found {token.text!r}",
+            position=token.position,
+        )
+
+    def expect_comparison_op(self) -> str:
+        token = self.current
+        if token.kind == "PUNCT" and token.text in ("=", "<", "<=", ">", ">="):
+            self.advance()
+            return token.text
+        raise ParseError(
+            f"expected comparison operator, found {token.text or 'end of input'!r}",
+            position=token.position,
+        )
+
+
+def _number(text: str) -> Any:
+    return float(text) if "." in text else int(text)

@@ -1,0 +1,120 @@
+"""Props. 5.4-5.7: which equational laws hold for which difference.
+
+Section 5.2 positions the paper's hybrid semantics against set semantics
+(K = B), bag/monus semantics (K = N) and Z-relations.  Each proposition's
+witness queries are evaluated on concrete relations.
+"""
+
+import pytest
+
+from repro.core import (
+    KRelation,
+    Tup,
+    difference,
+    monus_difference,
+    union,
+    z_difference,
+)
+from repro.semirings import BOOL, INT, NAT
+
+
+def rel(semiring, pairs):
+    return KRelation.from_rows(semiring, ("a",), [((v,), k) for v, k in pairs])
+
+
+class TestProp54SetSemantics:
+    """For K = B the hybrid semantics IS set difference."""
+
+    def test_agrees_with_set_difference_exhaustively(self):
+        universe = [1, 2, 3]
+        import itertools
+
+        for bits_r in itertools.product([False, True], repeat=3):
+            for bits_s in itertools.product([False, True], repeat=3):
+                r = rel(BOOL, [(v, b) for v, b in zip(universe, bits_r) if b])
+                s = rel(BOOL, [(v, b) for v, b in zip(universe, bits_s) if b])
+                ours = difference(r, s)
+                classical = {
+                    v for v, b in zip(universe, bits_r) if b
+                } - {v for v, b in zip(universe, bits_s) if b}
+                assert {t["a"] for t in ours.support()} == classical
+
+
+class TestProp55BagContrast:
+    """A - (B ∪ B) ≡_N A - B holds for the hybrid semantics but not bags;
+    (A ∪ B) - B ≡ A holds for bags but not the hybrid semantics."""
+
+    def setup_method(self):
+        self.A = rel(NAT, [(1, 2), (2, 1)])
+        self.B = rel(NAT, [(1, 1)])
+
+    def test_hybrid_ignores_right_multiplicity(self):
+        assert difference(self.A, union(self.B, self.B)) == difference(self.A, self.B)
+
+    def test_monus_does_not(self):
+        once = monus_difference(self.A, self.B)
+        twice = monus_difference(self.A, union(self.B, self.B))
+        assert once != twice
+        assert once.annotation(Tup({"a": 1})) == 1
+        assert twice.annotation(Tup({"a": 1})) == 0
+
+    def test_monus_satisfies_union_cancellation(self):
+        assert monus_difference(union(self.A, self.B), self.B) == self.A
+
+    def test_hybrid_violates_union_cancellation(self):
+        result = difference(union(self.A, self.B), self.B)
+        # tuple 1 is in B, so it vanishes entirely instead of decrementing
+        assert Tup({"a": 1}) not in result
+        assert result != self.A
+
+
+class TestProp57ZContrast:
+    """(A - (B - C)) ≡ (A ∪ C) - B under Z semantics but not ours;
+    A - (B ∪ B) ≡ A - B under ours but not Z."""
+
+    def setup_method(self):
+        self.A = rel(NAT, [(1, 1)])
+        self.B = rel(NAT, [(1, 1)])
+        self.zA = rel(INT, [(1, 1)])
+        self.zB = rel(INT, [(1, 1)])
+
+    def test_z_satisfies_shunting(self):
+        # Z semantics: A - (B - C) = (A ∪ C) - B, checked on integers
+        for a, b, c in [(1, 2, 3), (2, 2, 2), (0, 1, 5)]:
+            A, B, C = rel(INT, [(1, a)]), rel(INT, [(1, b)]), rel(INT, [(1, c)])
+            left = z_difference(A, z_difference(B, C))
+            right = z_difference(union(A, C), B)
+            assert left == right
+
+    def test_hybrid_violates_shunting(self):
+        # A={1}, B={1}, C={1}: ours: B - C = {} so A - {} = A;
+        # (A ∪ C) - B = {} since 1 in B.  Different.
+        A = rel(NAT, [(1, 1)])
+        B = rel(NAT, [(1, 1)])
+        C = rel(NAT, [(1, 1)])
+        left = difference(A, difference(B, C))
+        right = difference(union(A, C), B)
+        assert left != right
+        assert len(left) == 1 and len(right) == 0
+
+    def test_z_violates_right_union_absorption(self):
+        left = z_difference(self.zA, union(self.zB, self.zB))
+        right = z_difference(self.zA, self.zB)
+        assert left != right
+        assert left.annotation(Tup({"a": 1})) == -1
+        assert right.annotation(Tup({"a": 1})) == 0
+
+    def test_hybrid_satisfies_right_union_absorption(self):
+        assert difference(self.A, union(self.B, self.B)) == difference(self.A, self.B)
+
+
+class TestProp58Flavor:
+    """Sanity instance behind undecidability: Q - Q' = {} = Q' - Q iff
+    set-equivalent (on concrete instances, not in general!)."""
+
+    def test_mutual_emptiness_tracks_equality_on_instances(self):
+        r1 = rel(NAT, [(1, 2), (2, 1)])
+        r2 = rel(NAT, [(1, 5), (2, 9)])  # same support, different counts
+        r3 = rel(NAT, [(1, 1)])
+        assert not difference(r1, r2) and not difference(r2, r1)
+        assert difference(r1, r3)  # supports differ

@@ -1,0 +1,23 @@
+"""Smoke tests: every shipped example script runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, "the deliverable requires at least three examples"
+    names = {p.stem for p in SCRIPTS}
+    assert "quickstart" in names

@@ -1,0 +1,123 @@
+"""Failure-injection tests: the library fails loudly and precisely.
+
+Every error path a user can realistically hit should raise a typed
+exception with an actionable message — never a silent wrong answer.
+"""
+
+import pytest
+
+from repro.core import (
+    Aggregate,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Select,
+    Table,
+    Tup,
+    AttrEq,
+    aggregate,
+    difference,
+    group_by,
+    union,
+)
+from repro.exceptions import (
+    HomomorphismError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SemiringError,
+    UnresolvableEqualityError,
+)
+from repro.monoids import MAX, SUM
+from repro.semirings import BOOL, NAT, NX, SEC, SECRET, valuation_hom
+
+
+class TestEverythingIsAReproError:
+    def test_exception_hierarchy(self):
+        for exc in (QueryError, SchemaError, SemiringError, HomomorphismError,
+                    UnresolvableEqualityError):
+            assert issubclass(exc, ReproError)
+
+
+class TestSchemaMistakes:
+    def test_projection_to_unknown_attribute(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        with pytest.raises(SchemaError, match="not in schema"):
+            Project(Table("R"), ["nope"]).evaluate(KDatabase(NAT, {"R": r}))
+
+    def test_union_arity_mismatch(self):
+        a = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        b = KRelation.from_rows(NAT, ("a", "b"), [((1, 2), 1)])
+        with pytest.raises(SchemaError, match="union"):
+            union(a, b)
+
+    def test_tuple_schema_mismatch_at_construction(self):
+        with pytest.raises(SchemaError, match="does not match schema"):
+            KRelation(NAT, ("a",), [(Tup({"wrong": 1}), 1)])
+
+
+class TestSemiringMistakes:
+    def test_mixed_semirings_in_query(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        s = KRelation.from_rows(BOOL, ("a",), [((1,), True)])
+        with pytest.raises(QueryError, match="different semirings"):
+            union(r, s)
+
+    def test_hom_applied_to_wrong_source(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        h = valuation_hom(NX, NAT, {})
+        with pytest.raises(SemiringError, match="does not start at"):
+            r.apply_hom(h)
+
+    def test_valuation_missing_token(self):
+        x = NX.variable("x")
+        h = valuation_hom(NX, NAT, {"y": 1})
+        with pytest.raises(HomomorphismError, match="does not cover token"):
+            h(x)
+
+
+class TestAggregationMistakes:
+    def test_standard_selection_on_aggregate_points_to_extended(self):
+        r = KRelation.from_rows(NAT, ("g", "v"), [(("a", 1), 1)])
+        db = KDatabase(NAT, {"R": r})
+        q = Select(GroupBy(Table("R"), ["g"], {"v": SUM}), [AttrEq("v", 1)])
+        with pytest.raises(QueryError, match="extended"):
+            q.evaluate(db)
+
+    def test_double_aggregation_points_to_section_43(self):
+        r = KRelation.from_rows(NAT, ("v",), [((1,), 1)])
+        once = aggregate(r, "v", SUM)
+        with pytest.raises(QueryError, match="Section 4.3"):
+            aggregate(once, "v", SUM)
+
+    def test_non_numeric_values_into_sum(self):
+        r = KRelation.from_rows(NAT, ("v",), [(("oops",), 1)])
+        with pytest.raises(QueryError, match="not an element of monoid"):
+            aggregate(r, "v", SUM)
+
+    def test_grouping_on_tensor_valued_attribute(self):
+        r = KRelation.from_rows(NAT, ("g", "v"), [(("a", 1), 1)])
+        grouped = group_by(r, ["g"], {"v": SUM})
+        with pytest.raises(QueryError, match="symbolic aggregate"):
+            group_by(grouped, ["v"], {"g": MAX})
+
+
+class TestUnresolvableSymbolics:
+    def test_equality_atom_into_plain_security_semiring(self):
+        # S (x) SUM comparisons cannot be interpreted in S itself
+        x = NX.variable("x")
+        rel = KRelation.from_rows(NX, ("g", "v"), [(("a", 1), x)])
+        db = KDatabase(NX, {"R": rel})
+        q = Select(GroupBy(Table("R"), ["g"], {"v": SUM}), [AttrEq("v", 5)])
+        symbolic = q.evaluate(db, mode="extended")
+        h = valuation_hom(NX, SEC, {"x": SECRET})
+        with pytest.raises(UnresolvableEqualityError):
+            symbolic.apply_hom(h)
+
+    def test_difference_of_tensor_valued_schemas_still_guarded(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        s = KRelation.from_rows(NAT, ("b",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            difference(r, s)

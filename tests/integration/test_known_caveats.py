@@ -1,0 +1,128 @@
+"""Documented deviations and their exact boundaries (EXPERIMENTS.md §Deviations).
+
+These tests pin down *where* the implementation's guarantees end, so a
+regression that silently widens or narrows the boundary fails loudly.
+"""
+
+import pytest
+
+from repro.core import KRelation, Tup, km_semiring
+from repro.core.nested import ext_aggregate, ext_projection
+from repro.exceptions import SemiringError
+from repro.monoids import SUM
+from repro.semimodules import tensor_space
+from repro.semirings import NAT, NX, valuation_hom
+
+
+def mergeable_selection_output():
+    """Two tuples whose Sal tensors coincide under h: x=1,y=2 -> both 20."""
+    sp = tensor_space(NX, SUM)
+    x, y = NX.variables("x", "y")
+    return KRelation(
+        NX,
+        ("Dept", "Sal"),
+        [
+            (Tup({"Dept": "d1", "Sal": sp.simple(x, 20)}), NX.variable("a")),
+            (Tup({"Dept": "d2", "Sal": sp.simple(y, 10)}), NX.variable("b")),
+        ],
+    )
+
+
+H = valuation_hom(NX, NAT, {"x": 1, "y": 2, "a": 1, "b": 1})
+
+
+class TestProjectionCommutesWithMerging:
+    """The 'duplicates are ignored' discipline makes projection commute."""
+
+    def test_projection_then_hom_equals_hom_then_projection(self):
+        from repro.core.nested import collapse_km_relation
+
+        rel = mergeable_selection_output()
+        km = km_semiring(NX)
+        projected = ext_projection(rel, ["Sal"], km)
+        left = projected.apply_hom(H)
+        right = collapse_km_relation(
+            ext_projection(rel.apply_hom(H), ["Sal"], km_semiring(NAT)), NAT
+        )
+        # both sides: the single tuple 1(x)20 with annotation 2
+        assert left == right
+        assert len(left) == 1
+        (t,) = left.support()
+        assert left.annotation(t) == 2
+
+
+class TestAggAfterMergingProjectionCaveat:
+    """The composition outside the theorems' effective scope.
+
+    Projection produces two formal candidates that denote the SAME tuple
+    under H; the symbolic AGG sums both, so evaluate-then-map double
+    counts relative to map-then-evaluate.  This is the paper-proof gap
+    recorded in EXPERIMENTS.md — if this test ever starts failing because
+    the two sides AGREE, the caveat documentation must be updated.
+    """
+
+    def test_the_factor_appears(self):
+        rel = mergeable_selection_output()
+        km = km_semiring(NX)
+        projected = ext_projection(rel, ["Sal"], km)
+        symbolic_agg = ext_aggregate(projected, "Sal", SUM, km)
+        (t,) = symbolic_agg.support()
+        evaluate_then_map = t["Sal"].apply_hom(H).collapse()
+
+        mapped = rel.apply_hom(H)
+        km_nat = km_semiring(NAT)
+        projected_after = ext_projection(mapped, ["Sal"], km_nat)
+        map_then_evaluate_rel = ext_aggregate(projected_after, "Sal", SUM, km_nat)
+        (t2,) = map_then_evaluate_rel.support()
+        value = t2["Sal"]
+        # resolve the constant K^M scalars down to N and collapse
+        h_const = valuation_hom(km_nat, NAT, {})
+        map_then_evaluate = value.apply_hom(h_const).collapse()
+
+        assert map_then_evaluate == 2 * 20  # one merged tuple, annotation 2
+        assert evaluate_then_map == 2 * map_then_evaluate  # the formal factor
+
+    def test_paper_shaped_pipelines_are_safe(self):
+        # Keying the aggregation input by an attribute that never merges
+        # (the Example 4.5 shape) avoids the caveat entirely.
+        rel = mergeable_selection_output()
+        km = km_semiring(NX)
+        agg = ext_aggregate(
+            KRelation(NX, ("Sal",), [(t.restrict(["Sal"]), k) for t, k in rel.items()]),
+            "Sal",
+            SUM,
+            km,
+        )
+        (t,) = agg.support()
+        evaluate_then_map = t["Sal"].apply_hom(H).collapse()
+
+        mapped = rel.apply_hom(H)
+        km_nat = km_semiring(NAT)
+        direct = ext_aggregate(
+            KRelation(
+                NAT, ("Sal",), [(t.restrict(["Sal"]), k) for t, k in mapped.items()]
+            ),
+            "Sal",
+            SUM,
+            km_nat,
+        )
+        (t2,) = direct.support()
+        h_const = valuation_hom(km_nat, NAT, {})
+        map_then_evaluate = t2["Sal"].apply_hom(h_const).collapse()
+        assert evaluate_then_map == map_then_evaluate == 40
+
+
+class TestAmbiguousHomImages:
+    def test_disagreeing_merge_raises(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        rel = KRelation(
+            NX,
+            ("Sal",),
+            [
+                (Tup({"Sal": sp.simple(x, 20)}), NX.from_int(1)),
+                (Tup({"Sal": sp.simple(y, 10)}), NX.from_int(3)),
+            ],
+        )
+        with pytest.raises(SemiringError):
+            rel.apply_hom(valuation_hom(NX, NAT, {"x": 1, "y": 2}))

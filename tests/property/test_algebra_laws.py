@@ -1,0 +1,178 @@
+"""Property-based tests of the algebraic laws on random elements.
+
+Random polynomials, tensors and hierarchy images; the laws checked are
+exactly the definitions of Section 2 (semiring, monoid, semimodule) plus
+the homomorphism laws along the specialisation hierarchy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.monoids import MAX, MIN, SUM
+from repro.semimodules import tensor_space
+from repro.semirings import BOOL, NAT, NX, SEC, SECBAG, TRIO, WHY, SecurityLevel
+from repro.semirings.hierarchy import (
+    bx_to_why,
+    nx_to_bx,
+    nx_to_lin,
+    nx_to_nat,
+    nx_to_posbool,
+    nx_to_trio,
+    nx_to_why,
+    trio_to_why,
+    why_to_lin,
+    why_to_posbool,
+)
+
+TOKENS = ["x", "y", "z"]
+
+
+@st.composite
+def nx_polynomials(draw, max_terms=4):
+    """Random N[X] polynomials over three tokens."""
+    p = NX.zero
+    for _ in range(draw(st.integers(0, max_terms))):
+        coeff = draw(st.integers(1, 3))
+        term = NX.from_int(coeff)
+        for token in TOKENS:
+            exp = draw(st.integers(0, 2))
+            if exp:
+                term = term * NX.variable(token) ** exp
+        p = p + term
+    return p
+
+
+@st.composite
+def nx_tensors(draw, monoid=SUM, max_entries=3):
+    sp = tensor_space(NX, monoid)
+    t = sp.zero
+    for _ in range(draw(st.integers(0, max_entries))):
+        scalar = draw(nx_polynomials(max_terms=2))
+        value = draw(st.sampled_from([5, 10, 20, 40]))
+        t = sp.add(t, sp.simple(scalar, value))
+    return t
+
+
+class TestPolynomialLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(a=nx_polynomials(), b=nx_polynomials(), c=nx_polynomials())
+    def test_semiring_laws(self, a, b, c):
+        assert NX.plus(a, b) == NX.plus(b, a)
+        assert NX.times(a, b) == NX.times(b, a)
+        assert NX.plus(NX.plus(a, b), c) == NX.plus(a, NX.plus(b, c))
+        assert NX.times(NX.times(a, b), c) == NX.times(a, NX.times(b, c))
+        assert NX.times(a, NX.plus(b, c)) == NX.plus(NX.times(a, b), NX.times(a, c))
+        assert NX.plus(a, NX.zero) == a
+        assert NX.times(a, NX.one) == a
+        assert NX.times(a, NX.zero) == NX.zero
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=nx_polynomials(), b=nx_polynomials())
+    def test_evaluation_is_homomorphic(self, a, b):
+        from repro.semirings import valuation_hom
+
+        h = valuation_hom(NX, NAT, {"x": 2, "y": 0, "z": 1})
+        assert h(NX.plus(a, b)) == h(a) + h(b)
+        assert h(NX.times(a, b)) == h(a) * h(b)
+
+
+class TestTensorLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(t1=nx_tensors(), t2=nx_tensors(), k=nx_polynomials(max_terms=2))
+    def test_semimodule_laws(self, t1, t2, k):
+        sp = tensor_space(NX, SUM)
+        assert sp.add(t1, t2) == sp.add(t2, t1)
+        assert sp.add(t1, sp.zero) == t1
+        assert sp.scalar(k, sp.add(t1, t2)) == sp.add(sp.scalar(k, t1), sp.scalar(k, t2))
+        assert sp.scalar(NX.one, t1) == t1
+        assert sp.scalar(NX.zero, t1) == sp.zero
+        assert sp.scalar(k, sp.zero) == sp.zero
+
+    @settings(max_examples=50, deadline=None)
+    @given(t=nx_tensors(), k1=nx_polynomials(max_terms=2), k2=nx_polynomials(max_terms=2))
+    def test_scalar_action_laws(self, t, k1, k2):
+        sp = tensor_space(NX, SUM)
+        assert sp.scalar(NX.plus(k1, k2), t) == sp.add(sp.scalar(k1, t), sp.scalar(k2, t))
+        assert sp.scalar(NX.times(k1, k2), t) == sp.scalar(k1, sp.scalar(k2, t))
+
+    @settings(max_examples=50, deadline=None)
+    @given(t1=nx_tensors(), t2=nx_tensors())
+    def test_hom_lifting_is_additive(self, t1, t2):
+        from repro.semirings import valuation_hom
+
+        sp = tensor_space(NX, SUM)
+        h = valuation_hom(NX, NAT, {"x": 1, "y": 2, "z": 0})
+        lifted_sum = sp.add(t1, t2).apply_hom(h)
+        sum_of_lifted = t1.apply_hom(h) + t2.apply_hom(h)
+        assert lifted_sum == sum_of_lifted
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=nx_tensors(monoid=MIN))
+    def test_min_tensor_collapse_consistent_with_readback(self, t):
+        from repro.semimodules import readback
+        from repro.semirings import valuation_hom
+
+        # valuate all tokens to 1 then collapse == readback via nat-hom
+        h = valuation_hom(NX, NAT, {"x": 1, "y": 1, "z": 1})
+        assert t.apply_hom(h).collapse() == readback(t)
+
+
+class TestHierarchyFactorization:
+    @settings(max_examples=60, deadline=None)
+    @given(a=nx_polynomials(), b=nx_polynomials())
+    def test_edges_preserve_operations(self, a, b):
+        for hom, target in (
+            (nx_to_bx, None),
+            (nx_to_trio, TRIO),
+            (nx_to_why, WHY),
+        ):
+            tgt = target if target is not None else hom.target
+            assert hom(NX.plus(a, b)) == tgt.plus(hom(a), hom(b))
+            assert hom(NX.times(a, b)) == tgt.times(hom(a), hom(b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=nx_polynomials())
+    def test_diagram_commutes(self, p):
+        assert bx_to_why(nx_to_bx(p)) == nx_to_why(p)
+        assert trio_to_why(nx_to_trio(p)) == nx_to_why(p)
+        assert why_to_posbool(nx_to_why(p)) == nx_to_posbool(p)
+        assert why_to_lin(nx_to_why(p)) == nx_to_lin(p)
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=nx_polynomials())
+    def test_counting_specialisation(self, p):
+        # N[X] -> Trio -> count == N[X] -> N directly
+        assert TRIO.hom_to_nat(nx_to_trio(p)) == nx_to_nat(p)
+
+
+class TestSecurityBagLaws:
+    @st.composite
+    @staticmethod
+    def sn_values(draw):
+        from repro.semirings import SecurityBagValue
+
+        levels = [SecurityLevel.PUBLIC, SecurityLevel.CONFIDENTIAL,
+                  SecurityLevel.SECRET, SecurityLevel.TOP_SECRET]
+        terms = {}
+        for level in levels:
+            count = draw(st.integers(0, 2))
+            if count:
+                terms[level] = count
+        return SecurityBagValue(terms)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=sn_values(), b=sn_values(), c=sn_values())
+    def test_sn_semiring_laws(self, a, b, c):
+        assert SECBAG.plus(a, b) == SECBAG.plus(b, a)
+        assert SECBAG.times(a, b) == SECBAG.times(b, a)
+        assert SECBAG.times(a, SECBAG.plus(b, c)) == SECBAG.plus(
+            SECBAG.times(a, b), SECBAG.times(a, c)
+        )
+        assert SECBAG.times(a, SECBAG.one) == a
+        assert SECBAG.times(a, SECBAG.zero) == SECBAG.zero
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=sn_values(), b=sn_values())
+    def test_sn_hom_to_nat_is_homomorphism(self, a, b):
+        h = SECBAG.hom_to_nat
+        assert h(SECBAG.plus(a, b)) == h(a) + h(b)
+        assert h(SECBAG.times(a, b)) == h(a) * h(b)

@@ -1,0 +1,174 @@
+"""Property-based tests: commutation with homomorphisms (E11).
+
+Theorem 3.3 (and its Section 4.3 extension): for every SPJU-A/AGB query
+``Q``, semiring homomorphism ``h`` and database ``D``,
+
+    h_Rel(Q(D)) = Q(h_Rel(D)).
+
+We generate random abstractly-tagged ``N[X]`` databases, random queries in
+the paper's fragments, and random valuations into ``N`` and ``B``, then
+check the equation literally.  The standard fragment keeps aggregation
+last (exactly Thm. 3.3's scope); the extended fragment adds selections and
+joins over aggregate results with plain group keys.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Aggregate,
+    AttrEq,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Select,
+    Table,
+    Union,
+)
+from repro.monoids import MAX, MIN, SUM
+from repro.semirings import BOOL, NAT, NX, valuation_hom
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+GROUPS = ["g1", "g2", "g3"]
+VALUES = [5, 10, 20]
+
+
+@st.composite
+def tagged_database(draw):
+    """A small N[X] database with two relations sharing a join key."""
+    token_counter = [0]
+
+    def tag():
+        token_counter[0] += 1
+        return NX.variable(f"t{token_counter[0]}")
+
+    rows_r = draw(
+        st.lists(st.tuples(st.sampled_from(GROUPS), st.sampled_from(VALUES)),
+                 min_size=0, max_size=5, unique=True)
+    )
+    rows_s = draw(
+        st.lists(st.sampled_from(GROUPS), min_size=0, max_size=3, unique=True)
+    )
+    r = KRelation.from_rows(NX, ("g", "v"), [(row, tag()) for row in rows_r])
+    s = KRelation.from_rows(NX, ("g",), [((g,), tag()) for g in rows_s])
+    db = KDatabase(NX, {"R": r, "S": s})
+    return db, token_counter[0]
+
+
+def spju_queries():
+    """The SPJU fragment (no aggregation)."""
+    return st.sampled_from(
+        [
+            Table("R"),
+            Project(Table("R"), ["g"]),
+            Project(Table("R"), ["v"]),
+            Union(Project(Table("R"), ["g"]), Table("S")),
+            NaturalJoin(Table("R"), Table("S")),
+            Select(Table("R"), [AttrEq("g", "g1")]),
+            Project(NaturalJoin(Table("R"), Table("S")), ["v"]),
+        ]
+    )
+
+
+def aggregation_queries():
+    """SPJU followed by one aggregation (the SPJU-A / SPJU-AGB fragment)."""
+    return st.sampled_from(
+        [
+            Aggregate(Project(Table("R"), ["v"]), "v", SUM),
+            Aggregate(Project(Table("R"), ["v"]), "v", MIN),
+            Aggregate(Project(NaturalJoin(Table("R"), Table("S")), ["v"]), "v", SUM),
+            GroupBy(Table("R"), ["g"], {"v": SUM}),
+            GroupBy(Table("R"), ["g"], {"v": MAX}),
+            GroupBy(NaturalJoin(Table("R"), Table("S")), ["g"], {"v": SUM}),
+        ]
+    )
+
+
+def nested_queries():
+    """Section 4.3 queries: comparisons over aggregation results."""
+    return st.sampled_from(
+        [
+            Select(GroupBy(Table("R"), ["g"], {"v": SUM}), [AttrEq("v", 20)]),
+            Select(GroupBy(Table("R"), ["g"], {"v": MAX}), [AttrEq("v", 20)]),
+            Select(GroupBy(Table("R"), ["g"], {"v": SUM}), [AttrEq("v", 30)]),
+        ]
+    )
+
+
+def valuations(n_tokens, target):
+    values = st.integers(min_value=0, max_value=3) if target is NAT else st.booleans()
+    return st.lists(values, min_size=n_tokens, max_size=n_tokens)
+
+
+# ---------------------------------------------------------------------------
+# the properties
+# ---------------------------------------------------------------------------
+
+
+def check_commutation(db, n_tokens, query, images, target, mode):
+    valuation = {f"t{i + 1}": images[i] for i in range(n_tokens)}
+    h = valuation_hom(NX, target, valuation)
+    evaluated_then_mapped = query.evaluate(db, mode=mode).apply_hom(h)
+    mapped_then_evaluated = query.evaluate(db.apply_hom(h), mode=mode)
+    assert evaluated_then_mapped == mapped_then_evaluated, (
+        f"commutation failed for {query} under {valuation}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=tagged_database(), query=spju_queries(), images=st.data())
+def test_spju_commutes_into_nat(data, query, images):
+    db, n = data
+    check_commutation(
+        db, n, query, images.draw(valuations(n, NAT)), NAT, "standard"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=tagged_database(), query=spju_queries(), images=st.data())
+def test_spju_commutes_into_bool(data, query, images):
+    db, n = data
+    check_commutation(
+        db, n, query, images.draw(valuations(n, BOOL)), BOOL, "standard"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=tagged_database(), query=aggregation_queries(), images=st.data())
+def test_aggregation_commutes_into_nat(data, query, images):
+    db, n = data
+    check_commutation(
+        db, n, query, images.draw(valuations(n, NAT)), NAT, "standard"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=tagged_database(), query=nested_queries(), images=st.data())
+def test_nested_queries_commute_into_nat(data, query, images):
+    db, n = data
+    check_commutation(
+        db, n, query, images.draw(valuations(n, NAT)), NAT, "extended"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=tagged_database(), images=st.data())
+def test_difference_commutes_into_nat(data, images):
+    from repro.core import difference, projection
+
+    db, n = data
+    valuation = {
+        f"t{i + 1}": v
+        for i, v in enumerate(images.draw(valuations(n, NAT)))
+    }
+    h = valuation_hom(NX, NAT, valuation)
+    diff = difference(projection(db["R"], ["g"]), db["S"])
+    evaluated_then_mapped = diff.apply_hom(h)
+    mapped_then_evaluated = difference(
+        projection(db["R"].apply_hom(h), ["g"]), db["S"].apply_hom(h)
+    )
+    assert evaluated_then_mapped == mapped_then_evaluated

@@ -1,0 +1,93 @@
+"""Unit tests for answer explanations (witnesses, costs, responsibility)."""
+
+import math
+
+import pytest
+
+from repro.apps.explanations import (
+    cheapest_derivation,
+    explain_tuple,
+    minimal_witnesses,
+    responsibility,
+)
+from repro.core import KRelation, Tup, projection
+from repro.exceptions import QueryError
+from repro.semirings import NX, witness_set
+
+
+class TestMinimalWitnesses:
+    def test_absorption(self):
+        x, y = NX.variables("x", "y")
+        # x + x*y: the x*y witness is subsumed
+        assert minimal_witnesses(x + x * y) == witness_set(("x",))
+
+    def test_alternatives_kept(self):
+        x, y, z = NX.variables("x", "y", "z")
+        assert minimal_witnesses(x * y + z) == witness_set(("x", "y"), ("z",))
+
+    def test_requires_nx(self):
+        with pytest.raises(QueryError):
+            minimal_witnesses(5)
+
+
+class TestCheapestDerivation:
+    def test_picks_cheaper_alternative(self):
+        x, y, z = NX.variables("x", "y", "z")
+        cost = cheapest_derivation(x * y + z, {"x": 1.0, "y": 2.0, "z": 10.0})
+        assert cost == 3.0
+
+    def test_multiplicity_costs_twice(self):
+        x = NX.variable("x")
+        assert cheapest_derivation(x * x, {"x": 4.0}) == 8.0
+
+    def test_underivable_is_infinite(self):
+        assert math.isinf(cheapest_derivation(NX.zero, {}))
+
+
+class TestResponsibility:
+    def test_counterfactual_cause(self):
+        # answer = x alone: x is fully responsible
+        x = NX.variable("x")
+        assert responsibility(x, "x") == 1.0
+
+    def test_shared_responsibility(self):
+        # x + y: removing y makes x critical -> responsibility 1/2
+        x, y = NX.variables("x", "y")
+        assert responsibility(x + y, "x") == 0.5
+        assert responsibility(x + y, "y") == 0.5
+
+    def test_joint_use_is_fully_responsible(self):
+        x, y = NX.variables("x", "y")
+        assert responsibility(x * y, "x") == 1.0
+
+    def test_non_cause(self):
+        x = NX.variable("x")
+        assert responsibility(x, "unrelated") == 0.0
+
+    def test_three_way_alternatives(self):
+        x, y, z = NX.variables("x", "y", "z")
+        # need to remove two alternatives before x becomes critical
+        assert responsibility(x + y + z, "x") == pytest.approx(1 / 3)
+
+    def test_contingency_cap(self):
+        x, y, z = NX.variables("x", "y", "z")
+        assert responsibility(x + y + z, "x", max_contingency=1) == 0.0
+
+
+class TestExplainTuple:
+    def test_full_record(self):
+        p1, p2, p3 = NX.variables("p1", "p2", "p3")
+        rel = KRelation.from_rows(
+            NX, ("EmpId", "Dept"),
+            [((1, "d1"), p1), ((2, "d1"), p2), ((3, "d2"), p3)],
+        )
+        depts = projection(rel, ["Dept"])
+        record = explain_tuple(depts, Tup({"Dept": "d1"}), costs={"p1": 5.0, "p2": 1.0})
+        assert record["witnesses"] == witness_set(("p1",), ("p2",))
+        assert record["responsibility"] == {"p1": 0.5, "p2": 0.5}
+        assert record["cheapest_cost"] == 1.0
+
+    def test_absent_tuple_rejected(self):
+        rel = KRelation.from_rows(NX, ("a",), [((1,), NX.variable("x"))])
+        with pytest.raises(QueryError):
+            explain_tuple(rel, Tup({"a": 99}))

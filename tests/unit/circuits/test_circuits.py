@@ -1,0 +1,138 @@
+"""Unit tests for provenance circuits."""
+
+import pytest
+
+from repro.circuits import (
+    CircuitSemiring,
+    circuit_to_polynomial,
+    evaluate_circuit,
+    polynomial_to_circuit,
+)
+from repro.exceptions import HomomorphismError, SemiringError
+from repro.semirings import BOOL, NAT, NX, check_semiring_axioms
+
+
+def fresh():
+    return CircuitSemiring()
+
+
+class TestBuilderSimplification:
+    def test_units(self):
+        cs = fresh()
+        x = cs.variable("x")
+        assert cs.plus(x, cs.zero) is x
+        assert cs.times(x, cs.one) is x
+        assert cs.times(x, cs.zero) is cs.zero
+
+    def test_interning_shares_structure(self):
+        cs = fresh()
+        x, y = cs.variable("x"), cs.variable("y")
+        a = cs.plus(x, y)
+        b = cs.plus(y, x)  # commutative canonical order
+        assert a is b
+
+    def test_const_folding(self):
+        cs = fresh()
+        assert cs.from_int(0) is cs.zero
+        assert cs.from_int(1) is cs.one
+        assert cs.delta(cs.from_int(7)) is cs.one
+        assert cs.delta(cs.zero) is cs.zero
+
+    def test_dag_vs_tree_size(self):
+        # (x + y) squared repeatedly: dag grows linearly, tree exponentially
+        cs = fresh()
+        node = cs.plus(cs.variable("x"), cs.variable("y"))
+        for _ in range(8):
+            node = cs.times(node, node)
+        assert node.dag_size() <= 3 + 8
+        assert node.tree_size() >= 2 ** 8
+
+    def test_variables(self):
+        cs = fresh()
+        node = cs.times(cs.plus(cs.variable("x"), cs.variable("y")), cs.variable("x"))
+        assert node.variables() == frozenset(["x", "y"])
+
+    def test_axioms_via_polynomial_equality(self):
+        # circuit equality is structural; check semiring laws through the
+        # canonical polynomial expansion
+        cs = fresh()
+        x, y = cs.variable("x"), cs.variable("y")
+        check_semiring_axioms(
+            cs,
+            [cs.zero, cs.one, x, y, cs.plus(x, y)],
+            equal=lambda a, b: circuit_to_polynomial(a) == circuit_to_polynomial(b),
+        )
+
+
+class TestEvaluation:
+    def test_eval_nat(self):
+        cs = fresh()
+        node = cs.times(cs.plus(cs.variable("x"), cs.variable("y")), cs.variable("x"))
+        assert evaluate_circuit(node, NAT, {"x": 2, "y": 3}) == 10
+
+    def test_eval_bool(self):
+        cs = fresh()
+        node = cs.plus(cs.variable("x"), cs.variable("y"))
+        assert evaluate_circuit(node, BOOL, {"x": False, "y": True}) is True
+
+    def test_eval_missing_token(self):
+        cs = fresh()
+        with pytest.raises(HomomorphismError):
+            evaluate_circuit(cs.variable("x"), NAT, {})
+
+    def test_eval_delta(self):
+        cs = fresh()
+        node = cs.delta(cs.plus(cs.variable("x"), cs.variable("y")))
+        assert evaluate_circuit(node, NAT, {"x": 0, "y": 0}) == 0
+        assert evaluate_circuit(node, NAT, {"x": 5, "y": 0}) == 1
+
+    def test_deep_circuit_no_recursion_limit(self):
+        cs = fresh()
+        node = cs.variable("x")
+        for i in range(5000):
+            node = cs.plus(node, cs.variable(f"v{i}"))
+        assert evaluate_circuit(node, NAT, lambda t: 1) == 5001
+
+    def test_hom_to_nat(self):
+        cs = fresh()
+        node = cs.times(cs.plus(cs.variable("x"), cs.variable("y")), cs.from_int(3))
+        assert cs.hom_to_nat(node) == 6
+
+
+class TestConversion:
+    def test_round_trip(self):
+        cs = fresh()
+        x, y = NX.variables("x", "y")
+        poly = x * x * y + 2 * x + NX.from_int(3)
+        node = polynomial_to_circuit(poly, cs)
+        assert circuit_to_polynomial(node) == poly
+
+    def test_delta_round_trip(self):
+        cs = fresh()
+        x, y = NX.variables("x", "y")
+        poly = NX.delta(x + y) * x
+        node = polynomial_to_circuit(poly, cs)
+        assert circuit_to_polynomial(node) == poly
+
+    def test_rejects_foreign_polynomials(self):
+        from repro.semirings import ZX
+
+        with pytest.raises(SemiringError):
+            polynomial_to_circuit(ZX.variable("x"), fresh())
+
+    def test_engine_agreement_circuit_vs_polynomial(self):
+        # the same query over CircuitSemiring and N[X] produces annotations
+        # that agree after expansion
+        from repro.core import KDatabase, KRelation, Project, Table
+
+        cs = fresh()
+        rows = [((i % 3, i), NX.variable(f"t{i}")) for i in range(9)]
+        rel_nx = KRelation.from_rows(NX, ("g", "v"), rows)
+        rel_c = KRelation.from_rows(
+            cs, ("g", "v"), [((i % 3, i), cs.variable(f"t{i}")) for i in range(9)]
+        )
+        q = Project(Table("T"), ["g"])
+        out_nx = q.evaluate(KDatabase(NX, {"T": rel_nx}))
+        out_c = q.evaluate(KDatabase(cs, {"T": rel_c}))
+        for t in out_nx.support():
+            assert circuit_to_polynomial(out_c.annotation(t)) == out_nx.annotation(t)

@@ -1,0 +1,181 @@
+"""Unit tests for AGG and GROUP BY (Sections 3.2-3.3)."""
+
+import pytest
+
+from repro.core import KRelation, Tup, aggregate, avg_aggregate, count_aggregate, group_by
+from repro.exceptions import QueryError, SemiringError
+from repro.monoids import AVG, MAX, MIN, SUM, AvgPair
+from repro.semimodules import tensor_space
+from repro.semirings import BOOL, NAT, NX, DeltaTerm, valuation_hom
+
+
+def sal_relation():
+    r1, r2, r3 = NX.variables("r1", "r2", "r3")
+    return KRelation.from_rows(
+        NX, ("Sal",), [((20,), r1), ((10,), r2), ((30,), r3)]
+    )
+
+
+class TestAggregate:
+    def test_example_34_structure(self):
+        agg = aggregate(sal_relation(), "Sal", SUM)
+        assert len(agg) == 1
+        (t,) = agg.support()
+        sp = tensor_space(NX, SUM)
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        expected = sp.sum([sp.simple(r1, 20), sp.simple(r2, 10), sp.simple(r3, 30)])
+        assert t["Sal"] == expected
+        assert agg.annotation(t) == NX.one
+
+    def test_empty_input_yields_zero_tensor(self):
+        agg = aggregate(KRelation.empty(NX, ("Sal",)), "Sal", SUM)
+        (t,) = agg.support()
+        assert t["Sal"] == tensor_space(NX, SUM).zero
+
+    def test_requires_single_attribute(self):
+        r = KRelation.from_rows(NX, ("a", "b"), [((1, 2), NX.one)])
+        with pytest.raises(QueryError):
+            aggregate(r, "a", SUM)
+
+    def test_rejects_non_monoid_values(self):
+        r = KRelation.from_rows(NX, ("Sal",), [(("not-a-number",), NX.one)])
+        with pytest.raises(QueryError):
+            aggregate(r, "Sal", SUM)
+
+    def test_rejects_nested_tensor_values(self):
+        inner = aggregate(sal_relation(), "Sal", SUM)
+        with pytest.raises(QueryError):
+            aggregate(inner, "Sal", SUM)
+
+    def test_bag_sum_via_collapse(self):
+        r = KRelation.from_rows(NAT, ("Sal",), [((20,), 2), ((10,), 3)])
+        agg = aggregate(r, "Sal", SUM)
+        (t,) = agg.support()
+        assert t["Sal"].collapse() == 70
+
+    def test_set_max_via_collapse(self):
+        r = KRelation.from_rows(BOOL, ("Sal",), [((20,), True), ((10,), True)])
+        agg = aggregate(r, "Sal", MAX)
+        (t,) = agg.support()
+        assert t["Sal"].collapse() == 20
+
+    def test_min_aggregation(self):
+        agg = aggregate(sal_relation(), "Sal", MIN)
+        (t,) = agg.support()
+        h = valuation_hom(NX, BOOL, {"r1": False, "r2": True, "r3": True})
+        assert t["Sal"].apply_hom(h).collapse() == 10
+
+
+class TestGroupBy:
+    def make_depts(self):
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        return KRelation.from_rows(
+            NX, ("Dept", "Sal"),
+            [(("d1", 20), r1), (("d1", 10), r2), (("d2", 10), r3)],
+        )
+
+    def test_example_38(self):
+        gb = group_by(self.make_depts(), ["Dept"], {"Sal": SUM})
+        assert len(gb) == 2
+        sp = tensor_space(NX, SUM)
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        d1_value = sp.add(sp.simple(r1, 20), sp.simple(r2, 10))
+        d1 = Tup({"Dept": "d1", "Sal": d1_value})
+        assert gb.annotation(d1) == NX.delta(r1 + r2)
+        d2 = Tup({"Dept": "d2", "Sal": sp.simple(r3, 10)})
+        assert gb.annotation(d2) == NX.delta(NX.variable("r3"))
+
+    def test_delta_annotation_resolves_to_1(self):
+        gb = group_by(self.make_depts(), ["Dept"], {"Sal": SUM})
+        h = valuation_hom(NX, NAT, {"r1": 2, "r2": 1, "r3": 0})
+        image = gb.apply_hom(h)
+        # d2 group deleted (r3 = 0); d1 has multiplicity exactly 1
+        assert len(image) == 1
+        (t,) = image.support()
+        assert image.annotation(t) == 1
+        assert t["Sal"].collapse() == 2 * 20 + 1 * 10
+
+    def test_multi_aggregate(self):
+        r = KRelation.from_rows(
+            NAT, ("g", "sal", "bonus"),
+            [(("a", 10, 1), 1), (("a", 20, 2), 2), (("b", 5, 9), 1)],
+        )
+        gb = group_by(r, ["g"], {"sal": SUM, "bonus": MAX})
+        by_g = {t["g"]: (t["sal"].collapse(), t["bonus"].collapse()) for t in gb}
+        assert by_g == {"a": (50, 2), "b": (5, 9)}
+
+    def test_group_attrs_and_agg_disjoint(self):
+        with pytest.raises(QueryError):
+            group_by(self.make_depts(), ["Dept"], {"Dept": SUM})
+
+    def test_unknown_attribute(self):
+        with pytest.raises(QueryError):
+            group_by(self.make_depts(), ["Nope"], {"Sal": SUM})
+
+    def test_requires_delta_semiring(self):
+        # all shipped semirings have delta; simulate one without
+        from repro.semirings.natural import NaturalSemiring
+
+        class NoDelta(NaturalSemiring):
+            has_delta = False
+
+            def delta(self, a):
+                raise SemiringError("no delta")
+
+        nodelta = NoDelta()
+        r = KRelation.from_rows(nodelta, ("g", "v"), [(("a", 1), 1)])
+        with pytest.raises(SemiringError):
+            group_by(r, ["g"], {"v": SUM})
+
+    def test_grouping_on_aggregate_value_rejected(self):
+        gb = group_by(self.make_depts(), ["Dept"], {"Sal": SUM})
+        with pytest.raises(QueryError):
+            group_by(gb, ["Sal"], {"Dept": SUM})
+
+    def test_empty_input(self):
+        gb = group_by(KRelation.empty(NX, ("Dept", "Sal")), ["Dept"], {"Sal": SUM})
+        assert not gb
+
+    def test_bag_group_by(self):
+        r = KRelation.from_rows(
+            NAT, ("g", "v"), [(("a", 5), 2), (("a", 7), 1), (("b", 1), 4)]
+        )
+        gb = group_by(r, ["g"], {"v": SUM})
+        by_g = {t["g"]: t["v"].collapse() for t in gb.support()}
+        assert by_g == {"a": 17, "b": 4}
+        for t, k in gb.items():
+            assert k == 1  # delta gives multiplicity exactly 1
+
+    def test_delta_term_in_annotation(self):
+        gb = group_by(self.make_depts(), ["Dept"], {"Sal": SUM})
+        (d1, d2) = gb.support()
+        ann = gb.annotation(d1)
+        assert any(isinstance(v, DeltaTerm) for v in ann.variables())
+
+
+class TestDerivedAggregates:
+    def test_count(self):
+        r = KRelation.from_rows(NAT, ("a",), [((10,), 2), ((20,), 3)])
+        c = count_aggregate(r)
+        (t,) = c.support()
+        assert t["count"].collapse() == 5  # bag cardinality
+
+    def test_count_symbolic(self):
+        x, y = NX.variables("x", "y")
+        r = KRelation.from_rows(NX, ("a",), [((10,), x), ((20,), y)])
+        c = count_aggregate(r)
+        (t,) = c.support()
+        assert t["count"] == tensor_space(NX, SUM).simple(x + y, 1)
+
+    def test_avg(self):
+        r = KRelation.from_rows(NAT, ("v",), [((10,), 2), ((40,), 1)])
+        a = avg_aggregate(r, "v")
+        (t,) = a.support()
+        pair = t["v"].collapse()
+        assert pair == AvgPair(60, 3)
+        assert pair.finalize() == 20
+
+    def test_avg_requires_single_attribute(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, 2), 1)])
+        with pytest.raises(QueryError):
+            avg_aggregate(r, "a")

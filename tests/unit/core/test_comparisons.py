@@ -1,0 +1,176 @@
+"""Unit tests for ordered comparison atoms (the Section 4 extension)."""
+
+import pytest
+
+from repro.core import (
+    AttrCompare,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    Select,
+    Table,
+    Tup,
+    km_semiring,
+)
+from repro.core.comparisons import (
+    ComparisonAtom,
+    comparison_annotation,
+    negate_op,
+    resolve_order,
+)
+from repro.exceptions import QueryError, UnresolvableEqualityError
+from repro.monoids import MAX, SUM
+from repro.semimodules import tensor_space
+from repro.semirings import NAT, NX, valuation_hom
+
+
+class TestResolveOrder:
+    def test_collapsing_space(self):
+        sp = tensor_space(NAT, SUM)
+        assert resolve_order("<", sp.simple(1, 10), sp.simple(1, 20)) is True
+        assert resolve_order("<=", sp.simple(2, 10), sp.simple(1, 20)) is True
+        assert resolve_order("<", sp.simple(2, 10), sp.simple(1, 20)) is False
+
+    def test_symbolic_undetermined(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        assert resolve_order("<", sp.simple(x, 10), sp.simple(y, 20)) is None
+
+    def test_constant_demotion(self):
+        km = km_semiring(NAT)
+        sp = tensor_space(km, SUM)
+        a = sp.simple(km.from_int(3), 10)
+        b = sp.simple(km.from_int(1), 40)
+        assert resolve_order("<", a, b) is True
+
+    def test_zero_tensor_reads_as_identity(self):
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        # 0 < x(x)10 is undetermined (x may be 0)...
+        assert resolve_order("<", sp.zero, sp.simple(x, 10)) is None
+        # ...but over a collapsing space 0 < 1(x)10 is decided
+        spn = tensor_space(NAT, SUM)
+        assert resolve_order("<", spn.zero, spn.simple(1, 10)) is True
+
+
+class TestComparisonAtom:
+    def test_gt_normalises_to_lt(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        a, b = sp.simple(x, 10), sp.simple(y, 20)
+        assert ComparisonAtom(">", a, b) == ComparisonAtom("<", b, a)
+        assert ComparisonAtom(">=", a, b) == ComparisonAtom("<=", b, a)
+
+    def test_not_symmetric(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        a, b = sp.simple(x, 10), sp.simple(y, 20)
+        assert ComparisonAtom("<", a, b) != ComparisonAtom("<", b, a)
+
+    def test_unknown_op_rejected(self):
+        sp = tensor_space(NX, SUM)
+        with pytest.raises(QueryError):
+            ComparisonAtom("!=", sp.zero, sp.zero)
+
+    def test_negate_op(self):
+        assert negate_op("<") == ">="
+        assert negate_op(">=") == "<"
+
+    def test_apply_hom_resolves(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        ann = comparison_annotation(NX, "<=", sp.simple(x, 10), sp.simple(y, 20))
+        h_true = valuation_hom(NX, NAT, {"x": 2, "y": 1})  # 20 <= 20
+        assert h_true(ann) == 1
+        h_false = valuation_hom(NX, NAT, {"x": 3, "y": 1})  # 30 <= 20
+        assert h_false(ann) == 0
+
+    def test_str(self):
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        atom = ComparisonAtom("<", sp.simple(x, 10), sp.zero)
+        assert str(atom) == "[x⊗10 < 0]"
+
+
+class TestHavingQueries:
+    def make_db(self):
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        rel = KRelation.from_rows(
+            NX, ("Dept", "Sal"), [(("d1", 20), r1), (("d1", 10), r2), (("d2", 10), r3)]
+        )
+        return KDatabase(NX, {"R": rel})
+
+    def test_having_style_selection(self):
+        db = self.make_db()
+        q = Select(
+            GroupBy(Table("R"), ["Dept"], {"Sal": SUM}),
+            [AttrCompare("Sal", ">=", 25)],
+        )
+        symbolic = q.evaluate(db, mode="extended")
+        assert len(symbolic) == 2  # both conditional
+        # r1=r2=1: d1 has 30 >= 25; r3=2: d2 has 20 < 25
+        h = valuation_hom(NX, NAT, {"r1": 1, "r2": 1, "r3": 2})
+        resolved = symbolic.apply_hom(h)
+        assert {t["Dept"] for t in resolved.support()} == {"d1"}
+
+    def test_standard_mode_on_plain_values(self):
+        from repro.core import Project
+
+        db = self.make_db()
+        q = Select(Table("R"), [AttrCompare("Sal", ">", 15)])
+        out = q.evaluate(db)
+        assert {t["Sal"] for t in out.support()} == {20}
+
+    def test_bag_resolution_through_extended_mode(self):
+        rel = KRelation.from_rows(
+            NAT, ("Dept", "Sal"), [(("d1", 20), 1), (("d2", 10), 3)]
+        )
+        db = KDatabase(NAT, {"R": rel})
+        q = Select(
+            GroupBy(Table("R"), ["Dept"], {"Sal": SUM}),
+            [AttrCompare("Sal", ">", 25)],
+        )
+        out = q.evaluate(db, mode="extended")
+        assert out.semiring is NAT
+        assert {t["Dept"] for t in out.support()} == {"d2"}  # 30 > 25
+
+    def test_sql_having_via_nested_select(self):
+        from repro.sql import compile_sql
+
+        rel = KRelation.from_rows(
+            NAT, ("Dept", "Sal"), [(("d1", 20), 1), (("d2", 10), 3)]
+        )
+        db = KDatabase(NAT, {"R": rel})
+        q = compile_sql("SELECT Sal FROM R WHERE Sal >= 15")
+        out = q.evaluate(db)
+        assert {t["Sal"] for t in out.support()} == {20}
+
+    def test_unresolvable_into_concrete_semiring(self):
+        db = self.make_db()
+        q = Select(
+            GroupBy(Table("R"), ["Dept"], {"Sal": SUM}),
+            [AttrCompare("Sal", ">=", 25)],
+        )
+        symbolic = q.evaluate(db, mode="extended")
+        from repro.semirings import SEC, SECRET
+
+        h = valuation_hom(NX, SEC, lambda token: SECRET)
+        with pytest.raises(UnresolvableEqualityError):
+            symbolic.apply_hom(h)
+
+
+class TestMaxHaving:
+    def test_max_monoid_comparisons(self):
+        r1, r2 = NX.variables("r1", "r2")
+        rel = KRelation.from_rows(
+            NX, ("Dept", "Sal"), [(("d1", 20), r1), (("d1", 50), r2)]
+        )
+        db = KDatabase(NX, {"R": rel})
+        q = Select(
+            GroupBy(Table("R"), ["Dept"], {"Sal": MAX}),
+            [AttrCompare("Sal", "<", 30)],
+        )
+        symbolic = q.evaluate(db, mode="extended")
+        keep = symbolic.apply_hom(valuation_hom(NX, NAT, {"r1": 1, "r2": 0}))
+        drop = symbolic.apply_hom(valuation_hom(NX, NAT, {"r1": 1, "r2": 1}))
+        assert len(keep) == 1 and len(drop) == 0

@@ -1,0 +1,58 @@
+"""Unit tests for KDatabase."""
+
+import pytest
+
+from repro.core import KDatabase, KRelation, Tup
+from repro.exceptions import QueryError, SemiringError
+from repro.semirings import BOOL, NAT, NX, valuation_hom
+
+
+def sample_db():
+    db = KDatabase(NAT)
+    db.add("R", KRelation.from_rows(NAT, ("a",), [((1,), 2)]))
+    db.add("S", KRelation.from_rows(NAT, ("b",), [(("x",), 1)]))
+    return db
+
+
+class TestDatabase:
+    def test_lookup(self):
+        db = sample_db()
+        assert db["R"].annotation(Tup({"a": 1})) == 2
+        assert db.relation("S") is db["S"]
+
+    def test_missing_relation(self):
+        with pytest.raises(QueryError):
+            sample_db()["nope"]
+
+    def test_contains_and_names(self):
+        db = sample_db()
+        assert "R" in db and "nope" not in db
+        assert db.names() == ("R", "S")
+
+    def test_semiring_mismatch_rejected(self):
+        db = sample_db()
+        with pytest.raises(SemiringError):
+            db.add("T", KRelation.from_rows(BOOL, ("a",), [((1,), True)]))
+
+    def test_replacement_allowed(self):
+        db = sample_db()
+        db.add("R", KRelation.from_rows(NAT, ("a",), [((9,), 1)]))
+        assert db["R"].annotation(Tup({"a": 9})) == 1
+
+    def test_iteration_sorted(self):
+        db = sample_db()
+        assert [name for name, _rel in db] == ["R", "S"]
+
+    def test_apply_hom_maps_every_relation(self):
+        x = NX.variable("x")
+        db = KDatabase(NX)
+        db.add("R", KRelation.from_rows(NX, ("a",), [((1,), x)]))
+        db.add("S", KRelation.from_rows(NX, ("b",), [((2,), x * x)]))
+        image = db.apply_hom(valuation_hom(NX, NAT, {"x": 3}))
+        assert image.semiring is NAT
+        assert image["R"].annotation(Tup({"a": 1})) == 3
+        assert image["S"].annotation(Tup({"b": 2})) == 9
+
+    def test_pretty_mentions_all_relations(self):
+        text = sample_db().pretty()
+        assert "R:" in text and "S:" in text

@@ -1,0 +1,144 @@
+"""Unit tests for difference semantics (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    KRelation,
+    Tup,
+    difference,
+    difference_via_aggregation,
+    monus_difference,
+    projection,
+    z_difference,
+)
+from repro.exceptions import QueryError, SchemaError, SemiringError
+from repro.semirings import BOOL, INT, NAT, NX, ZX, deletion_hom, valuation_hom
+
+
+class TestDirectDifference:
+    def test_bag_hybrid_semantics(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 3), ((2,), 2)])
+        s = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        d = difference(r, s)
+        assert d.semiring is NAT
+        # tuple 1 in S -> gone entirely (boolean condition), tuple 2 keeps
+        # its full multiplicity (bag-style)
+        assert d.annotation(Tup({"a": 1})) == 0
+        assert d.annotation(Tup({"a": 2})) == 2
+
+    def test_set_semantics(self):
+        r = KRelation.from_rows(BOOL, ("a",), [((1,), True), ((2,), True)])
+        s = KRelation.from_rows(BOOL, ("a",), [((1,), True)])
+        d = difference(r, s)
+        assert d.semiring is BOOL
+        assert len(d) == 1
+        assert d.annotation(Tup({"a": 2})) is True
+
+    def test_example_53_symbolic(self):
+        t1, t2, t3, t4 = NX.variables("t1", "t2", "t3", "t4")
+        r = KRelation.from_rows(NX, ("ID", "Dep"), [((1, "d1"), t1), ((2, "d1"), t2), ((2, "d2"), t3)])
+        s = KRelation.from_rows(NX, ("Dep",), [(("d1",), t4)])
+        d = difference(projection(r, ["Dep"]), s)
+        # d2 passes unconditionally with its original annotation
+        assert d.annotation(Tup({"Dep": "d2"})) == t3
+        # d1 is conditional on t4's absence
+        ann = d.annotation(Tup({"Dep": "d1"}))
+        assert ann != NX.zero and len(ann.variables()) >= 2
+
+    def test_example_53_revoke_deletion(self):
+        t1, t2, t3, t4 = NX.variables("t1", "t2", "t3", "t4")
+        r = KRelation.from_rows(NX, ("Dep",), [(("d1",), t1 + t2), (("d2",), t3)])
+        s = KRelation.from_rows(NX, ("Dep",), [(("d1",), t4)])
+        d = difference(r, s)
+        revoked = d.apply_hom(deletion_hom(NX, ["t4"]))
+        assert revoked.annotation(Tup({"Dep": "d1"})) == t1 + t2
+        assert revoked.annotation(Tup({"Dep": "d2"})) == t3
+
+    def test_example_53_closure_enforced(self):
+        t1, t4 = NX.variables("t1", "t4")
+        r = KRelation.from_rows(NX, ("Dep",), [(("d1",), t1)])
+        s = KRelation.from_rows(NX, ("Dep",), [(("d1",), t4)])
+        d = difference(r, s)
+        closed = d.apply_hom(valuation_hom(NX, NAT, {"t1": 2, "t4": 1}))
+        assert len(closed) == 0
+
+    def test_schema_mismatch(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        s = KRelation.from_rows(NAT, ("b",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            difference(r, s)
+
+    def test_semiring_mismatch(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        s = KRelation.from_rows(BOOL, ("a",), [((1,), True)])
+        with pytest.raises(QueryError):
+            difference(r, s)
+
+
+class TestEncodingAgreement:
+    def test_bag_agreement(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 3), ((2,), 2), ((3,), 1)])
+        s = KRelation.from_rows(NAT, ("a",), [((1,), 1), ((9,), 4)])
+        assert difference_via_aggregation(r, s) == difference(r, s)
+
+    def test_set_agreement(self):
+        r = KRelation.from_rows(BOOL, ("a",), [((1,), True), ((2,), True)])
+        s = KRelation.from_rows(BOOL, ("a",), [((2,), True)])
+        assert difference_via_aggregation(r, s) == difference(r, s)
+
+    def test_symbolic_agreement_under_homs(self):
+        # Prop. 5.1: the two forms agree after any hom into a collapsing space
+        t1, t2, t4 = NX.variables("t1", "t2", "t4")
+        r = KRelation.from_rows(NX, ("Dep",), [(("d1",), t1 + t2), (("d2",), t2)])
+        s = KRelation.from_rows(NX, ("Dep",), [(("d1",), t4)])
+        direct = difference(r, s)
+        encoded = difference_via_aggregation(r, s)
+        for valuation in ({"t1": 1, "t2": 1, "t4": 0}, {"t1": 2, "t2": 0, "t4": 3},
+                          {"t1": 0, "t2": 0, "t4": 0}):
+            h = valuation_hom(NX, NAT, valuation)
+            assert direct.apply_hom(h) == encoded.apply_hom(h), valuation
+
+    def test_flag_attribute_collision(self):
+        r = KRelation.from_rows(NAT, ("__b",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            difference_via_aggregation(r, r)
+
+
+class TestRivalSemantics:
+    def test_monus_on_bags(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 3), ((2,), 2)])
+        s = KRelation.from_rows(NAT, ("a",), [((1,), 1), ((2,), 5)])
+        d = monus_difference(r, s)
+        assert d.annotation(Tup({"a": 1})) == 2  # 3 - 1
+        assert d.annotation(Tup({"a": 2})) == 0  # truncated
+
+    def test_monus_on_sets(self):
+        r = KRelation.from_rows(BOOL, ("a",), [((1,), True), ((2,), True)])
+        s = KRelation.from_rows(BOOL, ("a",), [((1,), True)])
+        d = monus_difference(r, s)
+        assert len(d) == 1
+
+    def test_monus_unavailable(self):
+        r = KRelation.from_rows(NX, ("a",), [((1,), NX.one)])
+        with pytest.raises(SemiringError):
+            monus_difference(r, r)
+
+    def test_z_difference_negative_multiplicities(self):
+        r = KRelation.from_rows(INT, ("a",), [((1,), 1)])
+        s = KRelation.from_rows(INT, ("a",), [((1,), 3), ((2,), 2)])
+        d = z_difference(r, s)
+        assert d.annotation(Tup({"a": 1})) == -2
+        assert d.annotation(Tup({"a": 2})) == -2
+
+    def test_z_difference_on_zx(self):
+        x, y = ZX.variable("x"), ZX.variable("y")
+        r = KRelation.from_rows(ZX, ("a",), [((1,), x)])
+        s = KRelation.from_rows(ZX, ("a",), [((1,), y)])
+        d = z_difference(r, s)
+        ann = d.annotation(Tup({"a": 1}))
+        assert ann == x + ZX.constant(-1) * y
+
+    def test_z_difference_requires_ring(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        with pytest.raises(SemiringError):
+            z_difference(r, r)

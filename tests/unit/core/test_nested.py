@@ -1,0 +1,177 @@
+"""Unit tests for the Section 4.3 extended operators."""
+
+import pytest
+
+from repro.core import KRelation, Tup, km_semiring
+from repro.core.nested import (
+    collapse_km_relation,
+    ext_aggregate,
+    ext_cartesian,
+    ext_group_by,
+    ext_natural_join,
+    ext_projection,
+    ext_selection_const,
+    ext_union,
+    ext_value_join,
+    lift_to_km,
+    value_match,
+)
+from repro.exceptions import QueryError
+from repro.monoids import MAX, SUM
+from repro.semimodules import tensor_space
+from repro.semirings import NAT, NX, valuation_hom
+
+KM_NAT = km_semiring(NAT)
+
+
+class TestLiftAndCollapse:
+    def test_lift_embeds_annotations(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 3)])
+        lifted = lift_to_km(r, KM_NAT)
+        assert lifted.semiring is KM_NAT
+        assert lifted.annotation(Tup({"a": 1})) == KM_NAT.from_int(3)
+
+    def test_collapse_inverts_lift(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 3)])
+        assert collapse_km_relation(lift_to_km(r, KM_NAT), NAT) == r
+
+    def test_collapse_refuses_symbolic(self):
+        rel = KRelation(KM_NAT, ("a",), [(Tup({"a": 1}), KM_NAT.variable("tok"))])
+        assert collapse_km_relation(rel, NAT) is rel
+
+
+class TestValueMatch:
+    def test_plain_values(self):
+        assert value_match(KM_NAT, 1, 1) == KM_NAT.one
+        assert value_match(KM_NAT, 1, 2) == KM_NAT.zero
+
+    def test_tensor_vs_plain_embeds_iota(self):
+        sp = tensor_space(KM_NAT, SUM)
+        t = sp.simple(KM_NAT.from_int(2), 10)
+        assert value_match(KM_NAT, t, 20) == KM_NAT.one
+        assert value_match(KM_NAT, t, 10) == KM_NAT.zero
+
+    def test_tensor_vs_non_monoid_plain_is_false(self):
+        sp = tensor_space(KM_NAT, SUM)
+        t = sp.iota(10)
+        assert value_match(KM_NAT, t, "a-string") == KM_NAT.zero
+
+    def test_mismatched_monoids_false(self):
+        a = tensor_space(KM_NAT, SUM).iota(1)
+        b = tensor_space(KM_NAT, MAX).iota(1)
+        assert value_match(KM_NAT, a, b) == KM_NAT.zero
+
+    def test_symbolic_tensors_make_atoms(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        ann = value_match(NX, sp.simple(x, 20), sp.simple(y, 10))
+        assert len(ann.variables()) == 1
+
+
+class TestExtOperators:
+    def test_union_reduces_to_standard_on_plain(self):
+        a = KRelation.from_rows(NAT, ("x",), [((1,), 2)])
+        b = KRelation.from_rows(NAT, ("x",), [((1,), 3), ((2,), 1)])
+        u = collapse_km_relation(
+            ext_union(lift_to_km(a, KM_NAT), lift_to_km(b, KM_NAT), KM_NAT), NAT
+        )
+        assert u.annotation(Tup({"x": 1})) == 5
+        assert u.annotation(Tup({"x": 2})) == 1
+
+    def test_projection_reduces_to_standard_on_plain(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, "x"), 2), ((1, "y"), 3)])
+        p = collapse_km_relation(
+            ext_projection(lift_to_km(r, KM_NAT), ["a"], KM_NAT), NAT
+        )
+        assert p.annotation(Tup({"a": 1})) == 5
+
+    def test_selection_on_symbolic_aggregate_keeps_both(self):
+        # Example 4.1/4.3 core behaviour
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        sp = tensor_space(NX, SUM)
+        d1 = Tup({"Dept": "d1", "Sal": sp.add(sp.simple(r1, 20), sp.simple(r2, 10))})
+        d2 = Tup({"Dept": "d2", "Sal": sp.simple(r3, 10)})
+        rel = KRelation(NX, ("Dept", "Sal"),
+                        [(d1, NX.delta(r1 + r2)), (d2, NX.delta(r3))])
+        sel = ext_selection_const(rel, "Sal", 20, NX)
+        assert len(sel) == 2  # both kept, conditionally
+
+    def test_selection_non_monotone_resolution(self):
+        # Example 4.1's non-monotonicity: r2: 0 -> 1 removes the d1 tuple
+        r1, r2 = NX.variables("r1", "r2")
+        sp = tensor_space(NX, SUM)
+        d1 = Tup({"Sal": sp.add(sp.simple(r1, 20), sp.simple(r2, 10))})
+        rel = KRelation(NX, ("Sal",), [(d1, NX.delta(r1 + r2))])
+        sel = ext_selection_const(rel, "Sal", 20, NX)
+        present = sel.apply_hom(valuation_hom(NX, NAT, {"r1": 1, "r2": 0}))
+        absent = sel.apply_hom(valuation_hom(NX, NAT, {"r1": 1, "r2": 1}))
+        assert len(present) == 1
+        assert len(absent) == 0
+
+    def test_value_join_keeps_both_columns(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 1)])
+        b = KRelation.from_rows(NAT, ("v",), [((1,), 1), ((2,), 1)])
+        j = collapse_km_relation(
+            ext_value_join(
+                lift_to_km(a, KM_NAT), lift_to_km(b, KM_NAT), [("u", "v")], KM_NAT
+            ),
+            NAT,
+        )
+        assert len(j) == 1
+        (t,) = j.support()
+        assert t["u"] == 1 and t["v"] == 1
+
+    def test_natural_join_plain(self):
+        a = KRelation.from_rows(NAT, ("k", "u"), [((1, "a"), 2)])
+        b = KRelation.from_rows(NAT, ("k", "v"), [((1, "b"), 3)])
+        j = collapse_km_relation(
+            ext_natural_join(lift_to_km(a, KM_NAT), lift_to_km(b, KM_NAT), KM_NAT),
+            NAT,
+        )
+        assert j.annotation(Tup({"k": 1, "u": "a", "v": "b"})) == 6
+
+    def test_cartesian_requires_disjoint(self):
+        a = lift_to_km(KRelation.from_rows(NAT, ("u",), [((1,), 1)]), KM_NAT)
+        with pytest.raises(Exception):
+            ext_cartesian(a, a, KM_NAT)
+
+    def test_aggregate_over_tensor_values(self):
+        # Example 4.5 shape: aggregating already-aggregated values
+        r1, r2 = NX.variables("r1", "r2")
+        sp = tensor_space(NX, SUM)
+        rel = KRelation(
+            NX, ("Sal",),
+            [
+                (Tup({"Sal": sp.simple(r1, 20)}), NX.variable("a1")),
+                (Tup({"Sal": sp.simple(r2, 10)}), NX.variable("a2")),
+            ],
+        )
+        agg = ext_aggregate(rel, "Sal", SUM, NX)
+        (t,) = agg.support()
+        a1, a2 = NX.variables("a1", "a2")
+        expected = sp.add(sp.simple(a1 * r1, 20), sp.simple(a2 * r2, 10))
+        assert t["Sal"] == expected
+
+    def test_aggregate_mixed_monoid_rejected(self):
+        sp = tensor_space(NX, MAX)
+        rel = KRelation(NX, ("v",), [(Tup({"v": sp.iota(3)}), NX.one)])
+        with pytest.raises(QueryError):
+            ext_aggregate(rel, "v", SUM, NX)
+
+    def test_group_by_reduces_to_standard_on_plain(self):
+        r = KRelation.from_rows(
+            NAT, ("g", "v"), [(("a", 5), 2), (("a", 7), 1), (("b", 1), 4)]
+        )
+        gb = collapse_km_relation(
+            ext_group_by(lift_to_km(r, KM_NAT), ["g"], {"v": SUM}, KM_NAT), NAT
+        )
+        by_g = {}
+        for t in gb.support():
+            value = t["v"]
+            by_g[t["g"]] = value.collapse() if hasattr(value, "collapse") else value
+        assert by_g == {"a": 17, "b": 4}
+
+    def test_group_by_empty_group_key_set(self):
+        r = KRelation.empty(NAT, ("g", "v"))
+        gb = ext_group_by(lift_to_km(r, KM_NAT), ["g"], {"v": SUM}, KM_NAT)
+        assert not gb

@@ -1,0 +1,143 @@
+"""Unit tests for the SPJU operators (Section 2.1 semantics)."""
+
+import pytest
+
+from repro.core import (
+    KRelation,
+    Tup,
+    cartesian,
+    equijoin,
+    natural_join,
+    projection,
+    rename,
+    selection,
+    union,
+)
+from repro.exceptions import QueryError, SchemaError
+from repro.semirings import BOOL, NAT, NX
+
+
+def nx_rel():
+    p1, p2, p3, r1, r2 = NX.variables("p1", "p2", "p3", "r1", "r2")
+    return KRelation.from_rows(
+        NX,
+        ("EmpId", "Dept", "Sal"),
+        [
+            ((1, "d1", 20), p1),
+            ((2, "d1", 10), p2),
+            ((3, "d1", 15), p3),
+            ((4, "d2", 10), r1),
+            ((5, "d2", 15), r2),
+        ],
+    )
+
+
+class TestUnion:
+    def test_annotations_add(self):
+        a = KRelation.from_rows(NAT, ("x",), [((1,), 2)])
+        b = KRelation.from_rows(NAT, ("x",), [((1,), 3), ((2,), 1)])
+        u = union(a, b)
+        assert u.annotation(Tup({"x": 1})) == 5
+        assert u.annotation(Tup({"x": 2})) == 1
+
+    def test_schema_mismatch(self):
+        a = KRelation.from_rows(NAT, ("x",), [((1,), 1)])
+        b = KRelation.from_rows(NAT, ("y",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            union(a, b)
+
+    def test_semiring_mismatch(self):
+        a = KRelation.from_rows(NAT, ("x",), [((1,), 1)])
+        b = KRelation.from_rows(BOOL, ("x",), [((1,), True)])
+        with pytest.raises(QueryError):
+            union(a, b)
+
+
+class TestProjection:
+    def test_figure_1(self):
+        r = nx_rel()
+        p = projection(r, ["Dept"])
+        p1, p2, p3, r1, r2 = NX.variables("p1", "p2", "p3", "r1", "r2")
+        assert p.annotation(Tup({"Dept": "d1"})) == p1 + p2 + p3
+        assert p.annotation(Tup({"Dept": "d2"})) == r1 + r2
+
+    def test_bag_projection_counts(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, "x"), 2), ((1, "y"), 3)])
+        p = projection(r, ["a"])
+        assert p.annotation(Tup({"a": 1})) == 5
+
+    def test_projection_to_same_schema(self):
+        r = nx_rel()
+        assert projection(r, ["EmpId", "Dept", "Sal"]) == r
+
+
+class TestSelection:
+    def test_filters_support(self):
+        r = nx_rel()
+        s = selection(r, lambda t: t["Dept"] == "d1")
+        assert len(s) == 3
+        assert all(t["Dept"] == "d1" for t in s)
+
+    def test_annotations_preserved(self):
+        r = nx_rel()
+        s = selection(r, lambda t: t["EmpId"] == 1)
+        assert s.annotation(Tup({"EmpId": 1, "Dept": "d1", "Sal": 20})) == NX.variable("p1")
+
+
+class TestJoins:
+    def test_natural_join_multiplies(self):
+        x, y = NX.variables("x", "y")
+        a = KRelation.from_rows(NX, ("k", "u"), [((1, "a"), x)])
+        b = KRelation.from_rows(NX, ("k", "v"), [((1, "b"), y)])
+        j = natural_join(a, b)
+        assert j.annotation(Tup({"k": 1, "u": "a", "v": "b"})) == x * y
+
+    def test_natural_join_no_common_is_cartesian(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 2)])
+        b = KRelation.from_rows(NAT, ("v",), [((9,), 3)])
+        j = natural_join(a, b)
+        assert j.annotation(Tup({"u": 1, "v": 9})) == 6
+
+    def test_equijoin(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 2), ((2,), 1)])
+        b = KRelation.from_rows(NAT, ("v",), [((1,), 3)])
+        j = equijoin(a, b, [("u", "v")])
+        assert len(j) == 1
+        assert j.annotation(Tup({"u": 1, "v": 1})) == 6
+
+    def test_equijoin_requires_disjoint(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            equijoin(a, a, [("u", "u")])
+
+    def test_cartesian_requires_disjoint(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 1)])
+        with pytest.raises(SchemaError):
+            cartesian(a, a)
+
+    def test_cartesian(self):
+        a = KRelation.from_rows(NAT, ("u",), [((1,), 2), ((2,), 1)])
+        b = KRelation.from_rows(NAT, ("v",), [((9,), 3)])
+        c = cartesian(a, b)
+        assert len(c) == 2
+        assert c.annotation(Tup({"u": 1, "v": 9})) == 6
+
+
+class TestRename:
+    def test_rename(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, 2), 1)])
+        out = rename(r, {"a": "x"})
+        assert out.schema.attributes == ("x", "b")
+        assert out.annotation(Tup({"x": 1, "b": 2})) == 1
+
+
+class TestBagSetConsistency:
+    def test_union_join_distributivity_example(self):
+        # (R1 ∪ R2) ⋈ S == (R1 ⋈ S) ∪ (R2 ⋈ S): a semiring-level identity
+        x, y, z = NX.variables("x", "y", "z")
+        r1 = KRelation.from_rows(NX, ("k",), [((1,), x)])
+        r2 = KRelation.from_rows(NX, ("k",), [((1,), y)])
+        s = KRelation.from_rows(NX, ("k", "v"), [((1, "a"), z)])
+        left = natural_join(union(r1, r2), s)
+        right = union(natural_join(r1, s), natural_join(r2, s))
+        assert left == right

@@ -1,0 +1,211 @@
+"""Unit tests for the query AST and its two evaluation modes."""
+
+import pytest
+
+from repro.core import (
+    Aggregate,
+    AttrEq,
+    AttrEqAttr,
+    AvgAgg,
+    Cartesian,
+    CountAgg,
+    Difference,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Rename,
+    Select,
+    Table,
+    Tup,
+    Union,
+    ValueJoin,
+)
+from repro.exceptions import QueryError
+from repro.monoids import MAX, SUM, AvgPair
+from repro.semirings import NAT, NX, valuation_hom
+
+
+def nat_db():
+    r = KRelation.from_rows(
+        NAT, ("Dept", "Sal"), [(("d1", 20), 1), (("d1", 10), 2), (("d2", 10), 1)]
+    )
+    s = KRelation.from_rows(NAT, ("Dept",), [(("d1",), 1)])
+    return KDatabase(NAT, {"R": r, "S": s})
+
+
+class TestStandardMode:
+    def test_table(self):
+        db = nat_db()
+        assert Table("R").evaluate(db) == db["R"]
+
+    def test_missing_table(self):
+        with pytest.raises(QueryError):
+            Table("nope").evaluate(nat_db())
+
+    def test_union_project_select_pipeline(self):
+        db = nat_db()
+        q = Select(Project(Table("R"), ["Dept"]), [AttrEq("Dept", "d1")])
+        out = q.evaluate(db)
+        assert out.annotation(Tup({"Dept": "d1"})) == 3
+
+    def test_natural_join(self):
+        db = nat_db()
+        q = NaturalJoin(Table("R"), Table("S"))
+        out = q.evaluate(db)
+        assert len(out) == 2
+        assert all(t["Dept"] == "d1" for t in out)
+
+    def test_value_join(self):
+        db = nat_db()
+        q = ValueJoin(
+            Rename(Table("S"), {"Dept": "D2"}), Table("R"), [("D2", "Dept")]
+        )
+        out = q.evaluate(db)
+        assert len(out) == 2
+
+    def test_cartesian(self):
+        db = nat_db()
+        q = Cartesian(Rename(Table("S"), {"Dept": "D2"}), Table("S"))
+        assert len(q.evaluate(db)) == 1
+
+    def test_aggregate(self):
+        db = nat_db()
+        q = Aggregate(Project(Table("R"), ["Sal"]), "Sal", SUM)
+        (t,) = q.evaluate(db).support()
+        # projection merges the two Sal=10 tuples (annotation 3): 20 + 3*10
+        assert t["Sal"].collapse() == 50
+
+    def test_group_by(self):
+        db = nat_db()
+        q = GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+        out = q.evaluate(db)
+        vals = {t["Dept"]: t["Sal"].collapse() for t in out}
+        assert vals == {"d1": 40, "d2": 10}
+
+    def test_group_by_with_count(self):
+        db = nat_db()
+        q = GroupBy(Table("R"), ["Dept"], {"Sal": SUM}, count_attr="n")
+        out = q.evaluate(db)
+        counts = {t["Dept"]: t["n"].collapse() for t in out}
+        assert counts == {"d1": 3, "d2": 1}  # bag counts
+
+    def test_count(self):
+        db = nat_db()
+        (t,) = CountAgg(Table("R")).evaluate(db).support()
+        assert t["count"].collapse() == 4
+
+    def test_avg(self):
+        db = nat_db()
+        q = AvgAgg(Project(Table("R"), ["Sal"]), "Sal")
+        (t,) = q.evaluate(db).support()
+        assert t["Sal"].collapse() == AvgPair(50, 4)
+
+    def test_selection_on_aggregate_rejected_in_standard_mode(self):
+        db = nat_db()
+        q = Select(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), [AttrEq("Sal", 40)])
+        with pytest.raises(QueryError):
+            q.evaluate(db)
+
+    def test_join_on_aggregate_rejected_in_standard_mode(self):
+        db = nat_db()
+        gb = GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+        q = NaturalJoin(gb, Rename(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}),
+                                   {"Dept": "D2"}))
+        with pytest.raises(QueryError):
+            q.evaluate(db)
+
+    def test_unknown_mode(self):
+        with pytest.raises(QueryError):
+            Table("R").evaluate(nat_db(), mode="weird")
+
+    def test_str_round_trips_names(self):
+        q = Select(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), [AttrEq("Sal", 20)])
+        text = str(q)
+        assert "GB" in text and "σ" in text and "R" in text
+
+    def test_attr_eq_attr_condition(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, 1), 1), ((1, 2), 1)])
+        db = KDatabase(NAT, {"T": r})
+        out = Select(Table("T"), [AttrEqAttr("a", "b")]).evaluate(db)
+        assert len(out) == 1
+
+
+class TestExtendedMode:
+    def test_selection_on_aggregate_resolves_for_bags(self):
+        # On N-relations every comparison resolves: extended mode returns
+        # a plain N-relation (Prop. 4.4 collapse).
+        db = nat_db()
+        q = Select(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), [AttrEq("Sal", 40)])
+        out = q.evaluate(db, mode="extended")
+        assert out.semiring is NAT
+        assert len(out) == 1
+        (t,) = out.support()
+        assert t["Dept"] == "d1"
+
+    def test_join_on_aggregates(self):
+        # departments with equal aggregate salary
+        r = KRelation.from_rows(
+            NAT, ("Dept", "Sal"), [(("d1", 20), 1), (("d2", 10), 2), (("d3", 5), 1)]
+        )
+        db = KDatabase(NAT, {"R": r})
+        gb1 = GroupBy(Table("R"), ["Dept"], {"Sal": SUM})
+        gb2 = Rename(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}),
+                     {"Dept": "D2", "Sal": "Sal2"})
+        q = ValueJoin(gb1, gb2, [("Sal", "Sal2")])
+        out = q.evaluate(db, mode="extended")
+        pairs = {(t["Dept"], t["D2"]) for t in out.support()}
+        # d1 (20) matches d2 (2*10=20) and vice versa; plus self-matches
+        assert ("d1", "d2") in pairs and ("d2", "d1") in pairs
+        assert ("d1", "d3") not in pairs
+
+    def test_symbolic_pipeline_example_43(self):
+        r1, r2, r3 = NX.variables("r1", "r2", "r3")
+        rel = KRelation.from_rows(
+            NX, ("Dept", "Sal"), [(("d1", 20), r1), (("d1", 10), r2), (("d2", 10), r3)]
+        )
+        db = KDatabase(NX, {"R": rel})
+        q = Select(GroupBy(Table("R"), ["Dept"], {"Sal": SUM}), [AttrEq("Sal", 20)])
+        out = q.evaluate(db, mode="extended")
+        assert len(out) == 2  # both kept symbolically
+        resolved = out.apply_hom(valuation_hom(NX, NAT, {"r1": 1, "r2": 0, "r3": 2}))
+        # d1 qualifies (20); d2 qualifies too (2 x 10 = 20 under bags)
+        assert len(resolved) == 2
+
+    def test_extended_standard_agree_on_plain_queries(self):
+        db = nat_db()
+        queries = [
+            Project(Table("R"), ["Dept"]),
+            Union(Project(Table("R"), ["Dept"]), Table("S")),
+            NaturalJoin(Table("R"), Table("S")),
+            GroupBy(Table("R"), ["Dept"], {"Sal": MAX}),
+        ]
+        for q in queries:
+            assert q.evaluate(db) == q.evaluate(db, mode="extended"), str(q)
+
+    def test_avg_not_in_extended(self):
+        db = nat_db()
+        with pytest.raises(QueryError):
+            AvgAgg(Project(Table("R"), ["Sal"]), "Sal").evaluate(db, mode="extended")
+
+
+class TestDifferenceNode:
+    def test_difference_standard(self):
+        db = nat_db()
+        q = Difference(Project(Table("R"), ["Dept"]), Table("S"))
+        out = q.evaluate(db)
+        assert out.semiring is NAT
+        assert len(out) == 1
+        (t,) = out.support()
+        assert t["Dept"] == "d2"
+
+    def test_difference_encoding_matches_direct(self):
+        db = nat_db()
+        direct = Difference(Project(Table("R"), ["Dept"]), Table("S"), "direct")
+        encoded = Difference(Project(Table("R"), ["Dept"]), Table("S"), "encoding")
+        assert direct.evaluate(db) == encoded.evaluate(db)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(QueryError):
+            Difference(Table("R"), Table("S"), "bogus")

@@ -1,0 +1,147 @@
+"""Unit tests for K-relations."""
+
+import pytest
+
+from repro.core import KRelation, Tup
+from repro.exceptions import SchemaError, SemiringError
+from repro.monoids import SUM
+from repro.semimodules import tensor_space
+from repro.semirings import BOOL, NAT, NX, deletion_hom, valuation_hom
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        r = KRelation.from_rows(NAT, ("a", "b"), [((1, "x"), 2), ((2, "y"), 3)])
+        assert len(r) == 2
+        assert r.annotation(Tup({"a": 1, "b": "x"})) == 2
+
+    def test_zero_annotations_dropped(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 0), ((2,), 5)])
+        assert len(r) == 1
+        assert Tup({"a": 1}) not in r
+
+    def test_duplicate_tuples_merge_with_plus(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 2), ((1,), 3)])
+        assert r.annotation(Tup({"a": 1})) == 5
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            KRelation(NAT, ("a",), [(Tup({"b": 1}), 1)])
+
+    def test_empty(self):
+        r = KRelation.empty(NAT, ("a",))
+        assert not r
+        assert len(r) == 0
+
+    def test_unsupported_annotation_is_zero(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 2)])
+        assert r.annotation(Tup({"a": 99})) == 0
+
+
+class TestAccess:
+    def test_support_deterministic(self):
+        r = KRelation.from_rows(NAT, ("a",), [((3,), 1), ((1,), 1), ((2,), 1)])
+        assert r.support() == tuple(sorted(r.support(), key=str))
+
+    def test_equality(self):
+        r1 = KRelation.from_rows(NAT, ("a",), [((1,), 2)])
+        r2 = KRelation.from_rows(NAT, ("a",), [((1,), 2)])
+        r3 = KRelation.from_rows(NAT, ("a",), [((1,), 3)])
+        assert r1 == r2
+        assert r1 != r3
+        assert hash(r1) == hash(r2)
+
+    def test_contains_and_iter(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 2)])
+        assert Tup({"a": 1}) in r
+        assert list(r) == [Tup({"a": 1})]
+
+
+class TestApplyHom:
+    def test_annotations_mapped(self):
+        x, y = NX.variables("x", "y")
+        r = KRelation.from_rows(NX, ("a",), [((1,), x), ((2,), y)])
+        h = valuation_hom(NX, NAT, {"x": 3, "y": 0})
+        image = r.apply_hom(h)
+        assert image.semiring is NAT
+        assert image.annotation(Tup({"a": 1})) == 3
+        assert len(image) == 1  # y-tuple dropped
+
+    def test_source_mismatch_rejected(self):
+        r = KRelation.from_rows(NAT, ("a",), [((1,), 2)])
+        with pytest.raises(SemiringError):
+            r.apply_hom(valuation_hom(NX, NAT, {}))
+
+    def test_tensor_values_lifted(self):
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        value = sp.simple(x, 20)
+        r = KRelation(NX, ("v",), [(Tup({"v": value}), NX.one)])
+        h = valuation_hom(NX, NAT, {"x": 2})
+        image = r.apply_hom(h)
+        (t,) = image.support()
+        assert t["v"].collapse() == 40
+
+    def test_merging_duplicates_ignored_not_summed(self):
+        # two tuples whose tensor values become equal after the hom and whose
+        # annotations agree merge into one tuple ("duplicates are ignored")
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        r = KRelation(
+            NX,
+            ("v",),
+            [
+                (Tup({"v": sp.simple(x, 20)}), NX.from_int(2)),
+                (Tup({"v": sp.simple(y, 10)}), NX.from_int(2)),
+            ],
+        )
+        h = valuation_hom(NX, NAT, {"x": 1, "y": 2})  # both become 20
+        image = r.apply_hom(h)
+        assert len(image) == 1
+        assert image.annotation(Tup({"v": tensor_space(NAT, SUM).simple(1, 20)})) == 2
+
+    def test_merging_with_disagreeing_annotations_raises(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        r = KRelation(
+            NX,
+            ("v",),
+            [
+                (Tup({"v": sp.simple(x, 20)}), NX.from_int(2)),
+                (Tup({"v": sp.simple(y, 10)}), NX.from_int(3)),
+            ],
+        )
+        h = valuation_hom(NX, NAT, {"x": 1, "y": 2})
+        with pytest.raises(SemiringError):
+            r.apply_hom(h)
+
+    def test_deletion_propagation_figure1(self):
+        p1, p2, p3 = NX.variables("p1", "p2", "p3")
+        r = KRelation.from_rows(NX, ("Dept",), [(("d1",), p1 + p2 + p3)])
+        image = r.apply_hom(deletion_hom(NX, ["p3"]))
+        assert image.annotation(Tup({"Dept": "d1"})) == p1 + p2
+
+
+class TestMeasuresAndDisplay:
+    def test_annotation_size(self):
+        x, y = NX.variables("x", "y")
+        r = KRelation.from_rows(NX, ("a",), [((1,), x * y + x), ((2,), NX.one)])
+        # x*y + x: 2 terms, degrees 2+1 -> 5; constant 1 -> 1
+        assert r.annotation_size() == 5 + 1
+
+    def test_value_size_counts_tensors(self):
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        value = sp.add(sp.simple(x, 20), sp.iota(10))
+        r = KRelation(NX, ("v",), [(Tup({"v": value}), NX.one)])
+        assert r.value_size() >= 2
+
+    def test_pretty_renders_table(self):
+        r = KRelation.from_rows(BOOL, ("a",), [((1,), True)])
+        text = r.pretty()
+        assert "a" in text and "@B" in text and "⊤" in text
+
+    def test_pretty_max_rows(self):
+        r = KRelation.from_rows(NAT, ("a",), [((i,), 1) for i in range(10)])
+        text = r.pretty(max_rows=3)
+        assert "..." in text

@@ -1,0 +1,131 @@
+"""Unit tests for provenance-preserving query rewrites."""
+
+import pytest
+
+from repro.core import (
+    AttrEq,
+    Cartesian,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Schema,
+    Select,
+    Table,
+    Union,
+)
+from repro.core.rewrites import infer_schema, optimize, rewrite_once
+from repro.exceptions import QueryError
+from repro.monoids import SUM
+from repro.semirings import NX
+
+CATALOG = {
+    "R": Schema(("g", "v")),
+    "S": Schema(("g",)),
+    "T": Schema(("w",)),
+}
+
+
+def make_db():
+    r = KRelation.from_rows(
+        NX, ("g", "v"),
+        [(("a", 1), NX.variable("r1")), (("a", 2), NX.variable("r2")),
+         (("b", 1), NX.variable("r3"))],
+    )
+    s = KRelation.from_rows(
+        NX, ("g",), [(("a",), NX.variable("s1")), (("c",), NX.variable("s2"))]
+    )
+    t = KRelation.from_rows(NX, ("w",), [((9,), NX.variable("t1"))])
+    return KDatabase(NX, {"R": r, "S": s, "T": t})
+
+
+class TestInferSchema:
+    def test_base_and_operators(self):
+        assert infer_schema(Table("R"), CATALOG) == Schema(("g", "v"))
+        assert infer_schema(Project(Table("R"), ["g"]), CATALOG) == Schema(("g",))
+        assert infer_schema(
+            NaturalJoin(Table("R"), Table("S")), CATALOG
+        ) == Schema(("g", "v"))
+        assert infer_schema(
+            Cartesian(Table("R"), Table("T")), CATALOG
+        ) == Schema(("g", "v", "w"))
+        assert infer_schema(
+            GroupBy(Table("R"), ["g"], {"v": SUM}, count_attr="n"), CATALOG
+        ) == Schema(("g", "v", "n"))
+
+    def test_unknown_table(self):
+        with pytest.raises(QueryError):
+            infer_schema(Table("nope"), CATALOG)
+
+
+class TestRules:
+    def test_select_over_union(self):
+        q = Select(Union(Table("S"), Table("S")), [AttrEq("g", "a")])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, Union)
+        assert isinstance(rewritten.left, Select)
+
+    def test_select_merge(self):
+        q = Select(Select(Table("R"), [AttrEq("g", "a")]), [AttrEq("v", 1)])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Table)
+        assert len(rewritten.conditions) == 2
+
+    def test_select_pushdown_through_join(self):
+        q = Select(NaturalJoin(Table("R"), Table("T")), [AttrEq("w", 9)])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, NaturalJoin)
+        assert isinstance(rewritten.right, Select)
+        assert isinstance(rewritten.left, Table)
+
+    def test_select_pushdown_through_project(self):
+        q = Select(Project(Table("R"), ["g"]), [AttrEq("g", "a")])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, Project)
+        assert isinstance(rewritten.child, Select)
+
+    def test_project_collapse(self):
+        q = Project(Project(Table("R"), ["g", "v"]), ["g"])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, Project)
+        assert isinstance(rewritten.child, Table)
+
+    def test_identity_projection_removed(self):
+        q = Project(Table("R"), ["v", "g"])
+        rewritten = optimize(q, CATALOG)
+        assert isinstance(rewritten, Table)
+
+    def test_rewrite_once_reports_change(self):
+        q = Select(Union(Table("S"), Table("S")), [AttrEq("g", "a")])
+        _, changed = rewrite_once(q, CATALOG)
+        assert changed
+        stable, changed2 = rewrite_once(Table("S"), CATALOG)
+        assert not changed2
+
+
+class TestAnnotationPreservation:
+    QUERIES = [
+        Select(Union(Table("S"), Table("S")), [AttrEq("g", "a")]),
+        Select(Select(Table("R"), [AttrEq("g", "a")]), [AttrEq("v", 1)]),
+        Select(NaturalJoin(Table("R"), Table("T")), [AttrEq("w", 9)]),
+        Select(NaturalJoin(Table("R"), Table("S")), [AttrEq("v", 1)]),
+        Select(Project(Table("R"), ["g"]), [AttrEq("g", "a")]),
+        Project(Project(Table("R"), ["g", "v"]), ["g"]),
+        Project(Union(Table("S"), Table("S")), ["g"]),
+        Select(Cartesian(Table("S"), Table("T")), [AttrEq("w", 9), AttrEq("g", "a")]),
+        Project(
+            Select(NaturalJoin(Table("R"), Table("S")), [AttrEq("g", "a")]), ["v"]
+        ),
+        GroupBy(Select(Project(Table("R"), ["g", "v"]), [AttrEq("g", "a")]),
+                ["g"], {"v": SUM}),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: str(q)[:50])
+    def test_rewrite_preserves_annotations(self, query):
+        # equality over N[X] implies equality under EVERY specialisation
+        db = make_db()
+        original = query.evaluate(db)
+        rewritten = optimize(query, CATALOG).evaluate(db)
+        assert original == rewritten

@@ -1,0 +1,176 @@
+"""Unit tests for annotated Datalog."""
+
+import math
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    ConvergenceError,
+    Program,
+    Rule,
+    Var,
+    evaluate_datalog,
+)
+from repro.exceptions import QueryError
+from repro.semirings import BOOL, FUZZY, NAT, POSBOOL, SEC, TROPICAL
+from repro.semirings.security import CONFIDENTIAL, PUBLIC, SECRET
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+def path_program():
+    return Program(
+        [
+            Rule(Atom("path", (X, Y)), [Atom("edge", (X, Y))]),
+            Rule(Atom("path", (X, Z)), [Atom("edge", (X, Y)), Atom("path", (Y, Z))]),
+        ]
+    )
+
+
+class TestSyntax:
+    def test_atom_substitution(self):
+        atom = Atom("p", (X, "c", Y))
+        ground = atom.substitute({X: 1, Y: 2})
+        assert ground.is_ground()
+        assert ground.terms == (1, "c", 2)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(Atom("p", (X, Y)), [Atom("q", (X,))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(Atom("p", (X,)), [])
+
+    def test_arity_consistency(self):
+        with pytest.raises(QueryError):
+            Program([
+                Rule(Atom("p", (X,)), [Atom("q", (X,))]),
+                Rule(Atom("p", (X, Y)), [Atom("q", (X,)), Atom("q", (Y,))]),
+            ])
+
+    def test_str_rendering(self):
+        rule = Rule(Atom("path", (X, Z)), [Atom("edge", (X, Y)), Atom("path", (Y, Z))])
+        assert str(rule) == "path(X, Z) :- edge(X, Y), path(Y, Z)"
+
+
+class TestBooleanReachability:
+    def test_acyclic(self):
+        edb = {"edge": {(1, 2): True, (2, 3): True, (3, 4): True}}
+        out = evaluate_datalog(path_program(), BOOL, edb)
+        assert out.annotation("path", (1, 4)) is True
+        assert out.annotation("path", (4, 1)) is False
+
+    def test_cyclic_converges_for_booleans(self):
+        edb = {"edge": {(1, 2): True, (2, 1): True, (2, 3): True}}
+        out = evaluate_datalog(path_program(), BOOL, edb)
+        assert out.annotation("path", (1, 1)) is True
+        assert out.annotation("path", (1, 3)) is True
+
+    def test_zero_annotated_edges_ignored(self):
+        edb = {"edge": {(1, 2): False, (2, 3): True}}
+        out = evaluate_datalog(path_program(), BOOL, edb)
+        assert ("path", (1, 3)) not in out
+
+
+class TestTropicalShortestPaths:
+    def test_bellman_ford_behaviour(self):
+        edb = {
+            "edge": {
+                ("a", "b"): 1.0,
+                ("b", "c"): 2.0,
+                ("a", "c"): 10.0,
+                ("c", "d"): 1.0,
+            }
+        }
+        out = evaluate_datalog(path_program(), TROPICAL, edb)
+        assert out.annotation("path", ("a", "c")) == 3.0  # via b, not direct
+        assert out.annotation("path", ("a", "d")) == 4.0
+        assert math.isinf(out.annotation("path", ("d", "a")))
+
+    def test_cycles_converge_with_nonnegative_costs(self):
+        edb = {"edge": {("a", "b"): 1.0, ("b", "a"): 1.0, ("b", "c"): 5.0}}
+        out = evaluate_datalog(path_program(), TROPICAL, edb)
+        assert out.annotation("path", ("a", "a")) == 2.0
+        assert out.annotation("path", ("a", "c")) == 6.0
+
+
+class TestSecurityPaths:
+    def test_clearance_of_reachability(self):
+        edb = {
+            "edge": {
+                (1, 2): PUBLIC,
+                (2, 3): SECRET,
+                (1, 3): CONFIDENTIAL,
+            }
+        }
+        out = evaluate_datalog(path_program(), SEC, edb)
+        # two derivations: PUBLIC*SECRET = SECRET vs direct CONFIDENTIAL;
+        # + is min (most available): CONFIDENTIAL wins
+        assert out.annotation("path", (1, 3)) is CONFIDENTIAL
+
+
+class TestPosBoolWitnesses:
+    def test_minimal_witnesses_of_reachability(self):
+        e12 = POSBOOL.variable("e12")
+        e23 = POSBOOL.variable("e23")
+        e13 = POSBOOL.variable("e13")
+        edb = {"edge": {(1, 2): e12, (2, 3): e23, (1, 3): e13}}
+        out = evaluate_datalog(path_program(), POSBOOL, edb)
+        witness = out.annotation("path", (1, 3))
+        # either the direct edge, or the two-hop combination
+        expected = POSBOOL.plus(e13, POSBOOL.times(e12, e23))
+        assert witness == expected
+
+    def test_absorption_keeps_fixpoint_finite_on_cycles(self):
+        edb = {
+            "edge": {
+                (1, 2): POSBOOL.variable("a"),
+                (2, 1): POSBOOL.variable("b"),
+            }
+        }
+        out = evaluate_datalog(path_program(), POSBOOL, edb)
+        ab = POSBOOL.times(POSBOOL.variable("a"), POSBOOL.variable("b"))
+        assert out.annotation("path", (1, 1)) == ab
+
+
+class TestFuzzyConfidence:
+    def test_best_derivation_confidence(self):
+        edb = {"edge": {(1, 2): 0.9, (2, 3): 0.9, (1, 3): 0.5}}
+        out = evaluate_datalog(path_program(), FUZZY, edb)
+        assert out.annotation("path", (1, 3)) == pytest.approx(0.81)
+
+
+class TestDivergenceGuard:
+    def test_bags_diverge_on_cycles(self):
+        edb = {"edge": {(1, 2): 1, (2, 1): 1}}
+        with pytest.raises(ConvergenceError):
+            evaluate_datalog(path_program(), NAT, edb, max_rounds=50)
+
+    def test_bags_converge_on_acyclic_data(self):
+        edb = {"edge": {(1, 2): 2, (2, 3): 3}}
+        out = evaluate_datalog(path_program(), NAT, edb)
+        assert out.annotation("path", (1, 3)) == 6  # 2 * 3 derivations
+
+    def test_rounds_reported(self):
+        edb = {"edge": {(i, i + 1): True for i in range(6)}}
+        out = evaluate_datalog(path_program(), BOOL, edb)
+        assert out.rounds >= 6  # chain of length 6 needs that many rounds
+
+
+class TestResultInterface:
+    def test_predicate_and_pretty(self):
+        edb = {"edge": {(1, 2): True}}
+        out = evaluate_datalog(path_program(), BOOL, edb)
+        assert out.predicate("path") == {(1, 2): True}
+        text = out.pretty()
+        assert "path" in text and "edge" in text
+
+    def test_constants_in_rules(self):
+        program = Program(
+            [Rule(Atom("from_one", (Y,)), [Atom("edge", (1, Y))])]
+        )
+        edb = {"edge": {(1, 2): True, (3, 4): True}}
+        out = evaluate_datalog(program, BOOL, edb)
+        assert out.predicate("from_one") == {(2,): True}

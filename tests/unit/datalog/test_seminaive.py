@@ -1,0 +1,90 @@
+"""Semi-naive evaluation agrees with the naive fixpoint everywhere."""
+
+import random
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Program,
+    Rule,
+    Var,
+    evaluate_datalog,
+    evaluate_datalog_seminaive,
+)
+from repro.semirings import BOOL, FUZZY, POSBOOL, TROPICAL
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+def path_program():
+    return Program(
+        [
+            Rule(Atom("path", (X, Y)), [Atom("edge", (X, Y))]),
+            Rule(Atom("path", (X, Z)), [Atom("edge", (X, Y)), Atom("path", (Y, Z))]),
+        ]
+    )
+
+
+def random_graph(n_nodes, n_edges, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < n_edges:
+        edges.add((rng.randrange(n_nodes), rng.randrange(n_nodes)))
+    return sorted(edges)
+
+
+class TestAgreementWithNaive:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_boolean_random_graphs(self, seed):
+        edges = random_graph(6, 9, seed)
+        edb = {"edge": {e: True for e in edges}}
+        naive = evaluate_datalog(path_program(), BOOL, edb)
+        semi = evaluate_datalog_seminaive(path_program(), BOOL, edb)
+        assert semi.predicate("path") == naive.predicate("path")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tropical_random_graphs(self, seed):
+        rng = random.Random(seed + 100)
+        edges = random_graph(6, 9, seed)
+        edb = {"edge": {e: float(rng.randrange(1, 10)) for e in edges}}
+        naive = evaluate_datalog(path_program(), TROPICAL, edb)
+        semi = evaluate_datalog_seminaive(path_program(), TROPICAL, edb)
+        assert semi.predicate("path") == naive.predicate("path")
+
+    def test_fuzzy(self):
+        edb = {"edge": {(1, 2): 0.9, (2, 3): 0.8, (1, 3): 0.5, (3, 1): 0.7}}
+        naive = evaluate_datalog(path_program(), FUZZY, edb)
+        semi = evaluate_datalog_seminaive(path_program(), FUZZY, edb)
+        assert semi.predicate("path") == naive.predicate("path")
+
+    def test_posbool_witnesses(self):
+        edb = {
+            "edge": {
+                (1, 2): POSBOOL.variable("a"),
+                (2, 3): POSBOOL.variable("b"),
+                (1, 3): POSBOOL.variable("c"),
+            }
+        }
+        naive = evaluate_datalog(path_program(), POSBOOL, edb)
+        semi = evaluate_datalog_seminaive(path_program(), POSBOOL, edb)
+        assert semi.predicate("path") == naive.predicate("path")
+
+    def test_multi_predicate_program(self):
+        program = Program(
+            [
+                Rule(Atom("path", (X, Y)), [Atom("edge", (X, Y))]),
+                Rule(Atom("path", (X, Z)), [Atom("edge", (X, Y)), Atom("path", (Y, Z))]),
+                Rule(Atom("connected", (X, Y)), [Atom("path", (X, Y))]),
+                Rule(Atom("connected", (X, Y)), [Atom("path", (Y, X))]),
+            ]
+        )
+        edb = {"edge": {(1, 2): True, (2, 3): True}}
+        naive = evaluate_datalog(program, BOOL, edb)
+        semi = evaluate_datalog_seminaive(program, BOOL, edb)
+        for pred in ("path", "connected"):
+            assert semi.predicate(pred) == naive.predicate(pred)
+
+    def test_empty_edb(self):
+        semi = evaluate_datalog_seminaive(path_program(), BOOL, {"edge": {}})
+        assert semi.predicate("path") == {}

@@ -1,0 +1,89 @@
+"""Unit tests for CSV loading and saving."""
+
+import pytest
+
+from repro.core import Tup
+from repro.io import CsvError, load_csv, save_csv
+from repro.semirings import BOOL, NAT, NX, SEC, SECRET
+
+
+CSV_PLAIN = """Dept,Sal
+d1,20
+d1,10
+d2,15
+"""
+
+CSV_ANNOTATED = """Dept,Sal,mult
+d1,20,2
+d1,10,3
+"""
+
+
+class TestLoadCsv:
+    def test_untagged_load_annotates_one(self):
+        rel = load_csv(CSV_PLAIN, NAT)
+        assert len(rel) == 3
+        assert rel.annotation(Tup({"Dept": "d1", "Sal": 20})) == 1
+
+    def test_type_inference(self):
+        rel = load_csv(CSV_PLAIN, NAT)
+        (t, *_rest) = rel.support()
+        assert isinstance(t["Sal"], int)
+        assert isinstance(t["Dept"], str)
+
+    def test_annotation_column(self):
+        rel = load_csv(CSV_ANNOTATED, NAT, annotation_column="mult")
+        assert rel.schema.attributes == ("Dept", "Sal")
+        assert rel.annotation(Tup({"Dept": "d1", "Sal": 20})) == 2
+        assert rel.annotation(Tup({"Dept": "d1", "Sal": 10})) == 3
+
+    def test_tagged_load(self):
+        rel = load_csv(CSV_PLAIN, NX, tag_prefix="row")
+        annotations = {str(k) for _t, k in rel.items()}
+        assert annotations == {"row1", "row2", "row3"}
+
+    def test_tag_requires_polynomials(self):
+        with pytest.raises(CsvError):
+            load_csv(CSV_PLAIN, NAT, tag_prefix="row")
+
+    def test_boolean_annotations(self):
+        text = "a,present\n1,true\n2,false\n"
+        rel = load_csv(text, BOOL, annotation_column="present")
+        assert len(rel) == 1  # the false row drops out of the support
+
+    def test_security_annotations(self):
+        text = "doc,level\nmemo,PUBLIC\nplan,SECRET\n"
+        rel = load_csv(text, SEC, annotation_column="level")
+        assert rel.annotation(Tup({"doc": "plan"})) is SECRET
+
+    def test_explicit_types(self):
+        rel = load_csv(CSV_PLAIN, NAT, types={"Sal": str})
+        (t, *_r) = rel.support()
+        assert isinstance(t["Sal"], str)
+
+    def test_errors(self):
+        with pytest.raises(CsvError):
+            load_csv("", NAT)
+        with pytest.raises(CsvError):
+            load_csv("a,b\n1\n", NAT)  # ragged row
+        with pytest.raises(CsvError):
+            load_csv(CSV_PLAIN, NAT, annotation_column="missing")
+        with pytest.raises(CsvError):
+            load_csv(CSV_ANNOTATED, NX, annotation_column="mult", tag_prefix="x")
+
+    def test_blank_lines_skipped(self):
+        rel = load_csv("a\n1\n\n2\n", NAT)
+        assert len(rel) == 2
+
+
+class TestSaveCsv:
+    def test_round_trip(self):
+        rel = load_csv(CSV_ANNOTATED, NAT, annotation_column="mult")
+        text = save_csv(rel, annotation_column="mult")
+        again = load_csv(text, NAT, annotation_column="mult")
+        assert again == rel
+
+    def test_header_written(self):
+        rel = load_csv(CSV_PLAIN, NAT)
+        text = save_csv(rel)
+        assert text.splitlines()[0] == "Dept,Sal,annotation"

@@ -1,0 +1,106 @@
+"""Unit tests for the aggregation monoids (Section 2.2)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import MonoidError
+from repro.monoids import (
+    ALL,
+    AVG,
+    BHAT,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    AvgPair,
+    check_monoid_axioms,
+)
+
+
+class TestNumericMonoids:
+    def test_sum(self):
+        assert SUM.identity == 0
+        assert SUM.plus(2, 3) == 5
+        assert not SUM.idempotent
+        check_monoid_axioms(SUM, [0, 1, 2, 5, -3])
+
+    def test_prod(self):
+        assert PROD.identity == 1
+        assert PROD.plus(2, 3) == 6
+        check_monoid_axioms(PROD, [1, 2, 3])
+
+    def test_min(self):
+        assert MIN.identity == math.inf
+        assert MIN.plus(3, 7) == 3
+        assert MIN.idempotent
+        check_monoid_axioms(MIN, [math.inf, 0, 1, 5])
+
+    def test_max(self):
+        assert MAX.identity == -math.inf
+        assert MAX.plus(3, 7) == 7
+        assert MAX.idempotent
+        check_monoid_axioms(MAX, [-math.inf, 0, 1, 5])
+
+    def test_nat_action_closed_forms(self):
+        assert SUM.nat_action(3, 5) == 15
+        assert PROD.nat_action(3, 5) == 125
+        assert MIN.nat_action(3, 5) == 5
+        assert MIN.nat_action(0, 5) == math.inf
+        assert MAX.nat_action(0, 5) == -math.inf
+
+    def test_nat_action_rejects_negative(self):
+        with pytest.raises(MonoidError):
+            SUM.nat_action(-1, 5)
+
+    def test_sum_rejects_infinity(self):
+        assert not SUM.contains(math.inf)
+        assert MIN.contains(math.inf)
+
+
+class TestBooleanMonoids:
+    def test_bhat_is_or(self):
+        assert BHAT.identity is False
+        assert BHAT.plus(False, True) is True
+        assert BHAT.idempotent
+        check_monoid_axioms(BHAT, [False, True])
+
+    def test_all_is_and(self):
+        assert ALL.identity is True
+        assert ALL.plus(True, False) is False
+        check_monoid_axioms(ALL, [False, True])
+
+    def test_bhat_nat_action(self):
+        assert BHAT.nat_action(0, True) is False
+        assert BHAT.nat_action(5, True) is True
+
+    def test_format(self):
+        assert BHAT.format(True) == "⊤"
+        assert ALL.format(False) == "⊥"
+
+
+class TestAvgMonoid:
+    def test_pair_addition(self):
+        assert AVG.plus(AvgPair(10, 2), AvgPair(5, 1)) == AvgPair(15, 3)
+        check_monoid_axioms(AVG, [AvgPair(0, 0), AvgPair(10, 2), AvgPair(5, 1)])
+
+    def test_lift(self):
+        assert AVG.lift(7) == AvgPair(7, 1)
+
+    def test_finalize_exact(self):
+        assert AvgPair(15, 3).finalize() == 5
+        from fractions import Fraction
+
+        assert AvgPair(10, 4).finalize() == Fraction(5, 2)
+
+    def test_finalize_empty_rejected(self):
+        with pytest.raises(MonoidError):
+            AvgPair(0, 0).finalize()
+
+    def test_nat_action(self):
+        assert AVG.nat_action(3, AvgPair(10, 2)) == AvgPair(30, 6)
+
+    def test_contains(self):
+        assert AVG.contains(AvgPair(1, 1))
+        assert not AVG.contains((1, 1).__class__((1, 1)))  # plain tuple
+        assert not AVG.contains(AvgPair(1, -1))

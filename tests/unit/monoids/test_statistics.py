@@ -1,0 +1,85 @@
+"""Unit tests for the moments monoid (VAR / STDEV with provenance)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import KRelation
+from repro.exceptions import MonoidError
+from repro.monoids import MOMENTS, Moments, check_monoid_axioms
+from repro.semimodules import tensor_space
+from repro.semirings import NAT, NX, valuation_hom
+
+
+class TestMomentsMonoid:
+    def test_axioms(self):
+        check_monoid_axioms(
+            MOMENTS,
+            [Moments(0, 0, 0), Moments(1, 5, 25), Moments(2, 7, 29)],
+        )
+
+    def test_lift(self):
+        assert MOMENTS.lift(4) == Moments(1, 4, 16)
+
+    def test_plus(self):
+        assert MOMENTS.plus(Moments(1, 4, 16), Moments(1, 6, 36)) == Moments(2, 10, 52)
+
+    def test_nat_action(self):
+        assert MOMENTS.nat_action(3, Moments(1, 4, 16)) == Moments(3, 12, 48)
+        with pytest.raises(MonoidError):
+            MOMENTS.nat_action(-1, Moments(1, 4, 16))
+
+    def test_contains(self):
+        assert MOMENTS.contains(Moments(1, 4, 16))
+        assert not MOMENTS.contains((1, 4, 16))
+
+
+class TestDerivedStatistics:
+    def test_mean(self):
+        assert Moments(2, 10, 52).mean() == 5
+
+    def test_variance_exact(self):
+        # values 4, 6: mean 5, variance 1
+        assert Moments(2, 10, 52).variance() == 1
+
+    def test_variance_fractional(self):
+        # values 1, 2, 4: mean 7/3, E[x^2] = 7, var = 7 - 49/9 = 14/9
+        m = MOMENTS.sum([MOMENTS.lift(v) for v in (1, 2, 4)])
+        assert m.variance() == Fraction(14, 9)
+
+    def test_stdev(self):
+        assert Moments(2, 10, 52).stdev() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MonoidError):
+            Moments(0, 0, 0).mean()
+        with pytest.raises(MonoidError):
+            Moments(0, 0, 0).variance()
+
+
+class TestProvenanceAwareVariance:
+    def test_symbolic_moments_specialise(self):
+        # aggregate moment triples with provenance, then ask "what is the
+        # variance if tuple y is deleted?" without re-aggregating
+        x, y, z = NX.variables("x", "y", "z")
+        sp = tensor_space(NX, MOMENTS)
+        value = sp.sum(
+            [
+                sp.simple(x, MOMENTS.lift(4)),
+                sp.simple(y, MOMENTS.lift(6)),
+                sp.simple(z, MOMENTS.lift(100)),
+            ]
+        )
+        h = valuation_hom(NX, NAT, {"x": 1, "y": 1, "z": 0})
+        moments = h and value.apply_hom(h).collapse()
+        assert moments == Moments(2, 10, 52)
+        assert moments.variance() == 1
+
+    def test_bag_multiplicities_weight_moments(self):
+        sp = tensor_space(NAT, MOMENTS)
+        value = sp.sum(
+            [sp.simple(2, MOMENTS.lift(4)), sp.simple(1, MOMENTS.lift(7))]
+        )
+        m = value.collapse()
+        assert m == Moments(3, 15, 81)
+        assert m.mean() == 5

@@ -1,0 +1,105 @@
+"""Unit tests for the Figure 2 naive baseline."""
+
+import pytest
+
+from repro.core import KRelation, Tup
+from repro.exceptions import QueryError
+from repro.monoids import SUM
+from repro.naive import (
+    naive_aggregate_boolexpr,
+    naive_aggregate_zx,
+    naive_output_size,
+)
+from repro.semirings import NX, ZX
+from repro.semirings.boolexpr import evaluate_boolexpr
+
+
+def tagged(values):
+    return KRelation.from_rows(
+        NX, ("Sal",), [((v,), NX.variable(f"p{i}")) for i, v in enumerate(values)]
+    )
+
+
+class TestNaiveZX:
+    def test_enumerates_all_subsets(self):
+        out = naive_aggregate_zx(tagged([20, 10, 15]), "Sal", SUM)
+        # 8 subsets but sums collide: {20+10+15, 20+10, 20+15, 10+15, 20, 10, 15, 0}
+        values = sorted(t["Sal"] for t in out.support())
+        assert values == [0, 10, 15, 20, 25, 30, 35, 45]
+
+    def test_figure_2b_deletion(self):
+        # deleting p2 (value 15): set p2 = 0, i.e. evaluate with p2 -> 0
+        from repro.semirings import valuation_hom
+        from repro.semirings.integers import INT
+
+        out = naive_aggregate_zx(tagged([20, 10, 15]), "Sal", SUM)
+        h = valuation_hom(ZX, INT, {"p0": 1, "p1": 1, "p2": 0})
+        survivors = {
+            t["Sal"]: h(k) for t, k in out.items() if h(k) != 0
+        }
+        # only the subset {p0, p1} survives: sum 30 with annotation 1
+        assert survivors == {30: 1}
+
+    def test_annotation_is_product_of_hats(self):
+        out = naive_aggregate_zx(tagged([20]), "Sal", SUM)
+        p0 = ZX.variable("p0")
+        assert out.annotation(Tup({"Sal": 20})) == p0
+        assert out.annotation(Tup({"Sal": 0})) == ZX.plus(ZX.one, ZX.constant(-1) * p0)
+
+    def test_requires_abstract_tags(self):
+        r = KRelation.from_rows(NX, ("Sal",), [((1,), NX.variable("x") * 2)])
+        naive_aggregate_zx(r, "Sal", SUM)  # single token with coeff ok? no:
+        # coefficient 2 still yields one variable; ambiguous tagging is the
+        # multi-variable case:
+        bad = KRelation.from_rows(
+            NX, ("Sal",), [((1,), NX.variable("x") + NX.variable("y"))]
+        )
+        with pytest.raises(QueryError):
+            naive_aggregate_zx(bad, "Sal", SUM)
+
+    def test_duplicate_tokens_rejected(self):
+        bad = KRelation.from_rows(
+            NX, ("Sal",), [((1,), NX.variable("x")), ((2,), NX.variable("x"))]
+        )
+        with pytest.raises(QueryError):
+            naive_aggregate_zx(bad, "Sal", SUM)
+
+    def test_multi_attribute_rejected(self):
+        bad = KRelation.from_rows(NX, ("a", "b"), [((1, 2), NX.variable("x"))])
+        with pytest.raises(QueryError):
+            naive_aggregate_zx(bad, "a", SUM)
+
+
+class TestNaiveBoolExpr:
+    def test_exactly_one_world_true(self):
+        out = naive_aggregate_boolexpr(tagged([20, 10]), "Sal", SUM)
+        assert len(out) == 4
+        for world in ({"p0": True, "p1": True}, {"p0": True, "p1": False},
+                      {"p0": False, "p1": False}):
+            true_rows = [
+                t for t, k in out.items() if evaluate_boolexpr(k, world)
+            ]
+            assert len(true_rows) == 1
+            expected = 20 * world["p0"] + 10 * world["p1"]
+            assert true_rows[0]["Sal"] == expected
+
+
+class TestSizeBound:
+    def test_output_size_formula(self):
+        assert naive_output_size(10) == 1024
+
+    def test_exponential_vs_linear(self):
+        # the crux of Section 3.1: naive output doubles per tuple, the
+        # tensor representation grows by one summand per tuple
+        from repro.core import aggregate
+
+        for n in (2, 4, 6):
+            rel = tagged(list(range(1, n + 1)))
+            naive = naive_aggregate_zx(rel, "Sal", SUM)
+            tensored = aggregate(rel, "Sal", SUM)
+            (t,) = tensored.support()
+            assert len(naive) <= naive_output_size(n)
+            assert t["Sal"].size() == n
+        # distinct sums => the bound is tight when values are powers of two
+        rel = tagged([1, 2, 4, 8])
+        assert len(naive_aggregate_zx(rel, "Sal", SUM)) == 16

@@ -1,0 +1,110 @@
+"""Unit tests for annotation-aggregation compatibility (Section 3.4)."""
+
+import pytest
+
+from repro.exceptions import CompatibilityError
+from repro.monoids import BHAT, MAX, MIN, PROD, SUM
+from repro.semimodules import (
+    compatibility_reason,
+    is_compatible,
+    readback,
+    tensor_space,
+)
+from repro.semirings import BOOL, NAT, NX, SEC, SECBAG, SECRET, TRIO, TROPICAL
+
+
+class TestCompatibilityDecisions:
+    def test_prop_39_classical_cases(self):
+        # B with MAX/MIN, N with SUM/PROD: the sanity-check cases
+        assert is_compatible(BOOL, MAX)
+        assert is_compatible(BOOL, MIN)
+        assert is_compatible(NAT, SUM)
+        assert is_compatible(NAT, PROD)
+
+    def test_prop_311_idempotent_plus_blocks_sum(self):
+        # B, S idempotent => non-idempotent monoids incompatible
+        assert not is_compatible(BOOL, SUM)
+        assert not is_compatible(SEC, SUM)
+        assert not is_compatible(SEC, PROD)
+        assert not is_compatible(TROPICAL, SUM)
+
+    def test_thm_312_idempotent_monoids_with_positive_semirings(self):
+        assert is_compatible(SEC, MAX)
+        assert is_compatible(SEC, MIN)
+        assert is_compatible(TROPICAL, MAX)
+        assert is_compatible(NX, MIN)
+        assert is_compatible(BOOL, BHAT)
+
+    def test_thm_313_hom_to_nat_route(self):
+        # Cor. 3.14: N[X] compatible with everything
+        assert is_compatible(NX, SUM)
+        assert is_compatible(NX, PROD)
+        # Cor. 3.15: SN compatible with everything
+        assert is_compatible(SECBAG, SUM)
+        # Trio has a hom to N as well
+        assert is_compatible(TRIO, SUM)
+
+    def test_reasons(self):
+        assert compatibility_reason(NX, SUM) == "hom-to-N"
+        assert compatibility_reason(SEC, MAX) == "idempotent-positive"
+        assert compatibility_reason(BOOL, SUM) == "incompatible-idempotence"
+
+    def test_undetermined_raises(self):
+        from repro.semirings.integers import INT
+
+        # Z: not positive, no hom to N, not plus-idempotent -> undetermined
+        assert compatibility_reason(INT, MAX) == "undetermined"
+        with pytest.raises(CompatibilityError):
+            is_compatible(INT, MAX)
+
+
+class TestIotaInjectivityWitnesses:
+    def test_iota_not_injective_bool_sum(self):
+        # The paper derives iota(4) = iota(2+2) = iota(2) + iota(2) =
+        # (T or T)(x)2 = iota(2) in the quotient B (x) SUM.  Our normal form
+        # realises the second half of that chain — idempotent scalars make
+        # iota(2) + iota(2) collapse back to iota(2), so "2 + 2" is
+        # indistinguishable from "2": summation cannot be read back, which
+        # is exactly the incompatibility of B with SUM (Prop. 3.11).
+        sp = tensor_space(BOOL, SUM)
+        assert sp.add(sp.iota(2), sp.iota(2)) == sp.iota(2)
+        assert not is_compatible(BOOL, SUM)
+
+    def test_iota_injective_nx_sum_on_samples(self):
+        sp = tensor_space(NX, SUM)
+        values = [1, 2, 3, 10, 20]
+        images = [sp.iota(v) for v in values]
+        assert len(set(images)) == len(values)
+
+    def test_readback_inverts_iota_nx(self):
+        sp = tensor_space(NX, SUM)
+        for v in (0, 1, 7, 20):
+            assert readback(sp.iota(v)) == v
+
+    def test_readback_inverts_iota_sec_max(self):
+        sp = tensor_space(SEC, MAX)
+        for v in (1.0, 5.0):
+            assert readback(sp.iota(v)) == v
+
+    def test_readback_via_nat_hom(self):
+        # Thm 3.13 witness: h(sum k_i (x) m_i) = sum h'(k_i) m_i
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        t = sp.add(sp.simple(2 * x, 10), sp.simple(y, 5))
+        # x, y -> 1: 2*10 + 1*5
+        assert readback(t) == 25
+
+    def test_readback_via_idempotent_witness(self):
+        sp = tensor_space(SEC, MAX)
+        t = sp.add(sp.simple(SECRET, 20), sp.simple(SEC.zero, 99))
+        # zero-annotated entries drop (they already drop in normal form)
+        assert readback(t) == 20
+
+    def test_readback_collapsing_space(self):
+        sp = tensor_space(NAT, SUM)
+        assert readback(sp.simple(3, 10)) == 30
+
+    def test_readback_unavailable(self):
+        sp = tensor_space(BOOL, SUM)
+        with pytest.raises(CompatibilityError):
+            readback(sp.iota(4))

@@ -1,0 +1,53 @@
+"""Tests for the paper-style grouped tensor presentation."""
+
+from repro.monoids import MAX, SUM
+from repro.semimodules import tensor_space
+from repro.semirings import NX, PUBLIC, SEC, SECRET
+
+
+class TestGroupedByScalar:
+    def test_example_35_presentation(self):
+        # the paper writes S(x)20 + S(x)30 + 1s(x)10 as S(x)30 + 1s(x)10
+        sp = tensor_space(SEC, MAX)
+        t = sp.sum(
+            [sp.simple(SECRET, 20), sp.simple(PUBLIC, 10), sp.simple(SECRET, 30)]
+        )
+        grouped = dict(t.grouped_by_scalar())
+        assert grouped == {SECRET: 30, PUBLIC: 10}
+        assert t.format_grouped() == "1s⊗10 + S⊗30"
+
+    def test_sum_monoid_grouping_adds(self):
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        t = sp.sum([sp.simple(x, 20), sp.simple(x, 30)])
+        # wait: normal form already merges by value only when values equal;
+        # 20 and 30 stay separate entries with the same scalar x
+        assert len(t) == 2
+        assert dict(t.grouped_by_scalar()) == {x: 50}
+        assert t.format_grouped() == "x⊗50"
+
+    def test_distinct_scalars_untouched(self):
+        sp = tensor_space(NX, SUM)
+        x, y = NX.variables("x", "y")
+        t = sp.sum([sp.simple(x, 20), sp.simple(y, 10)])
+        assert dict(t.grouped_by_scalar()) == {x: 20, y: 10}
+
+    def test_zero_tensor(self):
+        sp = tensor_space(NX, SUM)
+        assert sp.zero.grouped_by_scalar() == ()
+        assert sp.zero.format_grouped() == "0"
+
+    def test_view_is_sound_under_homs(self):
+        # grouping is a congruence rewrite: specialising the grouped view
+        # agrees with specialising the canonical form
+        from repro.semirings import NAT, valuation_hom
+
+        sp = tensor_space(NX, SUM)
+        x = NX.variable("x")
+        t = sp.sum([sp.simple(x, 20), sp.simple(x, 30)])
+        h = valuation_hom(NX, NAT, {"x": 2})
+        canonical = t.apply_hom(h).collapse()
+        grouped_value = sum(
+            NAT.hom_to_nat(h(k)) * m for k, m in t.grouped_by_scalar()
+        )
+        assert canonical == grouped_value == 100

@@ -1,0 +1,67 @@
+"""Unit tests for the boolean semiring (set semantics)."""
+
+import pytest
+
+from repro.semirings import BOOL, check_semiring_axioms
+from repro.exceptions import SemiringError
+
+
+class TestBooleanSemiring:
+    def test_constants(self):
+        assert BOOL.zero is False
+        assert BOOL.one is True
+
+    def test_plus_is_disjunction(self):
+        assert BOOL.plus(False, False) is False
+        assert BOOL.plus(False, True) is True
+        assert BOOL.plus(True, True) is True
+
+    def test_times_is_conjunction(self):
+        assert BOOL.times(True, True) is True
+        assert BOOL.times(True, False) is False
+        assert BOOL.times(False, False) is False
+
+    def test_axioms_on_full_carrier(self):
+        check_semiring_axioms(BOOL, [False, True])
+
+    def test_structural_flags(self):
+        assert BOOL.idempotent_plus
+        assert BOOL.positive
+        assert not BOOL.has_hom_to_nat
+        assert BOOL.is_booleans
+
+    def test_no_hom_to_nat(self):
+        with pytest.raises(SemiringError):
+            BOOL.hom_to_nat(True)
+
+    def test_delta_is_identity(self):
+        assert BOOL.delta(False) is False
+        assert BOOL.delta(True) is True
+
+    def test_from_int(self):
+        assert BOOL.from_int(0) is False
+        assert BOOL.from_int(1) is True
+        assert BOOL.from_int(7) is True
+
+    def test_contains_rejects_non_bool(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains(1)
+        assert not BOOL.contains("true")
+
+    def test_sum_and_prod_folds(self):
+        assert BOOL.sum([]) is False
+        assert BOOL.sum([False, True, False]) is True
+        assert BOOL.prod([]) is True
+        assert BOOL.prod([True, False]) is False
+
+    def test_format(self):
+        assert BOOL.format(True) == "⊤"
+        assert BOOL.format(False) == "⊥"
+
+
+class TestNaturalViaSharedInterface:
+    """N-specific behaviour lives in test_natural; cross-checks here."""
+
+    def test_bool_is_not_plus_cancellative(self):
+        # T + T = T: the reason no hom B -> N exists.
+        assert BOOL.plus(True, True) == BOOL.plus(True, False)

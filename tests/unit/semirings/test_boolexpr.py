@@ -1,0 +1,91 @@
+"""Unit tests for boolean expressions with negation (c-table annotations)."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semirings import (
+    BOOLEXPR,
+    BVar,
+    band,
+    bnot,
+    bor,
+    check_semiring_axioms,
+    evaluate_boolexpr,
+    semantic_equals,
+)
+from repro.semirings.boolexpr import FALSE, TRUE, boolexpr_variables
+
+
+class TestSmartConstructors:
+    def test_constants_absorb(self):
+        x = BVar("x")
+        assert band(x, TRUE) == x
+        assert band(x, FALSE) == FALSE
+        assert bor(x, FALSE) == x
+        assert bor(x, TRUE) == TRUE
+
+    def test_flattening(self):
+        x, y, z = BVar("x"), BVar("y"), BVar("z")
+        assert band(band(x, y), z) == band(x, band(y, z))
+        assert bor(bor(x, y), z) == bor(x, bor(y, z))
+
+    def test_idempotent_children(self):
+        x = BVar("x")
+        assert band(x, x) == x
+        assert bor(x, x) == x
+
+    def test_double_negation(self):
+        x = BVar("x")
+        assert bnot(bnot(x)) == x
+        assert bnot(TRUE) == FALSE
+
+    def test_empty_operands(self):
+        assert band() == TRUE
+        assert bor() == FALSE
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        x, y = BVar("x"), BVar("y")
+        e = bor(band(x, bnot(y)), y)
+        assert evaluate_boolexpr(e, {"x": True, "y": False}) is True
+        assert evaluate_boolexpr(e, {"x": False, "y": False}) is False
+
+    def test_missing_assignment(self):
+        with pytest.raises(SemiringError):
+            evaluate_boolexpr(BVar("x"), {})
+
+    def test_variables(self):
+        e = band(BVar("x"), bnot(bor(BVar("y"), BVar("x"))))
+        assert boolexpr_variables(e) == frozenset(["x", "y"])
+
+    def test_semantic_equals(self):
+        x, y = BVar("x"), BVar("y")
+        # distribution law holds semantically even if shapes differ
+        lhs = band(x, bor(y, TRUE))
+        assert semantic_equals(lhs, x)
+        assert not semantic_equals(x, y)
+
+    def test_semantic_equals_var_limit(self):
+        big_or = bor(*[BVar(f"v{i}") for i in range(25)])
+        with pytest.raises(SemiringError):
+            semantic_equals(big_or, big_or, max_vars=20)
+
+
+class TestBoolExprSemiring:
+    def test_axioms(self):
+        x, y = BVar("x"), BVar("y")
+        check_semiring_axioms(
+            BOOLEXPR, [FALSE, TRUE, x, y, band(x, y)], equal=semantic_equals
+        )
+
+    def test_negate_is_p_hat(self):
+        x = BVar("x")
+        assert BOOLEXPR.negate(x) == bnot(x)
+
+    def test_flags(self):
+        assert BOOLEXPR.idempotent_plus
+        assert not BOOLEXPR.has_hom_to_nat
+
+    def test_variable_helper(self):
+        assert BOOLEXPR.variable("t") == BVar("t")

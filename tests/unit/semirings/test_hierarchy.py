@@ -1,0 +1,130 @@
+"""Unit tests for the provenance hierarchy semirings and their surjections."""
+
+from repro.semirings import (
+    BOTTOM,
+    BX,
+    LIN,
+    NX,
+    POSBOOL,
+    TRIO,
+    WHY,
+    check_semiring_axioms,
+    witness_set,
+)
+from repro.semirings.hierarchy import (
+    HIERARCHY_EDGES,
+    bx_to_why,
+    lin_to_bool,
+    nx_to_bool,
+    nx_to_bx,
+    nx_to_lin,
+    nx_to_nat,
+    nx_to_posbool,
+    nx_to_trio,
+    nx_to_why,
+    posbool_to_bool,
+    trio_to_why,
+    why_to_lin,
+    why_to_posbool,
+)
+
+
+def sample_polynomials():
+    x, y, z = NX.variables("x", "y", "z")
+    return [NX.zero, NX.one, x, 2 * x, x * x * y + y, (x + y) * z, x * y + x * y]
+
+
+class TestHierarchySemiringAxioms:
+    def test_why_axioms(self):
+        a = witness_set(("x",), ("y",))
+        b = witness_set(("x", "y"))
+        check_semiring_axioms(WHY, [WHY.zero, WHY.one, a, b])
+
+    def test_posbool_axioms_and_absorption(self):
+        a = POSBOOL.variable("x")
+        ab = POSBOOL.times(a, POSBOOL.variable("y"))
+        check_semiring_axioms(POSBOOL, [POSBOOL.zero, POSBOOL.one, a, ab])
+        # absorption: x + x*y = x
+        assert POSBOOL.plus(a, ab) == a
+
+    def test_lineage_axioms(self):
+        check_semiring_axioms(
+            LIN, [LIN.zero, LIN.one, LIN.variable("x"), LIN.variable("y")]
+        )
+        assert LIN.zero is BOTTOM
+        assert LIN.one == frozenset()
+
+    def test_trio_axioms(self):
+        x, y = TRIO.variable("x"), TRIO.variable("y")
+        check_semiring_axioms(TRIO, [TRIO.zero, TRIO.one, x, TRIO.plus(x, y)])
+
+    def test_trio_drops_exponents_keeps_counts(self):
+        x = TRIO.variable("x")
+        assert TRIO.times(x, x) == x  # x^2 = x as witness sets
+        assert TRIO.plus(x, x) != x  # but 2x != x
+
+    def test_trio_hom_to_nat(self):
+        x, y = TRIO.variable("x"), TRIO.variable("y")
+        v = TRIO.plus(TRIO.plus(x, x), TRIO.times(x, y))
+        assert TRIO.hom_to_nat(v) == 3
+
+    def test_why_times_pairwise_union(self):
+        a = witness_set(("x",), ("y",))
+        assert WHY.times(a, a) == witness_set(("x",), ("y",), ("x", "y"))
+
+
+class TestHierarchyHomLaws:
+    def test_all_edges_are_homomorphisms_on_samples(self):
+        # generate images of sample polynomials at each node and check
+        # the +/* laws hold for every edge
+        samples = sample_polynomials()
+        node_samples = {
+            "N[X]": samples,
+            "B[X]": [nx_to_bx(p) for p in samples],
+            "Trio[X]": [nx_to_trio(p) for p in samples],
+            "Why[X]": [nx_to_why(p) for p in samples],
+        }
+        node_semirings = {"N[X]": NX, "B[X]": BX, "Trio[X]": TRIO, "Why[X]": WHY}
+        targets = {"B[X]": BX, "Trio[X]": TRIO, "Why[X]": WHY,
+                   "PosBool[X]": POSBOOL, "Lin[X]": LIN}
+        for (src, dst), hom in HIERARCHY_EDGES.items():
+            source_sr = node_semirings[src]
+            target_sr = targets[dst]
+            elems = node_samples[src]
+            assert hom(source_sr.zero) == target_sr.zero
+            assert hom(source_sr.one) == target_sr.one
+            for a in elems:
+                for b in elems:
+                    assert hom(source_sr.plus(a, b)) == target_sr.plus(hom(a), hom(b))
+                    assert hom(source_sr.times(a, b)) == target_sr.times(hom(a), hom(b))
+
+    def test_diagram_commutes_via_why(self):
+        # N[X] -> B[X] -> Why = N[X] -> Trio -> Why = N[X] -> Why
+        for p in sample_polynomials():
+            via_bx = bx_to_why(nx_to_bx(p))
+            via_trio = trio_to_why(nx_to_trio(p))
+            direct = nx_to_why(p)
+            assert via_bx == via_trio == direct
+
+    def test_posbool_and_lin_composites(self):
+        for p in sample_polynomials():
+            assert nx_to_posbool(p) == why_to_posbool(nx_to_why(p))
+            assert nx_to_lin(p) == why_to_lin(nx_to_why(p))
+
+    def test_support_consistency_at_the_bottom(self):
+        # every path to B computes the same support
+        for p in sample_polynomials():
+            expected = nx_to_bool(p)
+            assert posbool_to_bool(nx_to_posbool(p)) == expected
+            assert lin_to_bool(nx_to_lin(p)) == expected
+
+    def test_concrete_images(self):
+        x, y = NX.variables("x", "y")
+        p = x * x * y + 2 * x
+        assert nx_to_why(p) == witness_set(("x", "y"), ("x",))
+        assert nx_to_posbool(p) == witness_set(("x",))  # absorption
+        assert nx_to_lin(p) == frozenset(["x", "y"])
+        assert nx_to_nat(p) == 3
+
+    def test_lineage_of_zero_is_bottom(self):
+        assert nx_to_lin(NX.zero) is BOTTOM

@@ -1,0 +1,36 @@
+"""Unit tests for the integer ring viewed as a semiring."""
+
+from repro.semirings import INT, check_semiring_axioms
+
+
+class TestIntegerRing:
+    def test_constants_and_ops(self):
+        assert INT.zero == 0
+        assert INT.one == 1
+        assert INT.plus(-2, 5) == 3
+        assert INT.times(-2, 5) == -10
+
+    def test_axioms_on_sample_with_negatives(self):
+        check_semiring_axioms(INT, [-2, -1, 0, 1, 3])
+
+    def test_not_positive(self):
+        # 1 + (-1) = 0 with neither operand zero.
+        assert not INT.positive
+        assert INT.plus(1, -1) == 0
+
+    def test_ring_extras(self):
+        assert INT.negate(7) == -7
+        assert INT.minus(3, 5) == -2
+
+    def test_delta_support_indicator(self):
+        assert INT.delta(0) == 0
+        assert INT.delta(5) == 1
+        assert INT.delta(-5) == 1
+
+    def test_from_int_allows_negative(self):
+        assert INT.from_int(-3) == -3
+
+    def test_contains(self):
+        assert INT.contains(-10)
+        assert not INT.contains(True)
+        assert not INT.contains(0.5)

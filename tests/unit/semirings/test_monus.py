@@ -1,0 +1,115 @@
+"""Unit tests for the monus (m-semiring) structure."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semirings import BOOL, FUZZY, LIN, NAT, NX, POSBOOL, WHY, witness_set
+from repro.semirings.lineage import BOTTOM
+from repro.semirings.monus import has_monus, monus, natural_leq
+
+
+class TestNaturalOrder:
+    def test_nat(self):
+        assert natural_leq(NAT, 2, 5)
+        assert not natural_leq(NAT, 5, 2)
+
+    def test_idempotent_semirings(self):
+        assert natural_leq(BOOL, False, True)
+        assert not natural_leq(BOOL, True, False)
+        a = witness_set(("x",))
+        ab = witness_set(("x",), ("y",))
+        assert natural_leq(WHY, a, ab)
+        assert not natural_leq(WHY, ab, a)
+
+    def test_undecided(self):
+        with pytest.raises(SemiringError):
+            natural_leq(NX, NX.one, NX.one)
+
+
+class TestMonusValues:
+    def test_nat_truncated(self):
+        assert monus(NAT, 5, 2) == 3
+        assert monus(NAT, 2, 5) == 0
+
+    def test_bool(self):
+        assert monus(BOOL, True, False) is True
+        assert monus(BOOL, True, True) is False
+
+    def test_fuzzy_residual(self):
+        assert monus(FUZZY, 0.8, 0.5) == 0.8
+        assert monus(FUZZY, 0.5, 0.8) == 0.0
+        assert monus(FUZZY, 0.5, 0.5) == 0.0
+
+    def test_why_set_difference(self):
+        a = witness_set(("x",), ("y",))
+        b = witness_set(("x",))
+        assert monus(WHY, a, b) == witness_set(("y",))
+
+    def test_posbool_covered_witnesses_drop(self):
+        a = witness_set(("x", "y"), ("z",))
+        b = witness_set(("x",))  # covers {x,y}
+        assert monus(POSBOOL, a, b) == witness_set(("z",))
+
+    def test_lineage(self):
+        assert monus(LIN, BOTTOM, frozenset(["x"])) is BOTTOM
+        assert monus(LIN, frozenset(["x", "y"]), BOTTOM) == frozenset(["x", "y"])
+        assert monus(LIN, frozenset(["x", "y"]), frozenset(["x"])) == frozenset(["y"])
+
+    def test_unsupported(self):
+        assert not has_monus(NX)
+        with pytest.raises(SemiringError):
+            monus(NX, NX.one, NX.one)
+
+
+class TestMonusLaws:
+    """a ⊖ b is the least c with a ≼ b + c (checked on samples)."""
+
+    def samples(self, semiring):
+        if semiring is NAT:
+            return [0, 1, 2, 5]
+        if semiring is BOOL:
+            return [False, True]
+        if semiring is FUZZY:
+            return [0.0, 0.3, 0.7, 1.0]
+        if semiring is WHY or semiring is POSBOOL:
+            return [
+                semiring.zero, semiring.one,
+                witness_set(("x",)), witness_set(("x",), ("y",)),
+                witness_set(("x", "y")),
+            ]
+        if semiring is LIN:
+            return [BOTTOM, frozenset(), frozenset(["x"]), frozenset(["x", "y"])]
+        raise AssertionError(semiring)
+
+    @pytest.mark.parametrize("semiring", [NAT, BOOL, FUZZY, WHY, POSBOOL, LIN],
+                             ids=lambda s: s.name)
+    def test_defining_property(self, semiring):
+        elems = self.samples(semiring)
+        for a in elems:
+            for b in elems:
+                c = monus(semiring, a, b)
+                # a ≼ b + c
+                assert natural_leq(semiring, a, semiring.plus(b, c)), (a, b, c)
+                # minimality: any other d with a ≼ b + d satisfies c ≼ d
+                for d in elems:
+                    if natural_leq(semiring, a, semiring.plus(b, d)):
+                        assert natural_leq(semiring, c, d), (a, b, c, d)
+
+
+class TestMonusDifferenceIntegration:
+    def test_posbool_relations(self):
+        from repro.core import KRelation, Tup, monus_difference
+
+        a = witness_set(("x", "y"))
+        r = KRelation.from_rows(POSBOOL, ("k",), [((1,), a)])
+        s = KRelation.from_rows(POSBOOL, ("k",), [((1,), witness_set(("x",)))])
+        out = monus_difference(r, s)
+        assert out.annotation(Tup({"k": 1})) == POSBOOL.zero
+
+    def test_fuzzy_relations(self):
+        from repro.core import KRelation, Tup, monus_difference
+
+        r = KRelation.from_rows(FUZZY, ("k",), [((1,), 0.9)])
+        s = KRelation.from_rows(FUZZY, ("k",), [((1,), 0.4)])
+        out = monus_difference(r, s)
+        assert out.annotation(Tup({"k": 1})) == 0.9

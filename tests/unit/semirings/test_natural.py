@@ -1,0 +1,55 @@
+"""Unit tests for the natural-numbers (bag) semiring."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semirings import NAT, check_semiring_axioms
+
+
+class TestNaturalSemiring:
+    def test_constants(self):
+        assert NAT.zero == 0
+        assert NAT.one == 1
+
+    def test_arithmetic(self):
+        assert NAT.plus(2, 3) == 5
+        assert NAT.times(2, 3) == 6
+
+    def test_axioms_on_sample(self):
+        check_semiring_axioms(NAT, [0, 1, 2, 3, 7])
+
+    def test_structural_flags(self):
+        assert not NAT.idempotent_plus
+        assert NAT.positive
+        assert NAT.has_hom_to_nat
+        assert NAT.is_naturals
+
+    def test_delta_definition36(self):
+        assert NAT.delta(0) == 0
+        assert NAT.delta(1) == 1
+        assert NAT.delta(17) == 1
+
+    def test_hom_to_nat_is_identity(self):
+        assert NAT.hom_to_nat(5) == 5
+
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(SemiringError):
+            NAT.from_int(-1)
+
+    def test_contains(self):
+        assert NAT.contains(0)
+        assert NAT.contains(42)
+        assert not NAT.contains(-1)
+        assert not NAT.contains(True)  # bools are not multiplicities
+        assert not NAT.contains(1.5)
+
+    def test_pow(self):
+        assert NAT.pow(3, 0) == 1
+        assert NAT.pow(3, 4) == 81
+        with pytest.raises(SemiringError):
+            NAT.pow(3, -1)
+
+    def test_positivity_concrete(self):
+        # a + b = 0 forces a = b = 0 on naturals.
+        assert NAT.plus(0, 0) == 0
+        check_semiring_axioms(NAT, [0, 1])

@@ -1,0 +1,61 @@
+"""Unit tests for the polynomial expression parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.semirings import NX
+from repro.semirings.parsing import parse_polynomial
+
+
+class TestParsing:
+    def test_constants(self):
+        assert parse_polynomial("0") == NX.zero
+        assert parse_polynomial("1") == NX.one
+        assert parse_polynomial("42") == NX.from_int(42)
+
+    def test_variables_and_exponents(self):
+        x, y = NX.variables("x", "y")
+        assert parse_polynomial("x") == x
+        assert parse_polynomial("x^3") == x * x * x
+        assert parse_polynomial("2*x*y") == 2 * x * y
+
+    def test_sums_and_products(self):
+        x, y = NX.variables("x", "y")
+        assert parse_polynomial("x*y + 2*x + 3") == x * y + 2 * x + NX.from_int(3)
+
+    def test_parentheses(self):
+        x, y = NX.variables("x", "y")
+        assert parse_polynomial("(x + y) * (x + y)") == (x + y) ** 2
+
+    def test_delta(self):
+        x, y = NX.variables("x", "y")
+        assert parse_polynomial("δ(x + y)") == NX.delta(x + y)
+        assert parse_polynomial("d(x + y)") == NX.delta(x + y)  # ascii alias
+        assert parse_polynomial("δ(3)") == NX.one  # constant folds
+
+    def test_delta_identifier_not_confused(self):
+        # a variable literally named d, without parentheses, stays a token
+        d = NX.variable("d")
+        assert parse_polynomial("d + 1") == d + NX.one
+
+    def test_round_trip_display_syntax(self):
+        x, y, z = NX.variables("x", "y", "z")
+        cases = [
+            NX.zero,
+            NX.one,
+            2 * x * x * y + z,
+            NX.delta(x + y) * z + NX.from_int(3),
+            (x + y) ** 3,
+        ]
+        for poly in cases:
+            assert parse_polynomial(str(poly)) == poly
+
+    def test_nested_delta_round_trip(self):
+        x = NX.variable("x")
+        poly = NX.delta(NX.delta(x) + NX.variable("y"))
+        assert parse_polynomial(str(poly)) == poly
+
+    def test_errors(self):
+        for bad in ("", "x +", "x ^", "x ^ y", "(x", "x)", "x ? y", "δ(x"):
+            with pytest.raises(ParseError):
+                parse_polynomial(bad)

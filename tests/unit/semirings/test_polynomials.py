@@ -1,0 +1,134 @@
+"""Unit tests for the generic polynomial engine and N[X] / Z[X]."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semirings import (
+    BOOL,
+    INT,
+    NAT,
+    NX,
+    ZX,
+    Monomial,
+    check_semiring_axioms,
+    polynomials_over,
+)
+
+
+class TestMonomial:
+    def test_empty_is_unit(self):
+        m = Monomial()
+        assert not m
+        assert m.degree == 0
+        assert str(m) == "1"
+
+    def test_zero_exponents_dropped(self):
+        assert Monomial({"x": 0}) == Monomial()
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(SemiringError):
+            Monomial({"x": -1})
+
+    def test_mul_adds_exponents(self):
+        m = Monomial({"x": 1, "y": 2}).mul(Monomial({"x": 2}))
+        assert m.exponent("x") == 3
+        assert m.exponent("y") == 2
+        assert m.degree == 5
+
+    def test_equality_and_hash_order_independent(self):
+        a = Monomial({"x": 1, "y": 2})
+        b = Monomial({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_drop_exponents(self):
+        assert Monomial({"x": 3, "y": 1}).drop_exponents() == Monomial({"x": 1, "y": 1})
+
+    def test_str_with_exponent(self):
+        assert str(Monomial({"x": 2})) == "x^2"
+
+
+class TestPolynomialArithmetic:
+    def test_zero_and_one(self):
+        assert not NX.zero
+        assert NX.one.is_constant()
+        assert NX.one.constant_value() == 1
+
+    def test_variable_construction(self):
+        x = NX.variable("x")
+        assert x.degree == 1
+        assert x.variables() == frozenset(["x"])
+
+    def test_addition_merges_coefficients(self):
+        x = NX.variable("x")
+        assert str(x + x) == "2*x"
+
+    def test_multiplication_distributes(self):
+        x, y = NX.variables("x", "y")
+        p = (x + y) * (x + y)
+        assert p.coefficient(Monomial({"x": 1, "y": 1})) == 2
+        assert p.coefficient(Monomial({"x": 2})) == 1
+
+    def test_power(self):
+        x = NX.variable("x")
+        assert (x + NX.one) ** 2 == x * x + 2 * x + NX.one
+
+    def test_coerce_int(self):
+        assert NX.coerce(5).constant_value() == 5
+
+    def test_coerce_foreign_polynomial_rejected(self):
+        with pytest.raises(SemiringError):
+            NX.coerce(ZX.variable("x"))
+
+    def test_semiring_axioms_on_sample(self):
+        x, y = NX.variables("x", "y")
+        check_semiring_axioms(NX, [NX.zero, NX.one, x, y, x + y, x * y])
+
+    def test_zx_allows_negative_coefficients(self):
+        p = ZX.constant(-1) * ZX.variable("x") + ZX.variable("x")
+        assert not p  # x - x = 0
+
+    def test_zx_not_positive(self):
+        assert not ZX.positive
+        assert NX.positive
+
+    def test_constant_value_raises_on_nonconstant(self):
+        with pytest.raises(SemiringError):
+            NX.variable("x").constant_value()
+
+    def test_size_metric(self):
+        x, y = NX.variables("x", "y")
+        p = x * x * y + 2 * x
+        # two terms, degrees 3 and 1
+        assert p.size() == 2 + 3 + 1
+
+    def test_str_rendering(self):
+        x, y = NX.variables("x", "y")
+        assert str(2 * x + y * x) == "x*y + 2*x"
+        assert str(NX.zero) == "0"
+
+    def test_hashable_and_dict_key(self):
+        x = NX.variable("x")
+        d = {x + x: "two"}
+        assert d[2 * x] == "two"
+
+
+class TestPolynomialSemiringFactory:
+    def test_cached_instances(self):
+        assert polynomials_over(NAT) is NX
+        assert polynomials_over(INT) is ZX
+
+    def test_bool_coefficients_idempotent(self):
+        bx = polynomials_over(BOOL)
+        x = bx.variable("x")
+        assert x + x == x  # coefficients saturate
+
+    def test_hom_to_nat_evaluates_vars_at_one(self):
+        x, y = NX.variables("x", "y")
+        assert NX.hom_to_nat(2 * x * y + 3 * x) == 5
+
+    def test_properties_inherited_from_coefficients(self):
+        bx = polynomials_over(BOOL)
+        assert bx.idempotent_plus
+        assert not bx.has_hom_to_nat
+        assert NX.has_hom_to_nat

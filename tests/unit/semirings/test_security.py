@@ -1,0 +1,55 @@
+"""Unit tests for the security semiring S and its clearance order."""
+
+from repro.semirings import (
+    CONFIDENTIAL,
+    NEVER,
+    PUBLIC,
+    SEC,
+    SECRET,
+    TOP_SECRET,
+    check_semiring_axioms,
+)
+
+ALL_LEVELS = [PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET, NEVER]
+
+
+class TestSecuritySemiring:
+    def test_paper_order(self):
+        # 1s < C < S < T < 0s
+        assert PUBLIC < CONFIDENTIAL < SECRET < TOP_SECRET < NEVER
+
+    def test_constants(self):
+        assert SEC.zero is NEVER
+        assert SEC.one is PUBLIC
+
+    def test_plus_is_min_most_available(self):
+        assert SEC.plus(SECRET, CONFIDENTIAL) is CONFIDENTIAL
+        assert SEC.plus(NEVER, TOP_SECRET) is TOP_SECRET
+        assert SEC.plus(PUBLIC, NEVER) is PUBLIC
+
+    def test_times_is_max_most_restrictive(self):
+        assert SEC.times(SECRET, CONFIDENTIAL) is SECRET
+        assert SEC.times(PUBLIC, TOP_SECRET) is TOP_SECRET
+        assert SEC.times(NEVER, PUBLIC) is NEVER  # 0 annihilates
+
+    def test_axioms_on_full_carrier(self):
+        check_semiring_axioms(SEC, ALL_LEVELS)
+
+    def test_structural_flags(self):
+        assert SEC.idempotent_plus
+        assert SEC.positive
+        assert not SEC.has_hom_to_nat
+
+    def test_delta_is_identity(self):
+        for level in ALL_LEVELS:
+            assert SEC.delta(level) is level
+
+    def test_from_int(self):
+        assert SEC.from_int(0) is NEVER
+        assert SEC.from_int(1) is PUBLIC
+        assert SEC.from_int(3) is PUBLIC  # n * 1s = 1s (idempotent plus)
+
+    def test_format_symbols(self):
+        assert SEC.format(PUBLIC) == "1s"
+        assert SEC.format(NEVER) == "0s"
+        assert SEC.format(SECRET) == "S"

@@ -1,0 +1,96 @@
+"""Unit tests for the security-bag semiring SN (Section 3.4)."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semirings import (
+    CONFIDENTIAL,
+    NEVER,
+    PUBLIC,
+    SECBAG,
+    SECRET,
+    TOP_SECRET,
+    SecurityBagValue,
+    check_semiring_axioms,
+)
+
+
+def lvl(level):
+    return SECBAG.level(level)
+
+
+class TestSecurityBagQuotient:
+    def test_never_absorbs_into_zero(self):
+        assert lvl(NEVER) == SECBAG.zero
+        assert SecurityBagValue({NEVER: 3}) == SECBAG.zero
+
+    def test_public_is_plain_natural(self):
+        assert SECBAG.from_int(3) == SecurityBagValue({PUBLIC: 3})
+        assert SECBAG.one == SECBAG.from_int(1)
+
+    def test_times_takes_most_restrictive(self):
+        # s1 >= s2 => s1 * s2 = s1
+        assert SECBAG.times(lvl(TOP_SECRET), lvl(SECRET)) == lvl(TOP_SECRET)
+        assert SECBAG.times(lvl(CONFIDENTIAL), SECBAG.one) == lvl(CONFIDENTIAL)
+
+    def test_times_multiplies_counts(self):
+        two_s = SECBAG.plus(lvl(SECRET), lvl(SECRET))
+        assert SECBAG.times(two_s, SECBAG.from_int(3)) == SecurityBagValue({SECRET: 6})
+
+    def test_plus_adds_counts_per_level(self):
+        v = SECBAG.plus(lvl(SECRET), SECBAG.plus(lvl(TOP_SECRET), lvl(SECRET)))
+        assert v.count(SECRET) == 2
+        assert v.count(TOP_SECRET) == 1
+
+    def test_axioms(self):
+        samples = [SECBAG.zero, SECBAG.one, lvl(SECRET), lvl(TOP_SECRET),
+                   SECBAG.plus(lvl(SECRET), SECBAG.from_int(2))]
+        check_semiring_axioms(SECBAG, samples)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SemiringError):
+            SecurityBagValue({SECRET: -1})
+
+
+class TestSecurityBagHoms:
+    def test_hom_to_nat_forgets_labels(self):
+        v = SECBAG.plus(lvl(SECRET), SECBAG.plus(lvl(SECRET), SECBAG.from_int(2)))
+        assert SECBAG.hom_to_nat(v) == 4
+        assert SECBAG.has_hom_to_nat  # Cor. 3.15 precondition
+
+    def test_to_security_most_available(self):
+        v = SECBAG.plus(lvl(SECRET), lvl(TOP_SECRET))
+        assert SECBAG.to_security(v) is SECRET
+        assert SECBAG.to_security(SECBAG.zero) is NEVER
+
+    def test_hom_to_nat_is_homomorphism(self):
+        samples = [SECBAG.zero, SECBAG.one, lvl(SECRET),
+                   SECBAG.plus(lvl(TOP_SECRET), SECBAG.from_int(2))]
+        for a in samples:
+            for b in samples:
+                assert SECBAG.hom_to_nat(SECBAG.plus(a, b)) == \
+                    SECBAG.hom_to_nat(a) + SECBAG.hom_to_nat(b)
+                assert SECBAG.hom_to_nat(SECBAG.times(a, b)) == \
+                    SECBAG.hom_to_nat(a) * SECBAG.hom_to_nat(b)
+
+    def test_delta(self):
+        assert SECBAG.delta(SECBAG.zero) == SECBAG.zero
+        assert SECBAG.delta(SECBAG.from_int(5)) == SECBAG.one
+        v = SECBAG.plus(lvl(SECRET), lvl(TOP_SECRET))
+        # most-available level present, multiplicity 1
+        assert SECBAG.delta(v) == lvl(SECRET)
+
+    def test_delta_commutes_with_credential_homs(self):
+        from repro.semirings import semiring_hom, NAT
+
+        v = SECBAG.plus(lvl(SECRET), SECBAG.plus(lvl(TOP_SECRET), lvl(SECRET)))
+        for cred in (PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET):
+            h = semiring_hom(
+                SECBAG, NAT,
+                lambda b, c=cred: sum(n for level, n in b.items() if level <= c),
+            )
+            assert h(SECBAG.delta(v)) == NAT.delta(h(v))
+
+    def test_str(self):
+        v = SECBAG.plus(SECBAG.from_int(2), SECBAG.plus(lvl(SECRET), lvl(SECRET)))
+        assert str(v) == "2 + 2*S"

@@ -1,0 +1,63 @@
+"""Unit tests for the tropical (cost) and fuzzy (confidence) semirings."""
+
+import math
+
+from repro.semirings import FUZZY, TROPICAL, check_semiring_axioms
+
+
+class TestTropicalSemiring:
+    def test_constants(self):
+        assert math.isinf(TROPICAL.zero)
+        assert TROPICAL.one == 0.0
+
+    def test_min_plus(self):
+        assert TROPICAL.plus(3.0, 5.0) == 3.0  # cheapest alternative
+        assert TROPICAL.times(3.0, 5.0) == 8.0  # joint cost adds
+
+    def test_axioms(self):
+        check_semiring_axioms(TROPICAL, [0.0, 1.0, 2.5, math.inf])
+
+    def test_flags(self):
+        assert TROPICAL.idempotent_plus
+        assert TROPICAL.positive
+        assert not TROPICAL.has_hom_to_nat
+
+    def test_delta(self):
+        assert math.isinf(TROPICAL.delta(math.inf))
+        assert TROPICAL.delta(0.0) == 0.0
+        assert TROPICAL.delta(7.5) == 0.0  # existence is free
+
+    def test_contains(self):
+        assert TROPICAL.contains(0)
+        assert TROPICAL.contains(math.inf)
+        assert not TROPICAL.contains(-1.0)
+
+    def test_format(self):
+        assert TROPICAL.format(math.inf) == "∞"
+        assert TROPICAL.format(2.5) == "2.5"
+
+
+class TestFuzzySemiring:
+    def test_constants(self):
+        assert FUZZY.zero == 0.0
+        assert FUZZY.one == 1.0
+
+    def test_max_times(self):
+        assert FUZZY.plus(0.3, 0.7) == 0.7  # best alternative
+        assert FUZZY.times(0.5, 0.5) == 0.25  # joint confidence multiplies
+
+    def test_axioms(self):
+        check_semiring_axioms(FUZZY, [0.0, 0.25, 0.5, 1.0])
+
+    def test_flags(self):
+        assert FUZZY.idempotent_plus
+        assert FUZZY.positive
+
+    def test_delta(self):
+        assert FUZZY.delta(0.0) == 0.0
+        assert FUZZY.delta(0.3) == 1.0
+
+    def test_contains_unit_interval_only(self):
+        assert FUZZY.contains(0.5)
+        assert not FUZZY.contains(1.5)
+        assert not FUZZY.contains(-0.1)
