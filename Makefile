@@ -1,0 +1,28 @@
+# Developer entry points.  `make check` is the PR gate: the tier-1 test
+# suite plus the planner benchmark smoke run, which fails if the planned
+# engine is ever slower than the interpreter on the join-heavy fixture.
+
+PY       := python
+PYPATH   := PYTHONPATH=src
+
+.PHONY: check test bench-smoke bench-planner bench examples
+
+check: test bench-smoke
+
+test:
+	$(PYPATH) $(PY) -m pytest -x -q
+
+bench-smoke:
+	$(PYPATH) $(PY) benchmarks/bench_planner.py --smoke
+
+bench-planner:
+	$(PYPATH) $(PY) benchmarks/bench_planner.py
+
+# bench_*.py does not match pytest's default python_files pattern, so the
+# files are named explicitly via the shell glob
+bench:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_*.py --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYPATH) $(PY) $$f > /dev/null || exit 1; done
+	@echo "all examples ran"

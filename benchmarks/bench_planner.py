@@ -1,0 +1,181 @@
+"""Planner benchmark: interpreted vs planned engine on join + group-by.
+
+The workload the physical layer exists for: a fact table joined to a
+dimension table, filtered on a dimension attribute, then grouped and
+SUM-aggregated — every operator the planner rewrites (selection pushdown),
+vectorizes (fused select, columnar hash join) or fuses (grouped
+aggregation without intermediate relations).
+
+Run modes:
+
+``pytest benchmarks/bench_planner.py``
+    correctness + a conservative speedup gate (planned must beat
+    interpreted) + a pytest-benchmark series for the planned engine.
+
+``python benchmarks/bench_planner.py [--smoke]``
+    the perf gate ``make check`` runs: times both engines and **fails**
+    (exit 1) if the planned engine misses the bar — ≥ 3× on the full
+    10k-tuple workload, ≥ 1× (no regression) in ``--smoke`` mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Callable, Tuple
+
+import pytest
+
+from repro.core import (
+    AttrEq,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Query,
+    Select,
+    Table,
+)
+from repro.monoids import SUM
+from repro.semirings import NAT, NX
+
+N_GROUPS = 32
+
+
+def join_group_db(n: int, *, symbolic: bool = False, seed: int = 7) -> KDatabase:
+    """Fact table Emp(EmpId, Dept, Sal) × dimension Dept(Dept, Region)."""
+    rng = random.Random(seed)
+    semiring = NX if symbolic else NAT
+
+    def tag(prefix: str, i: int):
+        return NX.variable(f"{prefix}{i}") if symbolic else 1 + i % 3
+
+    emp = KRelation.from_rows(
+        semiring,
+        ("EmpId", "Dept", "Sal"),
+        [
+            ((i, f"d{rng.randrange(N_GROUPS)}", 10 * rng.randrange(1, 10)), tag("t", i))
+            for i in range(n)
+        ],
+    )
+    dept = KRelation.from_rows(
+        semiring,
+        ("Dept", "Region"),
+        [((f"d{j}", "EU" if j % 2 else "US"), tag("d", j)) for j in range(N_GROUPS)],
+    )
+    return KDatabase(semiring, {"Emp": emp, "Dept": dept})
+
+
+def join_group_query() -> Query:
+    return GroupBy(
+        Select(NaturalJoin(Table("Emp"), Table("Dept")), [AttrEq("Region", "EU")]),
+        ["Dept"],
+        {"Sal": SUM},
+    )
+
+
+def best_of(fn: Callable[[], object], repeats: int = 4) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(n: int, *, symbolic: bool = False) -> Tuple[float, float]:
+    """(interpreted seconds, planned seconds) on the join+group-by workload."""
+    db = join_group_db(n, symbolic=symbolic)
+    query = join_group_query()
+    reference = query.evaluate(db)
+    planned = query.evaluate(db, engine="planned")
+    assert planned == reference, "engines disagree — do not trust the timings"
+    return (
+        best_of(lambda: query.evaluate(db)),
+        best_of(lambda: query.evaluate(db, engine="planned")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest face (collected by the tier-1 run)
+# ---------------------------------------------------------------------------
+
+
+def test_planner_workload_equivalence():
+    for symbolic in (False, True):
+        db = join_group_db(512, symbolic=symbolic)
+        query = join_group_query()
+        assert query.evaluate(db, engine="planned") == query.evaluate(db)
+
+
+def test_planner_speedup_gates_regressions():
+    """The benchmark gate: planned must not be slower than interpreted.
+
+    The observed margin on this fixture is an order of magnitude; > 1.0
+    keeps the gate insensitive to machine noise while still catching any
+    real physical-layer regression.
+    """
+    interpreted, planned = measure(2000)
+    speedup = interpreted / planned
+    print(f"\njoin+group-by n=2000: {speedup:.1f}x (planned {planned*1e3:.1f} ms)")
+    assert speedup > 1.0, (
+        f"planned engine slower than interpreted ({speedup:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_bench_planned_engine(benchmark, n):
+    db = join_group_db(n)
+    query = join_group_query()
+    result = benchmark(lambda: query.evaluate(db, engine="planned"))
+    assert len(result) <= N_GROUPS
+
+
+# ---------------------------------------------------------------------------
+# CLI face (the `make check` / `make bench-planner` gate)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixture, gate at 1x (no-regression check for make check)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="fact-table rows")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (2000 if args.smoke else 10000)
+    bar = 1.0 if args.smoke else 3.0
+
+    rows = []
+    for size in sorted({n // 4, n}):
+        interpreted, planned = measure(size)
+        rows.append((size, interpreted, planned, interpreted / planned))
+    sym_i, sym_p = measure(min(n, 2000), symbolic=True)
+
+    print("== planner benchmark: join + group-by (NAT bags) ==")
+    print(f"  {'n':>7} | {'interpreted':>12} | {'planned':>9} | speedup")
+    for size, interpreted, planned, speedup in rows:
+        print(
+            f"  {size:>7} | {interpreted*1e3:>10.1f}ms | {planned*1e3:>7.1f}ms "
+            f"| {speedup:>6.1f}x"
+        )
+    print(
+        f"  N[X] provenance (n={min(n, 2000)}): "
+        f"{sym_i*1e3:.1f}ms -> {sym_p*1e3:.1f}ms ({sym_i/sym_p:.1f}x)"
+    )
+
+    final = rows[-1][3]
+    if final < bar:
+        print(f"FAIL: speedup {final:.2f}x below the {bar:.0f}x gate", file=sys.stderr)
+        return 1
+    print(f"OK: speedup {final:.1f}x meets the {bar:.0f}x gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from repro import (
     deletion_hom,
     valuation_hom,
 )
+from repro.plan import explain
 
 
 def main() -> None:
@@ -67,7 +68,21 @@ def main() -> None:
     # (c) set semantics: which departments exist at all?
     to_sets = valuation_hom(NX, BOOL, lambda token: token != "p3")
     print("Set-semantics support (p3 deleted):")
-    print(departments.apply_hom(to_sets).pretty())
+    print(departments.apply_hom(to_sets).pretty(), "\n")
+
+    # -- 5. the planned engine: same semantics, physical execution --------
+    # engine="planned" compiles the query (selection pushdown, hash joins
+    # with cached build sides, columnar pipelines) and is the fast path
+    # for large inputs; annotated results are identical by construction.
+    q = GroupBy(Table("Emp"), ["Dept"], {"Sal": SUM})
+    fast = q.evaluate(db, engine="planned")
+    assert fast == by_dept
+    print("Planned engine agrees with the interpreter:")
+    print(fast.pretty(), "\n")
+
+    # explain() shows the physical plan the planner picked
+    print("EXPLAIN for the grouped aggregation:")
+    print(explain(q, db))
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ Run:  python examples/sql_interface.py
 """
 
 from repro import NAT, NX, KDatabase, KRelation, valuation_hom
-from repro.sql import compile_sql
+from repro.sql import compile_sql, execute_sql, explain_sql
 
 
 def bag_database() -> KDatabase:
@@ -52,7 +52,11 @@ def main() -> None:
     ]
     for sql in queries:
         print(f"sql> {sql}")
-        print(compile_sql(sql).evaluate(db).pretty(), "\n")
+        # execute_sql routes through the physical planner by default
+        print(execute_sql(sql, db).pretty(), "\n")
+
+    print("--- EXPLAIN: the physical plan behind a statement ---\n")
+    print(explain_sql("SELECT Item FROM Orders WHERE Customer = 'ada'", db), "\n")
 
     # the same text over provenance annotations
     print("--- same SQL over N[X] provenance ---\n")

@@ -43,8 +43,14 @@ def union(r1: KRelation, r2: KRelation) -> KRelation:
         raise SchemaError(
             f"union of incompatible schemas {r1.schema} and {r2.schema}"
         )
-    pairs = list(r1.items()) + list(r2.items())
-    return KRelation(r1.semiring, r1.schema, pairs)
+    plus = r1.semiring.plus
+    merged: Dict[Tup, Any] = dict(r1.rows())
+    for tup, annotation in r2.rows():
+        if tup in merged:
+            merged[tup] = plus(merged[tup], annotation)
+        else:
+            merged[tup] = annotation
+    return KRelation(r1.semiring, r1.schema, merged)
 
 
 def projection(r: KRelation, attributes: Iterable[str]) -> KRelation:
@@ -79,17 +85,20 @@ def natural_join(r1: KRelation, r2: KRelation) -> KRelation:
     out_schema = r1.schema.union(r2.schema)
     common = r1.schema.intersection(r2.schema)
 
-    # hash join on the common attributes
-    buckets: Dict[Tuple[Any, ...], list] = {}
-    for t2, k2 in r2.items():
-        key = tuple(t2[a] for a in common)
-        buckets.setdefault(key, []).append((t2, k2))
+    # hash join on the common attributes; build on the smaller input
+    build_is_r1 = len(r1) <= len(r2)
+    build, probe = (r1, r2) if build_is_r1 else (r2, r1)
+    buckets = _join_buckets(build, common)
 
+    times = semiring.times
     pairs = []
-    for t1, k1 in r1.items():
-        key = tuple(t1[a] for a in common)
-        for t2, k2 in buckets.get(key, ()):
-            pairs.append((t1.merge(t2), semiring.times(k1, k2)))
+    for tp, kp in probe.rows():
+        key = tuple(tp[a] for a in common)
+        for tb, kb in buckets.get(key, ()):
+            if build_is_r1:
+                pairs.append((tb.merge(tp), times(kb, kp)))
+            else:
+                pairs.append((tp.merge(tb), times(kp, kb)))
     return KRelation(semiring, out_schema, pairs)
 
 
@@ -110,16 +119,24 @@ def equijoin(
     semiring = r1.semiring
     out_schema = r1.schema.union(r2.schema)
 
-    buckets: Dict[Tuple[Any, ...], list] = {}
-    for t2, k2 in r2.items():
-        key = tuple(t2[right] for _left, right in pairs_on)
-        buckets.setdefault(key, []).append((t2, k2))
+    left_attrs = tuple(left for left, _right in pairs_on)
+    right_attrs = tuple(right for _left, right in pairs_on)
+    build_is_r1 = len(r1) <= len(r2)
+    if build_is_r1:
+        build, probe, build_attrs, probe_attrs = r1, r2, left_attrs, right_attrs
+    else:
+        build, probe, build_attrs, probe_attrs = r2, r1, right_attrs, left_attrs
+    buckets = _join_buckets(build, build_attrs)
 
+    times = semiring.times
     out = []
-    for t1, k1 in r1.items():
-        key = tuple(t1[left] for left, _right in pairs_on)
-        for t2, k2 in buckets.get(key, ()):
-            out.append((t1.merge(t2), semiring.times(k1, k2)))
+    for tp, kp in probe.rows():
+        key = tuple(tp[a] for a in probe_attrs)
+        for tb, kb in buckets.get(key, ()):
+            if build_is_r1:
+                out.append((tb.merge(tp), times(kb, kp)))
+            else:
+                out.append((tp.merge(tb), times(kp, kb)))
     return KRelation(semiring, out_schema, out)
 
 
@@ -145,6 +162,21 @@ def rename(r: KRelation, mapping: Mapping[str, str]) -> KRelation:
     out_schema = r.schema.rename(mapping)
     pairs = [(t.rename(mapping), k) for t, k in r.items()]
     return KRelation(r.semiring, out_schema, pairs)
+
+
+def _join_buckets(
+    rel: KRelation, key_attrs: Iterable[str]
+) -> Dict[Tuple[Any, ...], list]:
+    """Hash-partition a relation's rows on the values of ``key_attrs``.
+
+    The build phase shared by :func:`natural_join` and :func:`equijoin`
+    (callers pick the smaller operand to build on).
+    """
+    attrs = tuple(key_attrs)
+    buckets: Dict[Tuple[Any, ...], list] = {}
+    for tup, annotation in rel.rows():
+        buckets.setdefault(tuple(tup[a] for a in attrs), []).append((tup, annotation))
+    return buckets
 
 
 def require_plain_values(r: KRelation, attributes: Iterable[str], context: str) -> None:

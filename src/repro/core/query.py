@@ -36,7 +36,7 @@ from repro.core.tuples import Tup
 from repro.exceptions import QueryError
 from repro.monoids.base import CommutativeMonoid
 from repro.monoids.numeric import SUM
-from repro.semimodules.tensor import Tensor
+from repro.semimodules.tensor import tensor_space
 from repro.semirings.polynomials import PolynomialSemiring
 
 __all__ = [
@@ -174,20 +174,60 @@ class AttrEqAttr(Condition):
 class Query(abc.ABC):
     """A relational-algebra expression evaluable on any K-database."""
 
-    def evaluate(self, db: KDatabase, mode: str = "standard") -> KRelation:
+    def evaluate(
+        self, db: KDatabase, mode: str = "standard", engine: str = "interpreted"
+    ) -> KRelation:
         """Run the query.
 
         ``mode="standard"`` uses the SPJU-AGB semantics of Section 3;
         ``mode="extended"`` the Section 4.3 semantics, collapsing ``K^M``
         back to ``K`` when every equality atom resolved (Prop. 4.4).
+
+        ``engine`` selects *how* the semantics are computed:
+
+        ``"interpreted"``
+            the paper-faithful tree-walking interpreter (the default);
+        ``"planned"``
+            compile to a physical plan (:mod:`repro.plan`) — selection
+            pushdown, hash joins with cached build sides, columnar
+            pipelines — and execute that.  Annotated results are identical
+            by construction (and by the property suite
+            ``tests/property/test_planner_equivalence.py``).  The extended
+            (Section 4.3) semantics have no physical fast path yet and
+            fall back to the interpreter.
+
+        The compiled plan is cached on the query object and reused while
+        the database's catalog (relation names and schemas) is unchanged.
         """
+        if engine not in ("interpreted", "planned"):
+            raise QueryError(f"unknown evaluation engine {engine!r}")
         if mode == "standard":
+            if engine == "planned":
+                return self._cached_plan(db).execute(db)
             return self._eval_standard(db)
         if mode == "extended":
             km = km_semiring(db.semiring)
             result = self._eval_extended(db, km)
             return nested.collapse_km_relation(result, db.semiring)
         raise QueryError(f"unknown evaluation mode {mode!r}")
+
+    def _cached_plan(self, db: KDatabase):
+        """Compile (or reuse) the physical plan for this query over ``db``.
+
+        The cache key is the database object plus its catalog signature, so
+        ``db.add`` replacing a relation with a *different schema* triggers
+        recompilation while plain data refreshes keep the plan (its scan
+        and join-build caches self-invalidate by object identity).
+        """
+        from repro.plan.compiler import compile_plan  # local: plan imports core
+
+        signature = tuple((name, rel.schema) for name, rel in db)
+        cached = getattr(self, "_plan_cache", None)
+        if cached is not None and cached[0] is db and cached[1] == signature:
+            return cached[2]
+        plan = compile_plan(self, db)
+        self._plan_cache = (db, signature, plan)
+        return plan
 
     @abc.abstractmethod
     def _eval_standard(self, db: KDatabase) -> KRelation: ...

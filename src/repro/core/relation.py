@@ -93,6 +93,16 @@ class KRelation:
         for tup in self.support():
             yield tup, self._rows[tup]
 
+    def rows(self) -> Iterable[Tuple[Tup, Any]]:
+        """Iterate ``(tuple, annotation)`` pairs in storage order.
+
+        Unlike :meth:`items` this does not sort the support — it is the
+        iteration the physical layer (and hash-based operators) use, where
+        output canonicalisation happens once at result construction rather
+        than per operator.
+        """
+        return self._rows.items()
+
     def __len__(self) -> int:
         return len(self._rows)
 

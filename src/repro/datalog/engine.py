@@ -18,10 +18,11 @@ over derivation trees genuinely diverges; the engine raises
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Tuple
 
-from repro.datalog.syntax import Atom, Program, Rule, Var
-from repro.exceptions import QueryError, ReproError
+from repro.datalog.syntax import Program, Var
+from repro.exceptions import ReproError
+from repro.plan.rules import RuleJoinPlan
 from repro.semirings.base import Semiring
 
 __all__ = ["ConvergenceError", "DatalogResult", "evaluate_datalog",
@@ -98,9 +99,10 @@ def evaluate_datalog_seminaive(
                 store[key] = annotation
     edb_snapshot = {name: dict(rows) for name, rows in facts.items()}
     delta = {name: set(rows) for name, rows in facts.items()}
+    plans = _compile_rule_plans(program)
 
     for round_number in range(1, max_rounds + 1):
-        new_facts = _apply_rules_delta(program, semiring, facts, edb_snapshot, delta)
+        new_facts = _apply_rules_delta(program, semiring, facts, edb_snapshot, delta, plans)
         new_delta: Dict[str, set] = {}
         for name, rows in new_facts.items():
             old_rows = facts.get(name, {})
@@ -124,6 +126,7 @@ def _apply_rules_delta(
     facts: FactStore,
     edb: FactStore,
     delta: Dict[str, set],
+    plans: Dict[int, RuleJoinPlan],
 ) -> FactStore:
     """Recompute only the heads reachable from the changed facts."""
     derived: FactStore = {name: dict(rows) for name, rows in edb.items()}
@@ -150,7 +153,7 @@ def _apply_rules_delta(
     for rule in program.rules:
         if rule.head.predicate not in recompute:
             continue
-        for binding, annotation in _rule_instantiations(rule, semiring, facts):
+        for binding, annotation in plans[id(rule)].instantiations(semiring, facts):
             head = rule.head.substitute(binding)
             store = derived.setdefault(head.predicate, {})
             key = head.terms
@@ -189,9 +192,10 @@ def evaluate_datalog(
                 store[key] = annotation
 
     edb_snapshot = {name: dict(rows) for name, rows in facts.items()}
+    plans = _compile_rule_plans(program)
 
     for round_number in range(1, max_rounds + 1):
-        new_facts = _apply_rules_once(program, semiring, facts, edb_snapshot)
+        new_facts = _apply_rules_once(program, semiring, facts, edb_snapshot, plans)
         if new_facts == facts:
             return DatalogResult(semiring, facts, round_number)
         facts = new_facts
@@ -207,13 +211,14 @@ def _apply_rules_once(
     semiring: Semiring,
     facts: FactStore,
     edb: FactStore,
+    plans: Dict[int, RuleJoinPlan],
 ) -> FactStore:
     """One naive-iteration round: recompute every IDB annotation."""
     derived: FactStore = {
         name: dict(rows) for name, rows in edb.items()
     }
     for rule in program.rules:
-        for binding, annotation in _rule_instantiations(rule, semiring, facts):
+        for binding, annotation in plans[id(rule)].instantiations(semiring, facts):
             head = rule.head.substitute(binding)
             store = derived.setdefault(head.predicate, {})
             key = head.terms
@@ -229,50 +234,15 @@ def _apply_rules_once(
     }
 
 
-def _rule_instantiations(
-    rule: Rule, semiring: Semiring, facts: FactStore
-) -> Iterator[Tuple[Dict[Var, Any], Any]]:
-    """Enumerate satisfying substitutions with their body-product annotation."""
+def _compile_rule_plans(program: Program) -> Dict[int, RuleJoinPlan]:
+    """Compile every rule body into a planner join pipeline, once per call.
 
-    def match(
-        index: int, binding: Dict[Var, Any], annotation: Any
-    ) -> Iterator[Tuple[Dict[Var, Any], Any]]:
-        if semiring.is_zero(annotation):
-            return
-        if index == len(rule.body):
-            yield dict(binding), annotation
-            return
-        atom = rule.body[index].substitute(binding)
-        for args, fact_annotation in facts.get(atom.predicate, {}).items():
-            extended = _unify(atom, args, binding)
-            if extended is None:
-                continue
-            yield from match(
-                index + 1, extended, semiring.times(annotation, fact_annotation)
-            )
-
-    yield from match(0, {}, semiring.one)
-
-
-def _unify(
-    atom: Atom, args: FactKey, binding: Dict[Var, Any]
-) -> Dict[Var, Any] | None:
-    """Match a (partially substituted) atom against a ground fact."""
-    if len(atom.terms) != len(args):
-        raise QueryError(
-            f"arity mismatch on {atom.predicate}: {len(atom.terms)} vs {len(args)}"
-        )
-    extended = dict(binding)
-    for term, value in zip(atom.terms, args):
-        if isinstance(term, Var):
-            bound = extended.get(term, _UNBOUND)
-            if bound is _UNBOUND:
-                extended[term] = value
-            elif bound != value:
-                return None
-        elif term != value:
-            return None
-    return extended
-
-
-_UNBOUND = object()
+    Each rule body is an SPJU query over the fact stores; evaluation is
+    routed through the planner's :class:`~repro.plan.rules.RuleJoinPlan`
+    (a left-deep hash-join pipeline) instead of the historical per-binding
+    nested rescan.  Annotation products are taken in the same
+    left-to-right order, so fixpoints are identical.  Plans are compiled
+    per evaluation call and keyed by rule identity — no process-lifetime
+    cache to grow.
+    """
+    return {id(rule): RuleJoinPlan(rule, Var) for rule in program.rules}

@@ -1,0 +1,167 @@
+"""Columnar batches: the physical-layer relation representation.
+
+The logical layer (:class:`~repro.core.relation.KRelation`) is a finite
+map ``Tup -> annotation``: every operator pays per-tuple :class:`Tup`
+construction (attribute sorting, hashing) and the support is re-sorted on
+every iteration.  That is the right representation for the *semantics* —
+duplicates merge by construction — but far too heavy for execution.
+
+:class:`ColumnarKRelation` is the representation the physical operators
+exchange: one Python list per attribute plus a parallel annotation list.
+Rows are *not* deduplicated; a batch may contain the same tuple several
+times with separate annotations.  This is sound everywhere in the positive
+algebra because every operator is multilinear in the annotations — joins
+multiply per row and projections/unions sum — so deferring the ``+_K``
+merge commutes with execution (distributivity).  The two places that are
+*not* merge-oblivious consolidate explicitly: ``delta`` application
+(:meth:`consolidate` first) and the final conversion back to a
+:class:`KRelation` (:meth:`to_krelation`), where the constructor's
+merge discipline restores the canonical finite map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.core.relation import KRelation
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnarKRelation"]
+
+
+class ColumnarKRelation:
+    """A batch of annotated rows stored column-wise.
+
+    ``columns`` maps every schema attribute to a list of values;
+    ``annotations`` is the parallel list of semiring elements.  All lists
+    share one length.  Treated as immutable by the physical operators
+    (every operator allocates fresh output lists).
+    """
+
+    __slots__ = ("semiring", "schema", "columns", "annotations")
+
+    def __init__(
+        self,
+        semiring,
+        schema: Schema | Iterable[str],
+        columns: Dict[str, List[Any]],
+        annotations: List[Any],
+    ):
+        self.semiring = semiring
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        if set(columns) != set(self.schema.attributes):
+            raise SchemaError(
+                f"columns {sorted(columns)} do not match schema {self.schema}"
+            )
+        n = len(annotations)
+        for attr, column in columns.items():
+            if len(column) != n:
+                raise SchemaError(
+                    f"column {attr!r} has {len(column)} values for {n} annotations"
+                )
+        self.columns = columns
+        self.annotations = annotations
+
+    # -- conversions ---------------------------------------------------------
+
+    @classmethod
+    def from_krelation(cls, rel: KRelation) -> "ColumnarKRelation":
+        """Decompose a logical relation into columns (support order is
+        irrelevant at the physical layer, so the unsorted row map is used)."""
+        attrs = rel.schema.attributes
+        columns: Dict[str, List[Any]] = {a: [] for a in attrs}
+        annotations: List[Any] = []
+        appenders = [columns[a].append for a in attrs]
+        for tup, annotation in rel.rows():
+            values = tup.values_by(rel.schema)
+            for append, value in zip(appenders, values):
+                append(value)
+            annotations.append(annotation)
+        return cls(rel.semiring, rel.schema, columns, annotations)
+
+    def to_krelation(self) -> KRelation:
+        """Rebuild the logical finite map (the :class:`KRelation` constructor
+        merges duplicate rows with ``+_K`` and drops zero annotations)."""
+        attrs = self.schema.attributes
+        pairs = [
+            (Tup(dict(zip(attrs, values))), annotation)
+            for values, annotation in zip(self.key_rows(attrs), self.annotations)
+        ]
+        return KRelation(self.semiring, self.schema, pairs)
+
+    @classmethod
+    def empty(cls, semiring, schema: Schema | Iterable[str]) -> "ColumnarKRelation":
+        schema = schema if isinstance(schema, Schema) else Schema(schema)
+        return cls(semiring, schema, {a: [] for a in schema.attributes}, [])
+
+    @classmethod
+    def from_value_rows(
+        cls,
+        semiring,
+        schema: Schema,
+        rows: Iterable[Tuple[Tuple[Any, ...], Any]],
+    ) -> "ColumnarKRelation":
+        """Build a batch from ``(value-tuple, annotation)`` pairs.
+
+        Value tuples follow ``schema`` attribute order; duplicate rows are
+        merged with ``+_K``.  The shared merge-and-rebuild step behind
+        :meth:`consolidate` and the projection operator.
+        """
+        plus = semiring.plus
+        merged: Dict[Tuple[Any, ...], Any] = {}
+        for values, annotation in rows:
+            if values in merged:
+                merged[values] = plus(merged[values], annotation)
+            else:
+                merged[values] = annotation
+        attrs = schema.attributes
+        columns: Dict[str, List[Any]] = {a: [] for a in attrs}
+        annotations: List[Any] = []
+        appenders = [columns[a].append for a in attrs]
+        for values, annotation in merged.items():
+            for append, value in zip(appenders, values):
+                append(value)
+            annotations.append(annotation)
+        return cls(semiring, schema, columns, annotations)
+
+    # -- row access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.annotations)
+
+    def column(self, attr: str) -> List[Any]:
+        try:
+            return self.columns[attr]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attr!r} not in schema {self.schema}"
+            ) from None
+
+    def key_rows(self, attrs: Tuple[str, ...]) -> List[Tuple[Any, ...]]:
+        """The rows restricted to ``attrs``, as plain value tuples.
+
+        The physical layer's replacement for per-row ``Tup.restrict``:
+        a single C-level ``zip`` over the key columns.
+        """
+        if not attrs:
+            return [()] * len(self.annotations)
+        return list(zip(*(self.column(a) for a in attrs)))
+
+    # -- normalisation -------------------------------------------------------
+
+    def consolidate(self) -> "ColumnarKRelation":
+        """Merge duplicate rows with ``+_K`` (needed before non-linear maps
+        such as ``delta``, which do not distribute over ``+``)."""
+        return ColumnarKRelation.from_value_rows(
+            self.semiring,
+            self.schema,
+            zip(self.key_rows(self.schema.attributes), self.annotations),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ColumnarKRelation {self.schema} over {self.semiring.name}, "
+            f"{len(self)} rows>"
+        )

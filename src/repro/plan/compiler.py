@@ -1,0 +1,300 @@
+"""The Logical → Physical plan compiler.
+
+Pipeline: (1) run the provenance-preserving logical rewrites of
+:mod:`repro.core.rewrites` (selection pushdown below joins, projection
+collapsing — each justified by a semiring law, so annotations are
+preserved exactly); (2) walk the rewritten :class:`~repro.core.query.Query`
+tree bottom-up, choosing a physical operator per node and threading output
+schemas and cardinality estimates; (3) fuse adjacent σ/Π/ρ/δ nodes into
+:class:`~repro.plan.physical.FusedPipeline` stages.
+
+Cardinality estimates are deliberately coarse — they only have to rank
+join sides and read well in ``explain()`` output:
+
+=====================  =====================================================
+scan                   actual stored cardinality
+σ (per condition)      1/3 for equalities, 1/2 for order comparisons
+keyed join             ``min(|L|, |R|)`` (foreign-key heuristic)
+cross join             ``|L| * |R|``
+group-by               ``max(1, |child| / 4)``
+whole aggregation      1
+=====================  =====================================================
+
+A subtree the compiler cannot handle statically (missing base table,
+schema violation, unknown operator class) compiles to a
+:class:`~repro.plan.physical.Fallback` over the *whole* query, so the
+planned engine reproduces the interpreter's behaviour for structural
+errors exactly; runtime guards (symbolic-value checks) raise the same
+exception types with near-identical messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.core.query import (
+    Aggregate,
+    AvgAgg,
+    Cartesian,
+    CountAgg,
+    Difference,
+    Distinct,
+    GroupBy,
+    NaturalJoin,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.core.rewrites import optimize
+from repro.core.schema import Schema
+from repro.exceptions import ReproError, SchemaError
+from repro.plan.physical import (
+    AvgAggregate,
+    CountAggregate,
+    DifferenceOp,
+    DistinctStage,
+    ExecutionContext,
+    Fallback,
+    FusedPipeline,
+    GroupedAggregate,
+    HashJoin,
+    PhysicalOp,
+    ProjectStage,
+    RenameStage,
+    Scan,
+    SelectStage,
+    UnionAll,
+    WholeAggregate,
+)
+from repro.core.query import AttrCompare
+from repro.core.relation import KRelation
+
+__all__ = ["PhysicalPlan", "compile_plan"]
+
+
+class PhysicalPlan:
+    """A compiled, executable plan bound to a database.
+
+    Executing the same plan repeatedly reuses the plan-lifetime caches:
+    scan column decompositions and hash-join build tables stay valid while
+    the underlying (immutable) relations are unchanged.
+    """
+
+    def __init__(self, root: PhysicalOp, db, query: Query):
+        self.root = root
+        self.db = db
+        self.query = query
+        self._scan_cache: Dict[str, Tuple[Any, Any]] = {}
+
+    def execute(self, db=None) -> KRelation:
+        """Run the plan and return the logical result relation."""
+        ctx = ExecutionContext(db if db is not None else self.db, self._scan_cache)
+        return self.root.execute(ctx).to_krelation()
+
+    def explain(self) -> str:
+        """Render the operator tree with cardinality estimates."""
+        lines = [f"plan for: {self.query}"]
+        _render(self.root, "", "", lines)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+def _render(node: PhysicalOp, prefix: str, child_prefix: str, lines) -> None:
+    lines.append(f"{prefix}{node.label()}  [est_rows={node.est_rows}]")
+    children = node.children
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        connector = "└─ " if last else "├─ "
+        extension = "   " if last else "│  "
+        _render(child, child_prefix + connector, child_prefix + extension, lines)
+
+
+class _CannotCompile(Exception):
+    """Internal: this subtree needs the interpreter (totality fallback)."""
+
+
+def compile_plan(query: Query, db, *, rewrite: bool = True) -> PhysicalPlan:
+    """Compile ``query`` into a :class:`PhysicalPlan` against ``db``.
+
+    ``rewrite=False`` skips the logical rewrite pass (used by golden tests
+    to pin plan shapes before/after pushdown).
+    """
+    catalog = {name: rel.schema for name, rel in db}
+    sizes = {name: len(rel) for name, rel in db}
+    working = query
+    if rewrite:
+        try:
+            working = optimize(query, catalog)
+        except ReproError:
+            working = query  # e.g. unknown table: let execution raise it
+    try:
+        root = _compile(working, catalog, sizes)
+    except _CannotCompile:
+        root = Fallback(working, None, 0)
+    return PhysicalPlan(root, db, query)
+
+
+# ---------------------------------------------------------------------------
+# node-by-node translation
+# ---------------------------------------------------------------------------
+
+
+def _compile(
+    query: Query, catalog: Mapping[str, Schema], sizes: Mapping[str, int]
+) -> PhysicalOp:
+    if isinstance(query, Table):
+        if query.name not in catalog:
+            raise _CannotCompile(query.name)
+        return Scan(query.name, catalog[query.name], sizes[query.name])
+
+    if isinstance(query, Select):
+        child = _compile(query.child, catalog, sizes)
+        # a condition reading an attribute outside the child schema is an
+        # interpreter-defined edge case (succeeds on empty input, raises
+        # per-tuple otherwise): leave it to the fallback for exact parity
+        if any(
+            attr not in child.schema
+            for condition in query.conditions
+            for attr in condition.attributes()
+        ):
+            raise _CannotCompile("selection attribute not in schema")
+        est = child.est_rows
+        for condition in query.conditions:
+            divisor = 2 if isinstance(condition, AttrCompare) else 3
+            est = max(1, est // divisor) if est else 0
+        return _stage(child, SelectStage(query.conditions), child.schema, est)
+
+    if isinstance(query, Project):
+        child = _compile(query.child, catalog, sizes)
+        out_schema = _try_schema(lambda: child.schema.restrict(query.attributes))
+        return _stage(child, ProjectStage(query.attributes), out_schema, child.est_rows)
+
+    if isinstance(query, Rename):
+        child = _compile(query.child, catalog, sizes)
+        out_schema = _try_schema(lambda: child.schema.rename(query.mapping))
+        return _stage(child, RenameStage(query.mapping), out_schema, child.est_rows)
+
+    if isinstance(query, Distinct):
+        child = _compile(query.child, catalog, sizes)
+        return _stage(child, DistinctStage(), child.schema, child.est_rows)
+
+    if isinstance(query, Union):
+        left = _compile(query.left, catalog, sizes)
+        right = _compile(query.right, catalog, sizes)
+        if left.schema != right.schema:
+            raise _CannotCompile("union schema mismatch")
+        return UnionAll(left, right, left.schema, left.est_rows + right.est_rows)
+
+    if isinstance(query, NaturalJoin):
+        left = _compile(query.left, catalog, sizes)
+        right = _compile(query.right, catalog, sizes)
+        common = left.schema.intersection(right.schema)
+        out_schema = left.schema.union(right.schema)
+        return _make_join(left, right, "natural" if common else "cross",
+                          common, common, out_schema)
+
+    if isinstance(query, Cartesian):
+        left = _compile(query.left, catalog, sizes)
+        right = _compile(query.right, catalog, sizes)
+        if not left.schema.is_disjoint(right.schema):
+            raise _CannotCompile("cartesian schema overlap")
+        out_schema = left.schema.union(right.schema)
+        return _make_join(left, right, "cross", (), (), out_schema)
+
+    if isinstance(query, ValueJoin):
+        left = _compile(query.left, catalog, sizes)
+        right = _compile(query.right, catalog, sizes)
+        if not left.schema.is_disjoint(right.schema):
+            raise _CannotCompile("equijoin schema overlap")
+        left_keys = tuple(a for a, _b in query.on)
+        right_keys = tuple(b for _a, b in query.on)
+        if any(a not in left.schema for a in left_keys) or any(
+            b not in right.schema for b in right_keys
+        ):
+            raise _CannotCompile("equijoin key not in schema")
+        out_schema = left.schema.union(right.schema)
+        return _make_join(left, right, "value" if left_keys else "cross",
+                          left_keys, right_keys, out_schema)
+
+    if isinstance(query, GroupBy):
+        child = _compile(query.child, catalog, sizes)
+
+        def build_schema() -> Schema:
+            out = child.schema.restrict(query.group_attributes)
+            out = out.extend(
+                *(a for a in query.aggregations if a not in query.group_attributes)
+            )
+            if query.count_attr is not None:
+                out = out.extend(query.count_attr)
+            return out
+
+        out_schema = _try_schema(build_schema)
+        est = max(1, child.est_rows // 4) if child.est_rows else 0
+        return GroupedAggregate(
+            child,
+            tuple(query.group_attributes),
+            dict(query.aggregations),
+            query.count_attr,
+            out_schema,
+            est,
+        )
+
+    if isinstance(query, Aggregate):
+        child = _compile(query.child, catalog, sizes)
+        return WholeAggregate(
+            child, query.attribute, query.monoid, Schema((query.attribute,))
+        )
+
+    if isinstance(query, CountAgg):
+        child = _compile(query.child, catalog, sizes)
+        return CountAggregate(child, query.attribute, Schema((query.attribute,)))
+
+    if isinstance(query, AvgAgg):
+        child = _compile(query.child, catalog, sizes)
+        return AvgAggregate(child, query.attribute, Schema((query.attribute,)))
+
+    if isinstance(query, Difference):
+        left = _compile(query.left, catalog, sizes)
+        right = _compile(query.right, catalog, sizes)
+        return DifferenceOp(left, right, query.method, left.schema, left.est_rows)
+
+    raise _CannotCompile(type(query).__name__)
+
+
+def _try_schema(build) -> Schema:
+    try:
+        return build()
+    except SchemaError as exc:
+        raise _CannotCompile(str(exc)) from None
+
+
+def _stage(child: PhysicalOp, stage, schema: Schema, est_rows: int) -> PhysicalOp:
+    """Fuse σ/Π/ρ/δ into the child's pipeline (creating one if needed)."""
+    if isinstance(child, FusedPipeline):
+        return child.extended(stage, schema, est_rows)
+    return FusedPipeline(child, [stage], schema, est_rows)
+
+
+def _make_join(
+    left: PhysicalOp,
+    right: PhysicalOp,
+    kind: str,
+    left_keys: Tuple[str, ...],
+    right_keys: Tuple[str, ...],
+    out_schema: Schema,
+) -> HashJoin:
+    """Build a hash join, putting the smaller estimated side on build."""
+    build_side = "left" if left.est_rows < right.est_rows else "right"
+    if kind == "cross":
+        est = left.est_rows * right.est_rows
+    else:
+        est = min(left.est_rows, right.est_rows)
+    return HashJoin(
+        left, right, kind, left_keys, right_keys, build_side, out_schema, est
+    )

@@ -1,7 +1,24 @@
-"""A small SQL front end compiling to the annotated relational algebra."""
+"""A small SQL front end compiling to the annotated relational algebra.
 
-from repro.sql.compiler import compile_sql, compile_statement
+``execute_sql`` runs a statement end to end through the physical planner
+(:mod:`repro.plan`); ``explain_sql`` shows the plan it would pick.
+"""
+
+from repro.sql.compiler import (
+    compile_sql,
+    compile_statement,
+    execute_sql,
+    explain_sql,
+)
 from repro.sql.lexer import Token, tokenize
 from repro.sql.parser import parse
 
-__all__ = ["compile_sql", "compile_statement", "parse", "tokenize", "Token"]
+__all__ = [
+    "compile_sql",
+    "compile_statement",
+    "execute_sql",
+    "explain_sql",
+    "parse",
+    "tokenize",
+    "Token",
+]

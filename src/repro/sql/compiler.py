@@ -55,7 +55,7 @@ from repro.sql.ast import (
 )
 from repro.sql.parser import parse
 
-__all__ = ["compile_sql", "compile_statement"]
+__all__ = ["compile_sql", "compile_statement", "execute_sql", "explain_sql"]
 
 _MONOIDS: Dict[str, CommutativeMonoid] = {
     "SUM": SUM, "MIN": MIN, "MAX": MAX, "PROD": PROD,
@@ -65,6 +65,23 @@ _MONOIDS: Dict[str, CommutativeMonoid] = {
 def compile_sql(source: str) -> Query:
     """Parse and compile a SQL string into an evaluable :class:`Query`."""
     return compile_statement(parse(source))
+
+
+def execute_sql(source: str, db, *, mode: str = "standard", engine: str = "planned"):
+    """Parse, compile, plan, and run a SQL string against ``db``.
+
+    The one-call SQL entry point; it routes through the physical planner
+    by default (``engine="planned"``).  Pass ``engine="interpreted"`` for
+    the tree-walking reference evaluator.
+    """
+    return compile_sql(source).evaluate(db, mode=mode, engine=engine)
+
+
+def explain_sql(source: str, db) -> str:
+    """Render the physical plan the planned engine would run for ``source``."""
+    from repro.plan import explain  # local: keep the front end importable alone
+
+    return explain(compile_sql(source), db)
 
 
 def compile_statement(stmt: SqlQuery) -> Query:

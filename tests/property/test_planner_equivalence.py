@@ -1,0 +1,209 @@
+"""Property suite: the planned engine computes the interpreter's annotations.
+
+Randomized SPJU-AGB queries over abstractly-tagged ``N[X]`` databases are
+evaluated with ``engine="interpreted"`` and ``engine="planned"`` and the
+*annotated* results compared for equality (same schema, same support, same
+``N[X]`` polynomials / tensors).  Equality over the free semiring implies
+equality under every homomorphic specialisation (Theorem 3.3's commutation
+plus freeness), so passing here certifies the physical layer for bags,
+sets, probabilities, security levels — every valuation at once.
+
+The generator is schema-aware: base relations R(g, v), S(g), T(g, w); the
+SPJU fragment composes freely, aggregation comes last (standard-mode
+scope).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Aggregate,
+    AttrCompare,
+    AttrEq,
+    AttrEqAttr,
+    Cartesian,
+    CountAgg,
+    Difference,
+    Distinct,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.monoids import MAX, MIN, SUM
+from repro.semirings import NAT, NX
+
+GROUPS = ["g1", "g2", "g3"]
+VALUES = [5, 10, 20]
+WEIGHTS = [1, 2, 7]
+
+
+# ---------------------------------------------------------------------------
+# database strategy
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tagged_database(draw):
+    """A small N[X] database: R(g, v), S(g), T(g, w)."""
+    counter = [0]
+
+    def tag():
+        counter[0] += 1
+        return NX.variable(f"t{counter[0]}")
+
+    rows_r = draw(
+        st.lists(st.tuples(st.sampled_from(GROUPS), st.sampled_from(VALUES)),
+                 min_size=0, max_size=6, unique=True)
+    )
+    rows_s = draw(st.lists(st.sampled_from(GROUPS), min_size=0, max_size=3,
+                           unique=True))
+    rows_t = draw(
+        st.lists(st.tuples(st.sampled_from(GROUPS), st.sampled_from(WEIGHTS)),
+                 min_size=0, max_size=4, unique=True)
+    )
+    r = KRelation.from_rows(NX, ("g", "v"), [(row, tag()) for row in rows_r])
+    s = KRelation.from_rows(NX, ("g",), [((g,), tag()) for g in rows_s])
+    t = KRelation.from_rows(NX, ("g", "w"), [(row, tag()) for row in rows_t])
+    return KDatabase(NX, {"R": r, "S": s, "T": t})
+
+
+# ---------------------------------------------------------------------------
+# schema-aware query strategy
+# ---------------------------------------------------------------------------
+
+
+def _spju(depth: int):
+    """Queries paired with their output attribute sets."""
+    base = st.sampled_from(
+        [
+            (Table("R"), ("g", "v")),
+            (Table("S"), ("g",)),
+            (Table("T"), ("g", "w")),
+        ]
+    )
+    if depth == 0:
+        return base
+
+    sub = _spju(depth - 1)
+
+    @st.composite
+    def selected(draw):
+        query, attrs = draw(sub)
+        attr = draw(st.sampled_from(sorted(attrs)))
+        if attr.startswith("g"):
+            condition = AttrEq(attr, draw(st.sampled_from(GROUPS)))
+        else:
+            op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+            condition = AttrCompare(attr, op, draw(st.sampled_from(VALUES + WEIGHTS)))
+        return Select(query, [condition]), attrs
+
+    @st.composite
+    def projected(draw):
+        query, attrs = draw(sub)
+        keep = tuple(
+            sorted(draw(st.sets(st.sampled_from(sorted(attrs)), min_size=1)))
+        )
+        return Project(query, keep), keep
+
+    @st.composite
+    def unioned(draw):
+        q1, _ = draw(sub)
+        q2, _ = draw(sub)
+        return Union(Project(q1, ("g",)), Project(q2, ("g",))), ("g",)
+
+    @st.composite
+    def joined(draw):
+        q1, a1 = draw(sub)
+        q2, a2 = draw(sub)
+        return NaturalJoin(q1, q2), tuple(sorted(set(a1) | set(a2)))
+
+    @st.composite
+    def value_joined(draw):
+        q1, a1 = draw(sub)
+        q2, a2 = draw(base)  # base table on the renamed side keeps schemas disjoint
+        renames = {a: f"{a}2" for a in a2}
+        if any(f"{a}2" in a1 for a in a2):
+            return q1, a1  # nested rename collision: skip the join
+        return (
+            ValueJoin(q1, Rename(q2, renames), [("g", "g2")]),
+            tuple(sorted(set(a1) | {f"{a}2" for a in a2})),
+        )
+
+    @st.composite
+    def distinct(draw):
+        query, attrs = draw(sub)
+        return Distinct(query), attrs
+
+    return st.one_of(base, selected(), projected(), unioned(), joined(),
+                     value_joined(), distinct())
+
+
+@st.composite
+def spju_agb_query(draw):
+    """An SPJU tree optionally topped by one aggregation operator."""
+    query, attrs = draw(_spju(draw(st.integers(min_value=0, max_value=2))))
+    top = draw(st.sampled_from(["none", "group", "agg", "count"]))
+    numeric = sorted(a for a in attrs if a.startswith(("v", "w")))
+    if top == "group" and "g" in attrs and numeric:
+        agg_attr = draw(st.sampled_from(numeric))
+        monoid = draw(st.sampled_from([SUM, MIN, MAX]))
+        count = draw(st.booleans())
+        return GroupBy(query, ["g"], {agg_attr: monoid},
+                       count_attr="n" if count else None)
+    if top == "agg" and numeric:
+        agg_attr = draw(st.sampled_from(numeric))
+        monoid = draw(st.sampled_from([SUM, MIN, MAX]))
+        return Aggregate(Project(query, (agg_attr,)), agg_attr, monoid)
+    if top == "count":
+        return CountAgg(query, "n")
+    return query
+
+
+# ---------------------------------------------------------------------------
+# the equivalence properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(db=tagged_database(), query=spju_agb_query())
+def test_planned_equals_interpreted_over_free_semiring(db, query):
+    interpreted = query.evaluate(db, engine="interpreted")
+    planned = query.evaluate(db, engine="planned")
+    assert planned == interpreted
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=tagged_database(), query=spju_agb_query())
+def test_plan_cache_is_stable_across_reexecution(db, query):
+    first = query.evaluate(db, engine="planned")
+    second = query.evaluate(db, engine="planned")  # cached plan + build sides
+    assert first == second == query.evaluate(db)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query=spju_agb_query(), data=st.data())
+def test_planned_equals_interpreted_over_bags(query, data):
+    """Same property under N: the bag specialisation, evaluated directly."""
+    db_nx = data.draw(tagged_database())
+    relations = {}
+    for i, (name, rel) in enumerate(db_nx):
+        rows = [
+            (tuple(t[a] for a in rel.schema.attributes), 1 + (j + i) % 3)
+            for j, (t, _k) in enumerate(rel.items())
+        ]
+        relations[name] = KRelation.from_rows(NAT, rel.schema.attributes, rows)
+    db = KDatabase(NAT, relations)
+    assert query.evaluate(db, engine="planned") == query.evaluate(db)
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=tagged_database())
+def test_difference_routes_through_planned_engine(db):
+    query = Difference(Project(Table("R"), ("g",)), Table("S"))
+    assert query.evaluate(db, engine="planned") == query.evaluate(db)
