@@ -5,7 +5,7 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke bench-planner bench examples
+.PHONY: check test bench-smoke bench-planner bench-symbolic bench-json bench examples
 
 check: test bench-smoke
 
@@ -17,6 +17,15 @@ bench-smoke:
 
 bench-planner:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py
+
+# the symbolic-provenance gate: planned N[X] >= 8x interpreted, circuit
+# mode >= 2x the expanded planned run (10k-row join + group-by)
+bench-symbolic:
+	$(PYPATH) $(PY) benchmarks/bench_planner.py --symbolic
+
+# run every workload and refresh the committed perf-trajectory artifact
+bench-json:
+	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

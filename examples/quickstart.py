@@ -82,7 +82,22 @@ def main() -> None:
 
     # explain() shows the physical plan the planner picked
     print("EXPLAIN for the grouped aggregation:")
-    print(explain(q, db))
+    print(explain(q, db), "\n")
+
+    # -- 6. circuit-backed provenance: compute once, specialise many ------
+    # annotations="circuit" runs the same plan over hash-consed gates
+    # (sized by the work performed, not the expanded polynomial) and
+    # lowers lazily: specialise() evaluates each shared gate once per
+    # valuation, lower() expands to canonical N[X] only on demand.
+    # See docs/architecture.md, "Annotation representations".
+    circuit = q.evaluate(db, engine="planned", annotations="circuit")
+    assert circuit == by_dept  # lowering reproduces the canonical result
+    print("Circuit-backed result, specialised to multiplicities:")
+    print(
+        circuit.specialise(
+            {"p1": 2, "p2": 1, "p3": 0, "r1": 1, "r2": 1}, NAT
+        ).pretty()
+    )
 
 
 if __name__ == "__main__":

@@ -18,13 +18,15 @@ from repro.semirings.polynomials import NX, Polynomial
 __all__ = ["circuit_to_polynomial", "polynomial_to_circuit"]
 
 
-def circuit_to_polynomial(node: CircuitNode) -> Polynomial:
+def circuit_to_polynomial(node: CircuitNode, *, memo: dict | None = None) -> Polynomial:
     """Expand a circuit into a canonical ``N[X]`` polynomial.
 
     Delta gates expand into the free delta-semiring (``DeltaTerm``
     indeterminates), matching what the polynomial engine itself produces.
+    ``memo`` (gate id -> polynomial) may be shared across calls to expand
+    a whole result relation's annotations over one cache of shared gates.
     """
-    return evaluate_circuit(node, NX, lambda token: NX.variable(token))
+    return evaluate_circuit(node, NX, lambda token: NX.variable(token), memo=memo)
 
 
 def polynomial_to_circuit(poly: Polynomial, semiring: CircuitSemiring) -> CircuitNode:

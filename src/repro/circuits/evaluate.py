@@ -20,12 +20,20 @@ def evaluate_circuit(
     node: CircuitNode,
     target: Semiring,
     valuation: Mapping[Any, Any] | Callable[[Any], Any],
+    *,
+    memo: Dict[int, Any] | None = None,
 ) -> Any:
     """Evaluate ``node`` in ``target`` under a token valuation.
 
     ``valuation`` maps tokens to target elements (mapping or callable).
     Iterative post-order with memoization: shared gates are evaluated
     once, and recursion depth is independent of circuit depth.
+
+    ``memo`` optionally shares the per-gate cache *across calls*: passing
+    the same dict while evaluating every annotation of a result relation
+    ("batch" evaluation) computes each shared gate once for the whole
+    batch rather than once per annotation.  The caller owns the dict and
+    must keep (target, valuation) fixed for its lifetime.
     """
     if isinstance(valuation, Mapping):
         mapping = dict(valuation)
@@ -41,7 +49,8 @@ def evaluate_circuit(
     else:
         image = valuation
 
-    memo: Dict[int, Any] = {}
+    if memo is None:
+        memo = {}
     stack = [(node, False)]
     while stack:
         current, expanded = stack.pop()
@@ -63,9 +72,17 @@ def evaluate_circuit(
         elif kind == "var":
             value = image(current.payload)
         elif kind == "plus":
-            value = target.plus(*(memo[c._id] for c in current.children))
+            children = current.children
+            if len(children) == 2:
+                value = target.plus(memo[children[0]._id], memo[children[1]._id])
+            else:  # flattened n-ary gate: one fused reduction
+                value = target.sum_many(memo[c._id] for c in children)
         elif kind == "times":
-            value = target.times(*(memo[c._id] for c in current.children))
+            children = current.children
+            if len(children) == 2:
+                value = target.times(memo[children[0]._id], memo[children[1]._id])
+            else:
+                value = target.prod_many(memo[c._id] for c in children)
         elif kind == "delta":
             value = target.delta(memo[current.children[0]._id])
         else:  # pragma: no cover - builder only produces the kinds above

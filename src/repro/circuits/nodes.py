@@ -81,6 +81,43 @@ class CircuitNode:
 
     # -- display --------------------------------------------------------------
 
+    def render(self, max_chars: int = 120) -> str:
+        """Render the expression, truncated at ``max_chars`` characters.
+
+        ``str()`` expands the shared DAG into its expression *tree*, which
+        is exponential in circuit depth (a chain of squarings doubles the
+        text per gate); this walker emits left-to-right and abandons the
+        traversal the moment the budget is spent, so rendering cost is
+        bounded regardless of circuit size.
+        """
+        pieces: list = []
+        used = 0
+        stack: list = [self]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                text = item
+            elif not item.children:
+                text = str(item)
+            elif item.kind == "delta":
+                stack.append(")")
+                stack.append(item.children[0])
+                text = "δ("
+            else:
+                sep = " + " if item.kind == "plus" else "*"
+                stack.append(")")
+                children = item.children
+                for idx in range(len(children) - 1, -1, -1):
+                    stack.append(children[idx])
+                    if idx:
+                        stack.append(sep)
+                text = "("
+            pieces.append(text)
+            used += len(text)
+            if used > max_chars:
+                return "".join(pieces)[:max_chars] + "…"
+        return "".join(pieces)
+
     def __str__(self) -> str:
         if self.kind == "zero":
             return "0"
@@ -104,6 +141,10 @@ class CircuitBuilder:
 
     def __init__(self) -> None:
         self._intern: Dict[Tuple, CircuitNode] = {}
+        # memo in front of _make for the two binary hot paths: the key is
+        # two ints instead of a nested (kind, payload, child-ids) tuple
+        self._plus2: Dict[Tuple[int, int], CircuitNode] = {}
+        self._times2: Dict[Tuple[int, int], CircuitNode] = {}
         self._counter = 0
         self.zero = self._make("zero", None, ())
         self.one = self._make("one", None, ())
@@ -140,7 +181,11 @@ class CircuitBuilder:
         # canonical child order maximises sharing of commutative gates
         if b._id < a._id:
             a, b = b, a
-        return self._make("plus", None, (a, b))
+        key = (a._id, b._id)
+        node = self._plus2.get(key)
+        if node is None:
+            node = self._plus2[key] = self._make("plus", None, (a, b))
+        return node
 
     def times(self, a: CircuitNode, b: CircuitNode) -> CircuitNode:
         """Multiplication gate with unit/annihilator simplification."""
@@ -152,7 +197,11 @@ class CircuitBuilder:
             return a
         if b._id < a._id:
             a, b = b, a
-        return self._make("times", None, (a, b))
+        key = (a._id, b._id)
+        node = self._times2.get(key)
+        if node is None:
+            node = self._times2[key] = self._make("times", None, (a, b))
+        return node
 
     def delta(self, a: CircuitNode) -> CircuitNode:
         """Delta gate (Definition 3.6) with constant folding."""
@@ -163,6 +212,61 @@ class CircuitBuilder:
         if a.kind == "const":
             return self.one
         return self._make("delta", None, (a,))
+
+    # -- n-ary gates ------------------------------------------------------------
+
+    def plus_many(self, items) -> CircuitNode:
+        """One flattened n-ary addition gate for a whole ``sum``.
+
+        A fold of binary :meth:`plus` represents an n-way sum as a comb of
+        n-1 gates, each interned and each traversed separately during
+        evaluation; GROUP BY over 10k rows builds 10k-deep combs.  The
+        n-ary gate stores the same sum as *one* node: children are
+        flattened through nested plus gates, zeros dropped, and sorted by
+        id so commutatively-equal sums intern to the same gate.
+        """
+        children: list = []
+        extend = children.extend
+        append = children.append
+        zero = self.zero
+        for item in items:
+            if item is zero:
+                continue
+            if item.kind == "plus":
+                extend(item.children)
+            else:
+                append(item)
+        if not children:
+            return zero
+        if len(children) == 1:
+            return children[0]
+        children.sort(key=lambda node: node._id)
+        return self._make("plus", None, tuple(children))
+
+    def times_many(self, items) -> CircuitNode:
+        """One flattened n-ary multiplication gate (see :meth:`plus_many`).
+
+        Annihilates on any zero child and drops unit children.
+        """
+        children: list = []
+        extend = children.extend
+        append = children.append
+        zero, one = self.zero, self.one
+        for item in items:
+            if item is zero:
+                return zero
+            if item is one:
+                continue
+            if item.kind == "times":
+                extend(item.children)
+            else:
+                append(item)
+        if not children:
+            return one
+        if len(children) == 1:
+            return children[0]
+        children.sort(key=lambda node: node._id)
+        return self._make("times", None, tuple(children))
 
     def interned_count(self) -> int:
         """Total number of distinct gates ever created (sharing metric)."""

@@ -105,7 +105,7 @@ def group_by(
             values[attr] = space.set_agg(
                 (_monoid_value(t[attr], monoid, attr), k) for t, k in members
             )
-        annotation = semiring.delta(semiring.sum(k for _t, k in members))
+        annotation = semiring.delta(semiring.sum_many(k for _t, k in members))
         pairs.append((Tup(values), annotation))
     return KRelation(semiring, out_schema, pairs)
 

@@ -15,7 +15,9 @@ __all__ = ["KDatabase"]
 class KDatabase:
     """A named-relation database where every relation shares one semiring."""
 
-    __slots__ = ("semiring", "_relations")
+    # _circuit_cache: lazily-attached circuit image of an N[X] database
+    # (see repro.plan.circuit_exec.circuit_database)
+    __slots__ = ("semiring", "_relations", "_circuit_cache")
 
     def __init__(self, semiring: Semiring, relations: Mapping[str, KRelation] = ()):
         self.semiring = semiring

@@ -54,17 +54,33 @@ def union(r1: KRelation, r2: KRelation) -> KRelation:
 
 
 def projection(r: KRelation, attributes: Iterable[str]) -> KRelation:
-    """``(Π_U' R)(t) = sum_K { R(t') : t'|U' = t }``."""
+    """``(Π_U' R)(t) = sum_K { R(t') : t'|U' = t }``.
+
+    Merged tuples accumulate their annotations into a list and combine
+    with one n-ary ``sum_many`` per output tuple instead of a pairwise
+    fold (which would rebuild a normal form per input row for symbolic
+    semirings).
+    """
     out_schema = r.schema.restrict(attributes)
     semiring = r.semiring
+    out_attrs = out_schema.attributes
     acc: Dict[Tup, Any] = {}
-    for tup, annotation in r.items():
-        image = tup.restrict(out_schema.attributes)
+    for tup, annotation in r.rows():
+        image = tup.restrict(out_attrs)
         if image in acc:
-            acc[image] = semiring.plus(acc[image], annotation)
+            bucket = acc[image]
+            if type(bucket) is list:
+                bucket.append(annotation)
+            else:
+                acc[image] = [bucket, annotation]
         else:
             acc[image] = annotation
-    return KRelation(semiring, out_schema, acc)
+    sum_many = semiring.sum_many
+    merged = {
+        tup: (sum_many(bucket) if type(bucket) is list else bucket)
+        for tup, bucket in acc.items()
+    }
+    return KRelation(semiring, out_schema, merged)
 
 
 def selection(r: KRelation, predicate: Callable[[Tup], bool]) -> KRelation:

@@ -175,8 +175,12 @@ class Query(abc.ABC):
     """A relational-algebra expression evaluable on any K-database."""
 
     def evaluate(
-        self, db: KDatabase, mode: str = "standard", engine: str = "interpreted"
-    ) -> KRelation:
+        self,
+        db: KDatabase,
+        mode: str = "standard",
+        engine: str = "interpreted",
+        annotations: str = "expanded",
+    ):
         """Run the query.
 
         ``mode="standard"`` uses the SPJU-AGB semantics of Section 3;
@@ -196,11 +200,37 @@ class Query(abc.ABC):
             (Section 4.3) semantics have no physical fast path yet and
             fall back to the interpreter.
 
+        ``annotations`` selects the *representation* symbolic provenance
+        is computed in (planned engine, standard mode, ``N[X]`` databases
+        only):
+
+        ``"expanded"``
+            canonical provenance polynomials throughout — every operator
+            returns normal forms (the default, and the only choice for
+            concrete semirings);
+        ``"circuit"``
+            run the plan over hash-consed provenance circuits and return a
+            :class:`~repro.plan.circuit_exec.CircuitResult` that lowers
+            lazily: ``specialise(valuation, target)`` batch-evaluates the
+            shared gates once per valuation, ``lower()`` expands to the
+            identical canonical ``N[X]`` relation on demand.
+
         The compiled plan is cached on the query object and reused while
         the database's catalog (relation names and schemas) is unchanged.
         """
         if engine not in ("interpreted", "planned"):
             raise QueryError(f"unknown evaluation engine {engine!r}")
+        if annotations not in ("expanded", "circuit"):
+            raise QueryError(f"unknown annotation representation {annotations!r}")
+        if annotations == "circuit":
+            if engine != "planned" or mode != "standard":
+                raise QueryError(
+                    "annotations='circuit' requires engine='planned' and "
+                    "mode='standard'"
+                )
+            from repro.plan.circuit_exec import evaluate_circuit_backed  # local: plan imports core
+
+            return evaluate_circuit_backed(self, db)
         if mode == "standard":
             if engine == "planned":
                 return self._cached_plan(db).execute(db)
@@ -211,22 +241,34 @@ class Query(abc.ABC):
             return nested.collapse_km_relation(result, db.semiring)
         raise QueryError(f"unknown evaluation mode {mode!r}")
 
+    #: Per-query plan cache capacity (distinct databases; the circuit image
+    #: of a database counts as its own entry).
+    _PLAN_CACHE_SLOTS = 4
+
     def _cached_plan(self, db: KDatabase):
         """Compile (or reuse) the physical plan for this query over ``db``.
 
-        The cache key is the database object plus its catalog signature, so
-        ``db.add`` replacing a relation with a *different schema* triggers
-        recompilation while plain data refreshes keep the plan (its scan
-        and join-build caches self-invalidate by object identity).
+        The cache keys on the database object plus its catalog signature,
+        so ``db.add`` replacing a relation with a *different schema*
+        triggers recompilation while plain data refreshes keep the plan
+        (its scan and join-build caches self-invalidate by object
+        identity).  A few databases are tracked at once so alternating the
+        same prepared query between databases — e.g. the expanded and
+        circuit-backed images — does not thrash the cache.
         """
         from repro.plan.compiler import compile_plan  # local: plan imports core
 
         signature = tuple((name, rel.schema) for name, rel in db)
-        cached = getattr(self, "_plan_cache", None)
-        if cached is not None and cached[0] is db and cached[1] == signature:
-            return cached[2]
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            cache = self._plan_cache = {}
+        entry = cache.get(id(db))
+        if entry is not None and entry[0] is db and entry[1] == signature:
+            return entry[2]
         plan = compile_plan(self, db)
-        self._plan_cache = (db, signature, plan)
+        if len(cache) >= self._PLAN_CACHE_SLOTS and id(db) not in cache:
+            cache.pop(next(iter(cache)))
+        cache[id(db)] = (db, signature, plan)
         return plan
 
     @abc.abstractmethod

@@ -52,9 +52,20 @@ class KRelation:
                     f"tuple {tup} does not match schema {self.schema}"
                 )
             if tup in data:
-                annotation = semiring.plus(data[tup], annotation)
-            data[tup] = annotation
-        self._rows = {t: k for t, k in data.items() if not semiring.is_zero(k)}
+                # alternative derivations merge with +_K; k-way collisions
+                # accumulate and combine with one n-ary sum_many below
+                bucket = data[tup]
+                if type(bucket) is list:
+                    bucket.append(annotation)
+                else:
+                    data[tup] = [bucket, annotation]
+            else:
+                data[tup] = annotation
+        sum_many, is_zero = semiring.sum_many, semiring.is_zero
+        merged = (
+            (t, sum_many(b) if type(b) is list else b) for t, b in data.items()
+        )
+        self._rows = {t: k for t, k in merged if not is_zero(k)}
 
     # -- constructors ---------------------------------------------------------
 
@@ -153,14 +164,31 @@ class KRelation:
                 f"homomorphism {hom.name} does not start at {self.semiring.name}"
             )
 
+        # memoize per relation: provenance workloads repeat annotations
+        # (shared circuits, common subqueries, identical tokens), so each
+        # distinct annotation / tensor value maps through ``hom`` once
+        ann_memo: Dict[Any, Any] = {}
+        value_memo: Dict[Any, Any] = {}
+
+        def map_annotation(annotation: Any) -> Any:
+            image = ann_memo.get(annotation)
+            if image is None:
+                image = ann_memo[annotation] = hom(annotation)
+            return image
+
         def map_value(value: Any) -> Any:
-            return value.apply_hom(hom) if isinstance(value, Tensor) else value
+            if not isinstance(value, Tensor):
+                return value
+            image = value_memo.get(value)
+            if image is None:
+                image = value_memo[value] = value.apply_hom(hom)
+            return image
 
         target = hom.target
         merged: Dict[Tup, Any] = {}
         for tup, annotation in self.items():
             image_tup = Tup({a: map_value(v) for a, v in tup.items()})
-            image_ann = hom(annotation)
+            image_ann = map_annotation(annotation)
             if target.is_zero(image_ann):
                 continue
             if image_tup in merged and merged[image_tup] != image_ann:

@@ -155,17 +155,8 @@ def _apply_rules_delta(
             continue
         for binding, annotation in plans[id(rule)].instantiations(semiring, facts):
             head = rule.head.substitute(binding)
-            store = derived.setdefault(head.predicate, {})
-            key = head.terms
-            if key in store:
-                store[key] = semiring.plus(store[key], annotation)
-            else:
-                store[key] = annotation
-    return {
-        name: {k: v for k, v in rows.items() if not semiring.is_zero(v)}
-        for name, rows in derived.items()
-        if any(not semiring.is_zero(v) for v in rows.values())
-    }
+            _merge_head(derived.setdefault(head.predicate, {}), head.terms, annotation)
+    return _finalize_store(semiring, derived)
 
 
 def evaluate_datalog(
@@ -220,18 +211,41 @@ def _apply_rules_once(
     for rule in program.rules:
         for binding, annotation in plans[id(rule)].instantiations(semiring, facts):
             head = rule.head.substitute(binding)
-            store = derived.setdefault(head.predicate, {})
-            key = head.terms
-            if key in store:
-                store[key] = semiring.plus(store[key], annotation)
-            else:
-                store[key] = annotation
-    # drop zero annotations for canonical comparison
-    return {
-        name: {k: v for k, v in rows.items() if not semiring.is_zero(v)}
-        for name, rows in derived.items()
-        if any(not semiring.is_zero(v) for v in rows.values())
-    }
+            _merge_head(derived.setdefault(head.predicate, {}), head.terms, annotation)
+    return _finalize_store(semiring, derived)
+
+
+def _merge_head(store: Dict[FactKey, Any], key: FactKey, annotation: Any) -> None:
+    """Accumulate one derivation's annotation for a head fact.
+
+    Alternative derivations of the same fact collect into a list and are
+    merged with a single n-ary ``sum_many`` in :func:`_finalize_store`,
+    instead of a pairwise ``plus`` per derivation (quadratic for symbolic
+    annotations).
+    """
+    if key in store:
+        bucket = store[key]
+        if type(bucket) is list:
+            bucket.append(annotation)
+        else:
+            store[key] = [bucket, annotation]
+    else:
+        store[key] = annotation
+
+
+def _finalize_store(semiring: Semiring, derived: FactStore) -> FactStore:
+    """Merge accumulated derivation buckets; drop zeros for canonical form."""
+    sum_many, is_zero = semiring.sum_many, semiring.is_zero
+    out: FactStore = {}
+    for name, rows in derived.items():
+        clean: Dict[FactKey, Any] = {}
+        for key, bucket in rows.items():
+            value = sum_many(bucket) if type(bucket) is list else bucket
+            if not is_zero(value):
+                clean[key] = value
+        if clean:
+            out[name] = clean
+    return out
 
 
 def _compile_rule_plans(program: Program) -> Dict[int, RuleJoinPlan]:

@@ -21,12 +21,16 @@ Entry point for users: ``query.evaluate(db, engine="planned")`` — see
 ``docs/architecture.md``.
 """
 
+from repro.plan.circuit_exec import CircuitResult, circuit_database, evaluate_circuit_backed
 from repro.plan.columnar import ColumnarKRelation
 from repro.plan.compiler import PhysicalPlan, compile_plan
 from repro.plan.explain import explain
 from repro.plan.rules import RuleJoinPlan
 
 __all__ = [
+    "CircuitResult",
+    "circuit_database",
+    "evaluate_circuit_backed",
     "ColumnarKRelation",
     "PhysicalPlan",
     "compile_plan",

@@ -1,0 +1,249 @@
+"""Circuit-backed planned execution: annotations as shared gates.
+
+The expanded-polynomial planned engine still pays for canonical ``N[X]``
+normal forms *while the query runs* — every join multiplies term dicts,
+every group merges them.  The paper's "compute provenance once,
+specialise many times" story needs none of that during execution: it only
+needs the result to be a value of the **free** semiring, and the
+hash-consed circuits of :mod:`repro.circuits` are exactly that (ProvSQL
+stores provenance the same way).
+
+This module runs the ordinary physical plan over a
+:class:`~repro.circuits.semiring.CircuitSemiring`:
+
+1. base-table ``N[X]`` annotations are interned as gates once per
+   database (token polynomials become input gates; the mapping is cached
+   on the :class:`~repro.core.database.KDatabase` and reused across
+   queries, so gates are shared *between* queries too);
+2. the plan executes unchanged — ``plus``/``times``/``sum_many`` build
+   gates in O(1) amortised instead of merging polynomial dicts;
+3. the result is returned as a :class:`CircuitResult`, which **lowers
+   lazily**: specialisations (trust, security, deletion, multiplicity)
+   batch-evaluate the shared gates once per valuation, and the canonical
+   ``N[X]`` relation is expanded only if something asks for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.circuits.convert import circuit_to_polynomial, polynomial_to_circuit
+from repro.circuits.evaluate import evaluate_circuit
+from repro.circuits.semiring import CircuitSemiring
+from repro.core.database import KDatabase
+from repro.core.relation import KRelation
+from repro.exceptions import HomomorphismError, QueryError
+from repro.semimodules.tensor import Tensor, tensor_space
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import Homomorphism
+from repro.semirings.polynomials import NX
+
+__all__ = ["CircuitResult", "circuit_database", "evaluate_circuit_backed"]
+
+
+def circuit_database(db: KDatabase) -> Tuple[CircuitSemiring, KDatabase]:
+    """The circuit image of an ``N[X]`` database (cached on ``db``).
+
+    Every relation's polynomial annotations are encoded as interned gates
+    over one :class:`CircuitSemiring` owned by the database.  The cache is
+    validated per relation by object identity (relations are immutable by
+    convention), so ``db.add`` refreshing one table re-encodes only that
+    table while keeping every existing gate — and every compiled plan
+    against the circuit database — intact.
+    """
+    if db.semiring is not NX:
+        raise QueryError(
+            "circuit-backed execution expects an N[X]-annotated database; "
+            f"got {db.semiring.name}"
+        )
+    cache = getattr(db, "_circuit_cache", None)
+    if cache is None:
+        circ = CircuitSemiring(name=f"Circ[{db.semiring.name}]")
+        cache = {"semiring": circ, "db": KDatabase(circ), "sources": {}}
+        db._circuit_cache = cache
+    circ = cache["semiring"]
+    circ_db: KDatabase = cache["db"]
+    sources: Dict[str, KRelation] = cache["sources"]
+    for name, rel in db:
+        if sources.get(name) is rel:
+            continue
+        circ_db.add(name, _lift_relation(rel, circ))
+        sources[name] = rel
+    return circ, circ_db
+
+
+def _lift_relation(rel: KRelation, circ: CircuitSemiring) -> KRelation:
+    """Re-annotate one relation with gates (tensor values lift scalar-wise)."""
+    encode: Dict[Any, Any] = {}
+
+    def gate(poly):
+        node = encode.get(poly)
+        if node is None:
+            node = encode[poly] = polynomial_to_circuit(poly, circ)
+        return node
+
+    def lift_value(value: Any) -> Any:
+        if not isinstance(value, Tensor):
+            return value
+        space = tensor_space(circ, value.space.monoid)
+        return space.set_agg((m, gate(k)) for m, k in value.items())
+
+    pairs = []
+    for tup, annotation in rel.rows():
+        values = {a: lift_value(v) for a, v in tup.items()}
+        pairs.append((type(tup)(values), gate(annotation)))
+    return KRelation(circ, rel.schema, pairs)
+
+
+def evaluate_circuit_backed(query, db: KDatabase) -> "CircuitResult":
+    """Run ``query`` over the circuit image of ``db`` (planned engine)."""
+    circ, circ_db = circuit_database(db)
+    plan = query._cached_plan(circ_db)
+    return CircuitResult(plan.execute(circ_db), circ)
+
+
+class CircuitResult:
+    """A planned result whose annotations are circuit gates, lowered lazily.
+
+    ``circuit_relation`` is the raw :class:`KRelation` over the circuit
+    semiring.  Nothing is expanded until asked for:
+
+    ``specialise(valuation, target)``
+        the fast path the representation exists for — evaluate the shared
+        gates **once per valuation** (batch-memoized across all result
+        annotations and tensor scalars) and return the specialised
+        ``target``-relation, without ever materialising ``N[X]``;
+    ``lower()``
+        the canonical ``N[X]`` relation (memoized), for canonical
+        comparison or display — this is where expansion cost lives, and it
+        is identical to what ``annotations="expanded"`` computes eagerly.
+
+    Equality, length, iteration and rendering delegate to :meth:`lower`,
+    so tests can compare a circuit result against either engine's output
+    directly.
+    """
+
+    __slots__ = ("circuit_relation", "circuit_semiring", "_lowered")
+
+    def __init__(self, circuit_relation: KRelation, circuit_semiring: CircuitSemiring):
+        self.circuit_relation = circuit_relation
+        self.circuit_semiring = circuit_semiring
+        self._lowered: KRelation | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.circuit_relation.schema
+
+    @property
+    def semiring(self) -> Semiring:
+        """The *logical* annotation semiring of the result: ``N[X]``."""
+        return NX
+
+    def gate_count(self) -> int:
+        """Distinct gates reachable from the result annotations (size metric)."""
+        seen: set = set()
+        count = 0
+        for node in self._all_nodes():
+            for gate in node.iter_nodes():
+                if gate._id not in seen:
+                    seen.add(gate._id)
+                    count += 1
+        return count
+
+    def _all_nodes(self):
+        for tup, annotation in self.circuit_relation.rows():
+            yield annotation
+            for value in tup.values():
+                if isinstance(value, Tensor):
+                    for _m, k in value.items():
+                        yield k
+
+    # -- lowering ----------------------------------------------------------
+
+    def lower(self) -> KRelation:
+        """The canonical ``N[X]`` result (computed once, then cached)."""
+        if self._lowered is None:
+            memo: Dict[int, Any] = {}
+            hom = Homomorphism(
+                self.circuit_semiring,
+                NX,
+                lambda node: circuit_to_polynomial(node, memo=memo),
+                name=f"{self.circuit_semiring.name}→{NX.name}",
+            )
+            self._lowered = self.circuit_relation.apply_hom(hom)
+        return self._lowered
+
+    def specialise(
+        self,
+        valuation: Mapping[Any, Any] | Callable[[Any], Any],
+        target: Semiring,
+        *,
+        name: str = "",
+    ) -> KRelation:
+        """Evaluate the result under a token valuation into ``target``.
+
+        Each shared gate is computed once for the whole relation (one memo
+        spans every annotation and every tensor scalar), which is the
+        circuit counterpart of applying
+        :func:`~repro.semirings.homomorphism.valuation_hom` to an expanded
+        result — without ever building the expanded polynomials.
+        """
+        # normalise a Mapping to one lookup closure up front:
+        # evaluate_circuit would otherwise defensively copy the dict on
+        # every per-annotation call
+        if isinstance(valuation, Mapping):
+            mapping = dict(valuation)
+
+            def image(token: Any) -> Any:
+                try:
+                    return mapping[token]
+                except KeyError:
+                    raise HomomorphismError(
+                        f"valuation does not cover token {token!r}"
+                    ) from None
+
+        else:
+            image = valuation
+        memo: Dict[int, Any] = {}
+        hom = Homomorphism(
+            self.circuit_semiring,
+            target,
+            lambda node: evaluate_circuit(node, target, image, memo=memo),
+            name=name or f"{self.circuit_semiring.name}→{target.name}",
+        )
+        return self.circuit_relation.apply_hom(hom)
+
+    # -- KRelation-compatible face (delegates to the lowered form) ---------
+
+    def __len__(self) -> int:
+        return len(self.lower())
+
+    def __iter__(self):
+        return iter(self.lower())
+
+    def items(self):
+        return self.lower().items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CircuitResult):
+            return self.lower() == other.lower()
+        if isinstance(other, KRelation):
+            return self.lower() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.lower())
+
+    def pretty(self, **kwargs: Any) -> str:
+        return self.lower().pretty(**kwargs)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CircuitResult {self.schema} "
+            f"{len(self.circuit_relation)} rows, {self.gate_count()} gates>"
+        )

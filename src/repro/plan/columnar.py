@@ -108,22 +108,33 @@ class ColumnarKRelation:
         Value tuples follow ``schema`` attribute order; duplicate rows are
         merged with ``+_K``.  The shared merge-and-rebuild step behind
         :meth:`consolidate` and the projection operator.
+
+        Duplicates accumulate into per-row lists merged by one
+        ``sum_many`` each, so a k-way collision costs one fused reduction
+        instead of k-1 intermediate annotations (the unique-row fast path
+        stays list-free).
         """
-        plus = semiring.plus
         merged: Dict[Tuple[Any, ...], Any] = {}
         for values, annotation in rows:
             if values in merged:
-                merged[values] = plus(merged[values], annotation)
+                bucket = merged[values]
+                if type(bucket) is list:
+                    bucket.append(annotation)
+                else:
+                    merged[values] = [bucket, annotation]
             else:
                 merged[values] = annotation
         attrs = schema.attributes
+        sum_many = semiring.sum_many
         columns: Dict[str, List[Any]] = {a: [] for a in attrs}
         annotations: List[Any] = []
         appenders = [columns[a].append for a in attrs]
-        for values, annotation in merged.items():
+        for values, bucket in merged.items():
             for append, value in zip(appenders, values):
                 append(value)
-            annotations.append(annotation)
+            annotations.append(
+                sum_many(bucket) if type(bucket) is list else bucket
+            )
         return cls(semiring, schema, columns, annotations)
 
     # -- row access ----------------------------------------------------------

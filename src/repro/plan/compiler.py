@@ -95,9 +95,22 @@ class PhysicalPlan:
         ctx = ExecutionContext(db if db is not None else self.db, self._scan_cache)
         return self.root.execute(ctx).to_krelation()
 
-    def explain(self) -> str:
-        """Render the operator tree with cardinality estimates."""
+    def explain(self, *, annotations: str = "expanded") -> str:
+        """Render the operator tree with cardinality estimates.
+
+        ``annotations`` names the representation annotation arithmetic
+        runs in (``"expanded"`` canonical values, ``"circuit"`` shared
+        gates lowered on demand) so EXPLAIN output states not just the
+        operator shapes but the algebra they execute over.
+        """
         lines = [f"plan for: {self.query}"]
+        if annotations == "circuit":
+            lines.append(
+                "annotations: circuit (hash-consed gates; lowered / "
+                "specialised on demand)"
+            )
+        else:
+            lines.append("annotations: expanded (canonical semiring values)")
         _render(self.root, "", "", lines)
         return "\n".join(lines)
 

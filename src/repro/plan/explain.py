@@ -25,6 +25,13 @@ from repro.plan.compiler import compile_plan
 __all__ = ["explain"]
 
 
-def explain(query: Query, db, *, rewrite: bool = True) -> str:
-    """Compile ``query`` against ``db`` and render the chosen plan."""
-    return compile_plan(query, db, rewrite=rewrite).explain()
+def explain(
+    query: Query, db, *, rewrite: bool = True, annotations: str = "expanded"
+) -> str:
+    """Compile ``query`` against ``db`` and render the chosen plan.
+
+    ``annotations`` mirrors ``Query.evaluate``: pass ``"circuit"`` to see
+    the plan the circuit-backed execution would run (same operator tree,
+    annotation arithmetic over shared gates instead of expanded values).
+    """
+    return compile_plan(query, db, rewrite=rewrite).explain(annotations=annotations)

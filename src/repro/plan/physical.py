@@ -37,6 +37,7 @@ Operator inventory:
 
 from __future__ import annotations
 
+import itertools
 import operator as _pyop
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -70,6 +71,26 @@ __all__ = [
 ]
 
 _ORDER_TESTS = {"<": _pyop.lt, "<=": _pyop.le, ">": _pyop.gt, ">=": _pyop.ge}
+
+#: Infinite constant-1 column for COUNT(*) accumulation (footnote 6).
+_ONES = itertools.repeat(1)
+
+
+def _is_tensor(value: Any) -> bool:
+    return isinstance(value, Tensor)
+
+
+def _hash_keys(batch: ColumnarKRelation, attrs: Tuple[str, ...]) -> List[Any]:
+    """Row keys for hashing on ``attrs``.
+
+    Single-attribute keys — the overwhelmingly common join/group shape —
+    are the raw column values (no 1-tuple wrapping, so each of the O(n)
+    probe hashes is a plain value hash); wider keys go through
+    :meth:`ColumnarKRelation.key_rows`.
+    """
+    if len(attrs) == 1:
+        return batch.column(attrs[0])
+    return batch.key_rows(attrs)
 
 
 class ExecutionContext:
@@ -108,46 +129,18 @@ class PhysicalOp:
         raise NotImplementedError
 
 
-def _set_agg_direct(space, annotated_values) -> Tensor:
-    """``SetAgg`` without intermediate tensors.
-
-    :meth:`TensorSpace.set_agg` folds ``add`` over one simple tensor per
-    row — an allocation, a normal-form sort, and (for collapsing spaces) a
-    collapse per input tuple.  The normal form it converges to is just
-    "scalars merged per distinct monoid value, zero scalars and the
-    identity value dropped", so the physical layer accumulates that dict
-    directly and materialises a single :class:`Tensor` at the end.  The
-    result is element-wise identical (same space, same normal form).
-    """
-    semiring = space.semiring
-    identity = space.monoid.identity
-    is_zero, plus = semiring.is_zero, semiring.plus
-    acc: Dict[Any, Any] = {}
-    for value, scalar in annotated_values:
-        if value == identity or is_zero(scalar):
-            continue
-        if value in acc:
-            combined = plus(acc[value], scalar)
-            if is_zero(combined):
-                del acc[value]
-            else:
-                acc[value] = combined
-        else:
-            acc[value] = scalar
-    return Tensor(space, acc)
-
-
 def _require_plain_columns(
     batch: ColumnarKRelation, attrs: Iterable[str], context: str
 ) -> None:
     """The physical counterpart of :func:`operators.require_plain_values`."""
     for attr in attrs:
-        for value in batch.column(attr):
-            if isinstance(value, Tensor):
-                raise QueryError(
-                    f"{context}: attribute {attr!r} holds a symbolic aggregate "
-                    f"value {value}; use the extended (Section 4.3) semantics"
-                )
+        col = batch.column(attr)
+        if any(map(_is_tensor, col)):
+            value = next(v for v in col if isinstance(v, Tensor))
+            raise QueryError(
+                f"{context}: attribute {attr!r} holds a symbolic aggregate "
+                f"value {value}; use the extended (Section 4.3) semantics"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -403,7 +396,7 @@ class HashJoin(PhysicalOp):
         if cached is not None and cached[0] is build:
             return cached[1]
         buckets: Dict[Any, List[int]] = {}
-        for i, key in enumerate(build.key_rows(keys)):
+        for i, key in enumerate(_hash_keys(build, keys)):
             bucket = buckets.get(key)
             if bucket is None:
                 buckets[key] = [i]
@@ -432,7 +425,7 @@ class HashJoin(PhysicalOp):
         build_idx: List[int] = []
         probe_idx: List[int] = []
         get = buckets.get
-        for i, key in enumerate(probe.key_rows(probe_keys)):
+        for i, key in enumerate(_hash_keys(probe, probe_keys)):
             bucket = get(key)
             if bucket is not None:
                 probe_idx.extend([i] * len(bucket))
@@ -447,17 +440,17 @@ class HashJoin(PhysicalOp):
         # new ones (matching Schema.union as used by the interpreter)
         columns: Dict[str, List[Any]] = {}
         for attr in left.schema.attributes:
-            col = left.columns[attr]
-            columns[attr] = [col[i] for i in left_idx]
+            getter = left.columns[attr].__getitem__
+            columns[attr] = list(map(getter, left_idx))
         for attr in right.schema.attributes:
             if attr not in columns:
-                col = right.columns[attr]
-                columns[attr] = [col[i] for i in right_idx]
+                getter = right.columns[attr].__getitem__
+                columns[attr] = list(map(getter, right_idx))
         times = left.semiring.times
         l_anns, r_anns = left.annotations, right.annotations
-        annotations = [
-            times(l_anns[i], r_anns[j]) for i, j in zip(left_idx, right_idx)
-        ]
+        annotations = list(
+            map(times, map(l_anns.__getitem__, left_idx), map(r_anns.__getitem__, right_idx))
+        )
         return ColumnarKRelation(left.semiring, self.schema, columns, annotations)
 
     def label(self) -> str:
@@ -559,9 +552,10 @@ class GroupedAggregate(PhysicalOp):
         spaces = {
             attr: tensor_space(semiring, monoid) for attr, monoid in specs.items()
         }
-        keys = batch.key_rows(group_attrs)
+        single_group_attr = len(group_attrs) == 1
+        keys = _hash_keys(batch, group_attrs)
         anns = batch.annotations
-        buckets: Dict[Tuple[Any, ...], List[int]] = {}
+        buckets: Dict[Any, List[int]] = {}
         for i, key in enumerate(keys):
             bucket = buckets.get(key)
             if bucket is None:
@@ -574,32 +568,41 @@ class GroupedAggregate(PhysicalOp):
         agg_cols = {
             attr: batch.column(attr) for attr in self.aggregations
         }
-        plus, delta = semiring.plus, semiring.delta
+        # validate each aggregated column once, up front (every batch row
+        # belongs to some group), so the per-group accumulation below feeds
+        # raw column values straight into the set_agg kernel; the all/map
+        # pass is C-driven and only the failing case re-scans for the
+        # interpreter's precise per-value error
+        for attr, monoid in self.aggregations.items():
+            col = agg_cols[attr]
+            if not all(map(monoid.contains, col)):
+                for value in col:
+                    agg_ops._monoid_value(value, monoid, attr)
+        sum_many, delta = semiring.sum_many, semiring.delta
         columns: Dict[str, List[Any]] = {a: [] for a in out_attrs}
         annotations: List[Any] = []
         for key, members in buckets.items():
-            for attr, value in zip(group_attrs, key):
-                columns[attr].append(value)
-            for attr, monoid in self.aggregations.items():
+            if single_group_attr:
+                columns[group_attrs[0]].append(key)
+            else:
+                for attr, value in zip(group_attrs, key):
+                    columns[attr].append(value)
+            member_anns = list(map(anns.__getitem__, members))
+            for attr in self.aggregations:
                 space = spaces[attr]
                 col = agg_cols[attr]
                 columns[attr].append(
-                    _set_agg_direct(
-                        space,
-                        (
-                            (agg_ops._monoid_value(col[i], monoid, attr), anns[i])
-                            for i in members
-                        ),
-                    )
+                    space.set_agg(zip(map(col.__getitem__, members), member_anns))
                 )
             if self.count_attr is not None:
                 space = spaces[self.count_attr]
                 columns[self.count_attr].append(
-                    _set_agg_direct(space, ((1, anns[i]) for i in members))
+                    space.set_agg(zip(_ONES, member_anns))
                 )
-            total = anns[members[0]]
-            for i in members[1:]:
-                total = plus(total, anns[i])
+            if len(member_anns) == 1:
+                total = member_anns[0]
+            else:
+                total = sum_many(member_anns)
             annotations.append(delta(total))
         return ColumnarKRelation(semiring, out_schema, columns, annotations)
 
@@ -629,13 +632,10 @@ class WholeAggregate(PhysicalOp):
             )
         space = tensor_space(batch.semiring, self.monoid)
         col = batch.column(self.attribute)
-        value = _set_agg_direct(
-            space,
-            (
-                (agg_ops._monoid_value(v, self.monoid, self.attribute), k)
-                for v, k in zip(col, batch.annotations)
-            ),
-        )
+        if not all(map(self.monoid.contains, col)):
+            for value in col:
+                agg_ops._monoid_value(value, self.monoid, self.attribute)
+        value = space.set_agg(zip(col, batch.annotations))
         return ColumnarKRelation(
             batch.semiring,
             self.schema,
@@ -659,7 +659,7 @@ class CountAggregate(PhysicalOp):
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
         batch = self.children[0].execute(ctx)
         space = tensor_space(batch.semiring, SUM)
-        value = _set_agg_direct(space, ((1, k) for k in batch.annotations))
+        value = space.set_agg((1, k) for k in batch.annotations)
         return ColumnarKRelation(
             batch.semiring,
             self.schema,
@@ -689,8 +689,8 @@ class AvgAggregate(PhysicalOp):
             )
         space = tensor_space(batch.semiring, AVG)
         col = batch.column(self.attribute)
-        value = _set_agg_direct(
-            space, ((AVG.lift(v), k) for v, k in zip(col, batch.annotations))
+        value = space.set_agg(
+            (AVG.lift(v), k) for v, k in zip(col, batch.annotations)
         )
         return ColumnarKRelation(
             batch.semiring,

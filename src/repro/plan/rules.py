@@ -15,9 +15,12 @@ compiled once per rule, it precomputes for every body atom
 
 at evaluation time each atom's fact store is hashed **once** on the
 join-key positions and the accumulated bindings probe it — a left-deep
-hash-join pipeline in body order.  Annotations multiply in exactly the
-naive engine's order (partial product ``*_K`` fact annotation, atoms left
-to right), so fixpoints are bit-identical.
+hash-join pipeline in body order.  Annotations multiply in the naive
+engine's order (partial product ``*_K`` fact annotation, atoms left to
+right); an atom that binds no fresh variables is *factored*: its matching
+facts are pre-summed with one n-ary ``sum_many`` per probe key and fold
+in as a single multiplication (sound by distributivity — the head-fact
+merge would have summed those rows anyway), so fixpoints are identical.
 
 The module is deliberately independent of :mod:`repro.datalog` (the
 variable class is injected) to keep the package dependency graph acyclic:
@@ -114,10 +117,13 @@ class RuleJoinPlan:
     ) -> Iterable[Tuple[Dict[Any, Any], Any]]:
         """Yield ``(binding, body-product annotation)`` pairs.
 
-        Matches the naive engine's contract exactly: zero partial products
-        are pruned, bindings cover every body variable.
+        Matches the naive engine's contract: zero partial products are
+        pruned, bindings cover every body variable, and per-binding
+        annotations agree up to the fully-bound-atom factoring (rows the
+        head merge would sum arrive pre-summed).
         """
         is_zero, times = semiring.is_zero, semiring.times
+        sum_many = semiring.sum_many
         rows: List[Tuple[Dict[Any, Any], Any]] = [({}, semiring.one)]
         for atom in self.atoms:
             if not rows:
@@ -128,6 +134,31 @@ class RuleJoinPlan:
             key_vars = atom.key_vars
             fresh = atom.fresh
             next_rows: List[Tuple[Dict[Any, Any], Any]] = []
+            if not fresh:
+                # the atom binds nothing new: every matching fact extends a
+                # binding identically, so by distributivity the bucket
+                # contributes one factor sum_K(fact annotations) — a single
+                # fused n-ary sum and one product instead of |bucket| rows
+                # that the head merge would have had to re-sum.
+                factors: Dict[Any, Any] = {}
+                for binding, annotation in rows:
+                    key = tuple(binding[v] for v in key_vars)
+                    if key not in factors:
+                        bucket = index.get(key)
+                        if bucket is None:
+                            factors[key] = None
+                        elif len(bucket) == 1:
+                            factors[key] = bucket[0][1]
+                        else:
+                            factors[key] = sum_many(ann for _args, ann in bucket)
+                    factor = factors[key]
+                    if factor is None:
+                        continue
+                    product = times(annotation, factor)
+                    if not is_zero(product):
+                        next_rows.append((binding, product))
+                rows = next_rows
+                continue
             for binding, annotation in rows:
                 key = tuple(binding[v] for v in key_vars)
                 for args, fact_annotation in index.get(key, ()):

@@ -152,6 +152,40 @@ class Semiring(abc.ABC):
             result = self.times(result, item)
         return result
 
+    # ------------------------------------------------------------------
+    # N-ary kernels
+    # ------------------------------------------------------------------
+    #
+    # ``sum_many``/``prod_many``/``dot`` are the bulk forms of ``+``/``*``:
+    # semantically identical to the pairwise folds (associativity +
+    # commutativity), but overridable so that semirings with structured
+    # carriers (polynomials, tensors, circuits) can build the result in one
+    # pass instead of re-normalising an intermediate per element.  Query
+    # operators that combine more than two annotations at a time (grouped
+    # aggregation, projection merges, polynomial evaluation) call these.
+
+    def sum_many(self, items: Iterable[Any]) -> Any:
+        """N-ary ``+_K``: equal to ``sum`` but a single fused reduction.
+
+        Override when the carrier admits a faster-than-pairwise merge (one
+        shared accumulator instead of per-step normal forms).
+        """
+        return self.sum(items)
+
+    def prod_many(self, items: Iterable[Any]) -> Any:
+        """N-ary ``*_K``: equal to ``prod`` but a single fused reduction."""
+        return self.prod(items)
+
+    def dot(self, pairs: Iterable[Any]) -> Any:
+        """Fused scale-and-accumulate: ``sum_K(a *_K b for (a, b) in pairs)``.
+
+        The inner-product shape of projection-after-join and of polynomial
+        evaluation; the default composes the two kernels, overrides fuse
+        the product into the running accumulator.
+        """
+        times = self.times
+        return self.sum_many(times(a, b) for a, b in pairs)
+
     def pow(self, a: Any, n: int) -> Any:
         """Return ``a`` multiplied with itself ``n`` times (``a^0 = 1_K``)."""
         if n < 0:
@@ -167,13 +201,29 @@ class Semiring(abc.ABC):
         Every semiring receives a unique homomorphism-like map from ``N``
         this way (it is a genuine homomorphism exactly when the semiring's
         characteristic permits); it is how polynomial coefficients embed.
+
+        The fallback is O(log n) double-and-add rather than repeated
+        addition (``n * 1 = (n//2) * 1 + (n//2) * 1 [+ 1]``), with the
+        plus-idempotent collapse ``n * 1 = 1`` for ``n >= 1`` taken first;
+        semirings whose carrier makes the embedding trivial override it
+        outright (``N``, ``Z``, ``B``, polynomials, circuits).
         """
         if n < 0:
             raise SemiringError(f"cannot embed negative integer {n} into {self.name}")
-        result = self.zero
-        for _ in range(n):
-            result = self.plus(result, self.one)
-        return result
+        if n == 0:
+            return self.zero
+        if self.idempotent_plus:
+            return self.one
+        plus = self.plus
+        result = None
+        addend = self.one
+        while True:
+            if n & 1:
+                result = addend if result is None else plus(result, addend)
+            n >>= 1
+            if not n:
+                return result
+            addend = plus(addend, addend)
 
     # ------------------------------------------------------------------
     # Optional structure

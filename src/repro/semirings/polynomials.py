@@ -29,6 +29,7 @@ realised without special-casing the polynomial arithmetic).
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Tuple
 
 from repro.exceptions import SemiringError
@@ -45,6 +46,10 @@ __all__ = [
     "evaluate_polynomial",
     "variable_sort_key",
 ]
+
+
+#: Cap on each monomial's memoized-product table (see :meth:`Monomial.mul`).
+_MUL_CACHE_LIMIT = 512
 
 
 def variable_sort_key(var: Any) -> Tuple[str, str]:
@@ -65,7 +70,7 @@ class Monomial:
     Stored as a mapping ``variable -> exponent`` with all exponents >= 1.
     """
 
-    __slots__ = ("_powers", "_hash")
+    __slots__ = ("_powers", "_hash", "_mul_cache")
 
     def __init__(self, powers: Mapping[Any, int] | Iterable[Tuple[Any, int]] = ()):
         items = dict(powers)
@@ -76,6 +81,21 @@ class Monomial:
                 del items[var]
         self._powers: Dict[Any, int] = items
         self._hash = hash(frozenset(items.items()))
+        self._mul_cache: Dict["Monomial", "Monomial"] | None = None
+
+    @classmethod
+    def _from_clean(cls, powers: Dict[Any, int]) -> "Monomial":
+        """Trusted constructor: ``powers`` already holds int exponents >= 1.
+
+        The kernel path (:meth:`mul`, the polynomial ``times``/``dot``
+        specialisations) builds exponent dicts that are clean by
+        construction; skipping re-validation keeps monomial products cheap.
+        """
+        self = cls.__new__(cls)
+        self._powers = powers
+        self._hash = hash(frozenset(powers.items()))
+        self._mul_cache = None
+        return self
 
     # -- basic protocol -------------------------------------------------
 
@@ -110,11 +130,35 @@ class Monomial:
         return frozenset(self._powers)
 
     def mul(self, other: "Monomial") -> "Monomial":
-        """Monomial product: exponents add."""
+        """Monomial product: exponents add.
+
+        Products are memoized per left operand: polynomial multiplication
+        combines every monomial of one factor with every monomial of the
+        other, so the same pair recurs across terms (and across repeated
+        joins on the same annotations).  The per-instance cache is capped
+        (entries hold the partner and product strongly, so an unbounded
+        cache on a long-lived base-token monomial would pin every product
+        it ever took part in).
+        """
+        if not other._powers:
+            return self
+        if not self._powers:
+            return other
+        cache = self._mul_cache
+        if cache is None:
+            cache = self._mul_cache = {}
+        else:
+            hit = cache.get(other)
+            if hit is not None:
+                return hit
         merged = dict(self._powers)
+        get = merged.get
         for var, exp in other._powers.items():
-            merged[var] = merged.get(var, 0) + exp
-        return Monomial(merged)
+            merged[var] = get(var, 0) + exp
+        result = Monomial._from_clean(merged)
+        if len(cache) < _MUL_CACHE_LIMIT:
+            cache[other] = result
+        return result
 
     def drop_exponents(self) -> "Monomial":
         """Cap every exponent at 1 (the Trio / Why specialisations)."""
@@ -159,6 +203,22 @@ class Polynomial:
         self.semiring = semiring
         self._terms = clean
         self._hash: int | None = None
+
+    @classmethod
+    def _from_clean(
+        cls, semiring: "PolynomialSemiring", terms: Dict[Monomial, Any]
+    ) -> "Polynomial":
+        """Trusted constructor: ``terms`` holds no zero coefficients.
+
+        The n-ary kernels normalise as they accumulate, so re-filtering in
+        ``__init__`` (and copying the dict) would be pure overhead.  The
+        caller hands over ownership of ``terms``.
+        """
+        self = cls.__new__(cls)
+        self.semiring = semiring
+        self._terms = terms
+        self._hash = None
+        return self
 
     # -- basic protocol ---------------------------------------------------
 
@@ -287,6 +347,12 @@ class PolynomialSemiring(Semiring):
         self.has_delta = True
         self._zero = Polynomial(self, {})
         self._one = Polynomial(self, {_UNIT_MONOMIAL: coefficients.one})
+        # products of non-zero coefficients stay non-zero over N (no zero
+        # divisors) and sums do over any positive carrier; precomputing the
+        # two flags lets the kernels hand accumulators to the trusted
+        # constructor without a per-result _finish dispatch
+        self._trusted_sums = coefficients.positive
+        self._trusted_products = coefficients.is_naturals
 
     # -- constants and constructors ---------------------------------------
 
@@ -342,30 +408,118 @@ class PolynomialSemiring(Semiring):
     def contains(self, value: Any) -> bool:
         return isinstance(value, Polynomial) and value.semiring is self
 
+    def is_zero(self, a: Polynomial) -> bool:
+        # elements carry no zero coefficients, so zero <=> no terms (the
+        # generic `a == self.zero` pays full structural equality per call)
+        return not a._terms
+
+    def is_one(self, a: Polynomial) -> bool:
+        terms = a._terms
+        return (
+            len(terms) == 1
+            and _UNIT_MONOMIAL in terms
+            and self.coefficients.is_one(terms[_UNIT_MONOMIAL])
+        )
+
     # -- semiring operations ----------------------------------------------
 
     def plus(self, a: Polynomial, b: Polynomial) -> Polynomial:
         coeff = self.coefficients
         merged = dict(a._terms)
+        plus = coeff.plus
         for mono, c in b._terms.items():
             if mono in merged:
-                merged[mono] = coeff.plus(merged[mono], c)
+                merged[mono] = plus(merged[mono], c)
             else:
                 merged[mono] = c
-        return Polynomial(self, merged)
+        return self._finish(merged)
 
     def times(self, a: Polynomial, b: Polynomial) -> Polynomial:
         coeff = self.coefficients
+        a_terms, b_terms = a._terms, b._terms
+        if len(a_terms) == 1 and len(b_terms) == 1:
+            # the join hot path: token * token — no cross-term merge at all
+            (mono_a, ca), = a_terms.items()
+            (mono_b, cb), = b_terms.items()
+            product = {mono_a.mul(mono_b): coeff.times(ca, cb)}
+            if self._trusted_products:
+                return Polynomial._from_clean(self, product)
+            return self._finish(product, check_products=True)
         out: Dict[Monomial, Any] = {}
-        for mono_a, ca in a._terms.items():
-            for mono_b, cb in b._terms.items():
+        plus, times = coeff.plus, coeff.times
+        for mono_a, ca in a_terms.items():
+            for mono_b, cb in b_terms.items():
                 mono = mono_a.mul(mono_b)
-                c = coeff.times(ca, cb)
+                c = times(ca, cb)
                 if mono in out:
-                    out[mono] = coeff.plus(out[mono], c)
+                    out[mono] = plus(out[mono], c)
                 else:
                     out[mono] = c
-        return Polynomial(self, out)
+        return self._finish(out, check_products=True)
+
+    # -- n-ary kernels ------------------------------------------------------
+    #
+    # The pairwise fold rebuilds an intermediate ``Polynomial`` (dict copy +
+    # zero filter) per element — O(n^2) dict entries for an n-way sum of
+    # single-term annotations, which is exactly the GROUP BY shape.  The
+    # kernels accumulate every input into ONE coefficient dict and
+    # materialise a single polynomial through the trusted constructor.
+
+    def sum_many(self, items: Iterable[Polynomial]) -> Polynomial:
+        coeff = self.coefficients
+        plus = coeff.plus
+        merged: Dict[Monomial, Any] = {}
+        for poly in items:
+            for mono, c in poly._terms.items():
+                if mono in merged:
+                    merged[mono] = plus(merged[mono], c)
+                else:
+                    merged[mono] = c
+        return self._finish(merged)
+
+    def prod_many(self, items: Iterable[Polynomial]) -> Polynomial:
+        result = self._one
+        for poly in items:
+            if not poly._terms:
+                return self._zero
+            result = self.times(result, poly)
+        return result
+
+    def dot(self, pairs: Iterable[Any]) -> Polynomial:
+        """``sum(a * b)`` accumulated into a single coefficient dict."""
+        coeff = self.coefficients
+        plus, times = coeff.plus, coeff.times
+        merged: Dict[Monomial, Any] = {}
+        for a, b in pairs:
+            for mono_a, ca in a._terms.items():
+                for mono_b, cb in b._terms.items():
+                    mono = mono_a.mul(mono_b)
+                    c = times(ca, cb)
+                    if mono in merged:
+                        merged[mono] = plus(merged[mono], c)
+                    else:
+                        merged[mono] = c
+        return self._finish(merged, check_products=True)
+
+    def _finish(
+        self, terms: Dict[Monomial, Any], *, check_products: bool = False
+    ) -> Polynomial:
+        """Zero-filter an accumulator dict in place and wrap it trusted.
+
+        Over positive coefficients a sum of non-zero coefficients is never
+        zero, so plus-only accumulators skip the filter entirely;
+        accumulators that multiplied coefficients (``check_products``) are
+        scanned unless the coefficient semiring is one of the canonical
+        zero-divisor-free carriers (``N``: products of non-zeros stay
+        non-zero).
+        """
+        if self._trusted_sums and (not check_products or self._trusted_products):
+            return Polynomial._from_clean(self, terms)
+        is_zero = self.coefficients.is_zero
+        dead = [mono for mono, c in terms.items() if is_zero(c)]
+        for mono in dead:
+            del terms[mono]
+        return Polynomial._from_clean(self, terms)
 
     def from_int(self, n: int) -> Polynomial:
         return self.constant(self.coefficients.from_int(n))
@@ -417,30 +571,44 @@ def evaluate_polynomial(
     :func:`~repro.semirings.homomorphism.valuation_hom`; ``var_image`` must
     already dispatch structured indeterminates.
     """
-    total = target.zero
-    for mono, c in poly._terms.items():
-        acc = coeff_image(c)
-        for var, exp in mono:
-            if target.is_zero(acc):
-                break
-            acc = target.times(acc, target.pow(var_image(var), exp))
-        total = target.plus(total, acc)
-    return total
+    def term_values():
+        is_zero, times, pow_ = target.is_zero, target.times, target.pow
+        for mono, c in poly._terms.items():
+            acc = coeff_image(c)
+            for var, exp in mono:
+                if is_zero(acc):
+                    break
+                acc = times(acc, pow_(var_image(var), exp))
+            yield acc
+
+    return target.sum_many(term_values())
 
 
-_POLYNOMIAL_CACHE: Dict[int, PolynomialSemiring] = {}
+_POLYNOMIAL_CACHE: "weakref.WeakKeyDictionary[Semiring, Any]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def polynomials_over(coefficients: Semiring) -> PolynomialSemiring:
     """The polynomial semiring over ``coefficients`` (cached per semiring).
 
     Caching makes ``polynomials_over(NAT) is polynomials_over(NAT)`` hold,
-    so polynomials built in different modules interoperate.
+    so polynomials built in different modules interoperate.  The cache is
+    weak on *both* sides: an ``id()`` key would survive the semiring's
+    collection and could silently alias a recycled id to the wrong
+    polynomial structure, and a strong value would pin its key (the
+    ``K[X]`` object references its coefficients) making every entry
+    immortal.  Identity remains observable-stable: any live polynomial
+    holds its ``K[X]`` strongly, which keeps the weak value alive; once
+    nothing references the structure or its elements, rebuilding it on
+    the next call is indistinguishable.
     """
-    key = id(coefficients)
-    if key not in _POLYNOMIAL_CACHE:
-        _POLYNOMIAL_CACHE[key] = PolynomialSemiring(coefficients)
-    return _POLYNOMIAL_CACHE[key]
+    ref = _POLYNOMIAL_CACHE.get(coefficients)
+    semiring = ref() if ref is not None else None
+    if semiring is None:
+        semiring = PolynomialSemiring(coefficients)
+        _POLYNOMIAL_CACHE[coefficients] = weakref.ref(semiring)
+    return semiring
 
 
 #: The provenance polynomials ``N[X]`` of Green, Karvounarakis & Tannen.

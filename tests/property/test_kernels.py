@@ -1,0 +1,237 @@
+"""Property suite for the n-ary semiring / semimodule kernels.
+
+``sum_many`` / ``prod_many`` / ``dot`` are *specialisations*, not new
+semantics: each must agree exactly with the pairwise fold it replaces, in
+every semiring that overrides it.  The suite checks the kernels over the
+concrete naturals, the free polynomials ``N[X]`` (whose single-dict
+accumulation is the planner's symbolic fast path), the non-positive ring
+``Z[X]`` (exercising the zero-coefficient filtering the trusted
+constructors skip elsewhere), circuits (compared after lowering, since
+circuit equality is structural), and tensor spaces.  ``from_int`` gets the
+same treatment: double-and-add against the defining repeated addition.
+"""
+
+import gc
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.convert import circuit_to_polynomial
+from repro.circuits.semiring import CircuitSemiring
+from repro.monoids import MAX, SUM
+from repro.semirings import NAT, NX, ZX
+from repro.semirings.natural import NaturalSemiring
+from repro.semirings.polynomials import Monomial, polynomials_over
+from repro.semimodules.tensor import tensor_space
+
+TOKENS = ["x", "y", "z"]
+
+
+# ---------------------------------------------------------------------------
+# element strategies
+# ---------------------------------------------------------------------------
+
+
+def nat_elements():
+    return st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def nx_elements(draw):
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    poly = NX.zero
+    for _ in range(n_terms):
+        coeff = draw(st.integers(min_value=1, max_value=3))
+        powers = draw(
+            st.dictionaries(
+                st.sampled_from(TOKENS), st.integers(min_value=1, max_value=2),
+                max_size=2,
+            )
+        )
+        poly = poly + NX.monomial(powers, coeff)
+    return poly
+
+
+@st.composite
+def zx_elements(draw):
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    poly = ZX.zero
+    for _ in range(n_terms):
+        coeff = draw(st.integers(min_value=-3, max_value=3))
+        if coeff == 0:
+            continue
+        powers = draw(
+            st.dictionaries(
+                st.sampled_from(TOKENS), st.integers(min_value=1, max_value=2),
+                max_size=2,
+            )
+        )
+        poly = poly + ZX.monomial(powers, coeff)
+    return poly
+
+
+SEMIRING_ELEMENTS = [
+    (NAT, nat_elements()),
+    (NX, nx_elements()),
+    (ZX, zx_elements()),
+]
+
+
+# ---------------------------------------------------------------------------
+# kernels == pairwise folds
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_sum_many_equals_pairwise_fold(data):
+    for semiring, elements in SEMIRING_ELEMENTS:
+        items = data.draw(st.lists(elements, max_size=6))
+        folded = semiring.zero
+        for item in items:
+            folded = semiring.plus(folded, item)
+        assert semiring.sum_many(items) == folded
+        assert semiring.sum_many(iter(items)) == folded  # iterables too
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_prod_many_equals_pairwise_fold(data):
+    for semiring, elements in SEMIRING_ELEMENTS:
+        items = data.draw(st.lists(elements, max_size=4))
+        folded = semiring.one
+        for item in items:
+            folded = semiring.times(folded, item)
+        assert semiring.prod_many(items) == folded
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_dot_equals_sum_of_products(data):
+    for semiring, elements in SEMIRING_ELEMENTS:
+        pairs = data.draw(st.lists(st.tuples(elements, elements), max_size=5))
+        expected = semiring.zero
+        for a, b in pairs:
+            expected = semiring.plus(expected, semiring.times(a, b))
+        assert semiring.dot(pairs) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_circuit_kernels_lower_to_polynomial_folds(data):
+    """Circuit kernels agree with N[X] after lowering (structural equality
+    is finer than semantic, so compare in the canonical semiring)."""
+    circ = CircuitSemiring()
+    polys = data.draw(st.lists(nx_elements(), min_size=0, max_size=4))
+    from repro.circuits.convert import polynomial_to_circuit
+
+    gates = [polynomial_to_circuit(p, circ) for p in polys]
+    assert circuit_to_polynomial(circ.sum_many(gates)) == NX.sum_many(polys)
+    assert circuit_to_polynomial(circ.prod_many(gates)) == NX.prod_many(polys)
+    pairs = list(zip(gates, reversed(gates)))
+    poly_pairs = list(zip(polys, reversed(polys)))
+    assert circuit_to_polynomial(circ.dot(pairs)) == NX.dot(poly_pairs)
+
+
+# ---------------------------------------------------------------------------
+# tensor-space kernels
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_tensor_sum_and_dot_equal_folds(data):
+    for semiring, elements in [(NAT, nat_elements()), (NX, nx_elements())]:
+        for monoid in (SUM, MAX):
+            space = tensor_space(semiring, monoid)
+            rows = data.draw(
+                st.lists(
+                    st.tuples(st.integers(min_value=0, max_value=4), elements),
+                    max_size=6,
+                )
+            )
+            tensors = [space.simple(k, m) for m, k in rows]
+            folded = space.zero
+            for t in tensors:
+                folded = space.add(folded, t)
+            assert space.sum(tensors) == folded
+            assert space.set_agg(rows) == folded
+
+            scalars = data.draw(st.lists(elements, min_size=len(tensors),
+                                         max_size=len(tensors)))
+            scaled_fold = space.zero
+            for k, t in zip(scalars, tensors):
+                scaled_fold = space.add(scaled_fold, space.scalar(k, t))
+            assert space.dot(zip(scalars, tensors)) == scaled_fold
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_lazy_tensor_normal_form_is_stable(data):
+    """Hash/eq/display agree regardless of accumulation order."""
+    space = tensor_space(NX, SUM)
+    rows = data.draw(
+        st.lists(st.tuples(st.integers(min_value=0, max_value=4), nx_elements()),
+                 max_size=6)
+    )
+    forward = space.set_agg(rows)
+    backward = space.set_agg(list(reversed(rows)))
+    assert forward == backward
+    assert hash(forward) == hash(backward)
+    assert str(forward) == str(backward)
+    assert forward.items() == backward.items()
+
+
+# ---------------------------------------------------------------------------
+# from_int: double-and-add == repeated addition
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=0, max_value=40))
+def test_from_int_matches_repeated_addition(n):
+    from repro.semirings import BOOL, FUZZY, TROPICAL
+
+    for semiring in (NAT, NX, ZX, BOOL, FUZZY, TROPICAL):
+        expected = semiring.zero
+        for _ in range(n):
+            expected = semiring.plus(expected, semiring.one)
+        assert semiring.from_int(n) == expected
+
+
+# ---------------------------------------------------------------------------
+# caches: weak keys, memoized monomial products
+# ---------------------------------------------------------------------------
+
+
+def test_polynomials_over_cache_does_not_alias_recycled_semirings():
+    transient = NaturalSemiring()
+    first = polynomials_over(transient)
+    assert first.coefficients is transient
+    assert polynomials_over(transient) is first
+    del first, transient
+    gc.collect()
+    fresh = NaturalSemiring()
+    rebuilt = polynomials_over(fresh)
+    assert rebuilt.coefficients is fresh
+
+
+def test_tensor_space_cache_does_not_alias_recycled_pairs():
+    transient = NaturalSemiring()
+    space = tensor_space(transient, SUM)
+    assert space.semiring is transient and space.monoid is SUM
+    assert tensor_space(transient, SUM) is space
+    del space, transient
+    gc.collect()
+    fresh = NaturalSemiring()
+    rebuilt = tensor_space(fresh, SUM)
+    assert rebuilt.semiring is fresh
+
+
+def test_monomial_product_cache_returns_correct_products():
+    m1 = Monomial({"x": 1, "y": 2})
+    m2 = Monomial({"y": 1, "z": 3})
+    first = m1.mul(m2)
+    assert first == Monomial({"x": 1, "y": 3, "z": 3})
+    assert m1.mul(m2) is first  # memoized
+    assert m1.mul(Monomial()) is m1
+    assert Monomial().mul(m2) is m2

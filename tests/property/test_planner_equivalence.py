@@ -113,8 +113,10 @@ def _spju(depth: int):
 
     @st.composite
     def unioned(draw):
-        q1, _ = draw(sub)
-        q2, _ = draw(sub)
+        q1, a1 = draw(sub)
+        q2, a2 = draw(sub)
+        if "g" not in a1 or "g" not in a2:
+            return q1, a1  # a side projected g away: skip the union
         return Union(Project(q1, ("g",)), Project(q2, ("g",))), ("g",)
 
     @st.composite
@@ -128,6 +130,8 @@ def _spju(depth: int):
         q1, a1 = draw(sub)
         q2, a2 = draw(base)  # base table on the renamed side keeps schemas disjoint
         renames = {a: f"{a}2" for a in a2}
+        if "g" not in a1:
+            return q1, a1  # left side projected the join key away: skip
         if any(f"{a}2" in a1 for a in a2):
             return q1, a1  # nested rename collision: skip the join
         return (
@@ -207,3 +211,46 @@ def test_planned_equals_interpreted_over_bags(query, data):
 def test_difference_routes_through_planned_engine(db):
     query = Difference(Project(Table("R"), ("g",)), Table("S"))
     assert query.evaluate(db, engine="planned") == query.evaluate(db)
+
+
+# ---------------------------------------------------------------------------
+# circuit-backed execution lowers to the interpreter's polynomials
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=tagged_database(), query=spju_agb_query())
+def test_circuit_mode_lowers_to_interpreted_polynomials(db, query):
+    """annotations="circuit" runs the plan over shared gates; expanding the
+    result must reproduce the interpreter's canonical N[X] relation
+    exactly (annotations and tensor values both)."""
+    interpreted = query.evaluate(db, engine="interpreted")
+    circuit = query.evaluate(db, engine="planned", annotations="circuit")
+    assert circuit.lower() == interpreted
+    # the KRelation-compatible face delegates to the lowered form
+    assert circuit == interpreted
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=tagged_database(), query=spju_agb_query(), data=st.data())
+def test_circuit_specialisation_equals_hom_of_expanded_result(db, query, data):
+    """Batch-evaluating the gates under a valuation == applying the freely
+    extended homomorphism to the expanded result (Thm. 3.3 commutation,
+    realised on circuits without materialising N[X])."""
+    from repro.semirings import NAT
+    from repro.semirings.homomorphism import valuation_hom
+
+    interpreted = query.evaluate(db, engine="interpreted")
+    circuit = query.evaluate(db, engine="planned", annotations="circuit")
+    weights = {}
+
+    def weight(token):
+        if token not in weights:
+            weights[token] = data.draw(
+                st.integers(min_value=0, max_value=3), label=f"weight[{token}]"
+            )
+        return weights[token]
+
+    specialised = circuit.specialise(weight, NAT)
+    expected = interpreted.apply_hom(valuation_hom(NX, NAT, weight))
+    assert specialised == expected

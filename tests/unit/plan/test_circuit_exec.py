@@ -1,0 +1,106 @@
+"""Unit tests for circuit-backed planned execution (plan.circuit_exec)."""
+
+import pytest
+
+from repro.core import (
+    AttrEq,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Select,
+    Table,
+)
+from repro.exceptions import QueryError
+from repro.monoids import SUM
+from repro.plan import CircuitResult, circuit_database, explain
+from repro.semirings import NAT, NX
+
+
+def nx_db():
+    p1, p2, p3, q1 = NX.variables("p1", "p2", "p3", "q1")
+    emp = KRelation.from_rows(
+        NX,
+        ("EmpId", "Dept", "Sal"),
+        [((1, "d1", 10), p1), ((2, "d1", 20), p2), ((3, "d2", 10), p3)],
+    )
+    dept = KRelation.from_rows(NX, ("Dept", "Region"), [(("d1", "EU"), q1)])
+    return KDatabase(NX, {"Emp": emp, "Dept": dept})
+
+
+def join_group():
+    return GroupBy(
+        Select(NaturalJoin(Table("Emp"), Table("Dept")), [AttrEq("Region", "EU")]),
+        ["Dept"],
+        {"Sal": SUM},
+    )
+
+
+class TestCircuitMode:
+    def test_circuit_result_lowers_to_both_engines(self):
+        db = nx_db()
+        q = join_group()
+        result = q.evaluate(db, engine="planned", annotations="circuit")
+        assert isinstance(result, CircuitResult)
+        assert result == q.evaluate(db)  # interpreted
+        assert result == q.evaluate(db, engine="planned")  # expanded planned
+        assert result.lower() is result.lower()  # memoized
+
+    def test_specialise_to_bag_multiplicities(self):
+        db = nx_db()
+        q = join_group()
+        result = q.evaluate(db, engine="planned", annotations="circuit")
+        bags = result.specialise(lambda token: 1, NAT)
+        assert bags.semiring is NAT
+        # one EU group (d1) with multiplicity delta(2 derivations) = 1
+        assert len(bags) == 1
+
+    def test_gate_count_is_positive_and_result_shares_gates(self):
+        db = nx_db()
+        result = join_group().evaluate(db, engine="planned", annotations="circuit")
+        assert result.gate_count() > 0
+
+    def test_circuit_database_is_cached_and_tracks_updates(self):
+        db = nx_db()
+        circ, circ_db = circuit_database(db)
+        circ2, circ_db2 = circuit_database(db)
+        assert circ is circ2 and circ_db is circ_db2
+        first = circ_db.relation("Emp")
+        assert circuit_database(db)[1].relation("Emp") is first
+        db.add("Emp", db.relation("Emp"))  # same object: no re-encode
+        assert circuit_database(db)[1].relation("Emp") is first
+        replacement = KRelation.from_rows(
+            NX, ("EmpId", "Dept", "Sal"), [((9, "d1", 5), NX.variable("n"))]
+        )
+        db.add("Emp", replacement)
+        assert circuit_database(db)[1].relation("Emp") is not first
+        # untouched relations keep their encoding
+        assert circuit_database(db)[1].relation("Dept") is circ_db.relation("Dept")
+
+    def test_requires_nx_database(self):
+        db = KDatabase(NAT, {"R": KRelation.from_rows(NAT, ("a",), [((1,), 2)])})
+        with pytest.raises(QueryError):
+            Table("R").evaluate(db, engine="planned", annotations="circuit")
+
+    def test_requires_planned_engine_and_standard_mode(self):
+        db = nx_db()
+        with pytest.raises(QueryError):
+            Table("Emp").evaluate(db, annotations="circuit")
+        with pytest.raises(QueryError):
+            Table("Emp").evaluate(
+                db, mode="extended", engine="planned", annotations="circuit"
+            )
+        with pytest.raises(QueryError):
+            Table("Emp").evaluate(db, annotations="banana")
+
+
+class TestExplainAnnotationMode:
+    def test_explain_reports_expanded_by_default(self):
+        text = explain(join_group(), nx_db())
+        assert "annotations: expanded" in text
+
+    def test_explain_reports_circuit_mode(self):
+        text = explain(join_group(), nx_db(), annotations="circuit")
+        assert "annotations: circuit" in text
+        # same operator tree either way
+        assert "GroupedAggregate" in text and "HashJoin" in text

@@ -119,18 +119,18 @@ class TestPlanCaching:
         db = bag_db()
         q = NaturalJoin(Table("R"), Table("S"))
         q.evaluate(db, engine="planned")
-        first = q._plan_cache[2]
+        first = q._plan_cache[id(db)][2]
         q.evaluate(db, engine="planned")
-        assert q._plan_cache[2] is first
+        assert q._plan_cache[id(db)][2] is first
 
     def test_plan_recompiles_when_catalog_changes(self):
         db = bag_db()
         q = NaturalJoin(Table("R"), Table("S"))
         q.evaluate(db, engine="planned")
-        first = q._plan_cache[2]
+        first = q._plan_cache[id(db)][2]
         db.add("T", KRelation.from_rows(NAT, ("Z",), [((1,), 1)]))
         q.evaluate(db, engine="planned")
-        assert q._plan_cache[2] is not first
+        assert q._plan_cache[id(db)][2] is not first
 
     def test_hash_join_build_cache_reused_across_executions(self):
         db = bag_db()
