@@ -5,7 +5,7 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke bench-planner bench-symbolic bench-json bench examples
+.PHONY: check test bench-smoke bench-planner bench-symbolic bench-ivm bench-json bench examples
 
 check: test bench-smoke
 
@@ -23,9 +23,15 @@ bench-planner:
 bench-symbolic:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --symbolic
 
-# run every workload and refresh the committed perf-trajectory artifact
+# the incremental-maintenance gate: a single-row delta against the
+# 10k-row grouped-aggregate view must beat full planned recompute >= 20x
+bench-ivm:
+	$(PYPATH) $(PY) benchmarks/bench_ivm.py
+
+# run every workload and refresh the committed perf-trajectory artifacts
 bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
+	$(PYPATH) $(PY) benchmarks/bench_ivm.py --json BENCH_ivm.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

@@ -96,8 +96,37 @@ def main() -> None:
     print(
         circuit.specialise(
             {"p1": 2, "p2": 1, "p3": 0, "r1": 1, "r2": 1}, NAT
-        ).pretty()
+        ).pretty(),
+        "\n",
     )
+
+    # -- 7. incremental maintenance: keep the view, patch the groups ------
+    # MaterializedView compiles the query's SPJU core into a *delta plan*
+    # and maintains the grouped aggregate group-by-group: inserting one
+    # employee touches one department's tensor, never the other groups
+    # (and never re-runs the query).  apply() also folds the delta into
+    # the database, so view and db move in one step.
+    from repro.ivm import MaterializedView
+
+    view = MaterializedView.create(db, q)
+    assert view.result() == by_dept
+    newcomer = KRelation.from_rows(
+        NX, ("EmpId", "Dept", "Sal"), [((6, "d2", 25), NX.variable("r3"))]
+    )
+    view.apply({"Emp": newcomer})
+    assert view.result() == q.evaluate(db)  # maintained == recomputed
+    print("After hiring EmpId 6 into d2 (one dirty group patched):")
+    print(view.result().pretty(), "\n")
+
+    # the delta plan is a first-class physical plan — EXPLAIN it
+    print("EXPLAIN for the view delta:")
+    print(view.explain_delta())
+
+    # deletions are annotation rewrites too: zero the employee's token
+    view.zero_tokens("p1")
+    assert view.result() == q.evaluate(db)
+    print("\nAfter deleting EmpId 1 by token zeroing:")
+    print(view.result().pretty())
 
 
 if __name__ == "__main__":

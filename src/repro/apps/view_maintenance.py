@@ -1,41 +1,37 @@
-"""Incremental view maintenance over annotated relations.
+"""Incremental view maintenance — deprecated shim over :mod:`repro.ivm`.
 
-The paper situates its framework as a generalisation of the counting
-algorithm of Gupta-Mumick-Subrahmanian [26]: annotations subsume counts,
-so a materialised SPJU view can absorb both **insertions** (delta rules,
-implemented here) and **deletions** (token zeroing, via
-:mod:`repro.apps.deletion`) without re-evaluation.
+This module was the original interpreted-only SPJU delta evaluator.  The
+engine now lives in :mod:`repro.ivm`: compiled delta *physical* plans
+(hash joins building on the delta side, columnar batches, n-ary semiring
+kernels) and stateful aggregate heads maintained group-by-group.  The two
+entry points below keep their historical signatures and semantics:
 
-Delta rules for the positive algebra::
+``delta_evaluate(query, db, deltas)``
+    the view delta of an SPJU query under base-relation insertions —
+    still raises :class:`QueryError` for aggregate nodes, which need the
+    stateful maintenance of :class:`repro.ivm.MaterializedView`;
 
-    d(R ∪ S) = dR ∪ dS
-    d(Pi R)  = Pi dR
-    d(s R)   = s dR
-    d(R ⋈ S) = dR ⋈ S  ∪  R ⋈ dS  ∪  dR ⋈ dS
+``IncrementalView``
+    a thin, ``DeprecationWarning``-emitting wrapper around
+    :class:`~repro.ivm.view.MaterializedView` with the old
+    ``insert``/``result``/``check`` surface.
 
-Because K-relations form a semiring-module under union, these identities
-hold with *annotations included*; the maintained view is literally equal
-to re-evaluation (tested, not assumed).
+New code should use :class:`repro.ivm.MaterializedView` directly — it
+additionally maintains grouped/whole aggregates, supports deletions
+(``Z``-annotations and token zeroing), circuit-backed annotations, and
+``explain_delta()``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict
 
-from repro.core import operators
 from repro.core.database import KDatabase
-from repro.core.query import (
-    Cartesian,
-    NaturalJoin,
-    Project,
-    Query,
-    Rename,
-    Select,
-    Table,
-    Union,
-)
+from repro.core.query import Query
 from repro.core.relation import KRelation
-from repro.exceptions import QueryError
+from repro.ivm.delta import compile_delta_plan
+from repro.ivm.view import MaterializedView
 
 __all__ = ["delta_evaluate", "IncrementalView"]
 
@@ -47,76 +43,42 @@ def delta_evaluate(
 
     Returns ``Q(D + dD) - Q(D)`` as a K-relation computed by the delta
     rules (no subtraction involved: the positive algebra's deltas are
-    positive).  Only SPJU nodes are supported — aggregates need
-    re-aggregation and are handled by :class:`IncrementalView`.
+    positive).  Only SPJU nodes are supported — aggregates need stateful
+    re-aggregation and are handled by :class:`repro.ivm.MaterializedView`.
     """
-    if isinstance(query, Table):
-        delta = deltas.get(query.name)
-        if delta is None:
-            return KRelation.empty(db.semiring, db.relation(query.name).schema.attributes)
-        return delta
-    if isinstance(query, Union):
-        return operators.union(
-            delta_evaluate(query.left, db, deltas),
-            delta_evaluate(query.right, db, deltas),
-        )
-    if isinstance(query, Project):
-        return operators.projection(
-            delta_evaluate(query.child, db, deltas), query.attributes
-        )
-    if isinstance(query, Select):
-        child_delta = delta_evaluate(query.child, db, deltas)
-        return operators.selection(
-            child_delta, lambda t: all(c.standard_test(t) for c in query.conditions)
-        )
-    if isinstance(query, Rename):
-        return operators.rename(delta_evaluate(query.child, db, deltas), query.mapping)
-    if isinstance(query, (NaturalJoin, Cartesian)):
-        join = operators.natural_join if isinstance(query, NaturalJoin) else operators.cartesian
-        left_old = query.left._eval_standard(db)
-        right_old = query.right._eval_standard(db)
-        left_delta = delta_evaluate(query.left, db, deltas)
-        right_delta = delta_evaluate(query.right, db, deltas)
-        parts = [
-            join(left_delta, right_old),
-            join(left_old, right_delta),
-            join(left_delta, right_delta),
-        ]
-        result = parts[0]
-        for part in parts[1:]:
-            result = operators.union(result, part)
-        return result
-    raise QueryError(
-        f"delta rules cover SPJU only; {type(query).__name__} requires "
-        "re-aggregation (use IncrementalView)"
-    )
+    plan = compile_delta_plan(query, db, deltas.keys(), engine="interpreted")
+    return plan.execute(db, deltas)
 
 
 class IncrementalView:
-    """A materialised SPJU view maintained under insertions and deletions.
+    """Deprecated: use :class:`repro.ivm.MaterializedView`.
 
-    Insertions flow through the delta rules; deletions (for polynomial
-    annotations) zero tokens in the materialised result.  ``check()``
-    compares against re-evaluation — used by the test-suite to validate
-    the maintenance laws on every scenario.
+    A materialised SPJU view maintained under insertions, with the
+    original public surface (``insert``, ``result``, ``check``).  The
+    maintenance itself is delegated to :class:`MaterializedView` (planned
+    delta engine), which also accepts aggregate queries — a superset of
+    what this class historically supported.
     """
 
     def __init__(self, query: Query, db: KDatabase):
+        warnings.warn(
+            "repro.apps.view_maintenance.IncrementalView is deprecated; "
+            "use repro.ivm.MaterializedView.create(db, query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.query = query
         self.db = db
-        self._materialised = query.evaluate(db)
+        self._view = MaterializedView.create(db, query)
 
     def insert(self, name: str, delta: KRelation) -> None:
         """Apply a batch of insertions to base relation ``name``."""
-        view_delta = delta_evaluate(self.query, self.db, {name: delta})
-        self._materialised = operators.union(self._materialised, view_delta)
-        # fold the delta into the base database for subsequent operations
-        self.db.add(name, operators.union(self.db.relation(name), delta))
+        self._view.apply({name: delta})
 
     def result(self) -> KRelation:
         """The maintained view contents."""
-        return self._materialised
+        return self._view.result()
 
     def check(self) -> bool:
         """Does the maintained view equal re-evaluation from scratch?"""
-        return self._materialised == self.query.evaluate(self.db)
+        return self._view.check()

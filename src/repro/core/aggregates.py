@@ -37,6 +37,8 @@ __all__ = [
     "avg_aggregate",
     "AggSpec",
     "normalize_agg_specs",
+    "monoid_value",
+    "check_group_by",
 ]
 
 #: One aggregation request: attribute name -> monoid.
@@ -79,11 +81,6 @@ def group_by(
     _validate_gb_schema(r, group_attrs, agg_specs)
 
     semiring = r.semiring
-    if not semiring.has_delta:
-        raise SemiringError(
-            f"GROUP BY needs a delta-semiring; {semiring.name} has no delta "
-            "(Definition 3.6)"
-        )
     spaces = {
         attr: tensor_space(semiring, monoid) for attr, monoid in agg_specs.items()
     }
@@ -164,18 +161,48 @@ def normalize_agg_specs(
     return specs
 
 
-def _validate_gb_schema(
-    r: KRelation, group_attrs: Tuple[str, ...], agg_specs: Dict[str, Any]
+def check_group_by(
+    schema: Any,
+    group_attributes: Iterable[str],
+    aggregations: Mapping[str, Any],
+    count_attr: str | None,
+    semiring: Any,
 ) -> None:
-    overlap = set(group_attrs) & set(agg_specs)
+    """The static ``GB_{U',U''}`` well-formedness guards (Defs. 3.6/3.7).
+
+    The single source of truth shared by the interpreter
+    (:func:`group_by`), the physical operator
+    (:class:`repro.plan.physical.GroupedAggregate`) and the incremental
+    head (:mod:`repro.ivm.state`): COUNT-column collision, ``U'``/``U''``
+    disjointness, at-least-one-aggregation (the synthesised COUNT
+    counts), attribute membership, and the delta-semiring requirement.
+    ``schema`` is anything supporting ``attr in schema`` with a readable
+    ``str``.
+    """
+    if count_attr is not None and count_attr in schema:
+        raise QueryError(f"attribute {count_attr!r} already exists in {schema}")
+    overlap = set(group_attributes) & set(aggregations)
     if overlap:
         raise QueryError(
             f"attributes {sorted(overlap)} cannot be both grouped and aggregated "
             "(Definition 3.7 requires U' and U'' disjoint)"
         )
-    for attr in tuple(group_attrs) + tuple(agg_specs):
-        if attr not in r.schema:
-            raise QueryError(f"attribute {attr!r} not in schema {r.schema}")
+    if not aggregations and count_attr is None:
+        raise QueryError("GROUP BY requires at least one aggregation")
+    for attr in tuple(group_attributes) + tuple(aggregations):
+        if attr not in schema:
+            raise QueryError(f"attribute {attr!r} not in schema {schema}")
+    if not semiring.has_delta:
+        raise SemiringError(
+            f"GROUP BY needs a delta-semiring; {semiring.name} has no delta "
+            "(Definition 3.6)"
+        )
+
+
+def _validate_gb_schema(
+    r: KRelation, group_attrs: Tuple[str, ...], agg_specs: Dict[str, Any]
+) -> None:
+    check_group_by(r.schema, group_attrs, agg_specs, None, r.semiring)
     from repro.core.operators import require_plain_values  # local: avoid cycle
 
     require_plain_values(r, group_attrs, "GROUP BY")
@@ -183,10 +210,10 @@ def _validate_gb_schema(
 
 def _monoid_values(r: KRelation, attribute: str, monoid: CommutativeMonoid):
     for tup, annotation in r.items():
-        yield _monoid_value(tup[attribute], monoid, attribute), annotation
+        yield monoid_value(tup[attribute], monoid, attribute), annotation
 
 
-def _monoid_value(value: Any, monoid: CommutativeMonoid, attribute: str) -> Any:
+def monoid_value(value: Any, monoid: CommutativeMonoid, attribute: str) -> Any:
     if isinstance(value, Tensor):
         raise QueryError(
             f"attribute {attribute!r} already holds the symbolic aggregate "
@@ -198,3 +225,7 @@ def _monoid_value(value: Any, monoid: CommutativeMonoid, attribute: str) -> Any:
             f"of monoid {monoid.name}"
         )
     return value
+
+
+#: Backwards-compatible alias (pre-ivm callers used the private name).
+_monoid_value = monoid_value

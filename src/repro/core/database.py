@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Mapping, Tuple
 
 from repro.core.relation import KRelation
-from repro.exceptions import QueryError, SemiringError
+from repro.exceptions import QueryError, SchemaError, SemiringError
 from repro.semirings.base import Semiring
 from repro.semirings.homomorphism import Homomorphism
 
@@ -13,17 +13,33 @@ __all__ = ["KDatabase"]
 
 
 class KDatabase:
-    """A named-relation database where every relation shares one semiring."""
+    """A named-relation database where every relation shares one semiring.
+
+    Relations themselves are immutable; the *database* mutates by rebinding
+    names (:meth:`add`) or folding in deltas (:meth:`update`).  Every such
+    mutation bumps a monotonic :attr:`version` stamp, which is what the
+    per-database caches key on — the compiled-plan cache on
+    :class:`~repro.core.query.Query` objects, the interned circuit gate
+    image (:func:`repro.plan.circuit_exec.circuit_database`), and the
+    materialised-view states of :mod:`repro.ivm` all check the stamp
+    instead of trusting object identity conventions.
+    """
 
     # _circuit_cache: lazily-attached circuit image of an N[X] database
     # (see repro.plan.circuit_exec.circuit_database)
-    __slots__ = ("semiring", "_relations", "_circuit_cache")
+    __slots__ = ("semiring", "_relations", "_version", "_circuit_cache")
 
     def __init__(self, semiring: Semiring, relations: Mapping[str, KRelation] = ()):
         self.semiring = semiring
         self._relations: Dict[str, KRelation] = {}
+        self._version = 0
         for name, relation in dict(relations).items():
             self.add(name, relation)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumped by every :meth:`add`/:meth:`update`."""
+        return self._version
 
     def add(self, name: str, relation: KRelation) -> None:
         """Register ``relation`` under ``name`` (same semiring required)."""
@@ -33,6 +49,53 @@ class KDatabase:
                 f"database uses {self.semiring.name}"
             )
         self._relations[name] = relation
+        self._version += 1
+
+    def update(
+        self, deltas: "Mapping[str, KRelation] | KDatabase"
+    ) -> None:
+        """Fold per-relation deltas in: each named relation becomes ``R ∪ dR``.
+
+        Annotations add (``+_K``), so for bag semantics a delta inserts
+        copies, and for ring-annotated databases (``Z``, ``Z[X]``) a delta
+        row carrying the additive inverse of an existing annotation
+        *deletes* it — the Gupta–Mumick counting story in semiring form.
+        Every named relation must already exist (use :meth:`add` to create
+        tables); schemas must match.  Validation happens before the first
+        mutation, so a bad delta leaves the database untouched — the call
+        is atomic — and any non-empty update leaves :attr:`version`
+        strictly larger.
+        """
+        from repro.core.operators import union  # local: operators import relation only
+
+        for name, delta in self.check_deltas(deltas).items():
+            self.add(name, union(self.relation(name), delta))
+
+    def check_deltas(
+        self, deltas: "Mapping[str, KRelation] | KDatabase"
+    ) -> Dict[str, KRelation]:
+        """Normalise and validate a delta batch without mutating anything.
+
+        Returns a plain ``name -> KRelation`` dict after checking that
+        every named relation exists and that each delta matches its
+        base's semiring and schema.  The shared validation behind
+        :meth:`update` and :meth:`repro.ivm.MaterializedView.apply` (the
+        view must reject a bad batch *before* patching its state).
+        """
+        items = dict(iter(deltas)) if isinstance(deltas, KDatabase) else dict(deltas)
+        for name, delta in items.items():
+            base = self.relation(name)
+            if delta.semiring is not self.semiring:
+                raise SemiringError(
+                    f"delta for {name!r} is annotated in {delta.semiring.name}, "
+                    f"database uses {self.semiring.name}"
+                )
+            if delta.schema != base.schema:
+                raise SchemaError(
+                    f"delta for {name!r} has schema {delta.schema}, base has "
+                    f"{base.schema}"
+                )
+        return items
 
     def relation(self, name: str) -> KRelation:
         """Look up a relation; raises :class:`QueryError` when absent."""

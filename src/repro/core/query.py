@@ -216,7 +216,8 @@ class Query(abc.ABC):
             identical canonical ``N[X]`` relation on demand.
 
         The compiled plan is cached on the query object and reused while
-        the database's catalog (relation names and schemas) is unchanged.
+        the database's :attr:`~repro.core.database.KDatabase.version`
+        stamp is unchanged (any relation mutation recompiles).
         """
         if engine not in ("interpreted", "planned"):
             raise QueryError(f"unknown evaluation engine {engine!r}")
@@ -248,27 +249,29 @@ class Query(abc.ABC):
     def _cached_plan(self, db: KDatabase):
         """Compile (or reuse) the physical plan for this query over ``db``.
 
-        The cache keys on the database object plus its catalog signature,
-        so ``db.add`` replacing a relation with a *different schema*
-        triggers recompilation while plain data refreshes keep the plan
-        (its scan and join-build caches self-invalidate by object
-        identity).  A few databases are tracked at once so alternating the
-        same prepared query between databases — e.g. the expanded and
-        circuit-backed images — does not thrash the cache.
+        The cache keys on the database object plus its monotonic
+        :attr:`~repro.core.database.KDatabase.version` stamp: *any*
+        relation mutation (``db.add``, ``db.update``) invalidates the
+        entry, so a refreshed database never serves a plan whose scan and
+        join-build caches, cardinality estimates, or build-side choices
+        were taken against stale data.  A few databases are tracked at
+        once so alternating the same prepared query between databases —
+        e.g. the expanded and circuit-backed images — does not thrash the
+        cache.
         """
         from repro.plan.compiler import compile_plan  # local: plan imports core
 
-        signature = tuple((name, rel.schema) for name, rel in db)
+        version = db.version
         cache = getattr(self, "_plan_cache", None)
         if cache is None:
             cache = self._plan_cache = {}
         entry = cache.get(id(db))
-        if entry is not None and entry[0] is db and entry[1] == signature:
+        if entry is not None and entry[0] is db and entry[1] == version:
             return entry[2]
         plan = compile_plan(self, db)
         if len(cache) >= self._PLAN_CACHE_SLOTS and id(db) not in cache:
             cache.pop(next(iter(cache)))
-        cache[id(db)] = (db, signature, plan)
+        cache[id(db)] = (db, version, plan)
         return plan
 
     @abc.abstractmethod
@@ -511,6 +514,8 @@ class GroupBy(Query):
 
     def __str__(self) -> str:
         aggs = ", ".join(f"{m.name}({a})" for a, m in self.aggregations.items())
+        if self.count_attr is not None:
+            aggs = aggs + (", " if aggs else "") + f"COUNT→{self.count_attr}"
         return f"GB[{', '.join(self.group_attributes)}; {aggs}]({self.child})"
 
 

@@ -70,6 +70,25 @@ class KRelation:
     # -- constructors ---------------------------------------------------------
 
     @classmethod
+    def _from_clean(
+        cls, semiring: Semiring, schema: Schema, rows: Dict[Tup, Any]
+    ) -> "KRelation":
+        """Trusted constructor: adopt an already-canonical row map.
+
+        ``rows`` must be schema-valid, duplicate-free and zero-free — the
+        invariants the public constructor establishes.  Used by operators
+        whose inputs are canonical relations and whose output provably
+        preserves the invariants (e.g. ``union`` merging two row maps),
+        so hot paths skip the per-tuple re-validation.  The dict is
+        adopted, not copied: callers hand over ownership.
+        """
+        rel = cls.__new__(cls)
+        rel.semiring = semiring
+        rel.schema = schema
+        rel._rows = rows
+        return rel
+
+    @classmethod
     def from_rows(
         cls,
         semiring: Semiring,
@@ -199,6 +218,23 @@ class KRelation:
                 )
             merged[image_tup] = image_ann
         return KRelation(target, self.schema, merged)
+
+    def negated(self) -> "KRelation":
+        """The additive inverse ``-R`` (ring-annotated relations only).
+
+        The deletion side of an incremental update: a delta batch
+        ``dR = -S`` cancels ``S``'s annotations under ``∪`` (``R ∪ (-R)``
+        is empty).  Requires the semiring to expose ``negate`` (``Z``);
+        token-based semirings delete by zeroing tokens instead
+        (:func:`repro.apps.deletion.propagate_deletions`).
+        """
+        negate = getattr(self.semiring, "negate", None)
+        if negate is None:
+            raise SemiringError(
+                f"semiring {self.semiring.name} has no additive inverses; "
+                "deletions need Z-annotations or token zeroing"
+            )
+        return self.map_annotations(self.semiring, negate)
 
     def map_annotations(
         self, semiring: Semiring, fn: Callable[[Any], Any]

@@ -48,6 +48,9 @@ __all__ = [
     "relation_from_jsonable",
     "database_to_jsonable",
     "database_from_jsonable",
+    "view_state_to_jsonable",
+    "view_state_from_jsonable",
+    "database_fingerprint",
     "dumps",
     "loads",
 ]
@@ -281,22 +284,151 @@ def database_from_jsonable(data: Any) -> KDatabase:
     return db
 
 
-def dumps(obj: KRelation | KDatabase, **json_kwargs: Any) -> str:
-    """Serialise a relation or database to a JSON string."""
+# ---------------------------------------------------------------------------
+# materialised-view state (repro.ivm)
+# ---------------------------------------------------------------------------
+
+
+def database_fingerprint(db: KDatabase) -> str:
+    """A process-stable digest of a database's full contents.
+
+    SHA-256 over the canonical JSON encoding (sorted names, sorted
+    support), so equal contents fingerprint equally across processes —
+    unlike Python ``hash()``, which is randomised per run.  Used to pin a
+    view snapshot to the exact database state it was taken against.
+    """
+    import hashlib
+
+    payload = json.dumps(
+        {name: relation_to_jsonable(rel) for name, rel in db}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def view_state_to_jsonable(view: Any) -> Any:
+    """Encode a :class:`~repro.ivm.view.MaterializedView`'s maintained state.
+
+    The snapshot carries the head kind, the schemas, and the per-group
+    monoid/tensor annotations plus raw annotation totals — everything the
+    incremental engine needs to resume maintenance without re-evaluating
+    the query.  Circuit-mode states are lowered to canonical ``N[X]`` for
+    persistence (gates are an execution representation, not a storage
+    format) and re-interned through the database's gate image on restore.
+    """
+    logical, state = view._logical_state()
+    if logical.name not in SEMIRING_REGISTRY:
+        raise SerializationError(f"unregistered semiring {logical.name}")
+    head = view._head_kind
+    if head == "group":
+        state_json: Any = [
+            {
+                "key": [_value_to_jsonable(v) for v in entry["key"]],
+                "tensors": {
+                    attr: tensor_to_jsonable(t)
+                    for attr, t in entry["tensors"].items()
+                },
+                "total": annotation_to_jsonable(logical, entry["total"]),
+            }
+            for entry in state
+        ]
+    elif head in ("agg", "count", "avg"):
+        state_json = {"tensor": tensor_to_jsonable(state["tensor"])}
+    else:
+        state_json = [
+            {
+                "values": [
+                    _value_to_jsonable(t[a]) for a in view.out_schema.attributes
+                ],
+                "annotation": annotation_to_jsonable(logical, k),
+            }
+            for t, k in state
+        ]
+    return {
+        "head": head,
+        "semiring": logical.name,
+        "query": str(view.query),
+        "db_version": view.version,
+        "db_fingerprint": database_fingerprint(view.db),
+        "out_schema": list(view.out_schema.attributes),
+        "core_schema": list(view.core_schema.attributes),
+        "state": state_json,
+    }
+
+
+def view_state_from_jsonable(data: Any) -> Any:
+    """Decode a view-state snapshot into a :class:`~repro.ivm.ViewSnapshot`.
+
+    Rehydrate by pairing the snapshot with the matching database and
+    query: ``MaterializedView.create(db, query, snapshot=snap)``.
+    """
+    from repro.ivm.snapshot import ViewSnapshot  # local: ivm imports io lazily
+
+    semiring = SEMIRING_REGISTRY[data["semiring"]]
+    head = data["head"]
+    if head == "group":
+        state: Any = [
+            {
+                "key": [_value_from_jsonable(v) for v in entry["key"]],
+                "tensors": {
+                    attr: tensor_from_jsonable(t)
+                    for attr, t in entry["tensors"].items()
+                },
+                "total": annotation_from_jsonable(semiring, entry["total"]),
+            }
+            for entry in data["state"]
+        ]
+    elif head in ("agg", "count", "avg"):
+        state = {"tensor": tensor_from_jsonable(data["state"]["tensor"])}
+    else:
+        schema = Schema(data["out_schema"])
+        state = [
+            (
+                Tup.from_values(
+                    schema, [_value_from_jsonable(v) for v in entry["values"]]
+                ),
+                annotation_from_jsonable(semiring, entry["annotation"]),
+            )
+            for entry in data["state"]
+        ]
+    return ViewSnapshot(
+        head,
+        data["semiring"],
+        list(data["out_schema"]),
+        list(data["core_schema"]),
+        data["query"],
+        data["db_version"],
+        state,
+        db_fingerprint=data.get("db_fingerprint"),
+    )
+
+
+def dumps(obj: Any, **json_kwargs: Any) -> str:
+    """Serialise a relation, database, or materialised view to JSON."""
+    from repro.ivm.view import MaterializedView  # local: ivm imports io lazily
+
     if isinstance(obj, KRelation):
         payload = {"kind": "relation", "data": relation_to_jsonable(obj)}
     elif isinstance(obj, KDatabase):
         payload = {"kind": "database", "data": database_to_jsonable(obj)}
+    elif isinstance(obj, MaterializedView):
+        payload = {"kind": "view_state", "data": view_state_to_jsonable(obj)}
     else:
         raise SerializationError(f"cannot serialise {type(obj).__name__}")
     return json.dumps(payload, **json_kwargs)
 
 
-def loads(text: str) -> KRelation | KDatabase:
-    """Deserialise the output of :func:`dumps`."""
+def loads(text: str) -> Any:
+    """Deserialise the output of :func:`dumps`.
+
+    Relations and databases come back as themselves; a dumped view comes
+    back as a :class:`~repro.ivm.ViewSnapshot` to be rehydrated with
+    ``MaterializedView.create(db, query, snapshot=snap)``.
+    """
     payload = json.loads(text)
     if payload.get("kind") == "relation":
         return relation_from_jsonable(payload["data"])
     if payload.get("kind") == "database":
         return database_from_jsonable(payload["data"])
+    if payload.get("kind") == "view_state":
+        return view_state_from_jsonable(payload["data"])
     raise SerializationError(f"unknown payload kind {payload.get('kind')!r}")

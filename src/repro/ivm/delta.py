@@ -1,0 +1,348 @@
+"""Delta-plan compilation: Gupta–Mumick delta rules over the physical layer.
+
+For an SPJU core the *delta* of a view under base-table deltas ``dR`` is
+computed by a second, usually much smaller, query — never by touching the
+materialised result:
+
+==================  =======================================================
+``d(R)``            ``dR``
+``d(σ_c E)``        ``σ_c(dE)``
+``d(Π_U E)``        ``Π_U(dE)``
+``d(ρ E)``          ``ρ(dE)``
+``d(E1 ∪ E2)``      ``dE1 ∪ dE2``
+``d(E1 ⋈ E2)``      ``dE1 ⋈ E2' ∪ E1 ⋈ dE2``  with ``E2' = E2 ∪ dE2``
+==================  =======================================================
+
+The join rule is the two-term form of the classical three-term one: taking
+the right operand *post-update* folds the cross term ``dE1 ⋈ dE2`` in.
+K-relations form a semimodule under ``∪`` and every SPJU operator is
+linear in each argument, so these identities hold with annotations
+included — over any commutative semiring, which is exactly the paper's
+framing of the counting algorithm of Gupta–Mumick–Subrahmanian [26] as the
+``N`` instance of a general law.  Non-linear operators (aggregation,
+``δ``-distinct) do not pass through the rules; they are maintained
+statefully above the core by :class:`repro.ivm.view.MaterializedView`.
+
+The delta expression is an ordinary :class:`~repro.core.query.Query` over
+an augmented catalog — base tables plus ``Δ``-prefixed delta tables — so
+it is pushed through :func:`repro.plan.compiler.compile_plan` unchanged
+and executes on :class:`~repro.plan.columnar.ColumnarKRelation` batches
+with the n-ary semiring kernels: selection pushdown applies to the delta
+tree, hash joins build on the (tiny, estimated-0) delta side, and fused
+select/project pipelines run per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.core.database import KDatabase
+from repro.core.query import (
+    Cartesian,
+    NaturalJoin,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.core.relation import KRelation
+from repro.core.schema import Schema
+from repro.exceptions import QueryError
+from repro.plan.columnar import ColumnarKRelation
+from repro.plan.compiler import PhysicalPlan, compile_plan
+from repro.plan.physical import Fallback, HashJoin, PhysicalOp, Scan
+
+__all__ = [
+    "table_refs",
+    "delta_prefix",
+    "delta_rewrite",
+    "new_rewrite",
+    "DeltaPlan",
+    "compile_delta_plan",
+]
+
+def _unsupported(query: Query) -> QueryError:
+    return QueryError(
+        f"delta rules cover SPJU only; {type(query).__name__} requires "
+        "stateful re-aggregation (use repro.ivm.MaterializedView, which "
+        "maintains aggregate heads group-by-group above an SPJU core)"
+    )
+
+
+def table_refs(query: Query) -> FrozenSet[str]:
+    """Base tables referenced by an SPJU core (also validates the shape).
+
+    Raises :class:`QueryError` on any node outside the positive SPJU
+    fragment — aggregation, ``Distinct`` and ``Difference`` are not linear
+    in their input, so no delta rule exists for them mid-tree.
+    """
+    if isinstance(query, Table):
+        return frozenset((query.name,))
+    if isinstance(query, (Project, Select, Rename)):
+        return table_refs(query.child)
+    if isinstance(query, (Union, NaturalJoin, Cartesian, ValueJoin)):
+        return table_refs(query.left) | table_refs(query.right)
+    raise _unsupported(query)
+
+
+def delta_prefix(names: Iterable[str]) -> str:
+    """A table-name prefix that cannot collide with the existing catalog."""
+    names = set(names)
+    prefix = "Δ"
+    while any((prefix + name) in names for name in names):
+        prefix += "Δ"
+    return prefix
+
+
+def delta_rewrite(
+    query: Query, changed: FrozenSet[str], dname: Callable[[str], str]
+) -> Optional[Query]:
+    """The delta expression ``dQ`` under deltas to the ``changed`` tables.
+
+    ``dname`` maps a base-table name to its delta-table name.  Returns
+    ``None`` when the subtree references no changed table — the statically
+    pruned "this branch's delta is empty" case, which keeps single-table
+    update streams from ever scanning the untouched side of a union.
+    """
+    if isinstance(query, Table):
+        return Table(dname(query.name)) if query.name in changed else None
+    if isinstance(query, Select):
+        child = delta_rewrite(query.child, changed, dname)
+        return None if child is None else Select(child, query.conditions)
+    if isinstance(query, Project):
+        child = delta_rewrite(query.child, changed, dname)
+        return None if child is None else Project(child, query.attributes)
+    if isinstance(query, Rename):
+        child = delta_rewrite(query.child, changed, dname)
+        return None if child is None else Rename(child, query.mapping)
+    if isinstance(query, Union):
+        left = delta_rewrite(query.left, changed, dname)
+        right = delta_rewrite(query.right, changed, dname)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return Union(left, right)
+    if isinstance(query, (NaturalJoin, Cartesian, ValueJoin)):
+        d_left = delta_rewrite(query.left, changed, dname)
+        d_right = delta_rewrite(query.right, changed, dname)
+        terms = []
+        if d_left is not None:
+            terms.append(_rejoin(query, d_left, new_rewrite(query.right, changed, dname)))
+        if d_right is not None:
+            terms.append(_rejoin(query, query.left, d_right))
+        if not terms:
+            return None
+        result = terms[0]
+        for term in terms[1:]:
+            result = Union(result, term)
+        return result
+    raise _unsupported(query)
+
+
+def new_rewrite(
+    query: Query, changed: FrozenSet[str], dname: Callable[[str], str]
+) -> Query:
+    """The post-update expression ``Q'``: every changed ``R`` becomes ``R ∪ dR``."""
+    if not (table_refs(query) & changed):
+        return query
+    if isinstance(query, Table):
+        return Union(query, Table(dname(query.name)))
+    if isinstance(query, Select):
+        return Select(new_rewrite(query.child, changed, dname), query.conditions)
+    if isinstance(query, Project):
+        return Project(new_rewrite(query.child, changed, dname), query.attributes)
+    if isinstance(query, Rename):
+        return Rename(new_rewrite(query.child, changed, dname), query.mapping)
+    if isinstance(query, Union):
+        return Union(
+            new_rewrite(query.left, changed, dname),
+            new_rewrite(query.right, changed, dname),
+        )
+    if isinstance(query, (NaturalJoin, Cartesian, ValueJoin)):
+        return _rejoin(
+            query,
+            new_rewrite(query.left, changed, dname),
+            new_rewrite(query.right, changed, dname),
+        )
+    raise _unsupported(query)
+
+
+def _rejoin(template: Query, left: Query, right: Query) -> Query:
+    """Rebuild a join node of ``template``'s class around new operands."""
+    if isinstance(template, NaturalJoin):
+        return NaturalJoin(left, right)
+    if isinstance(template, Cartesian):
+        return Cartesian(left, right)
+    return ValueJoin(left, right, template.on)
+
+
+def _touches_delta(op: PhysicalOp, delta_names: FrozenSet[str]) -> bool:
+    """Does this subtree read any delta table (i.e. change per apply)?"""
+    if isinstance(op, Scan):
+        return op.name in delta_names
+    if isinstance(op, Fallback):
+        return True  # conservative: assume it changes
+    return any(_touches_delta(child, delta_names) for child in op.children)
+
+
+def _prefer_cached_base_builds(
+    op: PhysicalOp, delta_names: FrozenSet[str], changed_bases: FrozenSet[str]
+) -> None:
+    """Flip hash-join build sides so *stable* base scans are the builds.
+
+    The generic planner ranks by cardinality estimate and so builds on
+    the (estimated-0) delta side — which means probing the *full* base
+    table on every apply.  For incremental maintenance the right choice
+    is the opposite whenever the non-delta side is a bare scan of a base
+    table **outside the changed set**: :class:`HashJoin` caches its
+    bucket table per build batch, and a scan of an unchanged relation
+    returns the identical batch across applies, so the O(|base|) build is
+    paid once and every subsequent apply probes with the tiny delta —
+    O(|delta|) amortised.  A base table that is itself in the changed set
+    is replaced by every ``db.update``, so flipping onto it would rebuild
+    (and pin) its buckets per apply for no amortisation win; the default
+    delta-side build is kept there.
+    """
+    for child in op.children:
+        _prefer_cached_base_builds(child, delta_names, changed_bases)
+    if not isinstance(op, HashJoin):
+        return
+    left, right = op.children
+    left_changes = _touches_delta(left, delta_names)
+    right_changes = _touches_delta(right, delta_names)
+    if (
+        left_changes
+        and not right_changes
+        and isinstance(right, Scan)
+        and right.name not in changed_bases
+    ):
+        op.build_side = "right"
+    elif (
+        right_changes
+        and not left_changes
+        and isinstance(left, Scan)
+        and left.name not in changed_bases
+    ):
+        op.build_side = "left"
+
+
+class DeltaPlan:
+    """A compiled delta plan for one set of changed base tables.
+
+    Executes the delta expression against a per-call combined catalog
+    (the base database's relations plus the delta relations under their
+    ``Δ``-names) and returns the raw columnar view delta.  The physical
+    plan is compiled once and reused across applies; joins against
+    unchanged base tables build (and keep) their hash tables on the base
+    scan — see :func:`_prefer_cached_base_builds` — while base-table scan
+    caches self-refresh by relation identity when the database is mutated
+    between applies.
+    """
+
+    __slots__ = ("core", "changed", "dname", "delta_query", "plan", "schema", "engine")
+
+    def __init__(
+        self,
+        core: Query,
+        changed: FrozenSet[str],
+        dname: Callable[[str], str],
+        delta_query: Optional[Query],
+        plan: Optional[PhysicalPlan],
+        schema: Schema,
+        engine: str,
+    ):
+        self.core = core
+        self.changed = changed
+        self.dname = dname
+        self.delta_query = delta_query
+        self.plan = plan
+        self.schema = schema
+        self.engine = engine
+
+    def combined(self, db: KDatabase, deltas: Mapping[str, KRelation]) -> KDatabase:
+        """The execution catalog: base relations plus Δ-named deltas."""
+        exec_db = KDatabase(db.semiring)
+        for name, rel in db:
+            exec_db.add(name, rel)
+        for name in self.changed:
+            exec_db.add(self.dname(name), deltas[name])
+        return exec_db
+
+    def execute_batch(
+        self, db: KDatabase, deltas: Mapping[str, KRelation]
+    ) -> ColumnarKRelation:
+        """Run the delta plan; the result batch may carry duplicate rows."""
+        if self.delta_query is None:
+            return ColumnarKRelation.empty(db.semiring, self.schema)
+        exec_db = self.combined(db, deltas)
+        if self.engine == "interpreted":
+            return ColumnarKRelation.from_krelation(
+                self.delta_query._eval_standard(exec_db)
+            )
+        return self.plan.execute_batch(exec_db)
+
+    def execute(self, db: KDatabase, deltas: Mapping[str, KRelation]) -> KRelation:
+        """Run the delta plan and consolidate into a logical relation."""
+        return self.execute_batch(db, deltas).to_krelation()
+
+    def explain(self, *, annotations: str = "expanded") -> str:
+        """Render the physical delta plan (or the statically-pruned no-op)."""
+        if self.delta_query is None:
+            return (
+                f"delta of {self.core} under changes to "
+                f"{{{', '.join(sorted(self.changed)) or '∅'}}} is statically empty "
+                "(no changed table is referenced)"
+            )
+        if self.plan is None:
+            return f"delta query (interpreted): {self.delta_query}"
+        return self.plan.explain(annotations=annotations)
+
+
+def compile_delta_plan(
+    core: Query,
+    db: KDatabase,
+    changed: Iterable[str],
+    *,
+    dname: Optional[Callable[[str], str]] = None,
+    engine: str = "planned",
+) -> DeltaPlan:
+    """Compile the delta of an SPJU ``core`` for deltas to ``changed`` tables.
+
+    ``db`` supplies the catalog (schemas and current sizes); delta tables
+    are templated empty, so the planner ranks them as the cheap build
+    sides.  Deltas to tables the core never reads are pruned statically.
+    """
+    refs = table_refs(core)
+    effective = frozenset(changed) & refs
+    if dname is None:
+        prefix = delta_prefix(db.names())
+        dname = lambda name: prefix + name  # noqa: E731 - tiny closure
+    base_plan = compile_plan(core, db)
+    if isinstance(base_plan.root, Fallback):
+        raise QueryError(
+            f"view core {core} does not compile against the catalog "
+            f"{list(db.names())}; incremental maintenance needs a statically "
+            "plannable SPJU core"
+        )
+    schema = base_plan.root.schema
+    delta_query = (
+        delta_rewrite(core, effective, dname) if effective else None
+    )
+    plan = None
+    if delta_query is not None and engine == "planned":
+        template = KDatabase(db.semiring)
+        for name, rel in db:
+            template.add(name, rel)
+        for name in effective:
+            template.add(
+                dname(name), KRelation.empty(db.semiring, db.relation(name).schema.attributes)
+            )
+        plan = compile_plan(delta_query, template)
+        _prefer_cached_base_builds(
+            plan.root, frozenset(dname(n) for n in effective), effective
+        )
+    return DeltaPlan(core, effective, dname, delta_query, plan, schema, engine)

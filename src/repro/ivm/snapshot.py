@@ -1,0 +1,61 @@
+"""The decoded persistence format for materialised-view state.
+
+A :class:`ViewSnapshot` is what :func:`repro.io.serialize.loads` returns
+for a dumped view: head kind, schemas, the logical annotation semiring,
+and the fully-decoded per-group / per-tuple state (tensors and raw
+annotation sums over the *logical* semiring — circuit-mode views are
+lowered to canonical ``N[X]`` on dump and re-interned on restore).  Pair
+it with the matching database and query via
+``MaterializedView.create(db, query, snapshot=snap)``; restore checks
+the recorded query text and the database's content fingerprint.
+``db_version`` is informational only (debugging aid): version counters
+are process-local, so cross-run consistency is enforced by
+``db_fingerprint``, never by comparing versions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ViewSnapshot"]
+
+
+class ViewSnapshot:
+    """Dehydrated materialised-view state (see :mod:`repro.io.serialize`)."""
+
+    __slots__ = (
+        "head",
+        "semiring_name",
+        "out_schema",
+        "core_schema",
+        "query_text",
+        "db_version",
+        "state",
+        "db_fingerprint",
+    )
+
+    def __init__(
+        self,
+        head: str,
+        semiring_name: str,
+        out_schema,
+        core_schema,
+        query_text: str,
+        db_version: int,
+        state: Any,
+        db_fingerprint: "str | None" = None,
+    ):
+        self.head = head
+        self.semiring_name = semiring_name
+        self.out_schema = out_schema
+        self.core_schema = core_schema
+        self.query_text = query_text
+        self.db_version = db_version
+        self.state = state
+        self.db_fingerprint = db_fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ViewSnapshot head={self.head} over {self.semiring_name} "
+            f"for {self.query_text!r}>"
+        )

@@ -1,0 +1,450 @@
+"""Materialised views maintained by delta plans + stateful aggregate heads.
+
+``MaterializedView`` is the user-facing face of :mod:`repro.ivm`:
+
+* :meth:`MaterializedView.create` evaluates the query once (planned engine
+  by default, optionally over the database's interned circuit gate image)
+  and decomposes it into an SPJU *core* plus an optional aggregation
+  *head* (GROUP BY / AGG / COUNT / AVG / DISTINCT);
+* :meth:`~MaterializedView.apply` maintains the view under base-table
+  deltas: the core delta runs through a compiled
+  :class:`~repro.ivm.delta.DeltaPlan` (hash joins building on the delta
+  side), and the head state is patched group-by-group — insertions via
+  semiring ``+``, deletions via ``Z``-annotations that cancel, or via
+  :meth:`~MaterializedView.zero_tokens` for token-based provenance;
+* :meth:`~MaterializedView.refresh` recomputes from scratch (the escape
+  hatch after out-of-band database mutation, detected by the database's
+  monotonic version stamp);
+* :meth:`~MaterializedView.explain_delta` renders the physical delta plan
+  and the head's maintenance protocol.
+
+The maintained result is *equal* to re-evaluation — pinned across N, Z,
+``N[X]``-expanded and circuit annotation modes by the property suite
+``tests/property/test_ivm_equivalence.py``, not assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.aggregates import check_group_by
+from repro.core.database import KDatabase
+from repro.core.query import (
+    Aggregate,
+    AvgAgg,
+    CountAgg,
+    Distinct,
+    GroupBy,
+    Query,
+)
+from repro.core.relation import KRelation
+from repro.exceptions import QueryError, SchemaError, SemiringError
+from repro.ivm.delta import DeltaPlan, compile_delta_plan, table_refs
+from repro.ivm.snapshot import ViewSnapshot
+from repro.ivm.state import GroupedState, RelationState, SingletonState
+from repro.monoids.counting import AVG
+from repro.monoids.numeric import SUM
+from repro.plan.circuit_exec import (
+    CircuitResult,
+    circuit_database,
+    lift_relation,
+    patch_circuit_image,
+)
+from repro.plan.columnar import ColumnarKRelation
+from repro.plan.compiler import compile_plan
+from repro.plan.physical import Fallback
+from repro.semirings.homomorphism import deletion_hom
+from repro.semirings.polynomials import NX, PolynomialSemiring
+
+__all__ = ["MaterializedView"]
+
+
+_HEAD_DESCRIPTIONS = {
+    "group": "grouped aggregation — per-group tensors patched via semiring +, "
+             "dirty groups only",
+    "agg": "whole-relation aggregate — one semimodule tensor patched in place",
+    "count": "COUNT(*) — one SUM tensor patched in place",
+    "avg": "AVG — one SUM+COUNT pair tensor patched in place",
+    "distinct": "DISTINCT view — raw annotation sums maintained, δ applied at "
+                "emission",
+    "relation": "SPJU materialisation — per-tuple annotation sums",
+}
+
+
+def _decompose(query: Query) -> Tuple[str, Optional[Query], Query]:
+    """Split a view query into (head kind, head node, SPJU core)."""
+    if isinstance(query, GroupBy):
+        return "group", query, query.child
+    if isinstance(query, Aggregate):
+        return "agg", query, query.child
+    if isinstance(query, CountAgg):
+        return "count", query, query.child
+    if isinstance(query, AvgAgg):
+        return "avg", query, query.child
+    if isinstance(query, Distinct):
+        return "distinct", query, query.child
+    return "relation", None, query
+
+
+class MaterializedView:
+    """A query result kept equal to re-evaluation under database deltas.
+
+    Obtain instances through :meth:`create`.  The view owns its base
+    database's consistency window: :meth:`apply` folds the delta into the
+    database itself (``db.update``) after patching the view, and records
+    the database's version stamp; mutations that bypass the view are
+    detected on the next ``apply`` and must be reconciled via
+    :meth:`refresh`.
+    """
+
+    def __init__(
+        self,
+        db: KDatabase,
+        query: Query,
+        *,
+        engine: str = "planned",
+        annotations: str = "expanded",
+        snapshot: Optional[ViewSnapshot] = None,
+    ):
+        if engine not in ("planned", "interpreted"):
+            raise QueryError(f"unknown evaluation engine {engine!r}")
+        if annotations not in ("expanded", "circuit"):
+            raise QueryError(f"unknown annotation representation {annotations!r}")
+        if annotations == "circuit" and engine != "planned":
+            raise QueryError("annotations='circuit' requires engine='planned'")
+        self.db = db
+        self.query = query
+        self.engine = engine
+        self.annotations = annotations
+
+        self._head_kind, self._head_node, self._core = _decompose(query)
+        self._refs = table_refs(self._core)  # validates the SPJU core
+        if annotations == "circuit":
+            self._circuit, exec_db = circuit_database(db)
+            self._exec_semiring = self._circuit
+        else:
+            self._circuit = None
+            exec_db = db
+            self._exec_semiring = db.semiring
+
+        core_plan = compile_plan(self._core, exec_db)
+        if isinstance(core_plan.root, Fallback):
+            raise QueryError(
+                f"view core {self._core} does not compile against the catalog "
+                f"{list(db.names())}; incremental maintenance needs a "
+                "statically plannable SPJU core"
+            )
+        self.core_schema = core_plan.root.schema
+        self._head = self._build_head()
+        self.out_schema = self._head.out_schema
+        self._delta_plans: Dict[FrozenSet[str], DeltaPlan] = {}
+        self._result_cache: Any = None
+
+        if snapshot is not None:
+            self._restore(snapshot)
+        else:
+            self._materialise(core_plan)
+        self._version = db.version
+
+    #: The documented constructor (mirrors ``Query.evaluate`` keywords).
+    @classmethod
+    def create(
+        cls,
+        db: KDatabase,
+        query: Query,
+        *,
+        engine: str = "planned",
+        annotations: str = "expanded",
+        snapshot: Optional[ViewSnapshot] = None,
+    ) -> "MaterializedView":
+        """Materialise ``query`` over ``db`` and return the maintained view."""
+        return cls(db, query, engine=engine, annotations=annotations, snapshot=snapshot)
+
+    # -- head construction --------------------------------------------------
+
+    def _build_head(self):
+        kind, node, semiring = self._head_kind, self._head_node, self._exec_semiring
+        core_schema = self.core_schema
+        if kind == "group":
+            specs = dict(node.aggregations)
+            check_group_by(
+                core_schema, node.group_attributes, specs, node.count_attr, semiring
+            )
+            out_schema = core_schema.restrict(node.group_attributes).extend(
+                *(a for a in specs if a not in node.group_attributes)
+            )
+            if node.count_attr is not None:
+                out_schema = out_schema.extend(node.count_attr)
+            return GroupedState(
+                semiring,
+                tuple(node.group_attributes),
+                specs,
+                node.count_attr,
+                out_schema,
+            )
+        if kind in ("agg", "avg"):
+            if tuple(core_schema.attributes) != (node.attribute,):
+                raise QueryError(
+                    f"{'AVG' if kind == 'avg' else 'AGG'} expects a relation "
+                    f"over exactly ({node.attribute!r},); got {core_schema}. "
+                    "Project the aggregation column first."
+                )
+            monoid = AVG if kind == "avg" else node.monoid
+            from repro.core.schema import Schema
+
+            return SingletonState(kind, semiring, node.attribute, monoid,
+                                  Schema((node.attribute,)))
+        if kind == "count":
+            from repro.core.schema import Schema
+
+            return SingletonState("count", semiring, node.attribute, SUM,
+                                  Schema((node.attribute,)))
+        return RelationState(kind, semiring, core_schema)
+
+    # -- maintenance --------------------------------------------------------
+
+    def apply(self, deltas: "KDatabase | Mapping[str, KRelation]") -> "MaterializedView":
+        """Maintain the view under base-table deltas, then fold them in.
+
+        ``deltas`` maps base-relation names to delta relations (a
+        :class:`KDatabase` over the same semiring also works).  Annotations
+        add: bag/provenance deltas insert; ring-annotated deltas (``Z``)
+        delete by carrying additive inverses (``KRelation.negated``).  The
+        base database is updated (``db.update``) after the view state is
+        patched, so view and database move in one step.
+        """
+        deltas = self._normalized(deltas)
+        if self.db.version != self._version:
+            raise QueryError(
+                f"base database moved from version {self._version} to "
+                f"{self.db.version} outside this view; call refresh() first"
+            )
+        # cache-key on the *effective* set (deltas to unreferenced tables
+        # are statically empty), so {"Emp"} and {"Emp", "Other"} share one
+        # compiled plan
+        plan = self._delta_plan(frozenset(deltas) & self._refs)
+        if self._circuit is not None:
+            lifted = {
+                name: lift_relation(delta, self._circuit)
+                for name, delta in deltas.items()
+            }
+            batch = plan.execute_batch(self._exec_db(), lifted)
+        else:
+            lifted = None
+            batch = plan.execute_batch(self.db, deltas)
+        if len(batch):
+            self._head.absorb(batch)
+            self._result_cache = None
+        self.db.update(deltas)
+        if lifted is not None:
+            patch_circuit_image(self.db, lifted)
+        self._version = self.db.version
+        return self
+
+    def zero_tokens(self, *tokens: Any) -> "MaterializedView":
+        """Delete by token zeroing: patch state *and* base annotations.
+
+        The delta-term-zeroing side of deletions for token-based
+        (``N[X]``/``Z[X]``) views: every group tensor, raw total and base
+        annotation has the tokens' indeterminates set to ``0`` — no query
+        re-runs.  Circuit-mode views share gates across the whole image
+        and should :meth:`refresh` after deletions instead.
+        """
+        if self._circuit is not None:
+            raise QueryError(
+                "token zeroing patches expanded polynomial state; "
+                "circuit-mode views should refresh() after deletions"
+            )
+        if self.db.version != self._version:
+            raise QueryError(
+                f"base database moved from version {self._version} to "
+                f"{self.db.version} outside this view; call refresh() first"
+            )
+        semiring = self.db.semiring
+        if not isinstance(semiring, PolynomialSemiring):
+            raise QueryError(
+                f"token zeroing needs token-based annotations; "
+                f"{semiring.name} has no tokens (use Z-annotated deltas)"
+            )
+        hom = deletion_hom(semiring, tokens)
+        for name, rel in list(self.db):
+            self.db.add(name, rel.apply_hom(hom))
+        self._head.map_annotations(hom)
+        self._result_cache = None
+        self._version = self.db.version
+        return self
+
+    def refresh(self) -> "MaterializedView":
+        """Recompute the view from the database's current contents.
+
+        The reconciliation path after out-of-band mutation (anything that
+        bumped ``db.version`` without going through :meth:`apply`); also
+        drops the compiled delta plans so schema-preserving catalog
+        changes pick up fresh statistics.
+        """
+        self._head = self._build_head()
+        self._delta_plans.clear()
+        self._result_cache = None
+        self._materialise()
+        self._version = self.db.version
+        return self
+
+    def _materialise(self, core_plan=None) -> None:
+        """Evaluate the core and absorb it into the (empty) head state.
+
+        The shared body behind initial creation and :meth:`refresh`;
+        ``core_plan`` is the already-compiled plan when the caller just
+        compiled one, otherwise the core is recompiled and checked
+        against the recorded schema.
+        """
+        exec_db = self._exec_db()
+        if core_plan is None:
+            core_plan = compile_plan(self._core, exec_db)
+            if (
+                isinstance(core_plan.root, Fallback)
+                or core_plan.root.schema != self.core_schema
+            ):
+                raise QueryError(
+                    f"view core {self._core} no longer compiles to schema "
+                    f"{self.core_schema}; recreate the view"
+                )
+        if self.engine == "planned":
+            initial = core_plan.execute_batch(exec_db)
+        else:
+            initial = ColumnarKRelation.from_krelation(
+                self._core._eval_standard(exec_db)
+            )
+        if len(initial):
+            self._head.absorb(initial)
+
+    # -- reads ---------------------------------------------------------------
+
+    def result(self) -> "KRelation | CircuitResult":
+        """The maintained view contents (cached until the next mutation)."""
+        if self._result_cache is None:
+            relation = KRelation(self._exec_semiring, self.out_schema, self._head.rows)
+            if self._circuit is not None:
+                self._result_cache = CircuitResult(relation, self._circuit)
+            else:
+                self._result_cache = relation
+        return self._result_cache
+
+    def is_stale(self) -> bool:
+        """Did the database move outside this view (version mismatch)?"""
+        return self.db.version != self._version
+
+    @property
+    def version(self) -> int:
+        """The database version this view is consistent with."""
+        return self._version
+
+    def explain_delta(self, changed: Optional[Any] = None) -> str:
+        """Render the maintenance strategy and the physical delta plan.
+
+        ``changed`` names the base tables a hypothetical delta touches
+        (default: every table the view reads).
+        """
+        names = frozenset(changed) & self._refs if changed is not None else self._refs
+        plan = self._delta_plan(names)
+        lines = [
+            f"view: {self.query}",
+            f"maintains: {_HEAD_DESCRIPTIONS[self._head_kind]}",
+        ]
+        return "\n".join(lines) + "\n" + plan.explain(annotations=self.annotations)
+
+    def check(self) -> bool:
+        """Does the maintained view equal re-evaluation from scratch?"""
+        return self.result() == self.query.evaluate(self.db)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        """The view state as JSON-able data (see :mod:`repro.io.serialize`)."""
+        from repro.io.serialize import view_state_to_jsonable  # local: io imports ivm
+
+        return view_state_to_jsonable(self)
+
+    def _logical_state(self):
+        """(logical semiring, dumped state) — circuit gates lowered to N[X]."""
+        if self._circuit is not None:
+            from repro.circuits.convert import circuit_to_polynomial
+
+            memo: Dict[int, Any] = {}
+            return NX, self._head.dump_state(
+                NX, lambda gate: circuit_to_polynomial(gate, memo=memo)
+            )
+        return self.db.semiring, self._head.dump_state(self.db.semiring, None)
+
+    def _restore(self, snap: ViewSnapshot) -> None:
+        logical = NX if self._circuit is not None else self.db.semiring
+        if snap.query_text != str(self.query):
+            raise QueryError(
+                f"snapshot was taken for query {snap.query_text!r}; this view "
+                f"materialises {str(self.query)!r}"
+            )
+        if snap.db_fingerprint is not None:
+            from repro.io.serialize import database_fingerprint  # local: io imports ivm
+
+            if database_fingerprint(self.db) != snap.db_fingerprint:
+                raise QueryError(
+                    "snapshot was taken against different database contents; "
+                    "restore it alongside the matching database state, or "
+                    "recreate the view from scratch"
+                )
+        if snap.head != self._head_kind:
+            raise QueryError(
+                f"snapshot maintains a {snap.head!r} head; this query needs "
+                f"{self._head_kind!r}"
+            )
+        if snap.semiring_name != logical.name:
+            raise SemiringError(
+                f"snapshot is annotated in {snap.semiring_name}, the view "
+                f"needs {logical.name}"
+            )
+        if set(snap.out_schema) != set(self.out_schema.attributes):
+            raise SchemaError(
+                f"snapshot schema {snap.out_schema} does not match the view "
+                f"schema {self.out_schema}"
+            )
+        if self._circuit is not None:
+            from repro.circuits.convert import polynomial_to_circuit
+
+            encode: Dict[Any, Any] = {}
+
+            def lift(poly):
+                gate = encode.get(poly)
+                if gate is None:
+                    gate = encode[poly] = polynomial_to_circuit(poly, self._circuit)
+                return gate
+
+            self._head.load_state(snap.state, lift)
+        else:
+            self._head.load_state(snap.state, None)
+        self._result_cache = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _exec_db(self) -> KDatabase:
+        if self._circuit is None:
+            return self.db
+        return circuit_database(self.db)[1]
+
+    def _delta_plan(self, changed: FrozenSet[str]) -> DeltaPlan:
+        plan = self._delta_plans.get(changed)
+        if plan is None:
+            plan = compile_delta_plan(
+                self._core, self._exec_db(), changed, engine=self.engine
+            )
+            self._delta_plans[changed] = plan
+        return plan
+
+    def _normalized(self, deltas) -> Dict[str, KRelation]:
+        # the view must reject a bad batch before patching its state, so
+        # the database's shared delta validation runs up front
+        return self.db.check_deltas(deltas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MaterializedView {self._head_kind} head over "
+            f"{self._exec_semiring.name}: {self.query}>"
+        )

@@ -38,18 +38,28 @@ from repro.semirings.base import Semiring
 from repro.semirings.homomorphism import Homomorphism
 from repro.semirings.polynomials import NX
 
-__all__ = ["CircuitResult", "circuit_database", "evaluate_circuit_backed"]
+__all__ = [
+    "CircuitResult",
+    "circuit_database",
+    "evaluate_circuit_backed",
+    "lift_relation",
+    "patch_circuit_image",
+]
 
 
 def circuit_database(db: KDatabase) -> Tuple[CircuitSemiring, KDatabase]:
     """The circuit image of an ``N[X]`` database (cached on ``db``).
 
     Every relation's polynomial annotations are encoded as interned gates
-    over one :class:`CircuitSemiring` owned by the database.  The cache is
-    validated per relation by object identity (relations are immutable by
-    convention), so ``db.add`` refreshing one table re-encodes only that
+    over one :class:`CircuitSemiring` owned by the database.  The cache
+    keys on the database's monotonic ``version`` stamp: while the stamp is
+    unchanged the image is returned without touching a single relation;
+    after a mutation each relation is re-validated by object identity, so
+    ``db.add``/``db.update`` refreshing one table re-encodes only that
     table while keeping every existing gate — and every compiled plan
-    against the circuit database — intact.
+    against the circuit database — intact.  (:mod:`repro.ivm` patches the
+    image in place on incremental updates, interning only the delta's new
+    gates, and restamps the cache itself.)
     """
     if db.semiring is not NX:
         raise QueryError(
@@ -59,20 +69,23 @@ def circuit_database(db: KDatabase) -> Tuple[CircuitSemiring, KDatabase]:
     cache = getattr(db, "_circuit_cache", None)
     if cache is None:
         circ = CircuitSemiring(name=f"Circ[{db.semiring.name}]")
-        cache = {"semiring": circ, "db": KDatabase(circ), "sources": {}}
+        cache = {"semiring": circ, "db": KDatabase(circ), "sources": {}, "version": None}
         db._circuit_cache = cache
+    elif cache["version"] == db.version:
+        return cache["semiring"], cache["db"]
     circ = cache["semiring"]
     circ_db: KDatabase = cache["db"]
     sources: Dict[str, KRelation] = cache["sources"]
     for name, rel in db:
         if sources.get(name) is rel:
             continue
-        circ_db.add(name, _lift_relation(rel, circ))
+        circ_db.add(name, lift_relation(rel, circ))
         sources[name] = rel
+    cache["version"] = db.version
     return circ, circ_db
 
 
-def _lift_relation(rel: KRelation, circ: CircuitSemiring) -> KRelation:
+def lift_relation(rel: KRelation, circ: CircuitSemiring) -> KRelation:
     """Re-annotate one relation with gates (tensor values lift scalar-wise)."""
     encode: Dict[Any, Any] = {}
 
@@ -93,6 +106,31 @@ def _lift_relation(rel: KRelation, circ: CircuitSemiring) -> KRelation:
         values = {a: lift_value(v) for a, v in tup.items()}
         pairs.append((type(tup)(values), gate(annotation)))
     return KRelation(circ, rel.schema, pairs)
+
+
+def patch_circuit_image(db: KDatabase, lifted: Mapping[str, KRelation]) -> None:
+    """Graft already-interned delta gates onto the cached circuit image.
+
+    Call *after* folding the corresponding polynomial deltas into ``db``
+    (``db.update``): each named relation of the image becomes its union
+    with the lifted delta, the source pointers move to the new base
+    relations, and the cache is restamped at the database's new version —
+    so the next :func:`circuit_database` call neither re-encodes whole
+    relations nor discards the shared gate universe.  A database with no
+    image yet is left alone (the next call builds one from scratch).
+    The owner of the cache layout: keep every access to
+    ``db._circuit_cache`` in this module.
+    """
+    cache = getattr(db, "_circuit_cache", None)
+    if cache is None:
+        return
+    from repro.core.operators import union  # local: operators import core only
+
+    circ_db: KDatabase = cache["db"]
+    for name, lifted_rel in lifted.items():
+        circ_db.add(name, union(circ_db.relation(name), lifted_rel))
+        cache["sources"][name] = db.relation(name)
+    cache["version"] = db.version
 
 
 def evaluate_circuit_backed(query, db: KDatabase) -> "CircuitResult":

@@ -40,7 +40,12 @@ class ColumnarKRelation:
     (every operator allocates fresh output lists).
     """
 
-    __slots__ = ("semiring", "schema", "columns", "annotations")
+    #: ``_plain_cols`` memoizes which columns have passed the plain-value
+    #: (no symbolic tensor) guard: batches are immutable, so a column
+    #: checked once stays checked — repeated executions of a prepared plan
+    #: (and every IVM apply probing a cached build batch) skip the O(rows)
+    #: re-scan.
+    __slots__ = ("semiring", "schema", "columns", "annotations", "_plain_cols")
 
     def __init__(
         self,
@@ -49,6 +54,7 @@ class ColumnarKRelation:
         columns: Dict[str, List[Any]],
         annotations: List[Any],
     ):
+        self._plain_cols: set = set()
         self.semiring = semiring
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         if set(columns) != set(self.schema.attributes):

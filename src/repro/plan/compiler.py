@@ -92,8 +92,19 @@ class PhysicalPlan:
 
     def execute(self, db=None) -> KRelation:
         """Run the plan and return the logical result relation."""
+        return self.execute_batch(db).to_krelation()
+
+    def execute_batch(self, db=None):
+        """Run the plan and return the raw columnar batch.
+
+        Rows may repeat with separate annotations (the ``+_K`` merge is
+        deferred — see :mod:`repro.plan.columnar`); consumers that patch
+        state row-by-row, such as the incremental maintenance engine
+        (:mod:`repro.ivm`), absorb the batch directly instead of paying
+        for an intermediate :class:`KRelation`.
+        """
         ctx = ExecutionContext(db if db is not None else self.db, self._scan_cache)
-        return self.root.execute(ctx).to_krelation()
+        return self.root.execute(ctx)
 
     def explain(self, *, annotations: str = "expanded") -> str:
         """Render the operator tree with cardinality estimates.

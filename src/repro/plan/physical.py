@@ -68,6 +68,7 @@ __all__ = [
     "AvgAggregate",
     "DifferenceOp",
     "Fallback",
+    "validate_monoid_column",
 ]
 
 _ORDER_TESTS = {"<": _pyop.lt, "<=": _pyop.le, ">": _pyop.gt, ">=": _pyop.ge}
@@ -129,11 +130,33 @@ class PhysicalOp:
         raise NotImplementedError
 
 
+def validate_monoid_column(col: Iterable[Any], monoid, attr: str) -> None:
+    """Check every value of an aggregated column lies in ``monoid``.
+
+    The all/map pass is C-driven; only the failing case re-scans to raise
+    the interpreter's precise per-value error (tensor values get the
+    nested-aggregation message, foreign values the membership one).
+    Shared by the aggregation operators here and the group-patching path
+    of :mod:`repro.ivm`.
+    """
+    col = col if isinstance(col, list) else list(col)
+    if not all(map(monoid.contains, col)):
+        for value in col:
+            agg_ops.monoid_value(value, monoid, attr)
+
+
 def _require_plain_columns(
     batch: ColumnarKRelation, attrs: Iterable[str], context: str
 ) -> None:
-    """The physical counterpart of :func:`operators.require_plain_values`."""
+    """The physical counterpart of :func:`operators.require_plain_values`.
+
+    Passing columns are recorded on the (immutable) batch, so re-executing
+    a plan over a cached batch does not re-scan them.
+    """
+    checked = batch._plain_cols
     for attr in attrs:
+        if attr in checked:
+            continue
         col = batch.column(attr)
         if any(map(_is_tensor, col)):
             value = next(v for v in col if isinstance(v, Tensor))
@@ -141,6 +164,7 @@ def _require_plain_columns(
                 f"{context}: attribute {attr!r} holds a symbolic aggregate "
                 f"value {value}; use the extended (Section 4.3) semantics"
             )
+        checked.add(attr)
 
 
 # ---------------------------------------------------------------------------
@@ -523,30 +547,10 @@ class GroupedAggregate(PhysicalOp):
         group_attrs = self.group_attributes
         specs = dict(self.aggregations)
         if self.count_attr is not None:
-            if self.count_attr in batch.schema:
-                raise QueryError(
-                    f"attribute {self.count_attr!r} already exists in {batch.schema}"
-                )
             specs[self.count_attr] = SUM
-
-        overlap = set(group_attrs) & set(specs)
-        if overlap:
-            raise QueryError(
-                f"attributes {sorted(overlap)} cannot be both grouped and "
-                "aggregated (Definition 3.7 requires U' and U'' disjoint)"
-            )
-        if not specs:
-            raise QueryError("GROUP BY requires at least one aggregation")
-        for attr in tuple(group_attrs) + tuple(self.aggregations):
-            if attr not in batch.schema:
-                raise QueryError(f"attribute {attr!r} not in schema {batch.schema}")
-        if not semiring.has_delta:
-            from repro.exceptions import SemiringError
-
-            raise SemiringError(
-                f"GROUP BY needs a delta-semiring; {semiring.name} has no delta "
-                "(Definition 3.6)"
-            )
+        agg_ops.check_group_by(
+            batch.schema, group_attrs, self.aggregations, self.count_attr, semiring
+        )
         _require_plain_columns(batch, group_attrs, "GROUP BY")
 
         spaces = {
@@ -570,14 +574,9 @@ class GroupedAggregate(PhysicalOp):
         }
         # validate each aggregated column once, up front (every batch row
         # belongs to some group), so the per-group accumulation below feeds
-        # raw column values straight into the set_agg kernel; the all/map
-        # pass is C-driven and only the failing case re-scans for the
-        # interpreter's precise per-value error
+        # raw column values straight into the set_agg kernel
         for attr, monoid in self.aggregations.items():
-            col = agg_cols[attr]
-            if not all(map(monoid.contains, col)):
-                for value in col:
-                    agg_ops._monoid_value(value, monoid, attr)
+            validate_monoid_column(agg_cols[attr], monoid, attr)
         sum_many, delta = semiring.sum_many, semiring.delta
         columns: Dict[str, List[Any]] = {a: [] for a in out_attrs}
         annotations: List[Any] = []
@@ -632,9 +631,7 @@ class WholeAggregate(PhysicalOp):
             )
         space = tensor_space(batch.semiring, self.monoid)
         col = batch.column(self.attribute)
-        if not all(map(self.monoid.contains, col)):
-            for value in col:
-                agg_ops._monoid_value(value, self.monoid, self.attribute)
+        validate_monoid_column(col, self.monoid, self.attribute)
         value = space.set_agg(zip(col, batch.annotations))
         return ColumnarKRelation(
             batch.semiring,

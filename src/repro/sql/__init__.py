@@ -9,6 +9,7 @@ from repro.sql.compiler import (
     compile_statement,
     execute_sql,
     explain_sql,
+    materialize_sql,
 )
 from repro.sql.lexer import Token, tokenize
 from repro.sql.parser import parse
@@ -18,6 +19,7 @@ __all__ = [
     "compile_statement",
     "execute_sql",
     "explain_sql",
+    "materialize_sql",
     "parse",
     "tokenize",
     "Token",

@@ -55,7 +55,13 @@ from repro.sql.ast import (
 )
 from repro.sql.parser import parse
 
-__all__ = ["compile_sql", "compile_statement", "execute_sql", "explain_sql"]
+__all__ = [
+    "compile_sql",
+    "compile_statement",
+    "execute_sql",
+    "explain_sql",
+    "materialize_sql",
+]
 
 _MONOIDS: Dict[str, CommutativeMonoid] = {
     "SUM": SUM, "MIN": MIN, "MAX": MAX, "PROD": PROD,
@@ -82,6 +88,28 @@ def explain_sql(source: str, db) -> str:
     from repro.plan import explain  # local: keep the front end importable alone
 
     return explain(compile_sql(source), db)
+
+
+def materialize_sql(
+    source: str, db, *, engine: str = "planned", annotations: str = "expanded"
+):
+    """Compile a SQL statement into a maintained materialised view.
+
+    The SQL face of :class:`repro.ivm.MaterializedView`: grouped
+    aggregates are maintained group-by-group under ``view.apply(deltas)``
+    instead of re-running the statement.  ``CREATE MATERIALIZED VIEW`` as
+    a function call::
+
+        view = materialize_sql(
+            "SELECT Dept, SUM(Sal) FROM Emp GROUP BY Dept", db)
+        view.apply({"Emp": new_rows})
+        view.result()
+    """
+    from repro.ivm import MaterializedView  # local: keep the front end light
+
+    return MaterializedView.create(
+        db, compile_sql(source), engine=engine, annotations=annotations
+    )
 
 
 def compile_statement(stmt: SqlQuery) -> Query:

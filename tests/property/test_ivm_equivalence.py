@@ -1,0 +1,301 @@
+"""Property suite: incremental maintenance equals full recomputation.
+
+Random SPJUA queries (an SPJU core under an optional aggregation head)
+are materialised as views, then driven with random streams of
+insert/delete/update batches; after every ``apply`` the maintained result
+must equal evaluating the query from scratch on the updated database.
+The property runs in four annotation regimes:
+
+* ``N`` — bag multiplicities (insert streams: the Gupta–Mumick case);
+* ``Z`` — ring annotations: deletions and updates as additive inverses;
+* ``N[X]`` expanded — free provenance polynomials, token per insertion
+  (equality over the free semiring pins every homomorphic
+  specialisation at once);
+* ``N[X]`` circuit — the same views maintained over the database's
+  interned gate image, compared through lazy lowering.
+
+Token-based deletions (``zero_tokens``) are exercised separately on the
+``N[X]`` regime.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Aggregate,
+    AttrCompare,
+    AttrEq,
+    CountAgg,
+    Distinct,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Rename,
+    Select,
+    Table,
+    Union,
+    ValueJoin,
+)
+from repro.ivm import MaterializedView
+from repro.monoids import MAX, MIN, SUM
+from repro.semirings import INT, NAT, NX
+
+GROUPS = ["g1", "g2", "g3"]
+VALUES = [5, 10, 20]
+WEIGHTS = [1, 2, 7]
+
+SCHEMAS = {"R": ("g", "v"), "S": ("g",), "T": ("g", "w")}
+
+
+def _row_strategy(name):
+    if name == "R":
+        return st.tuples(st.sampled_from(GROUPS), st.sampled_from(VALUES))
+    if name == "S":
+        return st.tuples(st.sampled_from(GROUPS))
+    return st.tuples(st.sampled_from(GROUPS), st.sampled_from(WEIGHTS))
+
+
+# ---------------------------------------------------------------------------
+# query strategy: SPJU core + optional head
+# ---------------------------------------------------------------------------
+
+
+def _spju(depth: int):
+    base = st.sampled_from(
+        [(Table(name), attrs) for name, attrs in SCHEMAS.items()]
+    )
+    if depth == 0:
+        return base
+
+    sub = _spju(depth - 1)
+
+    @st.composite
+    def selected(draw):
+        query, attrs = draw(sub)
+        attr = draw(st.sampled_from(sorted(attrs)))
+        if attr.startswith("g"):
+            condition = AttrEq(attr, draw(st.sampled_from(GROUPS)))
+        else:
+            op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+            condition = AttrCompare(attr, op, draw(st.sampled_from(VALUES + WEIGHTS)))
+        return Select(query, [condition]), attrs
+
+    @st.composite
+    def projected(draw):
+        query, attrs = draw(sub)
+        keep = tuple(
+            sorted(draw(st.sets(st.sampled_from(sorted(attrs)), min_size=1)))
+        )
+        return Project(query, keep), keep
+
+    @st.composite
+    def unioned(draw):
+        q1, a1 = draw(sub)
+        q2, a2 = draw(sub)
+        if "g" not in a1 or "g" not in a2:
+            return q1, a1
+        return Union(Project(q1, ("g",)), Project(q2, ("g",))), ("g",)
+
+    @st.composite
+    def joined(draw):
+        q1, a1 = draw(sub)
+        q2, a2 = draw(sub)
+        return NaturalJoin(q1, q2), tuple(sorted(set(a1) | set(a2)))
+
+    @st.composite
+    def value_joined(draw):
+        q1, a1 = draw(sub)
+        q2, a2 = draw(base)
+        renames = {a: f"{a}2" for a in a2}
+        if "g" not in a1 or any(f"{a}2" in a1 for a in a2):
+            return q1, a1
+        return (
+            ValueJoin(q1, Rename(q2, renames), [("g", "g2")]),
+            tuple(sorted(set(a1) | {f"{a}2" for a in a2})),
+        )
+
+    return st.one_of(base, selected(), projected(), unioned(), joined(),
+                     value_joined())
+
+
+@st.composite
+def spjua_query(draw):
+    """An SPJU core under an optional maintainable head."""
+    query, attrs = draw(_spju(draw(st.integers(min_value=0, max_value=2))))
+    top = draw(st.sampled_from(["none", "group", "agg", "count", "distinct"]))
+    numeric = sorted(a for a in attrs if a.startswith(("v", "w")))
+    if top == "group" and "g" in attrs and numeric:
+        agg_attr = draw(st.sampled_from(numeric))
+        monoid = draw(st.sampled_from([SUM, MIN, MAX]))
+        count = draw(st.booleans())
+        return GroupBy(query, ["g"], {agg_attr: monoid},
+                       count_attr="n" if count else None)
+    if top == "agg" and numeric:
+        agg_attr = draw(st.sampled_from(numeric))
+        monoid = draw(st.sampled_from([SUM, MIN, MAX]))
+        return Aggregate(Project(query, (agg_attr,)), agg_attr, monoid)
+    if top == "count":
+        return CountAgg(query, "n")
+    if top == "distinct":
+        return Distinct(query)
+    return query
+
+
+# ---------------------------------------------------------------------------
+# database + delta-stream strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def initial_rows(draw):
+    return {
+        name: draw(
+            st.lists(_row_strategy(name), min_size=0, max_size=5, unique=True)
+        )
+        for name in SCHEMAS
+    }
+
+
+@st.composite
+def insert_stream(draw):
+    """1–3 delta batches, each touching a subset of the base tables."""
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        names = draw(
+            st.sets(st.sampled_from(sorted(SCHEMAS)), min_size=1, max_size=2)
+        )
+        batches.append(
+            {
+                name: draw(
+                    st.lists(_row_strategy(name), min_size=0, max_size=3)
+                )
+                for name in sorted(names)
+            }
+        )
+    return batches
+
+
+def build_db(semiring, rows, tag):
+    relations = {}
+    for name, attrs in SCHEMAS.items():
+        relations[name] = KRelation.from_rows(
+            semiring, attrs, [(row, tag()) for row in rows[name]]
+        )
+    return KDatabase(semiring, relations)
+
+
+def deltas_of(semiring, batch, tag):
+    return {
+        name: KRelation.from_rows(semiring, SCHEMAS[name], [(r, tag()) for r in rows])
+        for name, rows in batch.items()
+    }
+
+
+def fresh_tagger(semiring):
+    counter = [0]
+    if semiring is NX:
+        def tag():
+            counter[0] += 1
+            return NX.variable(f"t{counter[0]}")
+    else:
+        def tag():
+            counter[0] += 1
+            return 1 + counter[0] % 3
+    return tag
+
+
+def drive(view, db, query, semiring, stream, tag):
+    """Apply every batch, asserting maintained == recomputed throughout."""
+    for batch in stream:
+        view.apply(deltas_of(semiring, batch, tag))
+        assert view.result() == query.evaluate(db, engine="interpreted")
+
+
+# ---------------------------------------------------------------------------
+# the properties, one per annotation regime
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=initial_rows(), query=spjua_query(), stream=insert_stream())
+def test_ivm_equals_recompute_over_bags(rows, query, stream):
+    tag = fresh_tagger(NAT)
+    db = build_db(NAT, rows, tag)
+    view = MaterializedView.create(db, query)
+    assert view.result() == query.evaluate(db, engine="interpreted")
+    drive(view, db, query, NAT, stream, tag)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=initial_rows(), query=spjua_query(), stream=insert_stream(),
+       data=st.data())
+def test_ivm_equals_recompute_over_z_with_deletions(rows, query, stream, data):
+    """Z-annotations: each batch randomly deletes existing tuples (additive
+    inverses) and inserts fresh ones — an update is a delete + insert."""
+    tag = fresh_tagger(INT)
+    db = build_db(INT, rows, tag)
+    view = MaterializedView.create(db, query)
+    for batch in stream:
+        deltas = {}
+        for name, rows_in in batch.items():
+            pairs = [(r, tag()) for r in rows_in]
+            base = db[name]
+            victims = data.draw(
+                st.lists(
+                    st.sampled_from(sorted(base.support(), key=str)),
+                    max_size=2,
+                    unique=True,
+                )
+                if len(base)
+                else st.just([]),
+                label=f"deletions[{name}]",
+            )
+            for tup in victims:
+                pairs.append((tuple(tup[a] for a in SCHEMAS[name]),
+                              -base.annotation(tup)))
+            deltas[name] = KRelation.from_rows(INT, SCHEMAS[name], pairs)
+        view.apply(deltas)
+        assert view.result() == query.evaluate(db, engine="interpreted")
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=initial_rows(), query=spjua_query(), stream=insert_stream())
+def test_ivm_equals_recompute_over_free_polynomials(rows, query, stream):
+    tag = fresh_tagger(NX)
+    db = build_db(NX, rows, tag)
+    view = MaterializedView.create(db, query)
+    drive(view, db, query, NX, stream, tag)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=initial_rows(), query=spjua_query(), stream=insert_stream())
+def test_ivm_equals_recompute_in_circuit_mode(rows, query, stream):
+    tag = fresh_tagger(NX)
+    db = build_db(NX, rows, tag)
+    view = MaterializedView.create(db, query, annotations="circuit")
+    assert view.result() == query.evaluate(db, engine="interpreted")
+    drive(view, db, query, NX, stream, tag)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=initial_rows(), query=spjua_query(), stream=insert_stream(),
+       data=st.data())
+def test_token_zeroing_matches_deletion_propagation(rows, query, stream, data):
+    """N[X] deletions: zeroing tokens in the view state equals re-evaluating
+    the deletion-propagated database."""
+    tag = fresh_tagger(NX)
+    db = build_db(NX, rows, tag)
+    view = MaterializedView.create(db, query)
+    drive(view, db, query, NX, stream, tag)
+    live = sorted(
+        {str(v) for _n, rel in db for _t, k in rel.items()
+         for m in k.terms() for v in m[0].variables()}
+    )
+    if not live:
+        return
+    victims = data.draw(
+        st.lists(st.sampled_from(live), max_size=3, unique=True), label="tokens"
+    )
+    view.zero_tokens(*victims)
+    assert view.result() == query.evaluate(db, engine="interpreted")

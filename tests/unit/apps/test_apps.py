@@ -181,3 +181,23 @@ class TestViewMaintenance:
         q = GroupBy(Table("R"), ["k"], {"v": SUM})
         with pytest.raises(QueryError):
             delta_evaluate(q, db, {"R": KRelation.empty(NX, ("k", "v"))})
+
+    def test_incremental_view_is_a_deprecated_shim(self):
+        db = self.make_db()
+        with pytest.warns(DeprecationWarning):
+            view = IncrementalView(NaturalJoin(Table("R"), Table("S")), db)
+        view.insert(
+            "R", KRelation.from_rows(NX, ("k", "v"), [((1, "c"), NX.variable("r2"))])
+        )
+        assert view.check()
+
+    def test_shim_now_accepts_aggregate_views(self):
+        # the historical class refused aggregates; the repro.ivm engine
+        # underneath maintains them group-by-group
+        db = self.make_db()
+        with pytest.warns(DeprecationWarning):
+            view = IncrementalView(GroupBy(Table("R"), ["v"], {"k": MAX}), db)
+        view.insert(
+            "R", KRelation.from_rows(NX, ("k", "v"), [((7, "a"), NX.variable("r3"))])
+        )
+        assert view.check()

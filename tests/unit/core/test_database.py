@@ -56,3 +56,59 @@ class TestDatabase:
     def test_pretty_mentions_all_relations(self):
         text = sample_db().pretty()
         assert "R:" in text and "S:" in text
+
+
+class TestVersionStamps:
+    def test_add_bumps_version(self):
+        db = KDatabase(NAT)
+        v0 = db.version
+        db.add("R", KRelation.from_rows(NAT, ("a",), [((1,), 2)]))
+        assert db.version > v0
+        v1 = db.version
+        db.add("R", KRelation.from_rows(NAT, ("a",), [((1,), 3)]))
+        assert db.version > v1
+
+    def test_update_unions_and_bumps(self):
+        db = sample_db()
+        v0 = db.version
+        db.update({"R": KRelation.from_rows(NAT, ("a",), [((1,), 1), ((5,), 4)])})
+        assert db.version > v0
+        assert db["R"].annotation(Tup({"a": 1})) == 3  # 2 + 1
+        assert db["R"].annotation(Tup({"a": 5})) == 4
+
+    def test_update_accepts_a_database(self):
+        db = sample_db()
+        deltas = KDatabase(NAT, {"R": KRelation.from_rows(NAT, ("a",), [((7,), 1)])})
+        db.update(deltas)
+        assert db["R"].annotation(Tup({"a": 7})) == 1
+
+    def test_update_requires_existing_relation(self):
+        db = sample_db()
+        with pytest.raises(QueryError):
+            db.update({"nope": KRelation.from_rows(NAT, ("a",), [((1,), 1)])})
+
+    def test_update_with_negative_annotations_deletes(self):
+        from repro.semirings import INT
+
+        db = KDatabase(INT, {"R": KRelation.from_rows(INT, ("a",), [((1,), 1), ((2,), 1)])})
+        db.update({"R": KRelation.from_rows(INT, ("a",), [((1,), 1)]).negated()})
+        assert len(db["R"]) == 1
+        assert db["R"].annotation(Tup({"a": 1})) == 0
+
+    def test_negated_requires_a_ring(self):
+        rel = KRelation.from_rows(NAT, ("a",), [((1,), 1)])
+        with pytest.raises(SemiringError):
+            rel.negated()
+
+    def test_update_is_atomic_on_bad_deltas(self):
+        db = sample_db()
+        before_r = db["R"]
+        before_version = db.version
+        with pytest.raises(Exception):
+            db.update({
+                "R": KRelation.from_rows(NAT, ("a",), [((1,), 1)]),
+                "S": KRelation.from_rows(NAT, ("wrong",), [((1,), 1)]),
+            })
+        # nothing was folded and the version did not move
+        assert db["R"] is before_r
+        assert db.version == before_version

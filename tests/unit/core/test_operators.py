@@ -141,3 +141,29 @@ class TestBagSetConsistency:
         left = natural_join(union(r1, r2), s)
         right = union(natural_join(r1, s), natural_join(r2, s))
         assert left == right
+
+
+class TestUnionFastPath:
+    """union adopts merged row maps: invariants must survive the fast path."""
+
+    def test_schema_order_follows_the_left_operand(self):
+        from repro.core import union
+        from repro.semirings import NAT
+
+        r1 = KRelation.from_rows(NAT, ("a", "b"), [((1, "x"), 1)])
+        r2 = KRelation.from_rows(NAT, ("b", "a"), [(("y", 2), 1), (("z", 3), 1)])
+        out = union(r1, r2)
+        # r2 is larger (merge swaps internally) but the result must keep
+        # the left operand's attribute order
+        assert out.schema.attributes == ("a", "b")
+        assert union(r2, r1).schema.attributes == ("b", "a")
+
+    def test_cancelling_annotations_leave_the_support(self):
+        from repro.core import union
+        from repro.semirings import INT
+
+        r1 = KRelation.from_rows(INT, ("a",), [((1,), 2), ((2,), 1)])
+        r2 = KRelation.from_rows(INT, ("a",), [((1,), -2)])
+        out = union(r1, r2)
+        assert len(out) == 1
+        assert Tup({"a": 1}) not in out

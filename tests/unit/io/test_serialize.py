@@ -137,3 +137,120 @@ class TestRelationRoundTrips:
         (t,) = restored.support()
         h = valuation_hom(NX, NAT, {"x": 3, "y": 1})
         assert t["v"].apply_hom(h).collapse() == 50
+
+
+class TestViewStateRoundTrips:
+    """Materialised-view snapshots: schema + per-group tensors round-trip."""
+
+    def make_view(self, semiring=NX, annotations="expanded"):
+        from repro.core import GroupBy, Table
+        from repro.ivm import MaterializedView
+
+        def tag(i):
+            return NX.variable(f"p{i}") if semiring is NX else 1 + i
+
+        emp = KRelation.from_rows(
+            semiring,
+            ("EmpId", "Dept", "Sal"),
+            [((1, "d1", 20), tag(1)), ((2, "d1", 10), tag(2)), ((3, "d2", 15), tag(3))],
+        )
+        db = KDatabase(semiring, {"Emp": emp})
+        query = GroupBy(Table("Emp"), ["Dept"], {"Sal": SUM}, count_attr="n")
+        return db, query, MaterializedView.create(db, query, annotations=annotations)
+
+    def test_grouped_view_roundtrip(self):
+        from repro.ivm import MaterializedView, ViewSnapshot
+
+        db, query, view = self.make_view()
+        view.apply(
+            {"Emp": KRelation.from_rows(
+                NX, ("EmpId", "Dept", "Sal"), [((4, "d1", 30), NX.variable("q1"))])}
+        )
+        snap = loads(dumps(view))
+        assert isinstance(snap, ViewSnapshot)
+        assert snap.head == "group" and snap.semiring_name == "N[X]"
+        restored = MaterializedView.create(db, query, snapshot=snap)
+        assert restored.result() == view.result() == query.evaluate(db)
+
+    def test_restored_view_keeps_maintaining(self):
+        from repro.ivm import MaterializedView
+
+        db, query, view = self.make_view()
+        restored = MaterializedView.create(db, query, snapshot=loads(dumps(view)))
+        restored.apply(
+            {"Emp": KRelation.from_rows(
+                NX, ("EmpId", "Dept", "Sal"), [((5, "d3", 7), NX.variable("q2"))])}
+        )
+        assert restored.result() == query.evaluate(db)
+
+    def test_concrete_semiring_view_roundtrip(self):
+        from repro.ivm import MaterializedView
+
+        db, query, view = self.make_view(semiring=NAT)
+        restored = MaterializedView.create(db, query, snapshot=loads(dumps(view)))
+        assert restored.result() == query.evaluate(db)
+
+    def test_circuit_view_lowers_on_dump_and_reinterns_on_restore(self):
+        from repro.ivm import MaterializedView
+
+        db, query, view = self.make_view(annotations="circuit")
+        snap = loads(dumps(view))
+        assert snap.semiring_name == "N[X]"  # gates are lowered for storage
+        restored = MaterializedView.create(db, query, snapshot=snap,
+                                           annotations="circuit")
+        assert restored.result() == query.evaluate(db)
+        restored.apply(
+            {"Emp": KRelation.from_rows(
+                NX, ("EmpId", "Dept", "Sal"), [((6, "d1", 2), NX.variable("q3"))])}
+        )
+        assert restored.result() == query.evaluate(db)
+
+    def test_singleton_and_relation_heads_roundtrip(self):
+        from repro.core import CountAgg, Project, Table
+        from repro.ivm import MaterializedView
+
+        db, _query, _view = self.make_view()
+        for query in (CountAgg(Table("Emp"), "n"), Project(Table("Emp"), ("Dept",))):
+            view = MaterializedView.create(db, query)
+            restored = MaterializedView.create(db, query, snapshot=loads(dumps(view)))
+            assert restored.result() == query.evaluate(db)
+
+    def test_head_mismatch_rejected(self):
+        from repro.core import Project, Table
+        from repro.ivm import MaterializedView
+        from repro.exceptions import QueryError
+
+        db, query, view = self.make_view()
+        snap = loads(dumps(view))
+        with pytest.raises(QueryError):
+            MaterializedView.create(db, Project(Table("Emp"), ("Dept",)),
+                                    snapshot=snap)
+
+    def test_restore_rejects_a_mutated_database(self):
+        from repro.ivm import MaterializedView
+        from repro.exceptions import QueryError
+
+        db, query, view = self.make_view()
+        text = dumps(view)
+        db.add(
+            "Emp",
+            KDatabase(NX, {"Emp": db["Emp"]})["Emp"],
+        )  # replace (version bump) with identical contents: still accepted
+        MaterializedView.create(db, query, snapshot=loads(text))
+        db.update(
+            {"Emp": KRelation.from_rows(
+                NX, ("EmpId", "Dept", "Sal"), [((9, "d9", 1), NX.variable("m"))])}
+        )
+        with pytest.raises(QueryError):
+            MaterializedView.create(db, query, snapshot=loads(text))
+
+    def test_restore_rejects_a_different_query(self):
+        from repro.core import GroupBy, Table
+        from repro.ivm import MaterializedView
+        from repro.exceptions import QueryError
+
+        db, query, view = self.make_view()
+        snap = loads(dumps(view))
+        other = GroupBy(Table("Emp"), ["Dept"], {"Sal": SUM})  # no count column
+        with pytest.raises(QueryError):
+            MaterializedView.create(db, other, snapshot=snap)

@@ -1,0 +1,124 @@
+"""Regression tests: a mutated database never serves stale cached results.
+
+The PR-2 caches — compiled plans held on Query objects and the interned
+circuit gate image held on the database — are keyed on the database's
+monotonic version stamp.  Any ``db.add``/``db.update`` must invalidate
+the plan entry and re-validate the gate image, while *unmutated* runs
+keep hitting the caches.
+"""
+
+from repro.core import (
+    AttrEq,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Select,
+    Table,
+)
+from repro.monoids import SUM
+from repro.semirings import NAT, NX
+
+
+def make_db(semiring=NX, n=6):
+    def tag(prefix, i):
+        return NX.variable(f"{prefix}{i}") if semiring is NX else 1 + i % 2
+
+    emp = KRelation.from_rows(
+        semiring,
+        ("EmpId", "Dept", "Sal"),
+        [((i, f"d{i % 2}", 10 * (1 + i % 3)), tag("t", i)) for i in range(n)],
+    )
+    dept = KRelation.from_rows(
+        semiring,
+        ("Dept", "Region"),
+        [((f"d{j}", "EU" if j else "US"), tag("d", j)) for j in range(2)],
+    )
+    return KDatabase(semiring, {"Emp": emp, "Dept": dept})
+
+
+def the_query():
+    return GroupBy(
+        Select(NaturalJoin(Table("Emp"), Table("Dept")), [AttrEq("Region", "EU")]),
+        ["Dept"],
+        {"Sal": SUM},
+    )
+
+
+class TestPlanCacheVersioning:
+    def test_unmutated_db_reuses_the_plan(self):
+        db = make_db(NAT)
+        q = the_query()
+        q.evaluate(db, engine="planned")
+        plan = q._cached_plan(db)
+        q.evaluate(db, engine="planned")
+        assert q._cached_plan(db) is plan
+
+    def test_mutation_recompiles_the_plan(self):
+        db = make_db(NAT)
+        q = the_query()
+        q.evaluate(db, engine="planned")
+        plan = q._cached_plan(db)
+        db.update(
+            {"Emp": KRelation.from_rows(NAT, ("EmpId", "Dept", "Sal"), [((99, "d1", 40), 1)])}
+        )
+        assert q._cached_plan(db) is not plan
+
+    def test_mutated_db_serves_fresh_planned_results(self):
+        db = make_db(NAT)
+        q = the_query()
+        stale = q.evaluate(db, engine="planned")
+        db.update(
+            {"Emp": KRelation.from_rows(NAT, ("EmpId", "Dept", "Sal"), [((99, "d1", 40), 3)])}
+        )
+        fresh = q.evaluate(db, engine="planned")
+        assert fresh == q.evaluate(db, engine="interpreted")
+        assert fresh != stale
+
+
+class TestCircuitImageVersioning:
+    def test_mutated_db_serves_fresh_circuit_results(self):
+        db = make_db(NX)
+        q = the_query()
+        stale = q.evaluate(db, engine="planned", annotations="circuit").lower()
+        db.update(
+            {
+                "Emp": KRelation.from_rows(
+                    NX, ("EmpId", "Dept", "Sal"), [((99, "d1", 40), NX.variable("new"))]
+                )
+            }
+        )
+        fresh = q.evaluate(db, engine="planned", annotations="circuit")
+        assert fresh.lower() == q.evaluate(db, engine="interpreted")
+        assert fresh.lower() != stale
+
+    def test_gate_image_is_patched_not_rebuilt(self):
+        from repro.plan.circuit_exec import circuit_database
+
+        db = make_db(NX)
+        circ, circ_db = circuit_database(db)
+        dept_image = circ_db["Dept"]
+        db.update(
+            {
+                "Emp": KRelation.from_rows(
+                    NX, ("EmpId", "Dept", "Sal"), [((99, "d1", 40), NX.variable("new"))]
+                )
+            }
+        )
+        circ2, circ_db2 = circuit_database(db)
+        assert circ2 is circ  # the gate universe survives mutations
+        assert circ_db2 is circ_db
+        # only the mutated relation was re-encoded
+        assert circ_db2["Dept"] is dept_image
+        assert len(circ_db2["Emp"]) == len(db["Emp"])
+
+    def test_unmutated_db_short_circuits_on_the_version_stamp(self):
+        from repro.plan.circuit_exec import circuit_database
+
+        db = make_db(NX)
+        circuit_database(db)
+        cache = db._circuit_cache
+        assert cache["version"] == db.version
+        emp_image = cache["db"]["Emp"]
+        circuit_database(db)
+        assert cache["db"]["Emp"] is emp_image

@@ -155,3 +155,22 @@ class TestCompiler:
             compile_sql("SELECT b FROM T GROUP BY a")  # b not grouped... needs agg
         with pytest.raises(ParseError):
             compile_sql("SELECT SUM(a), SUM(b) FROM T")  # two bare aggregates
+
+
+class TestMaterializeSql:
+    def test_sql_view_is_maintained(self):
+        from repro.sql import execute_sql, materialize_sql
+
+        base = db()
+        sql = "SELECT Dept, SUM(Sal) FROM R GROUP BY Dept"
+        view = materialize_sql(sql, base)
+        view.apply(
+            {"R": KRelation.from_rows(NAT, ("Dept", "Sal"), [(("d1", 5), 2)])}
+        )
+        assert view.result() == execute_sql(sql, base, engine="interpreted")
+
+    def test_sql_view_explains_its_delta(self):
+        from repro.sql import materialize_sql
+
+        view = materialize_sql("SELECT Dept, SUM(Sal) FROM R GROUP BY Dept", db())
+        assert "ΔR" in view.explain_delta()
