@@ -5,7 +5,7 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke bench-planner bench-symbolic bench-ivm bench-json bench examples
+.PHONY: check test bench-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-json bench examples
 
 check: test bench-smoke
 
@@ -28,10 +28,17 @@ bench-symbolic:
 bench-ivm:
 	$(PYPATH) $(PY) benchmarks/bench_ivm.py
 
+# the encoded-tier gate: on the 100k-row join + group-by in N, the
+# dictionary-encoded kernels must beat the boxed object path >= 3x with
+# numpy and >= 2x with the pure-python fallback
+bench-vectorized:
+	$(PYPATH) $(PY) benchmarks/bench_vectorized.py
+
 # run every workload and refresh the committed perf-trajectory artifacts
 bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
 	$(PYPATH) $(PY) benchmarks/bench_ivm.py --json BENCH_ivm.json
+	$(PYPATH) $(PY) benchmarks/bench_vectorized.py --json BENCH_vectorized.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

@@ -232,17 +232,21 @@ def test_incremental_beats_recompute():
 # ---------------------------------------------------------------------------
 
 
-def run(n: int, *, gate: float) -> Tuple[Dict[str, dict], bool]:
+def run(n: int, *, gate: float, scale: int | None = None) -> Tuple[Dict[str, dict], bool]:
     workloads: Dict[str, dict] = {}
     rows = []
-    for label, symbolic, annotations in (
-        ("nat", False, "expanded"),
-        ("nx", True, "expanded"),
-        ("nx_circuit", True, "circuit"),
-    ):
-        size = n if label == "nat" else max(n // 2, 1000)
+    variants = [
+        ("nat", False, "expanded", n, 40),
+        ("nx", True, "expanded", max(n // 2, 1000), 40),
+        ("nx_circuit", True, "circuit", max(n // 2, 1000), 40),
+    ]
+    if scale is not None:
+        # production-ish trajectory point (the --json run): recompute pays
+        # the full 100k rescan + re-encode per update, maintenance does not
+        variants.append(("nat_scale", False, "expanded", scale, 10))
+    for label, symbolic, annotations, size, applies in variants:
         incremental, recompute = measure(
-            size, symbolic=symbolic, annotations=annotations
+            size, symbolic=symbolic, annotations=annotations, applies=applies
         )
         speedup = recompute / incremental
         rows.append((label, size, incremental, recompute, speedup))
@@ -296,7 +300,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    workloads, ok = run(args.n, gate=GATE)
+    workloads, ok = run(
+        args.n, gate=GATE, scale=100000 if args.json is not None else None
+    )
 
     if args.json is not None:
         report = {

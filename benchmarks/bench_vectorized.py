@@ -1,0 +1,189 @@
+"""Vectorized-tier benchmark: encoded kernels vs the boxed object path.
+
+The workload the encoded tier exists for: the 100k-row join + group-by in
+``N`` (bag semantics — machine-scalar annotations), run through the same
+physical plan three ways:
+
+* ``object`` — the boxed Python-value path (``compile_plan(tier="object")``),
+  the pre-encoded-tier planned engine and the baseline;
+* ``encoded/numpy`` — dictionary codes + NumPy array kernels;
+* ``encoded/python`` — dictionary codes + the pure-Python list kernels
+  (what a NumPy-less deployment runs).
+
+Run modes:
+
+``pytest benchmarks/bench_vectorized.py``
+    correctness (all tiers equal the interpreter at small n) plus a
+    conservative no-regression gate (encoded must not lose to object).
+
+``python benchmarks/bench_vectorized.py [--smoke]``
+    the perf gate ``make bench-vectorized`` runs: at 100k rows the
+    encoded tier must beat the object path ≥ 3× with NumPy and ≥ 2× with
+    the pure-Python fallback (``--smoke``: 10k rows, ≥ 1× both).
+
+``python benchmarks/bench_vectorized.py --json [PATH]``
+    run the gate workload and write per-tier seconds + speedups to
+    ``BENCH_vectorized.json`` (the committed perf-trajectory artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+from bench_planner import best_of, join_group_db, join_group_query
+
+from repro.plan import compile_plan, set_backend
+from repro.plan.kernels import HAVE_NUMPY
+
+NUMPY_BAR = 3.0
+PYTHON_BAR = 2.0
+
+
+def measure(n: int) -> Dict[str, float]:
+    """Seconds per execution for each tier on the n-row workload.
+
+    Every tier executes a *prepared* plan against the same database (scan
+    decompositions / encodings warm after the first run — steady-state
+    serving, matching the other planner benchmarks), and every tier's
+    result is asserted equal before anything is timed.
+    """
+    db = join_group_db(n)
+    query = join_group_query()
+    object_plan = compile_plan(query, db, tier="object")
+    reference = object_plan.execute()
+    timings: Dict[str, float] = {}
+    timings["object"] = best_of(lambda: object_plan.execute())
+    backends = ("numpy", "python") if HAVE_NUMPY else ("python",)
+    for backend in backends:
+        set_backend(backend)
+        try:
+            plan = compile_plan(query, db)
+            assert plan.tier == "encoded"
+            assert plan.execute() == reference, (
+                f"{backend} tier disagrees — do not trust the timings"
+            )
+            timings[backend] = best_of(lambda: plan.execute())
+        finally:
+            set_backend(None)
+    return timings
+
+
+# ---------------------------------------------------------------------------
+# pytest face (collected by the tier-1 run)
+# ---------------------------------------------------------------------------
+
+
+def test_tiers_agree_with_interpreter():
+    db = join_group_db(512)
+    query = join_group_query()
+    reference = query.evaluate(db)
+    assert compile_plan(query, db, tier="object").execute() == reference
+    for backend in ("numpy", "python") if HAVE_NUMPY else ("python",):
+        set_backend(backend)
+        try:
+            assert compile_plan(query, db).execute() == reference
+        finally:
+            set_backend(None)
+
+
+def test_encoded_tier_gates_regressions():
+    """Conservative in-suite gate: encoded must not lose to object (the
+    real 3×/2× bars run on the 100k fixture via `make bench-vectorized`)."""
+    timings = measure(10000)
+    for backend in timings:
+        if backend == "object":
+            continue
+        speedup = timings["object"] / timings[backend]
+        print(f"\nencoded/{backend} n=10000: {speedup:.1f}x "
+              f"({timings[backend]*1e3:.1f} ms)")
+        assert speedup > 1.0, (
+            f"encoded tier ({backend}) slower than object path ({speedup:.2f}x)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI face (the `make bench-vectorized` gate)
+# ---------------------------------------------------------------------------
+
+
+def run(n: int, numpy_bar: float, python_bar: float) -> Tuple[Dict[str, dict], bool]:
+    timings = measure(n)
+    object_s = timings["object"]
+    workloads: Dict[str, dict] = {
+        f"join_group_nat_{n}_object": {
+            "rows": n,
+            "seconds": round(object_s, 6),
+        }
+    }
+    print(f"== vectorized-tier benchmark: join + group-by (NAT bags, n={n}) ==")
+    print(f"  object           {object_s*1e3:>8.1f}ms")
+    ok = True
+    for backend, bar in (("numpy", numpy_bar), ("python", python_bar)):
+        if backend not in timings:
+            print(f"  encoded/{backend}: numpy not importable, skipped")
+            continue
+        seconds = timings[backend]
+        speedup = object_s / seconds
+        workloads[f"join_group_nat_{n}_encoded_{backend}"] = {
+            "rows": n,
+            "seconds": round(seconds, 6),
+            "speedup_vs_object": round(speedup, 2),
+        }
+        print(f"  encoded/{backend:<7} {seconds*1e3:>8.1f}ms  ({speedup:.1f}x)")
+        if speedup < bar:
+            print(
+                f"FAIL: encoded/{backend} speedup {speedup:.2f}x below the "
+                f"{bar:.0f}x gate",
+                file=sys.stderr,
+            )
+            ok = False
+    if ok:
+        print("OK: vectorized-tier gates met")
+    return workloads, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixture, gate at 1x (no-regression check)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_vectorized.json",
+        default=None,
+        metavar="PATH",
+        help="write per-tier seconds + speedups (default: BENCH_vectorized.json)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="fact-table rows")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (10000 if args.smoke else 100000)
+    numpy_bar, python_bar = (1.0, 1.0) if args.smoke else (NUMPY_BAR, PYTHON_BAR)
+    workloads, ok = run(n, numpy_bar, python_bar)
+
+    if args.json is not None:
+        report = {
+            "benchmark": "bench_vectorized",
+            "gates": {
+                "encoded_numpy_speedup_min": numpy_bar,
+                "encoded_python_speedup_min": python_bar,
+                "passed": ok,
+            },
+            "workloads": workloads,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

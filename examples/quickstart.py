@@ -128,6 +128,51 @@ def main() -> None:
     print("\nAfter deleting EmpId 1 by token zeroing:")
     print(view.result().pretty())
 
+    # -- 8. the encoded tier: machine-scalar semirings at array speed -----
+    # For concrete semirings (N, B, Z, tropical, Viterbi) the planner
+    # dictionary-encodes columns into integer codes and runs annotations
+    # as flat numeric arrays (NumPy when importable, pure-Python lists
+    # otherwise) — same results, selected automatically, reported by
+    # explain()'s "tier:" line.  On the 100k-row join + group-by this is
+    # ~5x the boxed object path (make bench-vectorized gates it >= 3x).
+    import random
+
+    from repro import GroupBy as GB, NaturalJoin, Select, AttrEq
+    from repro.plan import compile_plan
+
+    rng = random.Random(7)
+    big_emp = KRelation.from_rows(
+        NAT,
+        ("EmpId", "Dept", "Sal"),
+        [((i, f"d{rng.randrange(16)}", 10 * rng.randrange(1, 10)), 1 + i % 3)
+         for i in range(20000)],
+    )
+    regions = KRelation.from_rows(
+        NAT,
+        ("Dept", "Region"),
+        [((f"d{j}", "EU" if j % 2 else "US"), 1) for j in range(16)],
+    )
+    bags = KDatabase(NAT, {"Emp": big_emp, "Dept": regions})
+    heavy = GB(
+        Select(NaturalJoin(Table("Emp"), Table("Dept")), [AttrEq("Region", "EU")]),
+        ["Dept"],
+        {"Sal": SUM},
+    )
+    import time
+
+    encoded_plan = compile_plan(heavy, bags)           # auto: encoded tier
+    object_plan = compile_plan(heavy, bags, tier="object")  # pinned baseline
+    assert encoded_plan.execute() == object_plan.execute()
+    for label, plan in (("object", object_plan), ("encoded", encoded_plan)):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            plan.execute()
+            best = min(best, time.perf_counter() - start)
+        print(f"{label:>8} tier: {best * 1e3:6.1f} ms")
+    print("\nEXPLAIN now names the tier that ran:")
+    print("\n".join(encoded_plan.explain().splitlines()[:3]))
+
 
 if __name__ == "__main__":
     main()

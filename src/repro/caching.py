@@ -1,0 +1,83 @@
+"""Bounded caches shared by the engine's memo structures.
+
+Several per-database / per-builder memos grow with the *workload*, not
+the data — the compiled-plan cache on query objects, the hash-consing
+tables of circuit builders.  Unbounded, they are a production-traffic
+footgun: a service evaluating many distinct queries against a long-lived
+database accretes memory forever.  :class:`LRUDict` is the shared cap:
+a ``dict`` with least-recently-used eviction, built on the insertion
+order of the underlying dict (``move_to_end`` via delete + reinsert), so
+lookups stay one hash away from a plain dict.
+
+Eviction is always *semantically safe* for these consumers: a plan cache
+miss recompiles, an interning miss creates a fresh (structurally equal)
+gate.  Only sharing degrades, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["LRUDict"]
+
+
+class LRUDict:
+    """A dict with a maximum size and least-recently-used eviction.
+
+    ``maxsize=None`` disables eviction (plain dict behaviour).  ``get``
+    and ``__getitem__`` refresh recency; iteration order is
+    least-recently-used first.  Not thread-safe (neither are the engine
+    structures it backs).
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: Dict[Any, Any] = {}
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        data = self._data
+        if key not in data:
+            return default
+        value = data.pop(key)  # move to the most-recent end
+        data[key] = value
+        return value
+
+    def __getitem__(self, key: Any) -> Any:
+        data = self._data
+        value = data.pop(key)
+        data[key] = value
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif self.maxsize is not None and len(data) >= self.maxsize:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self._data.items())
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        return self._data.pop(key, *default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "∞" if self.maxsize is None else str(self.maxsize)
+        return f"<LRUDict {len(self._data)}/{cap}>"

@@ -18,7 +18,7 @@ stored and evaluated once.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = ["CircuitNode", "CircuitBuilder"]
 
@@ -137,17 +137,42 @@ class CircuitNode:
 
 
 class CircuitBuilder:
-    """Interning factory for circuit nodes (one per CircuitSemiring)."""
+    """Interning factory for circuit nodes (one per CircuitSemiring).
 
-    def __init__(self) -> None:
+    The interning tables are **bounded** (``max_gates`` distinct gates,
+    plus half that for each binary-operation memo): under production
+    traffic a long-lived builder serves many distinct queries, and
+    unbounded hash-consing grows memory with the workload forever.  The
+    cap evicts in insertion order — checked only on *misses*, so the
+    hot-path hit stays a single C-level ``dict.get`` (a recency-updating
+    LRU would tax every gate intern; :class:`repro.caching.LRUDict` backs
+    the colder caches instead).  Eviction only costs sharing — a
+    re-requested shape is rebuilt as a fresh, structurally identical
+    gate; live gates stay reachable from whatever references them
+    (children hold strong references), and the pinned ``zero``/``one``
+    attributes keep the identity-based ``is_zero``/``is_one`` tests sound
+    forever.
+    """
+
+    #: Default cap on distinct interned gates per builder.
+    DEFAULT_MAX_GATES = 1 << 20
+
+    def __init__(self, max_gates: Optional[int] = DEFAULT_MAX_GATES) -> None:
+        self._max_gates = max_gates
         self._intern: Dict[Tuple, CircuitNode] = {}
         # memo in front of _make for the two binary hot paths: the key is
         # two ints instead of a nested (kind, payload, child-ids) tuple
+        self._memo_cap = None if max_gates is None else max(1, max_gates // 2)
         self._plus2: Dict[Tuple[int, int], CircuitNode] = {}
         self._times2: Dict[Tuple[int, int], CircuitNode] = {}
         self._counter = 0
         self.zero = self._make("zero", None, ())
         self.one = self._make("one", None, ())
+
+    @staticmethod
+    def _cap(table: dict, cap: Optional[int]) -> None:
+        if cap is not None and len(table) >= cap:
+            del table[next(iter(table))]
 
     def _make(self, kind: str, payload: Any, children: Tuple[CircuitNode, ...]) -> CircuitNode:
         key = (kind, payload, tuple(c._id for c in children))
@@ -155,6 +180,7 @@ class CircuitBuilder:
         if node is None:
             self._counter += 1
             node = CircuitNode(kind, payload, children, self._counter)
+            self._cap(self._intern, self._max_gates)
             self._intern[key] = node
         return node
 
@@ -184,6 +210,7 @@ class CircuitBuilder:
         key = (a._id, b._id)
         node = self._plus2.get(key)
         if node is None:
+            self._cap(self._plus2, self._memo_cap)
             node = self._plus2[key] = self._make("plus", None, (a, b))
         return node
 
@@ -200,6 +227,7 @@ class CircuitBuilder:
         key = (a._id, b._id)
         node = self._times2.get(key)
         if node is None:
+            self._cap(self._times2, self._memo_cap)
             node = self._times2[key] = self._make("times", None, (a, b))
         return node
 
@@ -269,5 +297,7 @@ class CircuitBuilder:
         return self._make("times", None, tuple(children))
 
     def interned_count(self) -> int:
-        """Total number of distinct gates ever created (sharing metric)."""
+        """Number of currently interned gates (sharing / memory metric;
+        LRU-evicted gates no longer count, though they stay alive while
+        referenced)."""
         return len(self._intern)

@@ -27,7 +27,16 @@ class KDatabase:
 
     # _circuit_cache: lazily-attached circuit image of an N[X] database
     # (see repro.plan.circuit_exec.circuit_database)
-    __slots__ = ("semiring", "_relations", "_version", "_circuit_cache")
+    # _encoded_cache: lazily-attached dictionary encodings of the stored
+    # relations for the machine-scalar execution tier, revalidated per
+    # table by relation identity (see repro.plan.encoded.encoded_scan)
+    __slots__ = (
+        "semiring",
+        "_relations",
+        "_version",
+        "_circuit_cache",
+        "_encoded_cache",
+    )
 
     def __init__(self, semiring: Semiring, relations: Mapping[str, KRelation] = ()):
         self.semiring = semiring

@@ -255,22 +255,22 @@ class Query(abc.ABC):
         entry, so a refreshed database never serves a plan whose scan and
         join-build caches, cardinality estimates, or build-side choices
         were taken against stale data.  A few databases are tracked at
-        once so alternating the same prepared query between databases —
-        e.g. the expanded and circuit-backed images — does not thrash the
-        cache.
+        once with true LRU eviction (:class:`repro.caching.LRUDict`), so
+        alternating the same prepared query between databases — e.g. the
+        expanded and circuit-backed images — does not thrash the cache,
+        and a query object served against many databases stays bounded.
         """
+        from repro.caching import LRUDict
         from repro.plan.compiler import compile_plan  # local: plan imports core
 
         version = db.version
         cache = getattr(self, "_plan_cache", None)
         if cache is None:
-            cache = self._plan_cache = {}
+            cache = self._plan_cache = LRUDict(self._PLAN_CACHE_SLOTS)
         entry = cache.get(id(db))
         if entry is not None and entry[0] is db and entry[1] == version:
             return entry[2]
         plan = compile_plan(self, db)
-        if len(cache) >= self._PLAN_CACHE_SLOTS and id(db) not in cache:
-            cache.pop(next(iter(cache)))
         cache[id(db)] = (db, version, plan)
         return plan
 

@@ -243,7 +243,16 @@ class DeltaPlan:
     between applies.
     """
 
-    __slots__ = ("core", "changed", "dname", "delta_query", "plan", "schema", "engine")
+    __slots__ = (
+        "core",
+        "changed",
+        "dname",
+        "delta_query",
+        "plan",
+        "schema",
+        "engine",
+        "_exec_db",
+    )
 
     def __init__(
         self,
@@ -262,20 +271,55 @@ class DeltaPlan:
         self.plan = plan
         self.schema = schema
         self.engine = engine
+        # (source db, reusable execution catalog) — see combined()
+        self._exec_db: "Optional[tuple]" = None
 
     def combined(self, db: KDatabase, deltas: Mapping[str, KRelation]) -> KDatabase:
-        """The execution catalog: base relations plus Δ-named deltas."""
-        exec_db = KDatabase(db.semiring)
-        for name, rel in db:
-            exec_db.add(name, rel)
+        """The execution catalog: base relations plus Δ-named deltas.
+
+        The catalog object is **reused across applies against the same
+        source database** — only bindings that changed (the per-apply
+        delta tables, any base relation replaced by ``db.update``) are
+        re-added.  Reuse is what keeps the per-database caches keyed off
+        this catalog hot: the dictionary encodings of unchanged base
+        tables (:mod:`repro.plan.encoded`) survive the apply stream
+        instead of being rebuilt behind a fresh database object every
+        call.  A *different* source database rebuilds the catalog from
+        scratch (stale bindings from the previous database must not leak
+        in — e.g. a table the new database does not define).
+        """
+        memo = self._exec_db
+        if memo is not None and memo[0] is db:
+            exec_db = memo[1]
+            for name, rel in db:
+                if name not in exec_db or exec_db.relation(name) is not rel:
+                    exec_db.add(name, rel)
+        else:
+            exec_db = KDatabase(db.semiring)
+            for name, rel in db:
+                exec_db.add(name, rel)
+            self._exec_db = (db, exec_db)
         for name in self.changed:
             exec_db.add(self.dname(name), deltas[name])
         return exec_db
 
+    #: Below this many delta rows the encoded tier cannot amortise its
+    #: per-execution fixed costs (encoding the Δ-tables, array-kernel call
+    #: overhead on near-empty probes, the boundary decode), so small
+    #: applies run the delta plan on the object tier — the common
+    #: single-row-update stream stays as fast as before the encoded tier.
+    ENCODED_DELTA_MIN_ROWS = 256
+
     def execute_batch(
         self, db: KDatabase, deltas: Mapping[str, KRelation]
     ) -> ColumnarKRelation:
-        """Run the delta plan; the result batch may carry duplicate rows."""
+        """Run the delta plan; the result batch may carry duplicate rows.
+
+        The execution tier is chosen per apply by delta size: bulk deltas
+        run the encoded kernels (scanning the full base sides vectorized),
+        trickle deltas pin the object tier (see
+        :attr:`ENCODED_DELTA_MIN_ROWS`).
+        """
         if self.delta_query is None:
             return ColumnarKRelation.empty(db.semiring, self.schema)
         exec_db = self.combined(db, deltas)
@@ -283,7 +327,12 @@ class DeltaPlan:
             return ColumnarKRelation.from_krelation(
                 self.delta_query._eval_standard(exec_db)
             )
-        return self.plan.execute_batch(exec_db)
+        tier = None
+        if self.plan.tier == "encoded":
+            total = sum(len(deltas[name]) for name in self.changed)
+            if total < self.ENCODED_DELTA_MIN_ROWS:
+                tier = "object"
+        return self.plan.execute_batch(exec_db, tier=tier)
 
     def execute(self, db: KDatabase, deltas: Mapping[str, KRelation]) -> KRelation:
         """Run the delta plan and consolidate into a logical relation."""

@@ -24,7 +24,9 @@ Entry point for users: ``query.evaluate(db, engine="planned")`` — see
 from repro.plan.circuit_exec import CircuitResult, circuit_database, evaluate_circuit_backed
 from repro.plan.columnar import ColumnarKRelation
 from repro.plan.compiler import PhysicalPlan, compile_plan
+from repro.plan.encoded import EncodedBatch, encoded_scan
 from repro.plan.explain import explain
+from repro.plan.kernels import active_backend, available_backends, set_backend
 from repro.plan.rules import RuleJoinPlan
 
 __all__ = [
@@ -32,8 +34,13 @@ __all__ = [
     "circuit_database",
     "evaluate_circuit_backed",
     "ColumnarKRelation",
+    "EncodedBatch",
+    "encoded_scan",
     "PhysicalPlan",
     "compile_plan",
     "explain",
+    "active_backend",
+    "available_backends",
+    "set_backend",
     "RuleJoinPlan",
 ]

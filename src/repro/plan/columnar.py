@@ -44,8 +44,17 @@ class ColumnarKRelation:
     #: (no symbolic tensor) guard: batches are immutable, so a column
     #: checked once stays checked — repeated executions of a prepared plan
     #: (and every IVM apply probing a cached build batch) skip the O(rows)
-    #: re-scan.
-    __slots__ = ("semiring", "schema", "columns", "annotations", "_plain_cols")
+    #: re-scan.  ``_key_rows`` memoizes :meth:`key_rows` per attribute
+    #: tuple for the same reason (join probes and consolidation re-key the
+    #: same cached batches on every execution).
+    __slots__ = (
+        "semiring",
+        "schema",
+        "columns",
+        "annotations",
+        "_plain_cols",
+        "_key_rows",
+    )
 
     def __init__(
         self,
@@ -55,6 +64,7 @@ class ColumnarKRelation:
         annotations: List[Any],
     ):
         self._plain_cols: set = set()
+        self._key_rows: Dict[Tuple[str, ...], List[Tuple[Any, ...]]] = {}
         self.semiring = semiring
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         if set(columns) != set(self.schema.attributes):
@@ -69,6 +79,30 @@ class ColumnarKRelation:
                 )
         self.columns = columns
         self.annotations = annotations
+
+    @classmethod
+    def _from_clean(
+        cls,
+        semiring,
+        schema: Schema,
+        columns: Dict[str, List[Any]],
+        annotations: List[Any],
+    ) -> "ColumnarKRelation":
+        """Trusted constructor for operator-internal outputs.
+
+        Skips the schema/length revalidation of ``__init__`` — sound only
+        when the caller just built ``columns`` *from* ``schema`` with
+        equal-length lists (every physical operator does).  ``schema``
+        must already be a :class:`Schema`.
+        """
+        self = cls.__new__(cls)
+        self._plain_cols = set()
+        self._key_rows = {}
+        self.semiring = semiring
+        self.schema = schema
+        self.columns = columns
+        self.annotations = annotations
+        return self
 
     # -- conversions ---------------------------------------------------------
 
@@ -85,7 +119,7 @@ class ColumnarKRelation:
             for append, value in zip(appenders, values):
                 append(value)
             annotations.append(annotation)
-        return cls(rel.semiring, rel.schema, columns, annotations)
+        return cls._from_clean(rel.semiring, rel.schema, columns, annotations)
 
     def to_krelation(self) -> KRelation:
         """Rebuild the logical finite map (the :class:`KRelation` constructor
@@ -100,7 +134,9 @@ class ColumnarKRelation:
     @classmethod
     def empty(cls, semiring, schema: Schema | Iterable[str]) -> "ColumnarKRelation":
         schema = schema if isinstance(schema, Schema) else Schema(schema)
-        return cls(semiring, schema, {a: [] for a in schema.attributes}, [])
+        return cls._from_clean(
+            semiring, schema, {a: [] for a in schema.attributes}, []
+        )
 
     @classmethod
     def from_value_rows(
@@ -141,7 +177,7 @@ class ColumnarKRelation:
             annotations.append(
                 sum_many(bucket) if type(bucket) is list else bucket
             )
-        return cls(semiring, schema, columns, annotations)
+        return cls._from_clean(semiring, schema, columns, annotations)
 
     # -- row access ----------------------------------------------------------
 
@@ -159,12 +195,22 @@ class ColumnarKRelation:
     def key_rows(self, attrs: Tuple[str, ...]) -> List[Tuple[Any, ...]]:
         """The rows restricted to ``attrs``, as plain value tuples.
 
-        The physical layer's replacement for per-row ``Tup.restrict``:
-        a single C-level ``zip`` over the key columns.
+        The physical layer's replacement for per-row ``Tup.restrict``: a
+        single C-level ``zip`` over the key columns, memoized per
+        attribute tuple (batches are immutable, and join probes /
+        consolidation re-key the same cached batches on every plan
+        execution and IVM apply).
         """
-        if not attrs:
-            return [()] * len(self.annotations)
-        return list(zip(*(self.column(a) for a in attrs)))
+        attrs = tuple(attrs)
+        memo = self._key_rows
+        rows = memo.get(attrs)
+        if rows is None:
+            if not attrs:
+                rows = [()] * len(self.annotations)
+            else:
+                rows = list(zip(*(self.column(a) for a in attrs)))
+            memo[attrs] = rows
+        return rows
 
     # -- normalisation -------------------------------------------------------
 

@@ -51,7 +51,9 @@ from repro.core.query import (
 )
 from repro.core.rewrites import optimize
 from repro.core.schema import Schema
-from repro.exceptions import ReproError, SchemaError
+from repro.exceptions import QueryError, ReproError, SchemaError
+from repro.plan import kernels
+from repro.plan.encoded import EncodedBatch
 from repro.plan.physical import (
     AvgAggregate,
     CountAggregate,
@@ -82,37 +84,67 @@ class PhysicalPlan:
     Executing the same plan repeatedly reuses the plan-lifetime caches:
     scan column decompositions and hash-join build tables stay valid while
     the underlying (immutable) relations are unchanged.
+
+    ``tier`` is the compile-time execution-tier selection: ``"encoded"``
+    plans scan base tables as dictionary-encoded batches with
+    machine-scalar annotation arrays (:mod:`repro.plan.encoded`) and fall
+    back per table / per operator when the data disqualifies;
+    ``"object"`` plans run the boxed Python-value path throughout.
     """
 
-    def __init__(self, root: PhysicalOp, db, query: Query):
+    def __init__(self, root: PhysicalOp, db, query: Query, tier: str = "object"):
         self.root = root
         self.db = db
         self.query = query
+        self.tier = tier
         self._scan_cache: Dict[str, Tuple[Any, Any]] = {}
+        self._last_tier: "str | None" = None
 
     def execute(self, db=None) -> KRelation:
         """Run the plan and return the logical result relation."""
         return self.execute_batch(db).to_krelation()
 
-    def execute_batch(self, db=None):
+    def execute_batch(self, db=None, *, tier: "str | None" = None):
         """Run the plan and return the raw columnar batch.
 
         Rows may repeat with separate annotations (the ``+_K`` merge is
         deferred — see :mod:`repro.plan.columnar`); consumers that patch
         state row-by-row, such as the incremental maintenance engine
         (:mod:`repro.ivm`), absorb the batch directly instead of paying
-        for an intermediate :class:`KRelation`.
+        for an intermediate :class:`KRelation`.  Encoded-tier results are
+        decoded at this boundary, so every consumer sees the one batch
+        representation regardless of which tier ran.
+
+        ``tier`` overrides the plan's compile-time selection for this
+        execution only — the incremental engine uses it to run tiny
+        delta batches on the object path, where array-kernel fixed costs
+        cannot pay off (see :meth:`repro.ivm.delta.DeltaPlan.execute_batch`).
         """
-        ctx = ExecutionContext(db if db is not None else self.db, self._scan_cache)
-        return self.root.execute(ctx)
+        ctx = ExecutionContext(
+            db if db is not None else self.db,
+            self._scan_cache,
+            encoded=(tier if tier is not None else self.tier) == "encoded",
+        )
+        result = self.root.execute(ctx)
+        if ctx.used_encoded:
+            self._last_tier = (
+                "encoded+object fallback" if ctx.fell_back else "encoded"
+            )
+        else:
+            self._last_tier = "object"
+        if isinstance(result, EncodedBatch):
+            result = result.to_columnar()
+        return result
 
     def explain(self, *, annotations: str = "expanded") -> str:
         """Render the operator tree with cardinality estimates.
 
         ``annotations`` names the representation annotation arithmetic
         runs in (``"expanded"`` canonical values, ``"circuit"`` shared
-        gates lowered on demand) so EXPLAIN output states not just the
-        operator shapes but the algebra they execute over.
+        gates lowered on demand); the ``tier:`` line names the execution
+        tier the compiler selected — and, once the plan has run, which
+        tier actually executed (a qualifying semiring whose *data*
+        disqualified falls back at runtime).
         """
         lines = [f"plan for: {self.query}"]
         if annotations == "circuit":
@@ -122,6 +154,16 @@ class PhysicalPlan:
             )
         else:
             lines.append("annotations: expanded (canonical semiring values)")
+        if self.tier == "encoded":
+            tier = (
+                f"tier: encoded (dictionary codes + {kernels.active_backend()} "
+                "kernels; per-operator object fallback)"
+            )
+        else:
+            tier = "tier: object (boxed Python values)"
+        if self._last_tier is not None:
+            tier += f"  [last run: {self._last_tier}]"
+        lines.append(tier)
         _render(self.root, "", "", lines)
         return "\n".join(lines)
 
@@ -143,12 +185,24 @@ class _CannotCompile(Exception):
     """Internal: this subtree needs the interpreter (totality fallback)."""
 
 
-def compile_plan(query: Query, db, *, rewrite: bool = True) -> PhysicalPlan:
+def compile_plan(
+    query: Query, db, *, rewrite: bool = True, tier: "str | None" = None
+) -> PhysicalPlan:
     """Compile ``query`` into a :class:`PhysicalPlan` against ``db``.
 
     ``rewrite=False`` skips the logical rewrite pass (used by golden tests
     to pin plan shapes before/after pushdown).
+
+    ``tier`` selects the execution tier: ``None`` (default) auto-selects —
+    the dictionary-encoded machine-scalar tier whenever the database's
+    semiring declares a :class:`~repro.semirings.base.MachineRepr` and the
+    query compiled statically (no interpreter fallback), the boxed object
+    path otherwise.  Pass ``"object"`` to pin the boxed path (benchmark
+    baselines, A/B tests) or ``"encoded"`` to insist on the encoded scan
+    path for a qualifying semiring.
     """
+    if tier not in (None, "object", "encoded"):
+        raise QueryError(f"unknown execution tier {tier!r}")
     catalog = {name: rel.schema for name, rel in db}
     sizes = {name: len(rel) for name, rel in db}
     working = query
@@ -161,7 +215,18 @@ def compile_plan(query: Query, db, *, rewrite: bool = True) -> PhysicalPlan:
         root = _compile(working, catalog, sizes)
     except _CannotCompile:
         root = Fallback(working, None, 0)
-    return PhysicalPlan(root, db, query)
+    if tier is None:
+        qualifies = (
+            db.semiring.machine_repr is not None
+            and not isinstance(root, Fallback)
+        )
+        tier = "encoded" if qualifies else "object"
+    elif tier == "encoded" and db.semiring.machine_repr is None:
+        raise QueryError(
+            f"semiring {db.semiring.name} declares no machine representation; "
+            "the encoded tier needs one (omit tier to auto-select)"
+        )
+    return PhysicalPlan(root, db, query, tier)
 
 
 # ---------------------------------------------------------------------------

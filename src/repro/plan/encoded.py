@@ -1,0 +1,451 @@
+"""Dictionary-encoded batches: the machine-scalar execution tier.
+
+The object tier (:class:`~repro.plan.columnar.ColumnarKRelation`) stores
+one Python list per attribute and one boxed annotation per row; every hot
+operator still pays a Python-level hash / compare / arithmetic call per
+row.  For *concrete* semirings whose elements are machine scalars — the
+paper's semantics is fully multilinear in the annotations, so nothing
+about the algebra requires boxed objects — the planner instead runs this
+tier:
+
+* each base-table column is **dictionary-encoded** once at scan time:
+  values become dense integer codes (``codes[i]`` indexes a per-column
+  dictionary of distinct values), cached on the :class:`KDatabase` and
+  revalidated by relation identity, so repeated plan executions and every
+  IVM apply reuse the encoding;
+* annotations of semirings declaring a
+  :class:`~repro.semirings.base.MachineRepr` are stored as a flat numeric
+  array (NumPy when importable, a plain list of machine scalars
+  otherwise — see :mod:`repro.plan.kernels`);
+* the physical operators then run as array kernels over codes: selection
+  decides each *distinct* value once and filters by code, joins translate
+  probe codes to build codes through the dictionaries (per distinct value,
+  not per row) and gather matches by bucket slices, consolidation and
+  grouped aggregation reduce annotation runs per integer key in one pass.
+
+Batches are **exact**: a value or annotation that does not round-trip
+through the machine dtype disqualifies its table at encode time
+(:func:`encode_relation` returns ``None``) and the engine transparently
+falls back to the object path — the encoded tier changes speed, never a
+single annotation.  For ``int64`` semirings every batch additionally
+carries an exact magnitude bound on its annotations
+(:attr:`EncodedBatch.ann_bound`), and any product or reduction that could
+leave int64 falls back *before* computing — NumPy overflow is silent
+wraparound; the pure-Python backend is arbitrary-precision and needs no
+bound.  Output columns are gathered **lazily** (a column of a join result
+is materialised only when a downstream operator reads it), so
+carried-along attributes cost nothing until something looks at them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.schema import Schema
+from repro.plan import kernels
+from repro.plan.columnar import ColumnarKRelation
+
+__all__ = [
+    "EncodedColumn",
+    "EncodedBatch",
+    "EncodedFallback",
+    "encode_relation",
+    "encoded_scan",
+]
+
+#: Mixed-radix code combination must stay inside int64.
+_RADIX_LIMIT = 1 << 62
+
+#: Largest magnitude an int64 annotation array may ever hold.  Batches
+#: track an exact upper bound on |annotation| (``EncodedBatch.ann_bound``,
+#: a Python int, so the bound arithmetic itself can never wrap); any
+#: kernel whose result could exceed this falls back to the object path
+#: *before* computing — NumPy int64 overflow is silent wraparound, and
+#: the tier's contract is exactness.
+_INT64_MAX = (1 << 63) - 1
+
+
+class EncodedFallback(Exception):
+    """Internal control flow: this input needs the boxed object path.
+
+    Raised by encoded operator kernels when a batch cannot be handled
+    exactly (symbolic values in a guarded column, an unknown condition
+    class, a code-space overflow).  The catching operator materialises the
+    batch and re-runs the object implementation — which also reproduces
+    the object path's exact error behaviour for inputs that *should*
+    raise.
+    """
+
+
+class EncodedColumn:
+    """One dictionary-encoded column.
+
+    ``codes`` is the per-row code array (int64 NumPy array or list of
+    ints); ``values[code]`` is the first-seen value for that code and
+    ``index`` the inverse ``value -> code`` map.  Distinct codes hold
+    non-equal values (dict equality), so any per-code decision stands for
+    every row carrying the code.
+    """
+
+    __slots__ = ("codes", "values", "index")
+
+    def __init__(self, codes, values: List[Any], index: Dict[Any, int]):
+        self.codes = codes
+        self.values = values
+        self.index = index
+
+    @classmethod
+    def encode(cls, column: List[Any], np) -> "EncodedColumn":
+        """Dictionary-encode ``column`` (raises ``TypeError`` on an
+        unhashable value — the caller treats that as disqualification)."""
+        index: Dict[Any, int] = {}
+        values: List[Any] = []
+        codes: List[int] = []
+        append = codes.append
+        for value in column:
+            code = index.get(value, -1)
+            if code < 0:
+                code = index[value] = len(values)
+                values.append(value)
+            append(code)
+        if np is not None:
+            return cls(np.asarray(codes, dtype=np.int64), values, index)
+        return cls(codes, values, index)
+
+    def gather(self, idx, np) -> "EncodedColumn":
+        """The column restricted to the rows in ``idx`` (dictionary shared)."""
+        if np is not None:
+            return EncodedColumn(self.codes[idx], self.values, self.index)
+        codes = self.codes
+        return EncodedColumn(list(map(codes.__getitem__, idx)), self.values, self.index)
+
+    def translate_to(self, other: "EncodedColumn", np):
+        """Per-*distinct-value* code translation into ``other``'s dictionary
+        (``-1`` = value absent there) — the join trick that replaces per-row
+        value hashing with one array lookup."""
+        get = other.index.get
+        if np is not None:
+            return np.fromiter(
+                (get(v, -1) for v in self.values), np.int64, len(self.values)
+            )
+        return [get(v, -1) for v in self.values]
+
+    def decode(self, np) -> List[Any]:
+        """The boxed value list this column encodes."""
+        values = self.values
+        codes = self.codes.tolist() if np is not None else self.codes
+        return list(map(values.__getitem__, codes))
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+class EncodedBatch:
+    """A batch of machine-annotated rows over dictionary-encoded columns.
+
+    ``anns`` is the machine annotation array (dtype per the semiring's
+    :class:`~repro.semirings.base.MachineRepr`); ``anns_one`` records that
+    every annotation equals ``1_K`` (join outputs then skip the multiply
+    entirely — the common shape for dimension tables and set semantics).
+    Columns are stored either materialised (:class:`EncodedColumn`) or as
+    0-arg thunks evaluated on first access, so operators that never read a
+    carried-along attribute never pay its gather.  ``np`` is the NumPy
+    module the batch was built with (``None`` = pure-Python backend);
+    kernels dispatch on it per batch, so a backend switch mid-session can
+    never mix representations.
+
+    ``ann_bound`` is an exact upper bound on ``|annotation|`` as a Python
+    int — the overflow guard for int64 arithmetic (see
+    :func:`check_reduction_bound`); float and bool dtypes carry a nominal
+    bound and are never checked (float64 arithmetic here is bit-identical
+    to the object path's Python floats, bools cannot grow).
+    """
+
+    __slots__ = (
+        "semiring",
+        "machine",
+        "schema",
+        "np",
+        "cols",
+        "anns",
+        "anns_one",
+        "ann_bound",
+    )
+
+    def __init__(
+        self,
+        semiring,
+        schema: Schema,
+        np,
+        cols: Dict[str, Any],
+        anns,
+        anns_one: bool,
+        ann_bound: int,
+    ):
+        self.semiring = semiring
+        self.machine = semiring.machine_repr
+        self.schema = schema
+        self.np = np
+        self.cols = cols
+        self.anns = anns
+        self.anns_one = anns_one
+        self.ann_bound = ann_bound
+
+    def __len__(self) -> int:
+        return len(self.anns)
+
+    def col(self, attr: str) -> EncodedColumn:
+        """The (materialised) encoded column for ``attr``."""
+        col = self.cols[attr]
+        if not isinstance(col, EncodedColumn):
+            col = self.cols[attr] = col()
+        return col
+
+    def to_columnar(self) -> ColumnarKRelation:
+        """Decode back to the boxed object representation.
+
+        ``tolist`` on a NumPy annotation array yields native Python
+        scalars, so nothing downstream can tell the batch ever left the
+        object tier.
+        """
+        columns = {a: self.col(a).decode(self.np) for a in self.schema.attributes}
+        anns = self.anns.tolist() if self.np is not None else list(self.anns)
+        return ColumnarKRelation._from_clean(
+            self.semiring, self.schema, columns, anns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        backend = "numpy" if self.np is not None else "python"
+        return (
+            f"<EncodedBatch {self.schema} over {self.semiring.name}, "
+            f"{len(self)} rows, {backend}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_batch(
+    semiring,
+    schema: Schema,
+    columns: Dict[str, List[Any]],
+    annotations: List[Any],
+) -> Optional[EncodedBatch]:
+    """Encode decomposed columns + annotations, or ``None`` if disqualified.
+
+    Disqualification is exactness-driven: the semiring must declare a
+    machine repr, every annotation must round-trip through its dtype
+    (:meth:`MachineRepr.fits`), and every column value must be hashable.
+    """
+    machine = semiring.machine_repr
+    if machine is None:
+        return None
+    fits = machine.fits
+    one = semiring.one
+    anns_one = True
+    integral = machine.dtype == "int64"
+    bound = 1
+    for annotation in annotations:
+        if not fits(annotation):
+            return None
+        if annotation != one:
+            anns_one = False
+        if integral:
+            magnitude = -annotation if annotation < 0 else annotation
+            if magnitude > bound:
+                bound = magnitude
+    np = kernels.numpy_or_none()
+    try:
+        cols: Dict[str, Any] = {
+            a: EncodedColumn.encode(columns[a], np) for a in schema.attributes
+        }
+    except TypeError:  # unhashable column value
+        return None
+    if np is not None:
+        anns = np.asarray(annotations, dtype=np.dtype(machine.dtype))
+    else:
+        anns = list(annotations)
+    return EncodedBatch(semiring, schema, np, cols, anns, anns_one, bound)
+
+
+def encode_relation(rel) -> Optional[EncodedBatch]:
+    """Encode a stored :class:`KRelation` (or ``None`` if disqualified)."""
+    batch = ColumnarKRelation.from_krelation(rel)
+    return encode_batch(rel.semiring, batch.schema, batch.columns, batch.annotations)
+
+
+def encoded_scan(db, name: str, rel) -> Optional[EncodedBatch]:
+    """The encoding of base table ``name``, cached on the database.
+
+    The cache lives on the :class:`KDatabase` (one entry per table,
+    holding the relation object it was built from) and is revalidated by
+    relation identity — the same contract as the scan column cache and
+    the circuit gate image, keyed off the database's monotonic ``version``
+    discipline: ``db.add``/``db.update`` replace relation objects, so a
+    mutated table re-encodes while every untouched table (and therefore
+    every repeated plan execution and IVM apply against it) reuses its
+    encoding.  A ``None`` entry records that the table's contents
+    disqualify the tier, so the O(rows) qualification scan runs once, not
+    per execution.  Backend switches (tests, benchmarks) reset the cache.
+    """
+    backend = kernels.active_backend()
+    cache = getattr(db, "_encoded_cache", None)
+    if cache is None or cache["backend"] != backend:
+        cache = {"backend": backend, "tables": {}}
+        try:
+            db._encoded_cache = cache
+        except AttributeError:  # a db-like object without the slot
+            return encode_relation(rel)
+    tables = cache["tables"]
+    entry = tables.get(name)
+    if entry is not None and entry[0] is rel:
+        return entry[1]
+    batch = encode_relation(rel)
+    tables[name] = (rel, batch)
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# shared kernels over encoded batches
+# ---------------------------------------------------------------------------
+
+
+def combine_codes(cols: List[EncodedColumn], np, idx=None):
+    """Mixed-radix combination of per-column codes into one int64 key per
+    row (``idx`` optionally restricts to those rows).  Distinct keys
+    correspond exactly to distinct value tuples.  Raises
+    :class:`EncodedFallback` if the combined code space overflows int64
+    (astronomically wide keys — the object path handles them).
+    """
+    radix = 1
+    for col in cols:
+        radix *= max(1, len(col.values))
+        if radix > _RADIX_LIMIT:
+            raise EncodedFallback("code space overflow")
+    first = cols[0]
+    if np is not None:
+        keys = first.codes if idx is None else first.codes[idx]
+        for col in cols[1:]:
+            codes = col.codes if idx is None else col.codes[idx]
+            keys = keys * len(col.values) + codes
+        if len(cols) == 1 and idx is None:
+            keys = keys.copy()  # callers may sort in place downstream
+        return keys
+    keys = first.codes if idx is None else [first.codes[i] for i in idx]
+    if len(cols) == 1:
+        return list(keys) if keys is first.codes else keys
+    for col in cols[1:]:
+        size = len(col.values)
+        codes = col.codes
+        if idx is None:
+            keys = [k * size + c for k, c in zip(keys, codes)]
+        else:
+            keys = [k * size + codes[i] for k, i in zip(keys, idx)]
+    return keys
+
+
+def gather_anns(anns, idx, np):
+    """Annotations restricted to the rows in ``idx``."""
+    if np is not None:
+        return anns[idx]
+    return list(map(anns.__getitem__, idx))
+
+
+def ones_anns(semiring, n: int, np):
+    """An all-``1_K`` annotation array of length ``n``."""
+    machine = semiring.machine_repr
+    if np is not None:
+        return np.full(n, semiring.one, dtype=np.dtype(machine.dtype))
+    return [semiring.one] * n
+
+
+def delta_anns(semiring, anns, np):
+    """Vectorized ``delta``: the support indicator ``a == 0 ? 0 : 1``.
+
+    Every machine semiring's delta is the support indicator (the
+    :class:`MachineRepr` contract); the pure-Python path calls the
+    semiring's own ``delta`` per element.
+    """
+    if np is not None:
+        zero = anns.dtype.type(semiring.zero)
+        one = anns.dtype.type(semiring.one)
+        return np.where(anns == zero, zero, one)
+    return list(map(semiring.delta, anns))
+
+
+def all_one(semiring, anns, np) -> bool:
+    """Does every annotation equal ``1_K``?  (Cheap for NumPy; the python
+    backend answers ``False`` conservatively — the flag is a fast-path
+    hint, never a correctness requirement.)"""
+    if np is not None:
+        return bool((anns == semiring.one).all())
+    return False
+
+
+def check_reduction_bound(batch: "EncodedBatch", rows: int) -> int:
+    """Guard an annotation reduction over ``rows`` of ``batch``.
+
+    A ``+_K`` reduction of ``rows`` int64 annotations each bounded by
+    ``ann_bound`` is bounded by ``rows * ann_bound`` (for every machine
+    ``+``: ordinary addition, or min/max/or which cannot grow at all);
+    NumPy would wrap past int64 silently, so a batch whose worst case
+    exceeds it falls back to the exact object path instead.  Returns the
+    (Python-int, exact) output bound.  Float and bool dtypes pass through
+    unchecked — their kernel arithmetic is bit-identical to the object
+    path's.
+    """
+    if batch.np is None or batch.machine.dtype != "int64":
+        return batch.ann_bound
+    bound = max(1, rows) * batch.ann_bound
+    if bound > _INT64_MAX:
+        raise EncodedFallback("int64 reduction bound exceeded")
+    return bound
+
+
+def check_product_bound(left: "EncodedBatch", right: "EncodedBatch") -> int:
+    """Guard the elementwise annotation product of a join (int64 only);
+    returns the exact output bound or falls back before NumPy could wrap."""
+    if left.np is None or left.machine.dtype != "int64":
+        return max(left.ann_bound, right.ann_bound)
+    bound = left.ann_bound * right.ann_bound
+    if bound > _INT64_MAX:
+        raise EncodedFallback("int64 product bound exceeded")
+    return bound
+
+
+def consolidate_keys(semiring, keys, anns, np):
+    """Merge duplicate keys with ``+_K``: returns ``(rep_idx, sums)``.
+
+    ``rep_idx`` indexes a representative input row per distinct key (the
+    first occurrence under the python backend, the first in key order
+    under NumPy — both sound: equal keys carry equal value tuples);
+    ``sums`` is the per-key annotation reduction, aligned with
+    ``rep_idx``.
+    """
+    machine = semiring.machine_repr
+    if np is not None:
+        ufunc = getattr(np, machine.np_plus)
+        _keys, rep_idx, sums = kernels.reduce_by_key(np, keys, anns, ufunc)
+        return rep_idx, sums
+    plus = machine.py_plus
+    positions: Dict[int, int] = {}
+    rep_idx: List[int] = []
+    sums: List[Any] = []
+    for i, key in enumerate(keys):
+        j = positions.get(key, -1)
+        if j < 0:
+            positions[key] = len(sums)
+            rep_idx.append(i)
+            sums.append(anns[i])
+        else:
+            sums[j] = plus(sums[j], anns[i])
+    return rep_idx, sums
+
+
+def values_have_tensor(col: EncodedColumn) -> bool:
+    """Symbolic-aggregate guard over the *dictionary* (distinct values only)."""
+    from repro.semimodules.tensor import Tensor
+
+    return any(isinstance(v, Tensor) for v in col.values)

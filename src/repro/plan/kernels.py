@@ -1,0 +1,121 @@
+"""Array-kernel backend selection for the dictionary-encoded tier.
+
+The encoded execution tier (:mod:`repro.plan.encoded`) stores column
+codes and machine-semiring annotations in flat arrays and runs the hot
+operators as array kernels.  Two backends implement those arrays:
+
+``"numpy"``
+    NumPy ``int64``/``float64``/``bool`` arrays; kernels are ufunc calls
+    (``take``, ``argsort`` + ``reduceat``, boolean masks).  Chosen
+    automatically when NumPy imports.
+``"python"``
+    plain Python lists of machine scalars; kernels are tight
+    ``map``/comprehension loops over integer codes.  The always-available
+    fallback — NumPy is an *optional* accelerator, never a dependency.
+
+The active backend is decided per *batch* at encode time (each
+:class:`~repro.plan.encoded.EncodedBatch` carries the module it was built
+with), so switching backends mid-session can never hand a NumPy array to
+the list kernels or vice versa.  Force a backend for benchmarking or
+testing with :func:`set_backend` (or the ``REPRO_ENCODED_BACKEND``
+environment variable read at import).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Tuple
+
+try:  # optional accelerator — the engine is complete without it
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via set_backend("python")
+    _numpy = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "active_backend",
+    "available_backends",
+    "numpy_or_none",
+    "set_backend",
+    "reduce_by_key",
+]
+
+HAVE_NUMPY = _numpy is not None
+
+#: None = auto (numpy when importable); "numpy" / "python" = forced.
+_FORCED: Optional[str] = None
+
+
+def _validate(name: Optional[str]) -> Optional[str]:
+    if name not in (None, "numpy", "python"):
+        raise ValueError(f"unknown encoded-tier backend {name!r}")
+    if name == "numpy" and not HAVE_NUMPY:
+        raise ValueError("numpy backend requested but numpy is not importable")
+    return name
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force the encoded-tier backend: ``"numpy"``, ``"python"`` or ``None``
+    (auto).  Affects batches encoded *after* the call; batches already
+    encoded keep the backend they were built with."""
+    global _FORCED
+    _FORCED = _validate(name)
+
+
+def available_backends() -> Tuple[str, ...]:
+    return ("numpy", "python") if HAVE_NUMPY else ("python",)
+
+
+def active_backend() -> str:
+    if _FORCED is not None:
+        return _FORCED
+    return "numpy" if HAVE_NUMPY else "python"
+
+
+def numpy_or_none():
+    """The numpy module when the active backend is numpy, else ``None``."""
+    return _numpy if active_backend() == "numpy" else None
+
+
+_env = os.environ.get("REPRO_ENCODED_BACKEND")
+if _env:
+    try:
+        set_backend(_env)
+    except ValueError as exc:
+        # never let a stale env var (typo, or "numpy" in a numpy-less
+        # interpreter) make the library unimportable — the backend is an
+        # accelerator knob, not a dependency
+        import warnings
+
+        warnings.warn(f"ignoring REPRO_ENCODED_BACKEND: {exc}", stacklevel=1)
+del _env
+
+
+# ---------------------------------------------------------------------------
+# shared numpy kernels
+# ---------------------------------------------------------------------------
+
+
+def reduce_by_key(np, keys, values, ufunc) -> Tuple[Any, Any, Any]:
+    """Group ``values`` by ``keys`` and reduce each group with ``ufunc``.
+
+    The sort-based grouped reduction behind consolidation and grouped
+    aggregation: one stable ``argsort`` over the integer keys, one
+    ``ufunc.reduceat`` over the reordered values.  Returns
+    ``(unique_keys, representative_positions, reductions)`` where
+    ``representative_positions[i]`` is the index (into the *input* arrays)
+    of the first row of group ``i`` — usable to gather per-group column
+    values.  Groups appear in ascending key order.
+    """
+    n = len(keys)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=values.dtype)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
+    starts = np.flatnonzero(head)
+    reductions = ufunc.reduceat(values[order], starts)
+    return sorted_keys[starts], order[starts], reductions

@@ -48,7 +48,10 @@ from repro.core.tuples import Tup
 from repro.exceptions import QueryError
 from repro.monoids.counting import AVG
 from repro.monoids.numeric import SUM
+from repro.plan import encoded as enc
+from repro.plan import kernels
 from repro.plan.columnar import ColumnarKRelation
+from repro.plan.encoded import EncodedBatch, EncodedFallback, encoded_scan
 from repro.semimodules.tensor import Tensor, tensor_space
 
 __all__ = [
@@ -96,14 +99,45 @@ def _hash_keys(batch: ColumnarKRelation, attrs: Tuple[str, ...]) -> List[Any]:
 
 class ExecutionContext:
     """Per-execution state: the database, a node-result memo (shared
-    subplans run once), and the plan-lifetime scan cache."""
+    subplans run once), the plan-lifetime scan cache, and the execution
+    tier.  ``encoded`` enables the dictionary-encoded scan path (set by
+    the plan's compile-time tier selection); ``used_encoded`` records
+    whether any scan actually ran encoded, which is what ``explain()``
+    reports as the tier of the last run."""
 
-    __slots__ = ("db", "results", "scan_cache")
+    __slots__ = (
+        "db",
+        "results",
+        "scan_cache",
+        "encoded",
+        "used_encoded",
+        "fell_back",
+    )
 
-    def __init__(self, db, scan_cache: Dict[str, Tuple[Any, ColumnarKRelation]]):
+    def __init__(
+        self,
+        db,
+        scan_cache: Dict[str, Tuple[Any, Any]],
+        encoded: bool = False,
+    ):
         self.db = db
-        self.results: Dict[int, ColumnarKRelation] = {}
+        self.results: Dict[int, Any] = {}
         self.scan_cache = scan_cache
+        self.encoded = encoded
+        self.used_encoded = False
+        self.fell_back = False
+
+
+def _as_columnar(batch, ctx: "ExecutionContext | None" = None) -> ColumnarKRelation:
+    """Materialise an encoded batch into the boxed object representation
+    (identity on object batches) — the per-operator fallback boundary.
+    Passing ``ctx`` records the fallback so ``explain()`` reports the run
+    honestly ("encoded+object fallback" instead of "encoded")."""
+    if isinstance(batch, EncodedBatch):
+        if ctx is not None:
+            ctx.fell_back = True
+        return batch.to_columnar()
+    return batch
 
 
 class PhysicalOp:
@@ -178,6 +212,17 @@ class Scan(PhysicalOp):
     The cache entry stores the :class:`KRelation` object it was built from;
     since relations are immutable by convention, an ``is`` check is a sound
     validity test even when the database is later mutated via ``db.add``.
+
+    On an encoded-tier plan the scan returns the table's dictionary
+    encoding (:func:`repro.plan.encoded.encoded_scan`, cached on the
+    database and shared across plans); a table whose contents disqualify
+    the tier — an annotation outside the machine dtype, an unhashable
+    value — silently decomposes to the boxed object batch instead, and
+    every downstream operator follows the representation it receives.
+    The plan-lifetime cache keeps one entry *per representation*, so an
+    execution stream alternating tiers (the incremental engine's
+    size-adaptive delta dispatch) never hands mixed representations to a
+    join or re-decomposes on every switch.
     """
 
     __slots__ = ("name",)
@@ -186,13 +231,25 @@ class Scan(PhysicalOp):
         super().__init__((), schema, est_rows)
         self.name = name
 
-    def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
+    def _run(self, ctx: ExecutionContext):
         rel = ctx.db.relation(self.name)
         entry = ctx.scan_cache.get(self.name)
-        if entry is not None and entry[0] is rel:
-            return entry[1]
-        batch = ColumnarKRelation.from_krelation(rel)
-        ctx.scan_cache[self.name] = (rel, batch)
+        if entry is None or entry[0] is not rel:
+            entry = (rel, {})
+            ctx.scan_cache[self.name] = entry
+        reps = entry[1]
+        if ctx.encoded:
+            if "encoded" in reps:
+                batch = reps["encoded"]
+            else:
+                # None records "this table disqualifies the tier"
+                batch = reps["encoded"] = encoded_scan(ctx.db, self.name, rel)
+            if batch is not None:
+                ctx.used_encoded = True
+                return batch
+        batch = reps.get("object")
+        if batch is None:
+            batch = reps["object"] = ColumnarKRelation.from_krelation(rel)
         return batch
 
     def label(self) -> str:
@@ -202,6 +259,54 @@ class Scan(PhysicalOp):
 # ---------------------------------------------------------------------------
 # fused select / project / rename / distinct pipelines
 # ---------------------------------------------------------------------------
+
+
+def _encoded_guard_plain(batch: EncodedBatch, attrs: Iterable[str]) -> None:
+    """Encoded counterpart of :func:`_require_plain_columns`: checked over
+    the *dictionaries* (one test per distinct value).  A symbolic value
+    falls back to the object path, whose guard raises the exact error."""
+    for attr in attrs:
+        if enc.values_have_tensor(batch.col(attr)):
+            raise EncodedFallback(f"symbolic value in column {attr!r}")
+
+
+def _consolidate_encoded(
+    batch: EncodedBatch, out_schema: Schema, keep=None
+) -> EncodedBatch:
+    """Merge duplicate rows of ``batch`` (restricted to ``out_schema``'s
+    attributes, optionally pre-filtered to the ``keep`` rows) with ``+_K``:
+    the encoded form of :meth:`ColumnarKRelation.from_value_rows`.  Code
+    tuples and value tuples induce the same row partition (distinct codes
+    hold non-equal values), so merging by combined integer key is exact.
+    """
+    out_attrs = out_schema.attributes
+    if not out_attrs:
+        raise EncodedFallback("empty projection")
+    np = batch.np
+    cols = [batch.col(a) for a in out_attrs]
+    keys = enc.combine_codes(cols, np, keep)
+    out_bound = enc.check_reduction_bound(batch, len(keys))
+    anns = batch.anns if keep is None else enc.gather_anns(batch.anns, keep, np)
+    rep, sums = enc.consolidate_keys(batch.semiring, keys, anns, np)
+    if keep is None:
+        rep_rows = rep
+    elif np is not None:
+        rep_rows = keep[rep]
+    else:
+        rep_rows = list(map(keep.__getitem__, rep))
+    out_cols = {
+        a: (lambda col=col, rep_rows=rep_rows, np=np: col.gather(rep_rows, np))
+        for a, col in zip(out_attrs, cols)
+    }
+    return EncodedBatch(
+        batch.semiring,
+        out_schema,
+        np,
+        out_cols,
+        sums,
+        enc.all_one(batch.semiring, sums, np),
+        out_bound,
+    )
 
 
 class SelectStage:
@@ -255,7 +360,132 @@ class SelectStage:
         attrs = batch.schema.attributes
         columns = {a: [batch.columns[a][i] for i in keep] for a in attrs}
         annotations = [batch.annotations[i] for i in keep]
-        return ColumnarKRelation(batch.semiring, batch.schema, columns, annotations)
+        return ColumnarKRelation._from_clean(
+            batch.semiring, batch.schema, columns, annotations
+        )
+
+    # -- encoded tier --------------------------------------------------------
+
+    def encoded_keep(self, batch: EncodedBatch):
+        """Indices of the rows satisfying the conjunction.
+
+        Each condition is decided once per *distinct* value (dictionary
+        pass), then applied per row as a code lookup — never a per-row
+        value comparison.  Inputs the encoded kernels cannot decide
+        exactly (unknown condition classes, comparisons that raise on the
+        dictionary) fall back so the object path reproduces the exact
+        behaviour, errors included.
+        """
+        _encoded_guard_plain(
+            batch, [a for c in self.conditions for a in c.attributes()]
+        )
+        np = batch.np
+        n = len(batch)
+        if np is not None:
+            mask = None
+            for condition in self.conditions:
+                if isinstance(condition, AttrEq):
+                    col = batch.col(condition.attribute)
+                    try:
+                        code = col.index.get(condition.value, -1)
+                    except TypeError:
+                        raise EncodedFallback("unhashable comparison value") from None
+                    m = col.codes == code if code >= 0 else np.zeros(n, dtype=bool)
+                elif isinstance(condition, AttrCompare):
+                    col = batch.col(condition.attribute)
+                    cmp = _ORDER_TESTS[condition.op]
+                    value = condition.value
+                    try:
+                        ok = np.fromiter(
+                            (bool(cmp(v, value)) for v in col.values),
+                            bool,
+                            len(col.values),
+                        )
+                    except TypeError:
+                        # incomparable types: the object path raises the
+                        # interpreter's row-order error
+                        raise EncodedFallback("incomparable values") from None
+                    m = ok[col.codes]
+                elif isinstance(condition, AttrEqAttr):
+                    c1 = batch.col(condition.attribute1)
+                    c2 = batch.col(condition.attribute2)
+                    trans = c1.translate_to(c2, np)
+                    m = trans[c1.codes] == c2.codes
+                else:
+                    raise EncodedFallback("unknown condition class")
+                mask = m if mask is None else mask & m
+            if mask is None:
+                return np.arange(n, dtype=np.int64)
+            return np.flatnonzero(mask)
+        tests = []
+        for condition in self.conditions:
+            if isinstance(condition, AttrEq):
+                col = batch.col(condition.attribute)
+                try:
+                    code = col.index.get(condition.value, -1)
+                except TypeError:
+                    raise EncodedFallback("unhashable comparison value") from None
+                tests.append(("code", col.codes, code))
+            elif isinstance(condition, AttrCompare):
+                col = batch.col(condition.attribute)
+                cmp = _ORDER_TESTS[condition.op]
+                value = condition.value
+                try:
+                    ok = [bool(cmp(v, value)) for v in col.values]
+                except TypeError:
+                    raise EncodedFallback("incomparable values") from None
+                tests.append(("table", col.codes, ok))
+            elif isinstance(condition, AttrEqAttr):
+                c1 = batch.col(condition.attribute1)
+                c2 = batch.col(condition.attribute2)
+                tests.append(("pair", c1.codes, c1.translate_to(c2, None), c2.codes))
+            else:
+                raise EncodedFallback("unknown condition class")
+        if len(tests) == 1:
+            kind, codes, *rest = tests[0]
+            if kind == "code":
+                target = rest[0]
+                return [i for i, c in enumerate(codes) if c == target]
+            if kind == "table":
+                ok = rest[0]
+                return [i for i, c in enumerate(codes) if ok[c]]
+            trans, codes2 = rest
+            return [
+                i for i, (a, b) in enumerate(zip(codes, codes2)) if trans[a] == b
+            ]
+        keep = []
+        for i in range(n):
+            for test in tests:
+                kind = test[0]
+                if kind == "code":
+                    if test[1][i] != test[2]:
+                        break
+                elif kind == "table":
+                    if not test[2][test[1][i]]:
+                        break
+                elif test[2][test[1][i]] != test[3][i]:
+                    break
+            else:
+                keep.append(i)
+        return keep
+
+    def apply_encoded(self, batch: EncodedBatch) -> EncodedBatch:
+        keep = self.encoded_keep(batch)
+        np = batch.np
+        cols = {
+            a: (lambda a=a, keep=keep, np=np: batch.col(a).gather(keep, np))
+            for a in batch.schema.attributes
+        }
+        anns = enc.gather_anns(batch.anns, keep, np)
+        return EncodedBatch(
+            batch.semiring,
+            batch.schema,
+            np,
+            cols,
+            anns,
+            batch.anns_one,
+            batch.ann_bound,
+        )
 
 
 class ProjectStage:
@@ -281,6 +511,13 @@ class ProjectStage:
             rows = ((tuple(col[i] for col in cols), anns[i]) for i in keep)
         return ColumnarKRelation.from_value_rows(batch.semiring, out_schema, rows)
 
+    def apply_encoded(self, batch: EncodedBatch, keep=None) -> EncodedBatch:
+        """Π with the duplicate merge reduced per combined code key (the
+        ``keep`` indices of a preceding selection feed in directly, so the
+        σ→Π fusion holds on the encoded tier too)."""
+        out_schema = batch.schema.restrict(self.attributes)
+        return _consolidate_encoded(batch, out_schema, keep)
+
 
 class RenameStage:
     """ρ: relabel columns, annotations untouched."""
@@ -298,8 +535,24 @@ class RenameStage:
         columns = {
             self.mapping.get(a, a): batch.columns[a] for a in batch.schema.attributes
         }
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             batch.semiring, out_schema, columns, batch.annotations
+        )
+
+    def apply_encoded(self, batch: EncodedBatch) -> EncodedBatch:
+        out_schema = batch.schema.rename(self.mapping)
+        # unmaterialised thunks pass through; each batch caches its own
+        cols = {
+            self.mapping.get(a, a): batch.cols[a] for a in batch.schema.attributes
+        }
+        return EncodedBatch(
+            batch.semiring,
+            out_schema,
+            batch.np,
+            cols,
+            batch.anns,
+            batch.anns_one,
+            batch.ann_bound,
         )
 
 
@@ -314,11 +567,24 @@ class DistinctStage:
     def apply(self, batch: ColumnarKRelation) -> ColumnarKRelation:
         merged = batch.consolidate()
         delta = merged.semiring.delta
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             merged.semiring,
             merged.schema,
             merged.columns,
             [delta(k) for k in merged.annotations],
+        )
+
+    def apply_encoded(self, batch: EncodedBatch) -> EncodedBatch:
+        merged = _consolidate_encoded(batch, batch.schema)
+        anns = enc.delta_anns(batch.semiring, merged.anns, batch.np)
+        return EncodedBatch(
+            batch.semiring,
+            batch.schema,
+            batch.np,
+            merged.cols,
+            anns,
+            enc.all_one(batch.semiring, anns, batch.np),
+            1,  # delta outputs are 0_K or 1_K
         )
 
 
@@ -339,17 +605,30 @@ class FusedPipeline(PhysicalOp):
     def extended(self, stage: Any, schema: Schema, est_rows: int) -> "FusedPipeline":
         return FusedPipeline(self.children[0], self.stages + [stage], schema, est_rows)
 
-    def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
+    def _run(self, ctx: ExecutionContext):
         batch = self.children[0].execute(ctx)
         stages = self.stages
         i = 0
         while i < len(stages):
             stage = stages[i]
-            if (
+            fuse = (
                 isinstance(stage, SelectStage)
                 and i + 1 < len(stages)
                 and isinstance(stages[i + 1], ProjectStage)
-            ):
+            )
+            if isinstance(batch, EncodedBatch):
+                try:
+                    if fuse:
+                        keep = stage.encoded_keep(batch)
+                        batch = stages[i + 1].apply_encoded(batch, keep=keep)
+                        i += 2
+                    else:
+                        batch = stage.apply_encoded(batch)
+                        i += 1
+                    continue
+                except EncodedFallback:
+                    batch = _as_columnar(batch, ctx)
+            if fuse:
                 stage.guard(batch)
                 pred = stage.predicate(batch)
                 keep = [j for j in range(len(batch)) if pred(j)]
@@ -399,9 +678,12 @@ class HashJoin(PhysicalOp):
         self.left_keys = tuple(left_keys)
         self.right_keys = tuple(right_keys)
         self.build_side = build_side
-        # (build batch object, bucket table); valid while the batch object
-        # is identical — true for cached scans over an unchanged relation.
-        self._build_cache: Optional[Tuple[ColumnarKRelation, Dict[Any, List[int]]]] = None
+        # representation -> (build batch object, build structure); each
+        # entry is valid while its batch object is identical — true for
+        # cached scans over an unchanged relation.  One slot per
+        # representation, so an execution stream alternating tiers (the
+        # incremental engine's size-adaptive dispatch) keeps both builds.
+        self._build_cache: Dict[str, Tuple[Any, Any]] = {}
 
     def _guard(self, left: ColumnarKRelation, right: ColumnarKRelation) -> None:
         if self.kind == "natural":
@@ -416,7 +698,7 @@ class HashJoin(PhysicalOp):
     def _buckets(
         self, build: ColumnarKRelation, keys: Tuple[str, ...], cacheable: bool
     ) -> Dict[Any, List[int]]:
-        cached = self._build_cache
+        cached = self._build_cache.get("object")
         if cached is not None and cached[0] is build:
             return cached[1]
         buckets: Dict[Any, List[int]] = {}
@@ -429,12 +711,26 @@ class HashJoin(PhysicalOp):
         # only batches that outlive this execution (the plan's scan cache)
         # can ever hit again; caching anything else would just pin the
         # previous build batch in memory at a guaranteed 100% miss rate
-        self._build_cache = (build, buckets) if cacheable else None
+        if cacheable:
+            self._build_cache["object"] = (build, buckets)
+        else:
+            self._build_cache.pop("object", None)
         return buckets
 
-    def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
+    def _run(self, ctx: ExecutionContext):
         left = self.children[0].execute(ctx)
         right = self.children[1].execute(ctx)
+        if (
+            isinstance(left, EncodedBatch)
+            and isinstance(right, EncodedBatch)
+            and left.np is right.np
+        ):
+            try:
+                return self._run_encoded(left, right)
+            except EncodedFallback:
+                pass
+        left = _as_columnar(left, ctx)
+        right = _as_columnar(right, ctx)
         self._guard(left, right)
         if self.build_side == "left":
             build, probe = left, right
@@ -475,7 +771,234 @@ class HashJoin(PhysicalOp):
         annotations = list(
             map(times, map(l_anns.__getitem__, left_idx), map(r_anns.__getitem__, right_idx))
         )
-        return ColumnarKRelation(left.semiring, self.schema, columns, annotations)
+        return ColumnarKRelation._from_clean(
+            left.semiring, self.schema, columns, annotations
+        )
+
+    # -- encoded tier --------------------------------------------------------
+
+    def _encoded_buckets(
+        self, build: EncodedBatch, keys: Tuple[str, ...], cacheable: bool
+    ):
+        """The encoded build structure, cached per build batch like the
+        object bucket table.
+
+        NumPy: a stable argsort of the combined build key codes plus
+        per-distinct-key ``(starts, counts)`` — each probe match gathers
+        its matching build rows as one slice of the order array.  Python:
+        an int-keyed bucket dict.
+        """
+        cached = self._build_cache.get("encoded")
+        if cached is not None and cached[0] is build:
+            return cached[1]
+        np = build.np
+        cols = [build.col(a) for a in keys]
+        bkeys = enc.combine_codes(cols, np)
+        if np is not None:
+            order = np.argsort(bkeys, kind="stable")
+            sorted_keys = bkeys[order]
+            n = len(sorted_keys)
+            if n:
+                head = np.empty(n, dtype=bool)
+                head[0] = True
+                np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
+                starts = np.flatnonzero(head)
+                unique = sorted_keys[starts]
+                counts = np.diff(np.append(starts, n))
+            else:
+                unique = starts = counts = np.empty(0, dtype=np.int64)
+            struct = (cols, unique, order, starts, counts)
+        else:
+            buckets: Dict[int, List[int]] = {}
+            for i, key in enumerate(bkeys):
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [i]
+                else:
+                    bucket.append(i)
+            struct = (cols, buckets)
+        # same policy as the object path: only scan batches outlive the
+        # execution, so anything else would pin memory at a 100% miss rate
+        if cacheable:
+            self._build_cache["encoded"] = (build, struct)
+        else:
+            self._build_cache.pop("encoded", None)
+        return struct
+
+    def _encoded_probe_keys(
+        self, probe: EncodedBatch, probe_keys: Tuple[str, ...], bcols
+    ):
+        """Per-probe-row combined key in the *build* code space (-1 = a key
+        value absent from the build dictionary, i.e. statically no match).
+        The translation runs per distinct probe value, never per row.
+        (Single-key python-backend joins never come here — they take the
+        fused lookup path in :meth:`_run_encoded`.)"""
+        np = probe.np
+        if np is not None:
+            pkeys = None
+            invalid = None
+            for bcol, attr in zip(bcols, probe_keys):
+                pcol = probe.col(attr)
+                translated = pcol.translate_to(bcol, np)[pcol.codes]
+                bad = translated < 0
+                invalid = bad if invalid is None else invalid | bad
+                if pkeys is None:
+                    pkeys = translated
+                else:
+                    pkeys = pkeys * len(bcol.values) + translated
+            return np.where(invalid, np.int64(-1), pkeys)
+        translations = [
+            (probe.col(a).codes, probe.col(a).translate_to(bcol, None), len(bcol.values))
+            for a, bcol in zip(probe_keys, bcols)
+        ]
+        n = len(probe)
+        pkeys = [0] * n
+        for i in range(n):
+            key = 0
+            for codes, trans, size in translations:
+                code = trans[codes[i]]
+                if code < 0:
+                    key = -1
+                    break
+                key = key * size + code
+            pkeys[i] = key
+        return pkeys
+
+    def _run_encoded(self, left: EncodedBatch, right: EncodedBatch) -> EncodedBatch:
+        np = left.np
+        semiring = left.semiring
+        if self.kind != "cross":
+            _encoded_guard_plain(left, self.left_keys)
+            _encoded_guard_plain(right, self.right_keys)
+        if self.build_side == "left":
+            build, probe = left, right
+            build_keys, probe_keys = self.left_keys, self.right_keys
+            build_child = self.children[0]
+        else:
+            build, probe = right, left
+            build_keys, probe_keys = self.right_keys, self.left_keys
+            build_child = self.children[1]
+
+        if self.kind == "cross":
+            nb, npr = len(build), len(probe)
+            if np is not None:
+                build_idx = np.repeat(np.arange(nb, dtype=np.int64), npr)
+                probe_idx = np.tile(np.arange(npr, dtype=np.int64), nb)
+            else:
+                build_idx = [i for i in range(nb) for _ in range(npr)]
+                probe_idx = list(range(npr)) * nb
+        else:
+            struct = self._encoded_buckets(
+                build, build_keys, isinstance(build_child, Scan)
+            )
+            if np is not None:
+                pkeys = self._encoded_probe_keys(probe, probe_keys, struct[0])
+                _cols, unique, order, starts, counts = struct
+                pos = np.searchsorted(unique, pkeys)
+                if len(unique):
+                    found = (
+                        (pkeys >= 0)
+                        & (pos < len(unique))
+                        & (unique[np.minimum(pos, len(unique) - 1)] == pkeys)
+                    )
+                else:
+                    found = np.zeros(len(probe), dtype=bool)
+                probe_rows = np.flatnonzero(found)
+                buckets = pos[probe_rows]
+                cnt = counts[buckets]
+                probe_idx = np.repeat(probe_rows, cnt)
+                total = int(cnt.sum())
+                ends = np.cumsum(cnt)
+                offsets = np.repeat(starts[buckets] - (ends - cnt), cnt)
+                build_idx = order[np.arange(total, dtype=np.int64) + offsets]
+            else:
+                _cols, buckets = struct
+                probe_idx: List[int] = []
+                build_idx: List[int] = []
+                extend_probe = probe_idx.extend
+                extend_build = build_idx.extend
+                repeat = itertools.repeat
+                if len(build_keys) == 1:
+                    # fuse translation and bucket lookup into one
+                    # per-distinct-value table: the per-row work is a
+                    # single list index, no hashing at all
+                    pcol = probe.col(probe_keys[0])
+                    lookup = [
+                        buckets.get(code)
+                        for code in pcol.translate_to(struct[0][0], None)
+                    ]
+                    if all(b is None or len(b) == 1 for b in lookup):
+                        # unique build keys (the FK-join shape): plain
+                        # appends beat per-row repeat() allocation
+                        rows = [-1 if b is None else b[0] for b in lookup]
+                        append_probe = probe_idx.append
+                        append_build = build_idx.append
+                        for i, code in enumerate(pcol.codes):
+                            row = rows[code]
+                            if row >= 0:
+                                append_probe(i)
+                                append_build(row)
+                    else:
+                        for i, code in enumerate(pcol.codes):
+                            bucket = lookup[code]
+                            if bucket is not None:
+                                extend_build(bucket)
+                                extend_probe(repeat(i, len(bucket)))
+                else:
+                    pkeys = self._encoded_probe_keys(probe, probe_keys, struct[0])
+                    for i, key in enumerate(pkeys):
+                        if key >= 0:
+                            bucket = buckets.get(key)
+                            if bucket is not None:
+                                extend_build(bucket)
+                                extend_probe(repeat(i, len(bucket)))
+
+        if self.build_side == "left":
+            left_idx, right_idx = build_idx, probe_idx
+        else:
+            left_idx, right_idx = probe_idx, build_idx
+
+        cols: Dict[str, Any] = {}
+        for attr in left.schema.attributes:
+            cols[attr] = (
+                lambda attr=attr, idx=left_idx: left.col(attr).gather(idx, np)
+            )
+        for attr in right.schema.attributes:
+            if attr not in cols:
+                cols[attr] = (
+                    lambda attr=attr, idx=right_idx: right.col(attr).gather(idx, np)
+                )
+
+        if left.anns_one and right.anns_one:
+            anns = enc.ones_anns(semiring, len(left_idx), np)
+            anns_one = True
+            bound = 1
+        elif left.anns_one:
+            anns = enc.gather_anns(right.anns, right_idx, np)
+            anns_one = False
+            bound = right.ann_bound
+        elif right.anns_one:
+            anns = enc.gather_anns(left.anns, left_idx, np)
+            anns_one = False
+            bound = left.ann_bound
+        else:
+            bound = enc.check_product_bound(left, right)
+            machine = left.machine
+            if np is not None:
+                times = getattr(np, machine.np_times)
+                anns = times(left.anns[left_idx], right.anns[right_idx])
+            else:
+                times = machine.py_times
+                l_anns, r_anns = left.anns, right.anns
+                anns = list(
+                    map(
+                        times,
+                        map(l_anns.__getitem__, left_idx),
+                        map(r_anns.__getitem__, right_idx),
+                    )
+                )
+            anns_one = False
+        return EncodedBatch(semiring, self.schema, np, cols, anns, anns_one, bound)
 
     def label(self) -> str:
         if self.kind == "cross":
@@ -495,17 +1018,72 @@ class UnionAll(PhysicalOp):
     def __init__(self, left: PhysicalOp, right: PhysicalOp, schema: Schema, est_rows: int):
         super().__init__((left, right), schema, est_rows)
 
-    def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
+    def _run(self, ctx: ExecutionContext):
         left = self.children[0].execute(ctx)
         right = self.children[1].execute(ctx)
+        if (
+            isinstance(left, EncodedBatch)
+            and isinstance(right, EncodedBatch)
+            and left.np is right.np
+        ):
+            return self._run_encoded(left, right)
+        left = _as_columnar(left, ctx)
+        right = _as_columnar(right, ctx)
         columns = {
             a: left.columns[a] + right.columns[a] for a in left.schema.attributes
         }
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             left.semiring,
             left.schema,
             columns,
             left.annotations + right.annotations,
+        )
+
+    @staticmethod
+    def _merge_columns(lcol, rcol, np):
+        """Concatenate two encoded columns under one merged dictionary
+        (the right side's codes are translated per distinct value)."""
+        index = dict(lcol.index)
+        values = list(lcol.values)
+        translation: List[int] = []
+        for value in rcol.values:
+            code = index.get(value, -1)
+            if code < 0:
+                code = index[value] = len(values)
+                values.append(value)
+            translation.append(code)
+        if np is not None:
+            table = np.asarray(translation, dtype=np.int64)
+            if len(table):
+                right_codes = table[rcol.codes]
+            else:
+                right_codes = rcol.codes
+            codes = np.concatenate([lcol.codes, right_codes])
+        else:
+            codes = list(lcol.codes)
+            codes.extend(map(translation.__getitem__, rcol.codes))
+        return enc.EncodedColumn(codes, values, index)
+
+    def _run_encoded(self, left: EncodedBatch, right: EncodedBatch) -> EncodedBatch:
+        np = left.np
+        cols = {
+            a: (
+                lambda a=a: self._merge_columns(left.col(a), right.col(a), np)
+            )
+            for a in left.schema.attributes
+        }
+        if np is not None:
+            anns = np.concatenate([left.anns, right.anns])
+        else:
+            anns = list(left.anns) + list(right.anns)
+        return EncodedBatch(
+            left.semiring,
+            left.schema,
+            np,
+            cols,
+            anns,
+            left.anns_one and right.anns_one,
+            max(left.ann_bound, right.ann_bound),
         )
 
     def label(self) -> str:
@@ -543,6 +1121,11 @@ class GroupedAggregate(PhysicalOp):
 
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
         batch = self.children[0].execute(ctx)
+        if isinstance(batch, EncodedBatch):
+            try:
+                return self._run_encoded(batch)
+            except EncodedFallback:
+                batch = _as_columnar(batch, ctx)
         semiring = batch.semiring
         group_attrs = self.group_attributes
         specs = dict(self.aggregations)
@@ -603,7 +1186,188 @@ class GroupedAggregate(PhysicalOp):
             else:
                 total = sum_many(member_anns)
             annotations.append(delta(total))
-        return ColumnarKRelation(semiring, out_schema, columns, annotations)
+        return ColumnarKRelation._from_clean(semiring, out_schema, columns, annotations)
+
+    def _run_encoded(self, batch: EncodedBatch) -> ColumnarKRelation:
+        """Grouped aggregation by code-indexed accumulation.
+
+        One grouped reduction over the combined group key yields every
+        group's raw annotation total; per aggregated attribute, one
+        grouped reduction over the ``(group, value-code)`` pair key yields
+        exactly the ``value -> scalar`` entries of the group's tensor —
+        the per-row work is integer arithmetic on codes, with Python-level
+        object construction only per *group* (and per distinct value in
+        it), never per row.  COUNT(*) reuses the raw totals (footnote 6:
+        SUM over the constant 1 is the annotation sum).
+        """
+        semiring = batch.semiring
+        np = batch.np
+        machine = batch.machine
+        group_attrs = self.group_attributes
+        if not group_attrs:
+            raise EncodedFallback("empty grouping key")
+        specs = dict(self.aggregations)
+        if self.count_attr is not None:
+            specs[self.count_attr] = SUM
+        agg_ops.check_group_by(
+            batch.schema, group_attrs, self.aggregations, self.count_attr, semiring
+        )
+        _encoded_guard_plain(batch, group_attrs)
+        agg_cols = {attr: batch.col(attr) for attr in self.aggregations}
+        for attr, monoid in self.aggregations.items():
+            # validated over the dictionary; a foreign value falls back so
+            # the object path raises the interpreter's row-order error
+            if not all(map(monoid.contains, agg_cols[attr].values)):
+                raise EncodedFallback(f"foreign value in column {attr!r}")
+
+        spaces = {
+            attr: tensor_space(semiring, monoid) for attr, monoid in specs.items()
+        }
+        gcols = [batch.col(a) for a in group_attrs]
+        gkeys = enc.combine_codes(gcols, np)
+        radix = 1
+        for col in gcols:
+            radix *= max(1, len(col.values))
+        anns = batch.anns
+        is_zero = semiring.is_zero
+        enc.check_reduction_bound(batch, len(batch))
+
+        if np is not None:
+            plus = getattr(np, machine.np_plus)
+            unique, rep, totals = kernels.reduce_by_key(np, gkeys, anns, plus)
+            rep_list = rep.tolist()
+            totals_list = totals.tolist()
+            n_groups = len(rep_list)
+            entries = {
+                attr: [{} for _ in range(n_groups)] for attr in self.aggregations
+            }
+            for attr in self.aggregations:
+                col = agg_cols[attr]
+                size = max(1, len(col.values))
+                if radix * size > enc._RADIX_LIMIT:
+                    raise EncodedFallback("code space overflow")
+                pair_keys = gkeys * size + col.codes
+                pkeys, _rep, sums = kernels.reduce_by_key(np, pair_keys, anns, plus)
+                positions = np.searchsorted(unique, pkeys // size)
+                values = col.values
+                identity = spaces[attr].monoid.identity
+                target = entries[attr]
+                for pos, code, scalar in zip(
+                    positions.tolist(), (pkeys % size).tolist(), sums.tolist()
+                ):
+                    value = values[code]
+                    if value == identity or is_zero(scalar):
+                        continue
+                    target[pos][value] = scalar
+        else:
+            plus = machine.py_plus
+            n_rows = len(batch)
+            dense_bound = max(4096, 2 * n_rows)
+            if radix <= dense_bound:
+                # dense slot accumulation: the whole group-key space fits a
+                # flat list, so the per-row work is one list index — no
+                # hashing, no dict churn
+                slot_first = [None] * radix
+                slot_total = [None] * radix
+                for i, key in enumerate(gkeys):
+                    total = slot_total[key]
+                    if total is None:
+                        slot_first[key] = i
+                        slot_total[key] = anns[i]
+                    else:
+                        slot_total[key] = plus(total, anns[i])
+                slot_pos = [0] * radix
+                rep_list = []
+                totals_list = []
+                for key in range(radix):
+                    first = slot_first[key]
+                    if first is not None:
+                        slot_pos[key] = len(rep_list)
+                        rep_list.append(first)
+                        totals_list.append(slot_total[key])
+                group_pos = None
+            else:
+                positions: Dict[int, int] = {}
+                rep_list = []
+                totals_list = []
+                group_pos = [0] * n_rows
+                for i, key in enumerate(gkeys):
+                    j = positions.get(key, -1)
+                    if j < 0:
+                        j = positions[key] = len(rep_list)
+                        rep_list.append(i)
+                        totals_list.append(anns[i])
+                    else:
+                        totals_list[j] = plus(totals_list[j], anns[i])
+                    group_pos[i] = j
+            n_groups = len(rep_list)
+            entries = {}
+            for attr in self.aggregations:
+                col = agg_cols[attr]
+                codes = col.codes
+                size = max(1, len(col.values))
+                target = [{} for _ in range(n_groups)]
+                values = col.values
+                identity = spaces[attr].monoid.identity
+                if group_pos is None and radix * size <= 4 * dense_bound:
+                    # dense (group, value-code) pairs: flat accumulator,
+                    # touched slots tracked to skip the empty code space
+                    acc = [None] * (radix * size)
+                    touched: List[int] = []
+                    note = touched.append
+                    for i, key in enumerate(gkeys):
+                        k = key * size + codes[i]
+                        scalar = acc[k]
+                        if scalar is None:
+                            acc[k] = anns[i]
+                            note(k)
+                        else:
+                            acc[k] = plus(scalar, anns[i])
+                    for k in touched:
+                        scalar = acc[k]
+                        value = values[k % size]
+                        if value == identity or is_zero(scalar):
+                            continue
+                        target[slot_pos[k // size]][value] = scalar
+                else:
+                    pairs: Dict[int, Any] = {}
+                    if group_pos is None:
+                        keys_iter = (key * size + c for key, c in zip(gkeys, codes))
+                    else:
+                        keys_iter = (j * size + c for j, c in zip(group_pos, codes))
+                    for i, k in enumerate(keys_iter):
+                        scalar = pairs.get(k)
+                        pairs[k] = anns[i] if scalar is None else plus(scalar, anns[i])
+                    for k, scalar in pairs.items():
+                        value = values[k % size]
+                        if value == identity or is_zero(scalar):
+                            continue
+                        pos = slot_pos[k // size] if group_pos is None else k // size
+                        target[pos][value] = scalar
+                entries[attr] = target
+
+        out_schema = self.schema
+        columns: Dict[str, List[Any]] = {}
+        for attr, col in zip(group_attrs, gcols):
+            codes = (
+                col.codes[rep].tolist()
+                if np is not None
+                else list(map(col.codes.__getitem__, rep_list))
+            )
+            columns[attr] = list(map(col.values.__getitem__, codes))
+        for attr in self.aggregations:
+            space = spaces[attr]
+            columns[attr] = [Tensor(space, e) for e in entries[attr]]
+        if self.count_attr is not None:
+            space = spaces[self.count_attr]
+            columns[self.count_attr] = [
+                Tensor(space, {} if is_zero(t) else {1: t}) for t in totals_list
+            ]
+        delta = semiring.delta
+        annotations = [delta(t) for t in totals_list]
+        return ColumnarKRelation._from_clean(
+            semiring, out_schema, columns, annotations
+        )
 
     def label(self) -> str:
         aggs = ", ".join(f"{m.name}({a})" for a, m in self.aggregations.items())
@@ -629,15 +1393,58 @@ class WholeAggregate(PhysicalOp):
                 f"AGG expects a relation over exactly ({self.attribute!r},); got "
                 f"{batch.schema}. Project the aggregation column first."
             )
+        if isinstance(batch, EncodedBatch):
+            try:
+                return self._run_encoded(batch)
+            except EncodedFallback:
+                batch = _as_columnar(batch, ctx)
         space = tensor_space(batch.semiring, self.monoid)
         col = batch.column(self.attribute)
         validate_monoid_column(col, self.monoid, self.attribute)
         value = space.set_agg(zip(col, batch.annotations))
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             batch.semiring,
             self.schema,
             {self.attribute: [value]},
             [batch.semiring.one],
+        )
+
+    def _run_encoded(self, batch: EncodedBatch) -> ColumnarKRelation:
+        """``SetAgg`` by code-indexed accumulation: one grouped reduction
+        of the annotations per distinct value code is exactly the tensor's
+        ``value -> scalar`` normal form."""
+        semiring = batch.semiring
+        np = batch.np
+        col = batch.col(self.attribute)
+        if not all(map(self.monoid.contains, col.values)):
+            raise EncodedFallback("foreign value in aggregated column")
+        space = tensor_space(semiring, self.monoid)
+        identity = self.monoid.identity
+        is_zero = semiring.is_zero
+        enc.check_reduction_bound(batch, len(batch))
+        entries: Dict[Any, Any] = {}
+        if np is not None:
+            plus = getattr(np, batch.machine.np_plus)
+            codes, _rep, sums = kernels.reduce_by_key(np, col.codes, batch.anns, plus)
+            pairs = zip(codes.tolist(), sums.tolist())
+        else:
+            merged: Dict[int, Any] = {}
+            plus = batch.machine.py_plus
+            anns = batch.anns
+            for i, code in enumerate(col.codes):
+                scalar = merged.get(code)
+                merged[code] = anns[i] if scalar is None else plus(scalar, anns[i])
+            pairs = merged.items()
+        for code, scalar in pairs:
+            value = col.values[code]
+            if value == identity or is_zero(scalar):
+                continue
+            entries[value] = scalar
+        return ColumnarKRelation._from_clean(
+            semiring,
+            self.schema,
+            {self.attribute: [Tensor(space, entries)]},
+            [semiring.one],
         )
 
     def label(self) -> str:
@@ -654,10 +1461,10 @@ class CountAggregate(PhysicalOp):
         self.attribute = attribute
 
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
-        batch = self.children[0].execute(ctx)
+        batch = _as_columnar(self.children[0].execute(ctx), ctx)
         space = tensor_space(batch.semiring, SUM)
         value = space.set_agg((1, k) for k in batch.annotations)
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             batch.semiring,
             self.schema,
             {self.attribute: [value]},
@@ -678,7 +1485,7 @@ class AvgAggregate(PhysicalOp):
         self.attribute = attribute
 
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
-        batch = self.children[0].execute(ctx)
+        batch = _as_columnar(self.children[0].execute(ctx), ctx)
         if tuple(batch.schema.attributes) != (self.attribute,):
             raise QueryError(
                 f"AVG expects a relation over exactly ({self.attribute!r},); got "
@@ -689,7 +1496,7 @@ class AvgAggregate(PhysicalOp):
         value = space.set_agg(
             (AVG.lift(v), k) for v, k in zip(col, batch.annotations)
         )
-        return ColumnarKRelation(
+        return ColumnarKRelation._from_clean(
             batch.semiring,
             self.schema,
             {self.attribute: [value]},
@@ -722,8 +1529,8 @@ class DifferenceOp(PhysicalOp):
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
         from repro.core.difference import difference, difference_via_aggregation
 
-        left = self.children[0].execute(ctx).to_krelation()
-        right = self.children[1].execute(ctx).to_krelation()
+        left = _as_columnar(self.children[0].execute(ctx), ctx).to_krelation()
+        right = _as_columnar(self.children[1].execute(ctx), ctx).to_krelation()
         if self.method == "direct":
             result = difference(left, right)
         else:

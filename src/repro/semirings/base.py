@@ -41,7 +41,84 @@ from typing import Any, Callable, Iterable
 
 from repro.exceptions import SemiringError
 
-__all__ = ["Semiring", "ProvenanceTerm", "check_semiring_axioms"]
+__all__ = ["MachineRepr", "Semiring", "ProvenanceTerm", "check_semiring_axioms"]
+
+#: Conservative exact-representability bound for ``int64`` machine reprs.
+#: This is the *scan-level* qualification only; the encoded tier
+#: additionally tracks an exact per-batch magnitude bound through joins
+#: and reductions (``EncodedBatch.ann_bound``) and falls back before any
+#: int64 arithmetic could wrap.
+_INT64_SAFE = 1 << 31
+
+class MachineRepr:
+    """Declares that a semiring's elements are machine scalars.
+
+    The capability contract behind the dictionary-encoded execution tier
+    (:mod:`repro.plan.encoded`): a semiring carrying a ``MachineRepr`` can
+    have its annotations stored in flat numeric arrays and its ``+``/``*``
+    executed as array kernels.  The descriptor names
+
+    * ``dtype`` — the array element type (``"int64"``, ``"float64"`` or
+      ``"bool"``), used verbatim as the NumPy dtype when NumPy is present;
+    * ``np_plus`` / ``np_times`` — NumPy ufunc *names* (``"add"``,
+      ``"minimum"``, ``"logical_or"``, ...) implementing ``+_K`` / ``*_K``
+      elementwise (looked up lazily so the dependency stays optional);
+    * ``py_plus`` / ``py_times`` — C-implemented scalar callables
+      (``operator.add``, ``min``, ...) for the pure-Python array fallback.
+
+    ``fits`` is the per-value qualification test: a value that does not
+    round-trip *exactly and type-identically* through the dtype
+    disqualifies its batch from the encoded tier at encode time — the
+    engine silently falls back to the boxed object path rather than ever
+    computing approximately.  "Type-identically" is why ``float64`` reprs
+    reject Python ints even though many are exactly representable: an
+    array round-trip would hand back ``3.0`` where the object path keeps
+    ``3``, and the tier's contract is that results are indistinguishable.
+    Downstream growth (join products, grouped sums) is guarded separately
+    and exactly by the per-batch magnitude bound
+    (:func:`repro.plan.encoded.check_reduction_bound`).
+
+    The tier additionally assumes ``delta`` (when defined) is the support
+    indicator ``a == 0 ? 0 : 1`` — true for every machine semiring shipped
+    (``N``, ``B``, ``Z``, tropical, Viterbi); a semiring with a different
+    delta must not declare a machine repr.
+    """
+
+    __slots__ = ("dtype", "np_plus", "np_times", "py_plus", "py_times")
+
+    def __init__(
+        self,
+        dtype: str,
+        np_plus: str,
+        np_times: str,
+        py_plus: Callable[[Any, Any], Any],
+        py_times: Callable[[Any, Any], Any],
+    ):
+        if dtype not in ("int64", "float64", "bool"):
+            raise SemiringError(f"unsupported machine dtype {dtype!r}")
+        self.dtype = dtype
+        self.np_plus = np_plus
+        self.np_times = np_times
+        self.py_plus = py_plus
+        self.py_times = py_times
+
+    def fits(self, value: Any) -> bool:
+        """Is ``value`` exactly *and type-identically* representable?"""
+        if self.dtype == "int64":
+            return (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and -_INT64_SAFE <= value <= _INT64_SAFE
+            )
+        if self.dtype == "float64":
+            # Python ints are rejected even when exactly representable:
+            # the array round-trip would retype them as floats, which the
+            # object path can observe (see the class docstring)
+            return type(value) is float
+        return isinstance(value, bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<machine repr {self.dtype} +={self.np_plus} *={self.np_times}>"
 
 
 class ProvenanceTerm(abc.ABC):
@@ -99,6 +176,11 @@ class Semiring(abc.ABC):
 
     #: True for the canonical boolean semiring (drives ``B (x) M ~ M``).
     is_booleans: bool = False
+
+    #: Machine-scalar declaration for the dictionary-encoded execution tier
+    #: (:class:`MachineRepr`); ``None`` means elements are structured Python
+    #: objects and the planner keeps the boxed object path.
+    machine_repr: "MachineRepr | None" = None
 
     # ------------------------------------------------------------------
     # Carrier and constants

@@ -8,9 +8,10 @@ unique homomorphism-like support map onto ``B`` when positive, which is how
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
-from repro.semirings.base import Semiring
+from repro.semirings.base import MachineRepr, Semiring
 
 __all__ = ["BooleanSemiring", "BOOL"]
 
@@ -31,6 +32,9 @@ class BooleanSemiring(Semiring):
     has_hom_to_nat = False
     has_delta = True
     is_booleans = True
+    machine_repr = MachineRepr(
+        "bool", "logical_or", "logical_and", operator.or_, operator.and_
+    )
 
     @property
     def zero(self) -> bool:

@@ -9,9 +9,10 @@ standard specialisations of the semiring framework.
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
-from repro.semirings.base import Semiring
+from repro.semirings.base import MachineRepr, Semiring
 
 __all__ = ["FuzzySemiring", "FUZZY"]
 
@@ -25,6 +26,9 @@ class FuzzySemiring(Semiring):
     positive = True
     has_hom_to_nat = False
     has_delta = True
+    machine_repr = MachineRepr(
+        "float64", "maximum", "multiply", max, operator.mul
+    )
 
     @property
     def zero(self) -> float:

@@ -14,9 +14,10 @@ aggregation baseline (Figure 2 / ``repro.naive``).
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
-from repro.semirings.base import Semiring
+from repro.semirings.base import MachineRepr, Semiring
 
 __all__ = ["IntegerRing", "INT"]
 
@@ -30,6 +31,9 @@ class IntegerRing(Semiring):
     positive = False
     has_hom_to_nat = False
     has_delta = True
+    machine_repr = MachineRepr(
+        "int64", "add", "multiply", operator.add, operator.mul
+    )
 
     @property
     def zero(self) -> int:

@@ -9,10 +9,11 @@ existence of a homomorphism *into* ``N`` is the paper's sufficient condition
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
 from repro.exceptions import SemiringError
-from repro.semirings.base import Semiring
+from repro.semirings.base import MachineRepr, Semiring
 
 __all__ = ["NaturalSemiring", "NAT"]
 
@@ -27,6 +28,9 @@ class NaturalSemiring(Semiring):
     has_hom_to_nat = True
     has_delta = True
     is_naturals = True
+    machine_repr = MachineRepr(
+        "int64", "add", "multiply", operator.add, operator.mul
+    )
 
     @property
     def zero(self) -> int:

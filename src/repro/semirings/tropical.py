@@ -10,9 +10,10 @@ factor through (Section 1 of the paper lists cost among the applications).
 from __future__ import annotations
 
 import math
+import operator
 from typing import Any
 
-from repro.semirings.base import Semiring
+from repro.semirings.base import MachineRepr, Semiring
 
 __all__ = ["TropicalSemiring", "TROPICAL"]
 
@@ -26,6 +27,9 @@ class TropicalSemiring(Semiring):
     positive = True
     has_hom_to_nat = False
     has_delta = True
+    machine_repr = MachineRepr(
+        "float64", "minimum", "add", min, operator.add
+    )
 
     @property
     def zero(self) -> float:

@@ -143,10 +143,11 @@ class TestDeltaPlans:
         delta = {"R": KRelation.from_rows(NAT, ("k", "v"), [((1, 99), 1)])}
         plan.execute(db, delta)
         (join,) = joins(plan.plan.root)
-        cache_after_first = join._build_cache
-        assert cache_after_first is not None
+        entries_after_first = dict(join._build_cache)
+        assert entries_after_first  # at least one representation built
         plan.execute(db, delta)
-        assert join._build_cache is cache_after_first  # built once, reused
+        for kind, entry in entries_after_first.items():
+            assert join._build_cache[kind] is entry  # built once, reused
 
     def test_missing_table_raises_at_compile(self):
         db = make_db()
