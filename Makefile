@@ -5,15 +5,20 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-json bench examples
+.PHONY: check test bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-serve bench-json bench examples
 
-check: test bench-smoke
+check: test bench-smoke serve-smoke
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
 
 bench-smoke:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --smoke
+
+# the serving-layer gate: concurrent keep-alive readers + a live writer;
+# fails on any snapshot-isolation violation (torn cross-version read)
+serve-smoke:
+	$(PYPATH) $(PY) benchmarks/bench_serve.py --smoke
 
 bench-planner:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py
@@ -34,11 +39,16 @@ bench-ivm:
 bench-vectorized:
 	$(PYPATH) $(PY) benchmarks/bench_vectorized.py
 
+# the full serving-layer measurement (qps + p50/p99 under a live writer)
+bench-serve:
+	$(PYPATH) $(PY) benchmarks/bench_serve.py
+
 # run every workload and refresh the committed perf-trajectory artifacts
 bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
 	$(PYPATH) $(PY) benchmarks/bench_ivm.py --json BENCH_ivm.json
 	$(PYPATH) $(PY) benchmarks/bench_vectorized.py --json BENCH_vectorized.json
+	$(PYPATH) $(PY) benchmarks/bench_serve.py --json BENCH_serve.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

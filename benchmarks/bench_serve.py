@@ -1,0 +1,272 @@
+"""Serving-layer benchmark: sustained query throughput under a live writer.
+
+The workload is the service's reason to exist: many keep-alive HTTP
+clients issuing planned-engine queries against one database while a
+writer folds deltas in continuously.  Two things are measured and one is
+*enforced*:
+
+* **throughput/latency** — sustained queries/sec and p50/p99 wall-clock
+  per request across all reader connections (reported, not gated:
+  shared-runner numbers are noise);
+* **snapshot isolation** — the hard gate.  Two relations ``A`` and ``B``
+  receive one fresh-keyed row *each* per update batch, so any response
+  claiming version ``v`` must contain exactly ``2 * (BASE + (v - v0))``
+  rows for the union query.  A single torn read (a plan observing ``A``
+  and ``B`` from different versions, a half-published catalog, a stale
+  plan cache entry) breaks the equality and **fails the run** (exit 1).
+
+Run modes:
+
+``python benchmarks/bench_serve.py --smoke``
+    the ``make serve-smoke`` gate: short (~2s) run, zero-violation check.
+
+``python benchmarks/bench_serve.py [--seconds S] [--readers N]``
+    the full measurement.
+
+``python benchmarks/bench_serve.py --json [PATH]``
+    full run + write qps/p50/p99/violations to ``BENCH_serve.json``
+    (the committed perf-trajectory artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.core import KDatabase, KRelation
+from repro.semirings import NAT
+from repro.serve import start_in_thread
+
+BASE = 512  # rows per relation before the writer starts
+UNION_SQL = "SELECT K FROM A UNION SELECT K FROM B"
+
+
+def lockstep_db(base: int = BASE) -> KDatabase:
+    a = KRelation.from_rows(
+        NAT, ("K", "V"), [((f"a{i}", i % 97), 1) for i in range(base)]
+    )
+    b = KRelation.from_rows(
+        NAT, ("K", "V"), [((f"b{i}", i % 89), 1) for i in range(base)]
+    )
+    return KDatabase(NAT, {"A": a, "B": b})
+
+
+class ReaderStats:
+    __slots__ = ("latencies", "violations", "rejected", "errors")
+
+    def __init__(self):
+        self.latencies: List[float] = []
+        self.violations: List[str] = []
+        self.rejected = 0
+        self.errors: List[str] = []
+
+
+def _reader(address, v0: int, base: int, stop: threading.Event, stats: ReaderStats):
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    body = json.dumps({"sql": UNION_SQL, "engine": "planned"})
+    try:
+        while not stop.is_set():
+            start = time.perf_counter()
+            conn.request("POST", "/query", body)
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            elapsed = time.perf_counter() - start
+            if response.status == 503:
+                stats.rejected += 1
+                time.sleep(0.01)
+                continue
+            if response.status != 200:
+                stats.errors.append(f"HTTP {response.status}: {payload}")
+                return
+            stats.latencies.append(elapsed)
+            expected = 2 * (base + (payload["version"] - v0))
+            if payload["rowcount"] != expected:
+                stats.violations.append(
+                    f"claimed version {payload['version']} but returned "
+                    f"{payload['rowcount']} rows (expected {expected})"
+                )
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the bench
+        stats.errors.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        conn.close()
+
+
+def _writer(address, stop: threading.Event, out: Dict[str, int]):
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    i = 0
+    try:
+        while not stop.is_set():
+            body = json.dumps({
+                "relations": {
+                    "A": {"rows": [{"values": [f"a+{i}", i % 97], "annotation": 1}]},
+                    "B": {"rows": [{"values": [f"b+{i}", i % 89], "annotation": 1}]},
+                }
+            })
+            conn.request("POST", "/update", body)
+            response = conn.getresponse()
+            response.read()
+            if response.status == 200:
+                out["writes"] = out.get("writes", 0) + 1
+            i += 1
+            time.sleep(0.002)  # ~hundreds of writes/sec: hot, not a spin loop
+    except Exception as exc:  # noqa: BLE001
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        conn.close()
+
+
+def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
+    handle = start_in_thread(lockstep_db(base))
+    try:
+        probe = http.client.HTTPConnection(*handle.address, timeout=30)
+        probe.request("GET", "/health")
+        v0 = json.loads(probe.getresponse().read())["version"]
+        # one warm-up query so compile/encode costs don't skew p99
+        probe.request("POST", "/query", json.dumps({"sql": UNION_SQL}))
+        probe.getresponse().read()
+        probe.close()
+
+        stop = threading.Event()
+        stats = [ReaderStats() for _ in range(readers)]
+        writer_out: Dict[str, int] = {}
+        threads = [
+            threading.Thread(
+                target=_reader, args=(handle.address, v0, base, stop, stats[i])
+            )
+            for i in range(readers)
+        ]
+        writer = threading.Thread(target=_writer, args=(handle.address, stop, writer_out))
+        wall = time.perf_counter()
+        for t in threads:
+            t.start()
+        writer.start()
+        time.sleep(seconds)
+        stop.set()
+        for t in threads:
+            t.join()
+        writer.join()
+        wall = time.perf_counter() - wall
+    finally:
+        handle.close()
+
+    latencies = sorted(x for s in stats for x in s.latencies)
+    violations = [v for s in stats for v in s.violations]
+    errors = [e for s in stats for e in s.errors]
+    if "error" in writer_out:
+        errors.append(f"writer: {writer_out['error']}")
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return float("nan")
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    return {
+        "readers": readers,
+        "base_rows": 2 * base,
+        "duration_s": round(wall, 3),
+        "requests": len(latencies),
+        "qps": round(len(latencies) / wall, 1),
+        "p50_ms": round(pct(0.50) * 1e3, 3),
+        "p99_ms": round(pct(0.99) * 1e3, 3),
+        "writes": writer_out.get("writes", 0),
+        "rejected_503": sum(s.rejected for s in stats),
+        "violations": violations,
+        "errors": errors,
+    }
+
+
+def report(result: Dict[str, object]) -> bool:
+    print("== serve benchmark: concurrent readers + live writer ==")
+    print(
+        f"  {result['readers']} readers x {result['duration_s']}s over "
+        f"{result['base_rows']} base rows, {result['writes']} writes applied"
+    )
+    print(
+        f"  {result['requests']} queries, {result['qps']} qps, "
+        f"p50 {result['p50_ms']}ms, p99 {result['p99_ms']}ms, "
+        f"{result['rejected_503']} shed (503)"
+    )
+    ok = True
+    if result["errors"]:
+        for error in result["errors"][:5]:
+            print(f"FAIL: {error}", file=sys.stderr)
+        ok = False
+    if result["violations"]:
+        for violation in result["violations"][:5]:
+            print(f"FAIL: snapshot isolation violated: {violation}", file=sys.stderr)
+        ok = False
+    elif result["requests"] == 0 or result["writes"] == 0:
+        print("FAIL: benchmark did no concurrent work", file=sys.stderr)
+        ok = False
+    else:
+        print(
+            f"OK: {result['requests']} concurrent reads, zero torn "
+            f"reads against {result['writes']} writes"
+        )
+    return ok
+
+
+# ---------------------------------------------------------------------------
+# pytest face (explicit `pytest benchmarks/bench_serve.py` runs)
+# ---------------------------------------------------------------------------
+
+
+def test_serve_zero_violations_under_writer():
+    result = run(seconds=1.0, readers=2, base=256)
+    assert not result["errors"], result["errors"]
+    assert not result["violations"], result["violations"]
+    assert result["requests"] > 0 and result["writes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI face (`make serve-smoke` / `make bench-json`)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=5.0)
+    parser.add_argument("--readers", type=int, default=4)
+    parser.add_argument("--base", type=int, default=BASE,
+                        help="rows per relation before the writer starts")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run (the `make serve-smoke` gate)")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_serve.json",
+        default=None,
+        metavar="PATH",
+        help="write qps/latency/violations (default: BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+
+    seconds = 2.0 if args.smoke else args.seconds
+    result = run(seconds, args.readers, base=args.base)
+    ok = report(result)
+
+    if args.json is not None:
+        payload = dict(result)
+        payload["violations"] = len(result["violations"])
+        payload["errors"] = len(result["errors"])
+        report_doc = {
+            "benchmark": "bench_serve",
+            "gates": {"snapshot_isolation_violations_max": 0, "passed": ok},
+            "workloads": {f"serve_union_{result['readers']}r_writer": payload},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report_doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -173,6 +173,32 @@ def main() -> None:
     print("\nEXPLAIN now names the tier that ran:")
     print("\n".join(encoded_plan.explain().splitlines()[:3]))
 
+    # -- 9. the serving layer: SQL + provenance over HTTP/JSON ------------
+    # `python -m repro.serve --demo` stands the same engine up as a
+    # long-lived service: snapshot-isolated reads (every response carries
+    # the database version it saw), a bounded CPU worker pool with 503
+    # backpressure, and incrementally maintained views.  Embedded here on
+    # a background thread; from a shell the curl line printed below is
+    # the identical round-trip.
+    import http.client
+    import json
+
+    from repro.serve import start_in_thread
+
+    handle = start_in_thread(bags)  # the 20k-row bag database from §8
+    host, port = handle.address
+    conn = http.client.HTTPConnection(host, port)
+    body = {"sql": "SELECT Region, SUM(Sal) FROM Emp, Dept GROUP BY Region"}
+    conn.request("POST", "/query", json.dumps(body))
+    response = json.loads(conn.getresponse().read())
+    print("\nHTTP query response (version-stamped snapshot read):")
+    print(json.dumps({k: response[k] for k in ("columns", "rows", "version")},
+                     indent=2))
+    print("same query from a shell:")
+    print(f"  curl -s http://{host}:{port}/query -d '{json.dumps(body)}'")
+    conn.close()
+    handle.close()
+
 
 if __name__ == "__main__":
     main()

@@ -18,6 +18,7 @@ stored and evaluated once.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = ["CircuitNode", "CircuitBuilder"]
@@ -166,6 +167,7 @@ class CircuitBuilder:
         self._plus2: Dict[Tuple[int, int], CircuitNode] = {}
         self._times2: Dict[Tuple[int, int], CircuitNode] = {}
         self._counter = 0
+        self._mutex = threading.Lock()
         self.zero = self._make("zero", None, ())
         self.one = self._make("one", None, ())
 
@@ -178,10 +180,17 @@ class CircuitBuilder:
         key = (kind, payload, tuple(c._id for c in children))
         node = self._intern.get(key)
         if node is None:
-            self._counter += 1
-            node = CircuitNode(kind, payload, children, self._counter)
-            self._cap(self._intern, self._max_gates)
-            self._intern[key] = node
+            # the miss path serialises: gate ids must be unique (the
+            # binary memos key on id pairs, so a duplicated id would
+            # alias distinct gates), and the counter bump is a
+            # read-modify-write.  Hits above stay one lock-free dict.get.
+            with self._mutex:
+                node = self._intern.get(key)
+                if node is None:
+                    self._counter += 1
+                    node = CircuitNode(kind, payload, children, self._counter)
+                    self._cap(self._intern, self._max_gates)
+                    self._intern[key] = node
         return node
 
     # -- constructors with local simplification --------------------------------

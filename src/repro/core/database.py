@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, Mapping, Tuple
 
 from repro.core.relation import KRelation
@@ -9,7 +10,7 @@ from repro.exceptions import QueryError, SchemaError, SemiringError
 from repro.semirings.base import Semiring
 from repro.semirings.homomorphism import Homomorphism
 
-__all__ = ["KDatabase"]
+__all__ = ["KDatabase", "DatabaseSnapshot"]
 
 
 class KDatabase:
@@ -23,6 +24,19 @@ class KDatabase:
     image (:func:`repro.plan.circuit_exec.circuit_database`), and the
     materialised-view states of :mod:`repro.ivm` all check the stamp
     instead of trusting object identity conventions.
+
+    Concurrency contract (the serving layer's foundation): mutations are
+    **copy-on-write** — :meth:`add`/:meth:`update` build a fresh name →
+    relation dict and publish it with a single reference assignment, so
+    the dict bound at any instant is immutable from then on.  Writers are
+    serialised by the per-database :attr:`_lock` (an ``RLock``; the
+    incremental engine re-enters it).  Concurrent readers that need a
+    *consistent multi-relation view* must pin one via :meth:`snapshot`
+    — reading relations directly off a database while a writer races may
+    interleave two versions across lookups.  A pinned
+    :class:`DatabaseSnapshot` shares this database's encoded/circuit
+    caches and plan-cache identity, so prepared queries stay hot across
+    snapshot handoffs.
     """
 
     # _circuit_cache: lazily-attached circuit image of an N[X] database
@@ -36,12 +50,14 @@ class KDatabase:
         "_version",
         "_circuit_cache",
         "_encoded_cache",
+        "_lock",
     )
 
     def __init__(self, semiring: Semiring, relations: Mapping[str, KRelation] = ()):
         self.semiring = semiring
         self._relations: Dict[str, KRelation] = {}
         self._version = 0
+        self._lock = threading.RLock()
         for name, relation in dict(relations).items():
             self.add(name, relation)
 
@@ -50,6 +66,23 @@ class KDatabase:
         """Monotonic mutation counter: bumped by every :meth:`add`/:meth:`update`."""
         return self._version
 
+    @property
+    def root(self) -> "KDatabase":
+        """The database that owns the shared caches (self; see snapshots)."""
+        return self
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """Pin the current ``(relations, version)`` pair as an immutable view.
+
+        The returned :class:`DatabaseSnapshot` evaluates queries exactly
+        like this database but never changes: a concurrent
+        :meth:`update` publishes a *new* relations dict and leaves every
+        outstanding snapshot reading the one it captured.  Taken under
+        the writer lock, so the pair is always mutually consistent.
+        """
+        with self._lock:
+            return DatabaseSnapshot(self)
+
     def add(self, name: str, relation: KRelation) -> None:
         """Register ``relation`` under ``name`` (same semiring required)."""
         if relation.semiring is not self.semiring:
@@ -57,8 +90,11 @@ class KDatabase:
                 f"relation {name!r} is annotated in {relation.semiring.name}, "
                 f"database uses {self.semiring.name}"
             )
-        self._relations[name] = relation
-        self._version += 1
+        with self._lock:
+            relations = dict(self._relations)
+            relations[name] = relation
+            self._relations = relations
+            self._version += 1
 
     def update(
         self, deltas: "Mapping[str, KRelation] | KDatabase"
@@ -71,14 +107,23 @@ class KDatabase:
         *deletes* it — the Gupta–Mumick counting story in semiring form.
         Every named relation must already exist (use :meth:`add` to create
         tables); schemas must match.  Validation happens before the first
-        mutation, so a bad delta leaves the database untouched — the call
-        is atomic — and any non-empty update leaves :attr:`version`
-        strictly larger.
+        mutation, so a bad delta leaves the database untouched — and the
+        whole batch is published with one reference assignment under the
+        writer lock, so a reader never observes some relations updated
+        and others not.  Any non-empty update leaves :attr:`version`
+        strictly larger (one bump per batch).
         """
         from repro.core.operators import union  # local: operators import relation only
 
-        for name, delta in self.check_deltas(deltas).items():
-            self.add(name, union(self.relation(name), delta))
+        with self._lock:
+            items = self.check_deltas(deltas)
+            if not items:
+                return
+            relations = dict(self._relations)
+            for name, delta in items.items():
+                relations[name] = union(relations[name], delta)
+            self._relations = relations
+            self._version += 1
 
     def check_deltas(
         self, deltas: "Mapping[str, KRelation] | KDatabase"
@@ -142,3 +187,79 @@ class KDatabase:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<KDatabase over {self.semiring.name}: {', '.join(self.names())}>"
+
+
+class DatabaseSnapshot(KDatabase):
+    """An immutable, version-pinned view of a :class:`KDatabase`.
+
+    Captures the parent's published relations dict and version stamp at
+    construction; queries evaluate against it exactly as against the
+    parent, but a concurrent ``db.update`` never changes what this object
+    reads — that is the serving layer's snapshot-isolation contract
+    (:mod:`repro.serve`).  Mutating methods raise.
+
+    Cache identity is *shared with the parent*: :attr:`root` (the
+    plan-cache anchor of :meth:`repro.core.query.Query._cached_plan`) and
+    the ``_encoded_cache`` / ``_circuit_cache`` slots all delegate to the
+    parent database, so every snapshot of the same version reuses the
+    same compiled plans and dictionary encodings, and snapshots of later
+    versions re-encode only the tables that actually changed (the caches
+    revalidate per table by relation identity).
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, parent: KDatabase):
+        # deliberately no super().__init__: capture, don't rebuild
+        self.semiring = parent.semiring
+        self._parent = parent.root
+        self._relations = parent._relations  # published dict: never mutated
+        self._version = parent._version
+
+    @property
+    def root(self) -> KDatabase:
+        return self._parent
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        return self  # already immutable
+
+    # shared-cache delegation: the slot descriptors of KDatabase are
+    # shadowed by these properties, so code that lazily attaches a cache
+    # to "the database" lands it on the parent — one cache per lineage.
+    @property
+    def _lock(self):
+        return self._parent._lock
+
+    @property
+    def _encoded_cache(self):
+        return self._parent._encoded_cache
+
+    @_encoded_cache.setter
+    def _encoded_cache(self, value):
+        self._parent._encoded_cache = value
+
+    @property
+    def _circuit_cache(self):
+        return self._parent._circuit_cache
+
+    @_circuit_cache.setter
+    def _circuit_cache(self, value):
+        self._parent._circuit_cache = value
+
+    def add(self, name: str, relation: KRelation) -> None:
+        raise QueryError(
+            "database snapshot is read-only: mutate the parent database "
+            "(snapshots pin one published version)"
+        )
+
+    def update(self, deltas) -> None:
+        raise QueryError(
+            "database snapshot is read-only: mutate the parent database "
+            "(snapshots pin one published version)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DatabaseSnapshot v{self._version} over {self.semiring.name}: "
+            f"{', '.join(self.names())}>"
+        )

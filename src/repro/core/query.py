@@ -249,29 +249,41 @@ class Query(abc.ABC):
     def _cached_plan(self, db: KDatabase):
         """Compile (or reuse) the physical plan for this query over ``db``.
 
-        The cache keys on the database object plus its monotonic
-        :attr:`~repro.core.database.KDatabase.version` stamp: *any*
-        relation mutation (``db.add``, ``db.update``) invalidates the
-        entry, so a refreshed database never serves a plan whose scan and
-        join-build caches, cardinality estimates, or build-side choices
-        were taken against stale data.  A few databases are tracked at
-        once with true LRU eviction (:class:`repro.caching.LRUDict`), so
+        The cache keys on the database's *root* identity plus its
+        monotonic :attr:`~repro.core.database.KDatabase.version` stamp:
+        every :class:`~repro.core.database.DatabaseSnapshot` of the same
+        database at the same version shares one compiled plan (that is
+        the serving layer's prepared-query reuse), while *any* relation
+        mutation (``db.add``, ``db.update``) keys a fresh entry, so a
+        refreshed database never serves a plan whose scan and join-build
+        caches, cardinality estimates, or build-side choices were taken
+        against stale data.  A few ``(database, version)`` pairs are
+        tracked at once with true LRU eviction
+        (:class:`repro.caching.LRUDict`, itself thread-safe), so
         alternating the same prepared query between databases — e.g. the
         expanded and circuit-backed images — does not thrash the cache,
         and a query object served against many databases stays bounded.
+        Concurrent readers may both miss and compile; the plans are
+        equivalent and the last store wins.
         """
         from repro.caching import LRUDict
         from repro.plan.compiler import compile_plan  # local: plan imports core
 
-        version = db.version
-        cache = getattr(self, "_plan_cache", None)
+        root = db.root
+        key = (id(root), db.version)
+        cache = self.__dict__.get("_plan_cache")
         if cache is None:
-            cache = self._plan_cache = LRUDict(self._PLAN_CACHE_SLOTS)
-        entry = cache.get(id(db))
-        if entry is not None and entry[0] is db and entry[1] == version:
-            return entry[2]
+            # setdefault: two racing readers end up sharing one cache
+            cache = self.__dict__.setdefault(
+                "_plan_cache", LRUDict(self._PLAN_CACHE_SLOTS)
+            )
+        entry = cache.get(key)
+        # the entry anchors the root object, so id() recycling cannot
+        # alias a dead database's key to a live one
+        if entry is not None and entry[0] is root:
+            return entry[1]
         plan = compile_plan(self, db)
-        cache[id(db)] = (db, version, plan)
+        cache[key] = (root, plan)
         return plan
 
     @abc.abstractmethod

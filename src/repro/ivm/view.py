@@ -212,33 +212,40 @@ class MaterializedView:
         delete by carrying additive inverses (``KRelation.negated``).  The
         base database is updated (``db.update``) after the view state is
         patched, so view and database move in one step.
+
+        Runs under the base database's writer lock: the view transition
+        (state patch + ``db.update`` + version restamp) is one atomic
+        step with respect to other writers and to snapshot-pinning
+        readers (:meth:`repro.core.database.KDatabase.snapshot`), who see
+        either the pre- or post-delta version, never a half-applied one.
         """
         deltas = self._normalized(deltas)
-        if self.db.version != self._version:
-            raise QueryError(
-                f"base database moved from version {self._version} to "
-                f"{self.db.version} outside this view; call refresh() first"
-            )
-        # cache-key on the *effective* set (deltas to unreferenced tables
-        # are statically empty), so {"Emp"} and {"Emp", "Other"} share one
-        # compiled plan
-        plan = self._delta_plan(frozenset(deltas) & self._refs)
-        if self._circuit is not None:
-            lifted = {
-                name: lift_relation(delta, self._circuit)
-                for name, delta in deltas.items()
-            }
-            batch = plan.execute_batch(self._exec_db(), lifted)
-        else:
-            lifted = None
-            batch = plan.execute_batch(self.db, deltas)
-        if len(batch):
-            self._head.absorb(batch)
-            self._result_cache = None
-        self.db.update(deltas)
-        if lifted is not None:
-            patch_circuit_image(self.db, lifted)
-        self._version = self.db.version
+        with self.db._lock:
+            if self.db.version != self._version:
+                raise QueryError(
+                    f"base database moved from version {self._version} to "
+                    f"{self.db.version} outside this view; call refresh() first"
+                )
+            # cache-key on the *effective* set (deltas to unreferenced
+            # tables are statically empty), so {"Emp"} and {"Emp",
+            # "Other"} share one compiled plan
+            plan = self._delta_plan(frozenset(deltas) & self._refs)
+            if self._circuit is not None:
+                lifted = {
+                    name: lift_relation(delta, self._circuit)
+                    for name, delta in deltas.items()
+                }
+                batch = plan.execute_batch(self._exec_db(), lifted)
+            else:
+                lifted = None
+                batch = plan.execute_batch(self.db, deltas)
+            if len(batch):
+                self._head.absorb(batch)
+                self._result_cache = None
+            self.db.update(deltas)
+            if lifted is not None:
+                patch_circuit_image(self.db, lifted)
+            self._version = self.db.version
         return self
 
     def zero_tokens(self, *tokens: Any) -> "MaterializedView":
@@ -255,23 +262,24 @@ class MaterializedView:
                 "token zeroing patches expanded polynomial state; "
                 "circuit-mode views should refresh() after deletions"
             )
-        if self.db.version != self._version:
-            raise QueryError(
-                f"base database moved from version {self._version} to "
-                f"{self.db.version} outside this view; call refresh() first"
-            )
-        semiring = self.db.semiring
-        if not isinstance(semiring, PolynomialSemiring):
-            raise QueryError(
-                f"token zeroing needs token-based annotations; "
-                f"{semiring.name} has no tokens (use Z-annotated deltas)"
-            )
-        hom = deletion_hom(semiring, tokens)
-        for name, rel in list(self.db):
-            self.db.add(name, rel.apply_hom(hom))
-        self._head.map_annotations(hom)
-        self._result_cache = None
-        self._version = self.db.version
+        with self.db._lock:
+            if self.db.version != self._version:
+                raise QueryError(
+                    f"base database moved from version {self._version} to "
+                    f"{self.db.version} outside this view; call refresh() first"
+                )
+            semiring = self.db.semiring
+            if not isinstance(semiring, PolynomialSemiring):
+                raise QueryError(
+                    f"token zeroing needs token-based annotations; "
+                    f"{semiring.name} has no tokens (use Z-annotated deltas)"
+                )
+            hom = deletion_hom(semiring, tokens)
+            for name, rel in list(self.db):
+                self.db.add(name, rel.apply_hom(hom))
+            self._head.map_annotations(hom)
+            self._result_cache = None
+            self._version = self.db.version
         return self
 
     def refresh(self) -> "MaterializedView":
@@ -280,13 +288,15 @@ class MaterializedView:
         The reconciliation path after out-of-band mutation (anything that
         bumped ``db.version`` without going through :meth:`apply`); also
         drops the compiled delta plans so schema-preserving catalog
-        changes pick up fresh statistics.
+        changes pick up fresh statistics.  Serialised against writers by
+        the base database's lock.
         """
-        self._head = self._build_head()
-        self._delta_plans.clear()
-        self._result_cache = None
-        self._materialise()
-        self._version = self.db.version
+        with self.db._lock:
+            self._head = self._build_head()
+            self._delta_plans.clear()
+            self._result_cache = None
+            self._materialise()
+            self._version = self.db.version
         return self
 
     def _materialise(self, core_plan=None) -> None:

@@ -60,29 +60,38 @@ def circuit_database(db: KDatabase) -> Tuple[CircuitSemiring, KDatabase]:
     against the circuit database — intact.  (:mod:`repro.ivm` patches the
     image in place on incremental updates, interning only the delta's new
     gates, and restamps the cache itself.)
+
+    Runs under the database's writer lock: the image is mutable shared
+    state (one gate universe, one circuit database per lineage), so
+    concurrent readers must not interleave re-lifts — and a snapshot
+    pinned at an older version re-lifts its own tables through the same
+    serialised path.  Callers that go on to *execute* a plan should pin
+    ``circ_db.snapshot()`` before releasing (see
+    :func:`evaluate_circuit_backed`).
     """
     if db.semiring is not NX:
         raise QueryError(
             "circuit-backed execution expects an N[X]-annotated database; "
             f"got {db.semiring.name}"
         )
-    cache = getattr(db, "_circuit_cache", None)
-    if cache is None:
-        circ = CircuitSemiring(name=f"Circ[{db.semiring.name}]")
-        cache = {"semiring": circ, "db": KDatabase(circ), "sources": {}, "version": None}
-        db._circuit_cache = cache
-    elif cache["version"] == db.version:
-        return cache["semiring"], cache["db"]
-    circ = cache["semiring"]
-    circ_db: KDatabase = cache["db"]
-    sources: Dict[str, KRelation] = cache["sources"]
-    for name, rel in db:
-        if sources.get(name) is rel:
-            continue
-        circ_db.add(name, lift_relation(rel, circ))
-        sources[name] = rel
-    cache["version"] = db.version
-    return circ, circ_db
+    with db._lock:
+        cache = getattr(db, "_circuit_cache", None)
+        if cache is None:
+            circ = CircuitSemiring(name=f"Circ[{db.semiring.name}]")
+            cache = {"semiring": circ, "db": KDatabase(circ), "sources": {}, "version": None}
+            db._circuit_cache = cache
+        elif cache["version"] == db.version:
+            return cache["semiring"], cache["db"]
+        circ = cache["semiring"]
+        circ_db: KDatabase = cache["db"]
+        sources: Dict[str, KRelation] = cache["sources"]
+        for name, rel in db:
+            if sources.get(name) is rel:
+                continue
+            circ_db.add(name, lift_relation(rel, circ))
+            sources[name] = rel
+        cache["version"] = db.version
+        return circ, circ_db
 
 
 def lift_relation(rel: KRelation, circ: CircuitSemiring) -> KRelation:
@@ -121,23 +130,35 @@ def patch_circuit_image(db: KDatabase, lifted: Mapping[str, KRelation]) -> None:
     The owner of the cache layout: keep every access to
     ``db._circuit_cache`` in this module.
     """
-    cache = getattr(db, "_circuit_cache", None)
-    if cache is None:
-        return
-    from repro.core.operators import union  # local: operators import core only
+    with db._lock:
+        cache = getattr(db, "_circuit_cache", None)
+        if cache is None:
+            return
+        from repro.core.operators import union  # local: operators import core only
 
-    circ_db: KDatabase = cache["db"]
-    for name, lifted_rel in lifted.items():
-        circ_db.add(name, union(circ_db.relation(name), lifted_rel))
-        cache["sources"][name] = db.relation(name)
-    cache["version"] = db.version
+        circ_db: KDatabase = cache["db"]
+        for name, lifted_rel in lifted.items():
+            circ_db.add(name, union(circ_db.relation(name), lifted_rel))
+            cache["sources"][name] = db.relation(name)
+        cache["version"] = db.version
 
 
 def evaluate_circuit_backed(query, db: KDatabase) -> "CircuitResult":
-    """Run ``query`` over the circuit image of ``db`` (planned engine)."""
-    circ, circ_db = circuit_database(db)
-    plan = query._cached_plan(circ_db)
-    return CircuitResult(plan.execute(circ_db), circ)
+    """Run ``query`` over the circuit image of ``db`` (planned engine).
+
+    The image itself is pinned (``circ_db.snapshot()``) before the plan
+    runs, so a concurrent reader at a different version — or an
+    incremental writer grafting delta gates — rebinding the image's
+    relations cannot tear this execution.  Gate *creation* during
+    execution stays safe because the builder's interning tables are
+    thread-safe; heavy symbolic work is additionally admission-controlled
+    by the serving layer.
+    """
+    with db._lock:
+        circ, circ_db = circuit_database(db)
+        circ_snap = circ_db.snapshot()
+    plan = query._cached_plan(circ_snap)
+    return CircuitResult(plan.execute(circ_snap), circ)
 
 
 class CircuitResult:

@@ -289,15 +289,32 @@ def encoded_scan(db, name: str, rel) -> Optional[EncodedBatch]:
     encoding.  A ``None`` entry records that the table's contents
     disqualify the tier, so the O(rows) qualification scan runs once, not
     per execution.  Backend switches (tests, benchmarks) reset the cache.
+
+    Thread safety (the cache is shared across server workers, and by
+    every :class:`~repro.core.database.DatabaseSnapshot` of one lineage):
+    the *attach* — creating or replacing the whole cache dict — runs
+    under the database's lock, so racing readers converge on one shared
+    cache instead of each publishing its own.  The per-table read path is
+    deliberately lock-free: entries are immutable ``(relation, batch)``
+    pairs revalidated by relation identity, single dict reads/writes are
+    atomic under the GIL, and the worst race outcome is two readers
+    encoding the same table once each — duplicate work, never a wrong or
+    torn batch.
     """
     backend = kernels.active_backend()
     cache = getattr(db, "_encoded_cache", None)
     if cache is None or cache["backend"] != backend:
-        cache = {"backend": backend, "tables": {}}
-        try:
-            db._encoded_cache = cache
-        except AttributeError:  # a db-like object without the slot
+        lock = getattr(db, "_lock", None)
+        if lock is None:  # a db-like object without the slot
             return encode_relation(rel)
+        with lock:
+            cache = getattr(db, "_encoded_cache", None)
+            if cache is None or cache["backend"] != backend:
+                cache = {"backend": backend, "tables": {}}
+                try:
+                    db._encoded_cache = cache
+                except AttributeError:
+                    return encode_relation(rel)
     tables = cache["tables"]
     entry = tables.get(name)
     if entry is not None and entry[0] is rel:

@@ -1,0 +1,30 @@
+"""``repro.serve`` — the provenance query service.
+
+A long-lived, many-client front end over the engine: asyncio HTTP/JSON
+routing, snapshot-isolated reads off the version-stamped
+:class:`~repro.core.database.KDatabase`, a CPU worker pool with
+admission control, per-connection prepared queries, and incrementally
+maintained materialised views.  Run it::
+
+    python -m repro.serve --demo --port 8737
+
+then::
+
+    curl -s localhost:8737/query -d '{"sql": "SELECT Dept, SUM(Sal) FROM Emp GROUP BY Dept"}'
+
+See ``docs/architecture.md`` ("Serving layer") for the isolation
+contract and which caches are shared versus confined.
+"""
+
+from repro.serve.server import ProvenanceServer, ServerHandle, start_in_thread
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.workers import ServerOverloaded, WorkerPool
+
+__all__ = [
+    "ProvenanceServer",
+    "ServerHandle",
+    "ServerOverloaded",
+    "SnapshotManager",
+    "WorkerPool",
+    "start_in_thread",
+]

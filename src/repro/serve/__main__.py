@@ -1,0 +1,89 @@
+"""``python -m repro.serve`` — stand up the provenance query service.
+
+With ``--demo`` the server starts over the paper's running example (the
+Figure 1 employee/department database in ``N``), so a curl round-trip
+works immediately; without it the catalog starts empty and clients
+create tables via ``POST /relations``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.core.database import KDatabase
+from repro.core.relation import KRelation
+from repro.semirings.natural import NAT
+from repro.serve.server import ProvenanceServer
+
+
+def demo_database() -> KDatabase:
+    """The Figure 1 running example as a bag (``N``) database."""
+    employees = KRelation.from_rows(
+        NAT,
+        ("EmpId", "Dept", "Sal"),
+        [
+            ((1, "d1", 20), 1),
+            ((2, "d1", 10), 1),
+            ((3, "d1", 15), 1),
+            ((4, "d2", 10), 1),
+            ((5, "d2", 15), 1),
+        ],
+    )
+    departments = KRelation.from_rows(
+        NAT,
+        ("Dept", "Region"),
+        [(("d1", "EU"), 1), (("d2", "US"), 1)],
+    )
+    return KDatabase(NAT, {"Emp": employees, "Dept": departments})
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve SQL + materialised views over a K-database.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8737)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="CPU worker threads (default: min(8, cores))")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="queued requests before 503 backpressure")
+    parser.add_argument("--heavy-slots", type=int, default=1,
+                        help="concurrent symbolic-provenance queries")
+    parser.add_argument("--demo", action="store_true",
+                        help="preload the Figure 1 employee database")
+    args = parser.parse_args(argv)
+
+    db = demo_database() if args.demo else KDatabase(NAT)
+    server = ProvenanceServer(
+        db,
+        args.host,
+        args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        heavy_slots=args.heavy_slots,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro.serve listening on http://{server.host}:{server.port} "
+            f"(semiring {db.semiring.name}, {len(db.names())} relations, "
+            f"{server.pool.workers} workers)"
+        )
+        print(
+            "try:  curl -s "
+            f"http://{server.host}:{server.port}/query "
+            "-d '{\"sql\": \"SELECT Dept, SUM(Sal) FROM Emp GROUP BY Dept\"}'"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

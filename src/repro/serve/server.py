@@ -1,0 +1,450 @@
+"""An asyncio HTTP/JSON front end over the three-tier engine.
+
+Architecture (one process, no third-party dependencies):
+
+* the **event loop** owns connections and parsing only — every request
+  body is decoded, dispatched, and its CPU-bound work shipped to the
+  :class:`~repro.serve.workers.WorkerPool` (admission-controlled, so an
+  overloaded server answers 503 fast instead of queueing unboundedly);
+* **readers** pin a :class:`~repro.core.database.DatabaseSnapshot` from
+  the :class:`~repro.serve.snapshot.SnapshotManager` for the duration of
+  a request: the whole evaluation — plan compile, encoded kernels,
+  symbolic lowering — sees exactly one database version, and responses
+  carry that ``version`` stamp so clients can observe the isolation;
+* the **writer path** (``/update``, ``/relations``, ``/views``) is
+  serialised by one asyncio lock, folds deltas into the root database,
+  maintains every registered materialised view incrementally, and
+  publishes the next snapshot with a single reference swap;
+* **prepared queries**: each connection keeps a bounded SQL → compiled
+  :class:`~repro.core.query.Query` cache, and the query object's own
+  plan cache keys on ``(database root, version)`` — so a client reusing
+  a connection re-plans only when the database actually moved.
+
+Routes (all bodies JSON)::
+
+    GET  /health           liveness + current version
+    GET  /stats            counters, pool stats, view list
+    POST /query            {"sql", "engine"?, "mode"?, "annotations"?}
+    POST /update           {"relations": {name: {"rows": [...]}}}
+    POST /relations        {"name", "relation": {"columns", "rows"}}
+    POST /views            {"name", "sql"}
+    GET  /views/<name>     maintained view contents
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.caching import LRUDict
+from repro.core.database import KDatabase
+from repro.exceptions import ReproError
+from repro.serve.schema import (
+    BadRequest,
+    deltas_from_json,
+    parse_query_request,
+    relation_from_json,
+    relation_to_json,
+)
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.workers import ServerOverloaded, WorkerPool
+
+__all__ = ["ProvenanceServer", "ServerHandle", "start_in_thread"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Per-connection prepared-statement slots (compiled SQL ASTs).
+PREPARED_SLOTS = 64
+
+#: Largest accepted request body, a guard against memory-exhaustion abuse.
+MAX_BODY_BYTES = 16 << 20
+
+
+class ProvenanceServer:
+    """The server object: routing, snapshot handoff, view maintenance."""
+
+    def __init__(
+        self,
+        db: KDatabase,
+        host: str = "127.0.0.1",
+        port: int = 8737,
+        *,
+        workers: Optional[int] = None,
+        max_queue: int = 32,
+        heavy_slots: int = 1,
+    ):
+        self.host = host
+        self.port = port
+        self.manager = SnapshotManager(db)
+        self.pool = WorkerPool(workers=workers, max_queue=max_queue,
+                               heavy_slots=heavy_slots)
+        self._views: Dict[str, Any] = {}
+        self._writer_gate = asyncio.Lock()
+        self._stats_lock = threading.Lock()
+        self._counters = {"queries": 0, "updates": 0, "errors": 0,
+                          "rejected": 0, "connections": 0}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: "set[asyncio.Task]" = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # resolve port 0 to the bound ephemeral port
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):  # drop open keep-alive clients
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.pool.shutdown()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._count("connections")
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        prepared = LRUDict(PREPARED_SLOTS)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body, prepared)
+                keep = headers.get("connection", "").lower() != "close"
+                await self._respond(writer, status, payload, keep)
+                if not keep:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # aclose() cancels idle keep-alive connections; dropping the
+            # socket is the intended outcome, not an error
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # cancellation can also land inside this await when
+                # aclose() tears down a connection mid-drain; the socket
+                # is closed either way
+                pass
+
+    async def _read_request(
+        self, reader
+    ) -> "Optional[Tuple[str, str, Dict[str, str], bytes]]":
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            raise asyncio.LimitOverrunError("request body too large", length)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond(self, writer, status: int, payload: Any, keep: bool) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+        )
+        if status == 503:
+            head += "Retry-After: 1\r\n"
+        writer.write(head.encode("latin1") + b"\r\n" + data)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, prepared: LRUDict
+    ) -> Tuple[int, Any]:
+        try:
+            if method == "GET":
+                if path == "/health":
+                    return 200, {"status": "ok", "version": self.manager.version,
+                                 "semiring": self.manager.pin().semiring.name}
+                if path == "/stats":
+                    return 200, self.stats()
+                if path.startswith("/views/"):
+                    return await self._read_view(path[len("/views/"):])
+                return 404, {"error": f"no route GET {path}"}
+            if method == "POST":
+                try:
+                    payload = json.loads(body) if body else {}
+                except json.JSONDecodeError as exc:
+                    return 400, {"error": f"request body is not valid JSON: {exc}"}
+                if path == "/query":
+                    return await self._query(payload, prepared)
+                if path == "/update":
+                    return await self._update(payload)
+                if path == "/relations":
+                    return await self._add_relation(payload)
+                if path == "/views":
+                    return await self._create_view(payload)
+                return 404, {"error": f"no route POST {path}"}
+            return 405, {"error": f"method {method} not allowed"}
+        except ServerOverloaded as exc:
+            self._count("rejected")
+            return 503, {"error": str(exc), "retry_after": exc.retry_after}
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            # engine-level rejection of a well-formed HTTP request:
+            # unknown table, schema mismatch, symbolic comparison, ...
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            self._count("errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- read path -----------------------------------------------------------
+
+    def _prepare(self, sql: str, prepared: LRUDict):
+        query = prepared.get(sql)
+        if query is None:
+            from repro.sql.compiler import compile_sql  # local: keep startup light
+
+            query = compile_sql(sql)
+            prepared[sql] = query
+        return query
+
+    async def _query(self, payload: Any, prepared: LRUDict) -> Tuple[int, Any]:
+        req = parse_query_request(payload)
+        snap = self.manager.pin()  # the whole request reads this version
+        query = self._prepare(req["sql"], prepared)
+        # symbolic annotation arithmetic is the expensive tier: polynomial
+        # databases and circuit-mode requests go through the heavy gate
+        heavy = (
+            req["annotations"] == "circuit"
+            or snap.semiring.machine_repr is None
+        )
+
+        def work():
+            start = time.perf_counter()
+            result = query.evaluate(
+                snap,
+                mode=req["mode"],
+                engine=req["engine"],
+                annotations=req["annotations"],
+            )
+            if hasattr(result, "lower"):  # CircuitResult → canonical N[X]
+                result = result.lower()
+            encoded = relation_to_json(result)
+            encoded["elapsed_ms"] = round(
+                (time.perf_counter() - start) * 1e3, 3
+            )
+            return encoded
+
+        response = await self.pool.run(work, heavy=heavy)
+        response["version"] = snap.version
+        response["engine"] = req["engine"]
+        self._count("queries")
+        return 200, response
+
+    # -- write path ----------------------------------------------------------
+
+    async def _update(self, payload: Any) -> Tuple[int, Any]:
+        async with self._writer_gate:
+            snap = self.manager.pin()
+            deltas = deltas_from_json(snap, payload)
+            views = list(self._views.values())
+
+            def work():
+                published = self.manager.update(deltas)
+                # each view owns a private clone of the catalog; folding
+                # the same deltas keeps every clone at the same contents
+                for view in views:
+                    view.apply(deltas)
+                return published.version
+
+            version = await self.pool.run(work)
+        self._count("updates")
+        return 200, {"version": version}
+
+    async def _add_relation(self, payload: Any) -> Tuple[int, Any]:
+        if not isinstance(payload, Mapping):
+            raise BadRequest("relations request body must be a JSON object")
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("relations request: 'name' must be a string")
+        async with self._writer_gate:
+            semiring = self.manager.pin().semiring
+            relation = relation_from_json(
+                semiring, payload.get("relation"), f"relation {name!r}"
+            )
+
+            def work():
+                return self.manager.add(name, relation).version
+
+            version = await self.pool.run(work)
+        self._count("updates")
+        return 201, {"name": name, "version": version}
+
+    # -- materialised views --------------------------------------------------
+
+    async def _create_view(self, payload: Any) -> Tuple[int, Any]:
+        if not isinstance(payload, Mapping):
+            raise BadRequest("views request body must be a JSON object")
+        name = payload.get("name")
+        sql = payload.get("sql")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("views request: 'name' must be a string")
+        if not isinstance(sql, str):
+            raise BadRequest("views request: 'sql' must be a string")
+        async with self._writer_gate:
+            if name in self._views:
+                raise BadRequest(f"view {name!r} already exists")
+            snap = self.manager.pin()
+            heavy = snap.semiring.machine_repr is None
+
+            def work():
+                from repro.ivm import MaterializedView
+                from repro.sql.compiler import compile_sql
+
+                # the view maintains its own clone of the catalog
+                # (relation objects shared, never copied), so its apply()
+                # stream is confined and cannot race other views or the
+                # root — per-worker confinement instead of shared locks
+                view_db = KDatabase(snap.semiring, dict(iter(snap)))
+                return MaterializedView.create(view_db, compile_sql(sql))
+
+            view = await self.pool.run(work, heavy=heavy)
+            self._views[name] = view
+        return 201, {"name": name, "version": self.manager.version}
+
+    async def _read_view(self, name: str) -> Tuple[int, Any]:
+        view = self._views.get(name)
+        if view is None:
+            return 404, {"error": f"no view named {name!r}"}
+
+        def work():
+            with view.db._lock:  # a consistent read against concurrent apply
+                result = view.result()
+                if hasattr(result, "lower"):
+                    result = result.lower()
+                encoded = relation_to_json(result)
+                encoded["view_version"] = view.version
+            return encoded
+
+        response = await self.pool.run(work)
+        self._count("queries")
+        return 200, response
+
+    # -- stats ---------------------------------------------------------------
+
+    def _count(self, key: str) -> None:
+        with self._stats_lock:
+            self._counters[key] += 1
+
+    def stats(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            counters = dict(self._counters)
+        return {
+            "version": self.manager.version,
+            "writes": self.manager.writes,
+            "views": sorted(self._views),
+            "pool": self.pool.stats(),
+            **counters,
+        }
+
+
+# ---------------------------------------------------------------------------
+# embedding: run the server off-thread (tests, benchmarks, notebooks)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running server on a background event-loop thread."""
+
+    def __init__(self, server: ProvenanceServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(
+                self.server.aclose(), self._loop
+            ).result(timeout=10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+
+def start_in_thread(db: KDatabase, host: str = "127.0.0.1", port: int = 0,
+                    **kwargs: Any) -> ServerHandle:
+    """Start a :class:`ProvenanceServer` on a daemon thread and return a handle.
+
+    ``port=0`` binds an ephemeral port; read it back off
+    ``handle.server.port``.  The loop runs until :meth:`ServerHandle.close`.
+    """
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        server = ProvenanceServer(db, host, port, **kwargs)
+        # the server's writer gate must be created on this loop
+        loop.run_until_complete(server.start())
+        box["server"] = server
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-serve-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise RuntimeError("server failed to start within 10s")
+    return ServerHandle(box["server"], loop, thread)

@@ -1,0 +1,89 @@
+"""Snapshot handoff: one writer publishes, many readers pin.
+
+The serving layer's isolation story is deliberately small because the
+engine already did the hard part: every per-database cache (compiled
+plans, dictionary encodings, circuit gate images, view states) keys on
+the monotonic :attr:`~repro.core.database.KDatabase.version` stamp, and
+:meth:`KDatabase.update` publishes each version's relation catalog as an
+immutable dict.  :class:`SnapshotManager` adds the last inch:
+
+* :meth:`pin` hands a reader the *current*
+  :class:`~repro.core.database.DatabaseSnapshot` — a single attribute
+  read, so pinning is wait-free and never blocks on a writer;
+* :meth:`update` / :meth:`add` run the write under the manager's writer
+  mutex, then swap in a freshly-pinned snapshot with one reference
+  assignment.
+
+Every reader between two publishes therefore shares *the same* snapshot
+object: prepared-query plan caches (keyed on the root database identity
+plus version) and the dictionary-encoding cache (shared through the
+snapshot onto the root) stay hot across the handoff, and a request that
+straddles an update simply finishes on the version it pinned.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+from repro.core.database import DatabaseSnapshot, KDatabase
+from repro.core.relation import KRelation
+
+__all__ = ["SnapshotManager"]
+
+
+class SnapshotManager:
+    """Single-writer / many-reader coordinator over one :class:`KDatabase`."""
+
+    def __init__(self, db: KDatabase):
+        if isinstance(db, DatabaseSnapshot):
+            raise ValueError("SnapshotManager needs the mutable root database")
+        self._db = db
+        self._writer = threading.Lock()
+        self._current = db.snapshot()
+        self.writes = 0
+
+    @property
+    def db(self) -> KDatabase:
+        """The mutable root database (writer side only)."""
+        return self._db
+
+    @property
+    def version(self) -> int:
+        """The version of the currently-published snapshot."""
+        return self._current.version
+
+    def pin(self) -> DatabaseSnapshot:
+        """The current published snapshot (wait-free; never blocks)."""
+        return self._current
+
+    def update(self, deltas: Mapping[str, KRelation]) -> DatabaseSnapshot:
+        """Fold ``deltas`` in and publish the next snapshot atomically.
+
+        Validation-then-publish is inherited from
+        :meth:`KDatabase.update`; a bad batch raises before any reader
+        can observe a change.  Returns the newly published snapshot.
+        """
+        with self._writer:
+            self._db.update(deltas)
+            return self._publish()
+
+    def add(self, name: str, relation: KRelation) -> DatabaseSnapshot:
+        """Create/replace one relation and publish the next snapshot."""
+        with self._writer:
+            self._db.add(name, relation)
+            return self._publish()
+
+    def refresh(self) -> DatabaseSnapshot:
+        """Re-pin after out-of-band mutation of the root database."""
+        with self._writer:
+            return self._publish()
+
+    def _publish(self) -> DatabaseSnapshot:
+        snap = self._db.snapshot()
+        self._current = snap  # single reference assignment: the handoff
+        self.writes += 1
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SnapshotManager v{self.version} writes={self.writes}>"

@@ -1,0 +1,112 @@
+"""The CPU side of the server: a thread pool with admission control.
+
+Kernel work (plan execution, dictionary-encoded array kernels, circuit
+lowering) is CPU-bound Python/NumPy — running it on the asyncio event
+loop would head-of-line-block every connection.  :class:`WorkerPool`
+moves it onto a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+behind two admission gates:
+
+* a **global** gate sized ``workers + max_queue``: when that many
+  requests are already running or queued, further submissions are
+  rejected *immediately* with :class:`ServerOverloaded` (the server maps
+  it to HTTP 503 + ``Retry-After``) instead of building an unbounded
+  backlog — load-shedding backpressure, not buffering;
+* a **heavy** gate (default one slot) for symbolic-provenance work:
+  polynomial/circuit queries can be orders of magnitude more expensive
+  than concrete-semiring kernels and monopolise workers, so their
+  concurrency is capped separately and the cheap traffic keeps flowing
+  around them.  (Serialising circuit work also keeps the shared gate
+  universe contention-free — interning is thread-safe, but one writer at
+  a time is faster and predictable.)
+
+Threads (not processes) are the right pool here: the kernels release the
+GIL inside NumPy, the annotation structures are not picklable in
+general, and — decisively — the whole design leans on *shared* caches
+(encodings, plans, gate images) that processes would forfeit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["ServerOverloaded", "WorkerPool"]
+
+
+class ServerOverloaded(Exception):
+    """Admission control rejected the request; retry after backoff."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WorkerPool:
+    """Bounded thread pool + admission gates for CPU-bound request work."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_queue: int = 32,
+        heavy_slots: int = 1,
+    ):
+        import os
+
+        if workers is None:
+            workers = min(8, (os.cpu_count() or 2))
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if heavy_slots <= 0:
+            raise ValueError(f"heavy_slots must be positive, got {heavy_slots}")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._admission = threading.BoundedSemaphore(workers + max_queue)
+        self._heavy = threading.BoundedSemaphore(min(heavy_slots, workers))
+        self._stats_lock = threading.Lock()
+        self.completed = 0
+        self.rejected = 0
+        self.heavy_rejected = 0
+
+    async def run(self, fn: Callable[..., Any], *args: Any, heavy: bool = False) -> Any:
+        """Run ``fn(*args)`` on a worker thread, or raise :class:`ServerOverloaded`.
+
+        Admission is decided *before* queueing (non-blocking acquires):
+        a rejected request costs the client one round-trip, never a slot.
+        """
+        if not self._admission.acquire(blocking=False):
+            with self._stats_lock:
+                self.rejected += 1
+            raise ServerOverloaded("server at capacity: worker queue full")
+        if heavy and not self._heavy.acquire(blocking=False):
+            self._admission.release()
+            with self._stats_lock:
+                self.heavy_rejected += 1
+            raise ServerOverloaded(
+                "server at capacity: symbolic-provenance slots busy"
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(self._executor, fn, *args)
+            with self._stats_lock:
+                self.completed += 1
+            return result
+        finally:
+            if heavy:
+                self._heavy.release()
+            self._admission.release()
+
+    def stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "workers": self.workers,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "heavy_rejected": self.heavy_rejected,
+            }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)

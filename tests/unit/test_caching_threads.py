@@ -1,0 +1,181 @@
+"""Thread-safety regressions for the shared cache primitives.
+
+``LRUDict`` is the cache container behind prepared plans, encoded
+tables, and per-connection prepared SQL in the server — all of which are
+hit from worker threads concurrently.  Every LRU *lookup* is also a
+*write* (pop + reinsert to refresh recency), so the pre-fix
+implementation corrupted its OrderedDict under concurrent readers: the
+classic failure is a ``KeyError``/``RuntimeError`` out of ``move``
+bookkeeping, or a silently lost entry.  These tests hammer the container
+from many threads and assert it neither raises nor lies.
+
+The ``items()`` regression is subtler: it used to return the *iterator*
+``self._data.items()`` view, which (a) raced mutation and (b) could only
+be consumed while no other thread touched the dict.  It now returns a
+list snapshot — reusable and mutation-immune.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.caching import LRUDict
+
+THREADS = 8
+ROUNDS = 400
+
+
+def _hammer(fn):
+    """Run ``fn(worker_index)`` on THREADS threads, re-raising any error."""
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def body(i):
+        try:
+            barrier.wait()
+            fn(i)
+        except Exception as exc:  # pragma: no cover - the failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=body, args=(i,)) for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_concurrent_get_same_hot_key():
+    """N readers refreshing one key: the pop+reinsert races are the bug."""
+    cache = LRUDict(maxsize=4)
+    cache["hot"] = "value"
+
+    def reader(_i):
+        for _ in range(ROUNDS):
+            assert cache.get("hot") == "value"
+            assert cache["hot"] == "value"
+
+    _hammer(reader)
+    assert cache.get("hot") == "value"
+
+
+def test_concurrent_mixed_read_write_evict():
+    """Readers + writers + eviction pressure: no exception, bounded size."""
+    cache = LRUDict(maxsize=16)
+    for k in range(16):
+        cache[k] = k
+
+    def worker(i):
+        for r in range(ROUNDS):
+            key = (i * ROUNDS + r) % 48
+            if r % 3 == 0:
+                cache[key] = key
+            else:
+                value = cache.get(key)
+                assert value is None or value == key
+
+    _hammer(worker)
+    assert len(cache) <= 16
+    for key, value in cache.items():
+        assert key == value
+
+
+def test_concurrent_pop_is_exclusive():
+    """Each inserted key is popped by exactly one thread."""
+    cache = LRUDict(maxsize=10_000)
+    for k in range(THREADS * ROUNDS):
+        cache[k] = k
+    won = [0] * THREADS
+
+    def worker(i):
+        for k in range(THREADS * ROUNDS):
+            if cache.pop(k, None) is not None:
+                won[i] += 1
+
+    _hammer(worker)
+    assert sum(won) == THREADS * ROUNDS
+    assert len(cache) == 0
+
+
+def test_items_returns_reusable_snapshot():
+    """items() is a list: iterate it twice, and mutation can't tear it."""
+    cache = LRUDict(maxsize=8)
+    cache["a"] = 1
+    cache["b"] = 2
+    snapshot = cache.items()
+    assert list(snapshot) == [("a", 1), ("b", 2)]
+    # the regression: a one-shot view was empty on the second pass
+    assert list(snapshot) == [("a", 1), ("b", 2)]
+    cache["c"] = 3
+    assert list(snapshot) == [("a", 1), ("b", 2)]  # immune to later writes
+
+
+def test_items_snapshot_during_concurrent_writes():
+    cache = LRUDict(maxsize=32)
+    stop = threading.Event()
+
+    def writer():
+        k = 0
+        while not stop.is_set():
+            cache[k % 64] = k
+            k += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(200):
+            for key, value in cache.items():  # must never raise RuntimeError
+                assert value % 64 == key
+    finally:
+        stop.set()
+        thread.join()
+
+
+def test_iter_is_snapshot():
+    cache = LRUDict(maxsize=8)
+    cache["a"] = 1
+    cache["b"] = 2
+    keys = iter(cache)
+    cache["c"] = 3  # mutation mid-iteration must not raise
+    assert sorted(keys) == ["a", "b"]
+
+
+def test_lru_semantics_survive_the_lock():
+    """The lock must not have broken recency: get() refreshes, evict is LRU."""
+    cache = LRUDict(maxsize=2)
+    cache["a"] = 1
+    cache["b"] = 2
+    assert cache.get("a") == 1  # refresh "a"; "b" is now least recent
+    cache["c"] = 3
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    with pytest.raises(KeyError):
+        cache["b"]
+
+
+def test_circuit_builder_concurrent_interning_unique_ids():
+    """CircuitBuilder._make under contention: gate ids must stay unique.
+
+    The pre-fix hazard: a non-atomic ``_counter += 1`` plus unlocked
+    interning could hand two gates the same id, silently aliasing
+    distinct gates in the id-pair-keyed binary memo tables.
+    """
+    from repro.circuits.nodes import CircuitBuilder
+
+    builder = CircuitBuilder()
+    made = [[] for _ in range(THREADS)]
+
+    def worker(i):
+        for r in range(ROUNDS):
+            made[i].append(builder.var(f"x{i}_{r}"))
+
+    _hammer(worker)
+    gates = [g for chunk in made for g in chunk]
+    ids = [g._id for g in gates]
+    assert len(set(ids)) == len(ids), "duplicate gate ids issued under contention"
+    # interning still works across threads after the fact
+    assert builder.var("x0_0") is made[0][0]
