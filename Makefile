@@ -5,9 +5,9 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-serve bench-json bench examples
+.PHONY: check test bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-serve bench-json bench examples
 
-check: test bench-smoke serve-smoke
+check: test bench-smoke bench-parallel-smoke serve-smoke
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -39,6 +39,18 @@ bench-ivm:
 bench-vectorized:
 	$(PYPATH) $(PY) benchmarks/bench_vectorized.py
 
+# the parallel-tier gate: on the 10M-row join + group-by in N, morsel-
+# driven workers must beat the serial encoded tier >= 2.5x with 4
+# workers (enforced on >= 4 cores; smaller hosts gate correctness and a
+# no-catastrophic-overhead floor instead, and the artifact records cores)
+bench-parallel:
+	$(PYPATH) $(PY) benchmarks/bench_parallel.py
+
+# 200k rows, 2 workers, correctness + honest-sharding assertions only —
+# keeps the multiprocessing wiring green in `make check` and on CI
+bench-parallel-smoke:
+	$(PYPATH) $(PY) benchmarks/bench_parallel.py --smoke
+
 # the full serving-layer measurement (qps + p50/p99 under a live writer)
 bench-serve:
 	$(PYPATH) $(PY) benchmarks/bench_serve.py
@@ -48,6 +60,7 @@ bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
 	$(PYPATH) $(PY) benchmarks/bench_ivm.py --json BENCH_ivm.json
 	$(PYPATH) $(PY) benchmarks/bench_vectorized.py --json BENCH_vectorized.json
+	$(PYPATH) $(PY) benchmarks/bench_parallel.py --json BENCH_parallel.json
 	$(PYPATH) $(PY) benchmarks/bench_serve.py --json BENCH_serve.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the

@@ -199,6 +199,28 @@ def main() -> None:
     conn.close()
     handle.close()
 
+    # -- 10. the parallel tier: morsels across worker processes -----------
+    # Above ~200k rows (with >= 2 cores) the compiler shards the biggest
+    # scan by hash of its join/group keys and fans morsels out over a
+    # spawned worker pool — flat code + annotation arrays through shared
+    # memory, per-morsel group states merged with semiring +, results
+    # identical by construction (sharding is exact because every operator
+    # is multilinear in its inputs' annotations).  Forced here because
+    # the demo table is small; explain()'s "parallel:" line names the
+    # sharding decision and the "tier:" line what actually ran.
+    from repro.plan import set_default_workers
+
+    set_default_workers(2)
+    try:
+        parallel_plan = compile_plan(heavy, bags, tier="parallel")
+        assert parallel_plan.execute() == encoded_plan.execute()
+        print("\nthe sharded plan, after running:")
+        for line in parallel_plan.explain().splitlines():
+            if line.startswith(("tier:", "parallel:")):
+                print(f"  {line}")
+    finally:
+        set_default_workers(None)
+
 
 if __name__ == "__main__":
     main()

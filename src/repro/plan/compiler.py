@@ -30,6 +30,7 @@ exception types with near-identical messages.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Mapping, Tuple
 
 from repro.core.query import (
@@ -75,7 +76,25 @@ from repro.plan.physical import (
 from repro.core.query import AttrCompare
 from repro.core.relation import KRelation
 
-__all__ = ["PhysicalPlan", "compile_plan"]
+__all__ = ["PhysicalPlan", "compile_plan", "tier_counts"]
+
+
+# process-wide per-tier execution counters: which tier actually served
+# each execute_batch call (the serving layer reports the delta since the
+# server started, so operators can see which tier carries traffic)
+_TIER_LOCK = threading.Lock()
+_TIER_COUNTS = {"object": 0, "encoded": 0, "parallel": 0}
+
+
+def _note_tier(tier: str) -> None:
+    with _TIER_LOCK:
+        _TIER_COUNTS[tier] += 1
+
+
+def tier_counts() -> Dict[str, int]:
+    """Snapshot of how many plan executions each tier has served."""
+    with _TIER_LOCK:
+        return dict(_TIER_COUNTS)
 
 
 class PhysicalPlan:
@@ -99,6 +118,13 @@ class PhysicalPlan:
         self.tier = tier
         self._scan_cache: Dict[str, Tuple[Any, Any]] = {}
         self._last_tier: "str | None" = None
+        # parallel-tier state (filled in by compile_plan): the rewritten
+        # query workers recompile, the sharding recipe (or the honest
+        # reason there is none), and the cached job payload
+        self._working: Query = query
+        self._parallel_spec = None
+        self._parallel_reason: "str | None" = None
+        self._parallel_job = None
 
     def execute(self, db=None) -> KRelation:
         """Run the plan and return the logical result relation."""
@@ -119,19 +145,45 @@ class PhysicalPlan:
         execution only — the incremental engine uses it to run tiny
         delta batches on the object path, where array-kernel fixed costs
         cannot pay off (see :meth:`repro.ivm.delta.DeltaPlan.execute_batch`).
+
+        A ``"parallel"`` execution that cannot shard (see
+        :mod:`repro.plan.parallel`) falls back to the serial encoded
+        tier for the whole query and reports the reason via
+        ``explain()``'s ``[last run: ...]`` — mirroring how per-operator
+        ``EncodedFallback`` degrades to the object path.
         """
+        effective = tier if tier is not None else self.tier
+        run_db = db if db is not None else self.db
+        suffix = ""
+        if effective == "parallel":
+            from repro.plan import parallel as _parallel
+
+            try:
+                result, info = _parallel.execute_parallel(self, run_db)
+            except _parallel.ParallelFallback as exc:
+                suffix = f" (parallel fallback: {exc})"
+                effective = "encoded"
+            else:
+                self._last_tier = (
+                    f"parallel ({info.workers} workers × {info.morsels} "
+                    f"morsels, {info.backend})"
+                )
+                _note_tier("parallel")
+                return result
         ctx = ExecutionContext(
-            db if db is not None else self.db,
+            run_db,
             self._scan_cache,
-            encoded=(tier if tier is not None else self.tier) == "encoded",
+            encoded=effective == "encoded",
         )
         result = self.root.execute(ctx)
         if ctx.used_encoded:
             self._last_tier = (
                 "encoded+object fallback" if ctx.fell_back else "encoded"
-            )
+            ) + suffix
+            _note_tier("encoded")
         else:
-            self._last_tier = "object"
+            self._last_tier = "object" + suffix
+            _note_tier("object")
         if isinstance(result, EncodedBatch):
             result = result.to_columnar()
         return result
@@ -154,7 +206,13 @@ class PhysicalPlan:
             )
         else:
             lines.append("annotations: expanded (canonical semiring values)")
-        if self.tier == "encoded":
+        if self.tier == "parallel":
+            tier = (
+                "tier: parallel (morsel-driven workers over dictionary "
+                f"codes + {kernels.active_backend()} kernels; whole-query "
+                "fallback to serial encoded)"
+            )
+        elif self.tier == "encoded":
             tier = (
                 f"tier: encoded (dictionary codes + {kernels.active_backend()} "
                 "kernels; per-operator object fallback)"
@@ -164,6 +222,28 @@ class PhysicalPlan:
         if self._last_tier is not None:
             tier += f"  [last run: {self._last_tier}]"
         lines.append(tier)
+        if self.tier == "parallel":
+            from repro.plan import parallel as _parallel
+
+            spec = self._parallel_spec
+            if spec is not None:
+                workers = max(1, _parallel.effective_workers())
+                morsels = max(2, workers * _parallel.MORSELS_PER_WORKER)
+                driver = spec.scans[spec.driver_pos]
+                partition = (
+                    "hash(" + ", ".join(spec.partition_attrs) + ")"
+                    if spec.partition_attrs
+                    else "contiguous chunks"
+                )
+                lines.append(
+                    f"parallel: {workers} workers × {morsels} morsels "
+                    f"(driver: Scan {driver.name}, partition: {partition})"
+                )
+            else:
+                lines.append(
+                    f"parallel: unavailable — {self._parallel_reason}; "
+                    "runs serial encoded"
+                )
         _render(self.root, "", "", lines)
         return "\n".join(lines)
 
@@ -194,14 +274,20 @@ def compile_plan(
     to pin plan shapes before/after pushdown).
 
     ``tier`` selects the execution tier: ``None`` (default) auto-selects —
-    the dictionary-encoded machine-scalar tier whenever the database's
-    semiring declares a :class:`~repro.semirings.base.MachineRepr` and the
-    query compiled statically (no interpreter fallback), the boxed object
-    path otherwise.  Pass ``"object"`` to pin the boxed path (benchmark
-    baselines, A/B tests) or ``"encoded"`` to insist on the encoded scan
-    path for a qualifying semiring.
+    the morsel-driven parallel tier when the semiring declares a
+    :class:`~repro.semirings.base.MachineRepr`, the query shards
+    (:func:`repro.plan.parallel.analyze_plan`), at least two workers are
+    configured and some base table reaches
+    :data:`repro.plan.parallel.PARALLEL_MIN_ROWS`; else the
+    dictionary-encoded machine-scalar tier whenever the semiring
+    qualifies and the query compiled statically (no interpreter
+    fallback); the boxed object path otherwise.  Pass ``"object"`` to pin
+    the boxed path (benchmark baselines, A/B tests), ``"encoded"`` to
+    insist on the serial encoded path, or ``"parallel"`` to insist on
+    sharded execution regardless of size (executions that cannot shard
+    fall back to serial encoded per query, honestly reported).
     """
-    if tier not in (None, "object", "encoded"):
+    if tier not in (None, "object", "encoded", "parallel"):
         raise QueryError(f"unknown execution tier {tier!r}")
     catalog = {name: rel.schema for name, rel in db}
     sizes = {name: len(rel) for name, rel in db}
@@ -215,18 +301,49 @@ def compile_plan(
         root = _compile(working, catalog, sizes)
     except _CannotCompile:
         root = Fallback(working, None, 0)
+    machine_ok = db.semiring.machine_repr is not None
+    qualifies = machine_ok and not isinstance(root, Fallback)
+    parallel_spec = None
+    parallel_reason: "str | None" = None
+    if tier in (None, "parallel"):
+        if not machine_ok:
+            parallel_reason = "semiring declares no machine representation"
+        elif not qualifies:
+            parallel_reason = "query needs the interpreter fallback"
+        else:
+            from repro.plan import parallel as _parallel
+
+            try:
+                parallel_spec = _parallel.analyze_plan(root)
+            except _parallel.ParallelFallback as exc:
+                parallel_reason = str(exc)
     if tier is None:
-        qualifies = (
-            db.semiring.machine_repr is not None
-            and not isinstance(root, Fallback)
-        )
-        tier = "encoded" if qualifies else "object"
-    elif tier == "encoded" and db.semiring.machine_repr is None:
+        if qualifies and parallel_spec is not None:
+            from repro.plan import parallel as _parallel
+
+            biggest = max((s.est_rows for s in parallel_spec.scans), default=0)
+            if (
+                _parallel.effective_workers() >= 2
+                and biggest >= _parallel.PARALLEL_MIN_ROWS
+            ):
+                tier = "parallel"
+        if tier is None:
+            tier = "encoded" if qualifies else "object"
+    elif tier == "encoded" and not machine_ok:
         raise QueryError(
             f"semiring {db.semiring.name} declares no machine representation; "
             "the encoded tier needs one (omit tier to auto-select)"
         )
-    return PhysicalPlan(root, db, query, tier)
+    elif tier == "parallel" and not machine_ok:
+        raise QueryError(
+            f"semiring {db.semiring.name} declares no machine representation; "
+            "the parallel tier runs encoded kernels (omit tier to auto-select)"
+        )
+    plan = PhysicalPlan(root, db, query, tier)
+    plan._working = working
+    plan._parallel_spec = parallel_spec
+    plan._parallel_reason = parallel_reason
+    return plan
 
 
 # ---------------------------------------------------------------------------

@@ -51,6 +51,7 @@ __all__ = [
     "EncodedFallback",
     "encode_relation",
     "encoded_scan",
+    "slice_batch",
 ]
 
 #: Mixed-radix code combination must stay inside int64.
@@ -322,6 +323,31 @@ def encoded_scan(db, name: str, rel) -> Optional[EncodedBatch]:
     batch = encode_relation(rel)
     tables[name] = (rel, batch)
     return batch
+
+
+def slice_batch(batch: EncodedBatch, start: int, stop: int) -> EncodedBatch:
+    """The rows ``[start:stop)`` of ``batch`` as a new batch.
+
+    This is the morsel cut of the parallel tier: every column keeps its
+    *dictionary* (values + index) untouched and only the code array is
+    sliced — a NumPy view, or an O(rows) list slice on the pure-Python
+    backend — so morsels never re-encode anything and codes stay
+    translatable against batches sliced from the same table.
+    ``anns_one`` and ``ann_bound`` remain valid for any subset of rows.
+    """
+    cols: Dict[str, Any] = {}
+    for attr in batch.schema.attributes:
+        col = batch.col(attr)
+        cols[attr] = EncodedColumn(col.codes[start:stop], col.values, col.index)
+    return EncodedBatch(
+        batch.semiring,
+        batch.schema,
+        batch.np,
+        cols,
+        batch.anns[start:stop],
+        batch.anns_one,
+        batch.ann_bound,
+    )
 
 
 # ---------------------------------------------------------------------------

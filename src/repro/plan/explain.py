@@ -26,12 +26,22 @@ __all__ = ["explain"]
 
 
 def explain(
-    query: Query, db, *, rewrite: bool = True, annotations: str = "expanded"
+    query: Query,
+    db,
+    *,
+    rewrite: bool = True,
+    annotations: str = "expanded",
+    tier: "str | None" = None,
 ) -> str:
     """Compile ``query`` against ``db`` and render the chosen plan.
 
     ``annotations`` mirrors ``Query.evaluate``: pass ``"circuit"`` to see
     the plan the circuit-backed execution would run (same operator tree,
     annotation arithmetic over shared gates instead of expanded values).
+    ``tier`` mirrors :func:`compile_plan` — pass ``"parallel"`` to see the
+    sharding decision (``parallel:`` line) for a query the row threshold
+    would not auto-select.
     """
-    return compile_plan(query, db, rewrite=rewrite).explain(annotations=annotations)
+    return compile_plan(query, db, rewrite=rewrite, tier=tier).explain(
+        annotations=annotations
+    )

@@ -35,6 +35,7 @@ __all__ = [
     "HAVE_NUMPY",
     "active_backend",
     "available_backends",
+    "forced_backend",
     "numpy_or_none",
     "set_backend",
     "reduce_by_key",
@@ -64,6 +65,16 @@ def set_backend(name: Optional[str]) -> None:
 
 def available_backends() -> Tuple[str, ...]:
     return ("numpy", "python") if HAVE_NUMPY else ("python",)
+
+
+def forced_backend() -> Optional[str]:
+    """The forced backend (``set_backend``/env), or ``None`` when auto.
+
+    Spawned worker processes re-import this module from scratch, so a
+    parent's :func:`set_backend` call would otherwise be lost — the
+    parallel tier snapshots this and replays it in its pool initializer.
+    """
+    return _FORCED
 
 
 def active_backend() -> str:

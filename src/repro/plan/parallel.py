@@ -1,0 +1,990 @@
+"""Morsel-driven shard-parallel execution of encoded plans.
+
+The encoded tier (:mod:`repro.plan.encoded`) made concrete-semiring
+execution a matter of array kernels over dictionary codes and flat
+machine-scalar annotation arrays; this module runs those kernels across
+a ``multiprocessing`` worker pool.  The algebra makes sharding exact by
+construction:
+
+* every allowed operator (σ, Π, ρ, join, union, the grouped-aggregate
+  root) is **multilinear in the annotations**, so partitioning the rows
+  of one designated base table — the *driver*, the largest scan — into
+  morsels and summing the per-morsel results with ``+_K`` is the
+  identity ``f(Σ_m A_m) = Σ_m f(A_m)``;
+* the group-by merge **is semiring union**: partial per-group states
+  (raw annotation totals plus ``value -> scalar`` tensor entries) from
+  different morsels combine with the same ``+_K``/``sum_many`` kernels
+  the serial tier uses, and only then become tensors and ``delta``
+  annotations — exactly the serial tail
+  (:meth:`~repro.plan.physical.GroupedAggregate.finish_groups`).
+
+What actually crosses the process boundary is *flat arrays, never
+tuples*: under the NumPy backend each base table's code arrays and
+annotation array are published once into
+:mod:`multiprocessing.shared_memory` blocks (cached on the database next
+to the encoding cache, invalidated by relation identity), the driver
+pre-ordered by ``hash(partition-key codes) % morsels`` so each morsel is
+one contiguous ``[start:stop)`` slice (:func:`repro.plan.encoded.slice_batch`
+— dictionaries untouched, codes a view).  Column *dictionaries* ship
+selectively: a static analysis marks the attributes whose decoded values
+any operator can touch (condition attributes, join keys, group/aggregate
+attributes, everything decoded at the root) and only those value lists
+travel in the (per-plan cached) job spec; unmarked high-cardinality
+dictionaries are replaced by opaque placeholders that abort the worker —
+and the whole query falls back to serial — if the analysis ever missed a
+read.  The pure-Python backend ships chunked code/annotation lists in
+the job spec instead; same protocol, no shared memory.
+
+Fallback is **whole-query and honest**: anything the analysis rejects
+(difference, nested or whole aggregation, δ on the driver path), a table
+that disqualifies encoding, a worker error, or the aggregated int64
+overflow guard raises :class:`ParallelFallback` and the plan re-runs on
+the serial encoded tier — which reproduces the serial result *and* the
+serial error behaviour exactly, so the parallel tier changes wall-clock,
+never an annotation.  Overflow semantics match the serial tier because
+the per-morsel ``ann_bound``/row counts are aggregated **before any
+merge** (:func:`check_merged_reduction_bound`): when the serial encoded
+tier would have refused the int64 reduction, the parallel tier refuses
+too, instead of succeeding on morsels small enough to stay in range.
+
+Union needs one care: ``f(A ∪ B)`` is linear in *each* operand but the
+non-driver branch must contribute **once**, not once per morsel — scans
+that reach the driver path through the non-driver side of a union are
+seeded with their full table in morsel 0 and an empty slice everywhere
+else (every allowed operator maps empty inputs to empty outputs, so the
+branch vanishes from the other morsels).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.schema import Schema
+from repro.plan import encoded as enc
+from repro.plan import kernels
+from repro.plan.columnar import ColumnarKRelation
+from repro.plan.physical import (
+    DistinctStage,
+    ExecutionContext,
+    FusedPipeline,
+    GroupedAggregate,
+    HashJoin,
+    ProjectStage,
+    RenameStage,
+    Scan,
+    SelectStage,
+    UnionAll,
+)
+
+__all__ = [
+    "MORSELS_PER_WORKER",
+    "PARALLEL_MIN_ROWS",
+    "ParallelFallback",
+    "ParallelSpec",
+    "admission_weight",
+    "analyze_plan",
+    "check_merged_reduction_bound",
+    "effective_workers",
+    "execute_parallel",
+    "set_default_workers",
+    "shutdown_pools",
+]
+
+#: Auto-select the parallel tier only when some base table reaches this
+#: many rows — below it, pool dispatch + merge overhead cannot pay off.
+PARALLEL_MIN_ROWS = 200_000
+
+#: Morsels per worker: >1 so hash-skewed morsels rebalance across the
+#: pool instead of serialising behind the largest shard.
+MORSELS_PER_WORKER = 2
+
+#: Process-wide override set by :func:`set_default_workers` (tests,
+#: benchmarks); ``None`` defers to ``REPRO_PARALLEL_WORKERS`` / cores.
+_DEFAULT_WORKERS: Optional[int] = None
+
+
+class ParallelFallback(Exception):
+    """This execution cannot (or should not) run sharded; the plan falls
+    back to the serial encoded tier for the *whole* query — the parallel
+    analogue of the per-operator :class:`~repro.plan.encoded.EncodedFallback`."""
+
+
+class _WorkerValuesUnavailable(Exception):
+    """A worker touched a dictionary the value analysis did not ship."""
+
+
+def set_default_workers(n: Optional[int]) -> None:
+    """Force the worker count (``None`` restores env/core auto-detection).
+
+    Takes effect per execution; pools for other counts stay warm."""
+    global _DEFAULT_WORKERS
+    if n is not None and n < 1:
+        raise ValueError(f"worker count must be positive, got {n}")
+    _DEFAULT_WORKERS = n
+
+
+def effective_workers() -> int:
+    """The worker count the next parallel execution will use:
+    :func:`set_default_workers` override, then ``REPRO_PARALLEL_WORKERS``,
+    then ``min(4, cpu_count)``."""
+    if _DEFAULT_WORKERS is not None:
+        return _DEFAULT_WORKERS
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env:
+        try:
+            n = int(env)
+            if n >= 1:
+                return n
+        except ValueError:
+            pass
+    return min(4, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# static analysis: can this plan shard, and what must ship?
+# ---------------------------------------------------------------------------
+
+
+class ParallelSpec:
+    """The compile-time sharding recipe for one physical plan.
+
+    ``scans`` lists the plan's :class:`Scan` nodes in preorder (the
+    worker recompiles the same query and re-derives the identical list,
+    so scan *positions* are the cross-process node identity); ``modes``
+    aligns with it: ``"driver"`` (sliced per morsel), ``"full"``
+    (replicated — sound because the scan reaches the driver path through
+    a bilinear join), or ``"once"`` (non-driver side of a union on the
+    driver path: full table in morsel 0, empty elsewhere).
+    ``value_attrs`` maps table name → attributes whose dictionary values
+    must ship; ``partition_attrs`` are the driver attributes hashed into
+    morsel assignments (join/group keys — co-partitioning keeps a group's
+    rows in one morsel so the merge stays near-linear).
+    """
+
+    __slots__ = ("scans", "modes", "driver_pos", "kind", "partition_attrs", "value_attrs")
+
+    def __init__(self, scans, modes, driver_pos, kind, partition_attrs, value_attrs):
+        self.scans = scans
+        self.modes = modes
+        self.driver_pos = driver_pos
+        self.kind = kind
+        self.partition_attrs = partition_attrs
+        self.value_attrs = value_attrs
+
+
+def _check_shape(node, is_root: bool) -> None:
+    if isinstance(node, Scan):
+        return
+    if isinstance(node, FusedPipeline):
+        for stage in node.stages:
+            if not isinstance(
+                stage, (SelectStage, ProjectStage, RenameStage, DistinctStage)
+            ):
+                raise ParallelFallback(
+                    f"stage {stage.describe()} is not shard-parallelizable"
+                )
+        _check_shape(node.children[0], False)
+        return
+    if isinstance(node, (HashJoin, UnionAll)):
+        for child in node.children:
+            _check_shape(child, False)
+        return
+    if isinstance(node, GroupedAggregate):
+        if not is_root:
+            raise ParallelFallback("nested grouped aggregation")
+        if not node.group_attributes:
+            raise ParallelFallback("empty grouping key")
+        _check_shape(node.children[0], False)
+        return
+    raise ParallelFallback(
+        f"operator {type(node).__name__} does not shard-parallelize"
+    )
+
+
+def _containing(node, driver, acc: Set[int]) -> bool:
+    found = node is driver
+    for child in node.children:
+        if _containing(child, driver, acc):
+            found = True
+    if found:
+        acc.add(id(node))
+    return found
+
+
+def _assign_modes(node, mode: str, containing: Set[int], out: List[Tuple[Any, str]]):
+    if isinstance(node, Scan):
+        out.append((node, mode))
+        return
+    if mode == "driver" and id(node) in containing:
+        if isinstance(node, FusedPipeline):
+            if any(isinstance(s, DistinctStage) for s in node.stages):
+                # δ is not linear: duplicates of one row split across
+                # morsels would each map through delta before the merge
+                raise ParallelFallback("δ on the driver path")
+            _assign_modes(node.children[0], "driver", containing, out)
+        elif isinstance(node, HashJoin):
+            for child in node.children:
+                child_mode = "driver" if id(child) in containing else "full"
+                _assign_modes(child, child_mode, containing, out)
+        elif isinstance(node, UnionAll):
+            for child in node.children:
+                child_mode = "driver" if id(child) in containing else "once"
+                _assign_modes(child, child_mode, containing, out)
+        else:  # GroupedAggregate root
+            _assign_modes(node.children[0], "driver", containing, out)
+        return
+    for child in node.children:
+        _assign_modes(child, mode, containing, out)
+
+
+def _needed_values(node, needed: Set[str], acc: Dict[str, Set[str]]) -> None:
+    """Top-down propagation of 'whose decoded values can execution read'."""
+    if isinstance(node, Scan):
+        acc.setdefault(node.name, set()).update(
+            a for a in needed if a in node.schema
+        )
+        return
+    if isinstance(node, FusedPipeline):
+        current = set(needed)
+        for stage in reversed(node.stages):
+            if isinstance(stage, RenameStage):
+                inverse = {new: old for old, new in stage.mapping.items()}
+                current = {inverse.get(a, a) for a in current}
+            elif isinstance(stage, SelectStage):
+                current.update(
+                    a for c in stage.conditions for a in c.attributes()
+                )
+            # Project/Distinct read codes only (consolidation is per
+            # combined code key), so they add no value needs
+        _needed_values(node.children[0], current, acc)
+        return
+    if isinstance(node, HashJoin):
+        left, right = node.children
+        lneed = {a for a in needed if a in left.schema} | set(node.left_keys)
+        rneed = {a for a in needed if a in right.schema} | set(node.right_keys)
+        _needed_values(left, lneed, acc)
+        _needed_values(right, rneed, acc)
+        return
+    if isinstance(node, UnionAll):
+        # the encoded union merges both sides' dictionaries for any
+        # column read downstream; conservatively ship every attribute
+        everything = set(node.schema.attributes)
+        for child in node.children:
+            _needed_values(child, everything, acc)
+        return
+    if isinstance(node, GroupedAggregate):
+        need = set(node.group_attributes) | set(node.aggregations)
+        _needed_values(node.children[0], need, acc)
+        return
+    raise ParallelFallback(
+        f"operator {type(node).__name__} does not shard-parallelize"
+    )
+
+
+def analyze_plan(root) -> ParallelSpec:
+    """Decide whether ``root`` shards and build its :class:`ParallelSpec`;
+    raises :class:`ParallelFallback` (with the honest reason) otherwise."""
+    _check_shape(root, True)
+    assigned: List[Tuple[Any, str]] = []
+    # a provisional walk just to find the scans / the driver
+    scans: List[Any] = []
+    _collect_scans(root, scans)
+    if not scans:
+        raise ParallelFallback("no base-table scan to shard")
+    driver_pos = max(range(len(scans)), key=lambda i: scans[i].est_rows)
+    driver = scans[driver_pos]
+    containing: Set[int] = set()
+    _containing(root, driver, containing)
+    _assign_modes(root, "driver", containing, assigned)
+    if [s for s, _m in assigned] != scans:  # pragma: no cover - invariant
+        raise ParallelFallback("scan walk order diverged")
+    modes = [m for _s, m in assigned]
+
+    if isinstance(root, GroupedAggregate):
+        kind = "group"
+        value_needs: Dict[str, Set[str]] = {}
+        _needed_values(root, set(), value_needs)
+    else:
+        kind = "spju"
+        value_needs = {}
+        _needed_values(root, set(root.schema.attributes), value_needs)
+
+    interesting: Set[str] = set()
+    _collect_keys(root, interesting)
+    partition_attrs = tuple(
+        a for a in driver.schema.attributes if a in interesting
+    )
+    value_attrs = {name: frozenset(attrs) for name, attrs in value_needs.items()}
+    return ParallelSpec(scans, modes, driver_pos, kind, partition_attrs, value_attrs)
+
+
+def _collect_scans(node, out: List[Any]) -> None:
+    if isinstance(node, Scan):
+        out.append(node)
+    for child in node.children:
+        _collect_scans(child, out)
+
+
+def _collect_keys(node, acc: Set[str]) -> None:
+    if isinstance(node, HashJoin) and node.kind != "cross":
+        acc.update(node.left_keys)
+        acc.update(node.right_keys)
+    if isinstance(node, GroupedAggregate):
+        acc.update(node.group_attributes)
+    for child in node.children:
+        _collect_keys(child, acc)
+
+
+# ---------------------------------------------------------------------------
+# the aggregated int64 overflow guard
+# ---------------------------------------------------------------------------
+
+
+def check_merged_reduction_bound(np, machine, total_rows: int, bound: int) -> None:
+    """Refuse the sharded grouped reduction when the *serial* encoded tier
+    would have refused it.
+
+    Mirrors :func:`repro.plan.encoded.check_reduction_bound` over the
+    aggregate of all morsels — total pre-aggregation rows × the worst
+    per-morsel ``ann_bound`` — and runs **before any merge**: each morsel
+    alone may fit int64 comfortably, but matching serial semantics means
+    falling back exactly when ``rows * ann_bound`` of the whole input
+    would leave int64.  (The merge itself runs in exact Python ints, so
+    this guard exists for tier-decision parity, not correctness.)
+    """
+    if np is None or machine is None or machine.dtype != "int64":
+        return
+    if max(1, total_rows) * max(1, bound) > enc._INT64_MAX:
+        raise ParallelFallback("int64 reduction bound exceeded across morsels")
+
+
+# ---------------------------------------------------------------------------
+# worker pools (spawned once per (workers, backend), kept warm)
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[Tuple[int, str], Any] = {}
+_POOL_LOCK = threading.Lock()
+_JOB_IDS = itertools.count(1)
+_SHM_BLOCKS: List[Any] = []
+
+
+def _pool_init(backend: str) -> None:
+    """Runs in each spawned worker before any task: re-pin the parent's
+    kernel backend.  Spawned children re-import :mod:`repro.plan.kernels`
+    from scratch, so a parent's ``set_backend("python")`` (or env
+    override) would otherwise silently revert to NumPy auto-detection."""
+    kernels.set_backend(backend)
+
+
+def _worker_backend() -> str:
+    """Probe used by tests: the backend a pool worker actually runs."""
+    return kernels.active_backend()
+
+
+def _get_pool(workers: int, backend: str):
+    key = (workers, backend)
+    pool = _POOLS.get(key)
+    if pool is None:
+        with _POOL_LOCK:
+            pool = _POOLS.get(key)
+            if pool is None:
+                import multiprocessing as mp
+
+                ctx = mp.get_context("spawn")
+                pool = ctx.Pool(
+                    processes=workers, initializer=_pool_init, initargs=(backend,)
+                )
+                _POOLS[key] = pool
+    return pool
+
+
+def _drop_pool(workers: int, backend: str) -> None:
+    with _POOL_LOCK:
+        pool = _POOLS.pop((workers, backend), None)
+    if pool is not None:
+        pool.terminate()
+
+
+def shutdown_pools() -> None:
+    """Terminate every warm worker pool (atexit, and available to tests)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+
+
+def _unlink_shm() -> None:
+    for shm in _SHM_BLOCKS:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+    _SHM_BLOCKS.clear()
+
+
+atexit.register(_unlink_shm)
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# publishing tables (parent side)
+# ---------------------------------------------------------------------------
+
+
+def _publish_array(np, arr) -> Tuple[Any, Dict[str, Any]]:
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    _SHM_BLOCKS.append(shm)
+    return shm, {"shm": shm.name, "n": int(arr.shape[0]), "dtype": str(arr.dtype)}
+
+
+def _release_blocks(blocks) -> None:
+    for shm in blocks:
+        try:
+            _SHM_BLOCKS.remove(shm)
+        except ValueError:
+            pass
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+
+def _chunk_bounds(n: int, morsels: int) -> List[Tuple[int, int]]:
+    step = -(-n // morsels) if n else 0
+    bounds = []
+    pos = 0
+    for _ in range(morsels):
+        nxt = min(n, pos + step)
+        bounds.append((pos, nxt))
+        pos = nxt
+    return bounds
+
+
+def _partition_order(batch, attrs: Tuple[str, ...], morsels: int):
+    """Stable reorder of the driver by ``hash(key codes) % morsels``.
+
+    Returns ``(order, bounds)`` — ``order`` is ``None`` when rows stay in
+    place (no usable key: contiguous chunking, equally exact because any
+    row partition is)."""
+    n = len(batch)
+    np = batch.np
+    if n == 0 or morsels <= 1 or not attrs:
+        return None, _chunk_bounds(n, morsels)
+    try:
+        keys = enc.combine_codes([batch.col(a) for a in attrs], np)
+    except enc.EncodedFallback:
+        return None, _chunk_bounds(n, morsels)
+    if np is not None:
+        assign = keys % morsels
+        order = np.argsort(assign, kind="stable")
+        sorted_assign = assign[order]
+        edges = np.searchsorted(sorted_assign, np.arange(morsels + 1))
+        bounds = [
+            (int(edges[i]), int(edges[i + 1])) for i in range(morsels)
+        ]
+        return order, bounds
+    assign = [k % morsels for k in keys]
+    counts = [0] * morsels
+    for a in assign:
+        counts[a] += 1
+    starts = [0] * morsels
+    pos = 0
+    bounds = []
+    for m in range(morsels):
+        starts[m] = pos
+        bounds.append((pos, pos + counts[m]))
+        pos += counts[m]
+    order = [0] * n
+    for i, a in enumerate(assign):
+        order[starts[a]] = i
+        starts[a] += 1
+    return order, bounds
+
+
+def _table_payload(batch, np, order=None):
+    """The shippable form of one table: shm refs (NumPy) or plain lists
+    (pure Python) for codes + annotations; values attach at job build."""
+    blocks: List[Any] = []
+    cols: Dict[str, Dict[str, Any]] = {}
+    for attr in batch.schema.attributes:
+        col = batch.col(attr)
+        if np is not None:
+            codes = col.codes if order is None else col.codes[order]
+            shm, ref = _publish_array(np, codes)
+            blocks.append(shm)
+        else:
+            codes = (
+                list(col.codes)
+                if order is None
+                else list(map(col.codes.__getitem__, order))
+            )
+            ref = codes
+        cols[attr] = {"codes": ref, "n_values": len(col.values)}
+    if np is not None:
+        anns = batch.anns if order is None else batch.anns[order]
+        shm, aref = _publish_array(np, anns)
+        blocks.append(shm)
+    else:
+        aref = (
+            list(batch.anns)
+            if order is None
+            else list(map(batch.anns.__getitem__, order))
+        )
+    spec = {
+        "attrs": tuple(batch.schema.attributes),
+        "cols": cols,
+        "anns": aref,
+        "anns_one": batch.anns_one,
+        "ann_bound": batch.ann_bound,
+    }
+    return spec, blocks
+
+
+def _cached_table_payload(db, name, rel, batch, np, partition):
+    """Per-database cache of published tables (NumPy backend), living next
+    to the encoding cache so every snapshot of one lineage shares it and
+    relation identity invalidates it.  ``partition`` is ``None`` for
+    replicated tables or ``(morsels, attrs)`` for the driver's
+    pre-partitioned image."""
+    if np is None:
+        order = None
+        if partition is not None:
+            order, bounds = _partition_order(batch, partition[1], partition[0])
+        else:
+            bounds = None
+        spec, _blocks = _table_payload(batch, np, order)
+        return spec, bounds
+    cache = getattr(db, "_encoded_cache", None)
+    images = None
+    if isinstance(cache, dict) and cache.get("backend") == "numpy":
+        images = cache.setdefault("parallel_images", {})
+    key = (name, partition)
+    if images is not None:
+        entry = images.get(key)
+        if entry is not None and entry[0] is rel:
+            return entry[1], entry[2]
+    order = None
+    bounds = None
+    if partition is not None:
+        order, bounds = _partition_order(batch, partition[1], partition[0])
+    spec, blocks = _table_payload(batch, np, order)
+    if images is not None:
+        entry = images.get(key)
+        if entry is not None:
+            _release_blocks(entry[3])
+        images[key] = (rel, spec, bounds, blocks)
+    return spec, bounds
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class _OpaqueValues:
+    """Stand-in for a dictionary the analysis chose not to ship; only its
+    length is usable (radix computations) — any value read aborts the
+    worker, and the query falls back to serial."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i):
+        raise _WorkerValuesUnavailable("column dictionary was not shipped")
+
+    def __iter__(self):
+        raise _WorkerValuesUnavailable("column dictionary was not shipped")
+
+
+class _OpaqueIndex:
+    """Raising twin of the ``value -> code`` index (a silently-empty dict
+    here would turn a missed analysis case into wrong results instead of
+    a fallback)."""
+
+    __slots__ = ()
+
+    def get(self, *args):
+        raise _WorkerValuesUnavailable("column index was not shipped")
+
+    def __getitem__(self, key):
+        raise _WorkerValuesUnavailable("column index was not shipped")
+
+    def __contains__(self, key):
+        raise _WorkerValuesUnavailable("column index was not shipped")
+
+
+#: Per-worker cache of unpacked jobs: repeated executions of the same
+#: plan reuse attached shm views / unpickled tables across calls.
+_WORKER_JOBS: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+_WORKER_JOB_CAP = 4
+
+
+def _attach_shm(name: str):
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track=; suppress the tracker's
+        # registration instead — the parent owns every block's lifetime,
+        # and a worker registering an attach would make the (shared)
+        # resource tracker try to unlink, or complain about, blocks that
+        # were never the worker's to clean up
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _attach_array(ref, np, shms: List[Any]):
+    if isinstance(ref, dict):
+        shm = _attach_shm(ref["shm"])
+        shms.append(shm)
+        return np.ndarray((ref["n"],), dtype=np.dtype(ref["dtype"]), buffer=shm.buf)
+    return ref
+
+
+def _rebuild_batch(semiring, tspec, values_by_attr, np, shms):
+    cols: Dict[str, Any] = {}
+    for attr in tspec["attrs"]:
+        cspec = tspec["cols"][attr]
+        codes = _attach_array(cspec["codes"], np, shms)
+        values = values_by_attr.get(attr)
+        if values is None:
+            values = _OpaqueValues(cspec["n_values"])
+            index: Any = _OpaqueIndex()
+        else:
+            index = {v: i for i, v in enumerate(values)}
+        cols[attr] = enc.EncodedColumn(codes, values, index)
+    anns = _attach_array(tspec["anns"], np, shms)
+    return enc.EncodedBatch(
+        semiring,
+        Schema(tspec["attrs"]),
+        np,
+        cols,
+        anns,
+        tspec["anns_one"],
+        tspec["ann_bound"],
+    )
+
+
+def _close_job(state) -> None:
+    for shm in state.get("shms", ()):
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def _load_job(blob: bytes) -> Dict[str, Any]:
+    from repro.plan.compiler import _compile
+
+    job = pickle.loads(blob)
+    np = kernels.numpy_or_none()
+    if (job["backend"] == "numpy") != (np is not None):
+        raise RuntimeError(
+            f"worker backend {kernels.active_backend()!r} does not match "
+            f"job backend {job['backend']!r}"
+        )
+    semiring = job["semiring"]
+    shms: List[Any] = []
+    batches = {
+        name: _rebuild_batch(semiring, tspec, job["values"].get(name, {}), np, shms)
+        for name, tspec in job["tables"].items()
+    }
+    root = _compile(job["query"], job["catalog"], job["sizes"])
+    scans: List[Any] = []
+    _collect_scans(root, scans)
+    if [s.name for s in scans] != job["scan_names"]:
+        raise RuntimeError("worker plan shape diverged from parent")
+    return {
+        "root": root,
+        "scans": scans,
+        "modes": job["modes"],
+        "batches": batches,
+        "semiring": semiring,
+        "kind": job["kind"],
+        "shms": shms,
+    }
+
+
+def _exec_morsel(state, morsel_index: int, start: int, stop: int):
+    ctx = ExecutionContext(None, {}, encoded=True)
+    for scan, mode in zip(state["scans"], state["modes"]):
+        batch = state["batches"][scan.name]
+        if mode == "driver":
+            seeded = enc.slice_batch(batch, start, stop)
+        elif mode == "once" and morsel_index != 0:
+            seeded = enc.slice_batch(batch, 0, 0)
+        else:
+            seeded = batch
+        ctx.results[id(scan)] = seeded
+    root = state["root"]
+    if state["kind"] == "group":
+        pre = root.children[0].execute(ctx)
+        if isinstance(pre, enc.EncodedBatch):
+            rows, bound = len(pre), pre.ann_bound
+            group_rows, totals, entries = root.encoded_group_states(pre)
+        else:
+            # a per-operator EncodedFallback inside the morsel: the
+            # object path is exact arbitrary-precision, so no bound
+            rows, bound = len(pre), 0
+            group_rows, totals, entries = root.object_group_states(pre)
+        return {
+            "rows": rows,
+            "bound": bound,
+            "group_rows": group_rows,
+            "totals": totals,
+            "entries": entries,
+        }
+    result = root.execute(ctx)
+    if isinstance(result, enc.EncodedBatch):
+        result = result.to_columnar()
+    return {
+        "columns": {a: result.columns[a] for a in result.schema.attributes},
+        "anns": list(result.annotations),
+    }
+
+
+def _run_morsel(task):
+    key, blob, morsel_index, start, stop = task
+    try:
+        state = _WORKER_JOBS.get(key)
+        if state is None:
+            state = _load_job(blob)
+            _WORKER_JOBS[key] = state
+            while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
+                _k, old = _WORKER_JOBS.popitem(last=False)
+                _close_job(old)
+        payload = _exec_morsel(state, morsel_index, start, stop)
+        return ("ok", kernels.active_backend(), payload)
+    except Exception as exc:  # surfaced to the parent as a ParallelFallback
+        return ("err", f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# parent-side merge
+# ---------------------------------------------------------------------------
+
+
+def _merge_group_payloads(gagg, semiring, payloads, np):
+    machine = semiring.machine_repr
+    total_rows = sum(p["rows"] for p in payloads)
+    worst = max((p["bound"] for p in payloads), default=0)
+    check_merged_reduction_bound(np, machine, total_rows, worst)
+    plus = semiring.plus
+    is_zero = semiring.is_zero
+    index: Dict[Tuple[Any, ...], int] = {}
+    group_rows: List[Tuple[Any, ...]] = []
+    totals: List[Any] = []
+    merged: Dict[str, List[Dict[Any, Any]]] = {a: [] for a in gagg.aggregations}
+    for p in payloads:
+        p_entries = p["entries"]
+        for j, row in enumerate(p["group_rows"]):
+            i = index.get(row)
+            if i is None:
+                index[row] = len(group_rows)
+                group_rows.append(row)
+                totals.append(p["totals"][j])
+                for attr, lst in merged.items():
+                    lst.append(dict(p_entries[attr][j]))
+            else:
+                totals[i] = plus(totals[i], p["totals"][j])
+                for attr, lst in merged.items():
+                    target = lst[i]
+                    for value, scalar in p_entries[attr][j].items():
+                        cur = target.get(value)
+                        target[value] = (
+                            scalar if cur is None else plus(cur, scalar)
+                        )
+    # cross-morsel cancellation (e.g. over Z) can leave zero scalars; the
+    # serial producers never emit them, so normalise before the tail
+    for lst in merged.values():
+        for d in lst:
+            dead = [v for v, s in d.items() if is_zero(s)]
+            for v in dead:
+                del d[v]
+    return gagg.finish_groups(semiring, group_rows, totals, merged)
+
+
+def _merge_spju_payloads(schema, semiring, payloads):
+    columns: Dict[str, List[Any]] = {a: [] for a in schema.attributes}
+    anns: List[Any] = []
+    for p in payloads:
+        for a in schema.attributes:
+            columns[a].extend(p["columns"][a])
+        anns.extend(p["anns"])
+    # cross-morsel duplicate rows are fine: batches defer the +_K merge
+    # (the same contract every serial operator output already relies on)
+    return ColumnarKRelation._from_clean(semiring, schema, columns, anns)
+
+
+# ---------------------------------------------------------------------------
+# parent-side execution
+# ---------------------------------------------------------------------------
+
+
+class ParallelRunInfo:
+    __slots__ = ("workers", "morsels", "backend")
+
+    def __init__(self, workers: int, morsels: int, backend: str):
+        self.workers = workers
+        self.morsels = morsels
+        self.backend = backend
+
+
+def _build_job(plan, db, spec, batches, workers, morsels, backend, np):
+    driver_scan = spec.scans[spec.driver_pos]
+    tables: Dict[str, Any] = {}
+    values: Dict[str, Dict[str, Any]] = {}
+    bounds = None
+    for scan in spec.scans:
+        name = scan.name
+        if name in tables:
+            continue
+        rel, batch = batches[name]
+        partition = (
+            (morsels, spec.partition_attrs) if name == driver_scan.name else None
+        )
+        tspec, tbounds = _cached_table_payload(db, name, rel, batch, np, partition)
+        tables[name] = tspec
+        if partition is not None:
+            bounds = (
+                tbounds if tbounds is not None else _chunk_bounds(len(batch), morsels)
+            )
+        marked = spec.value_attrs.get(name, frozenset())
+        values[name] = {a: batch.col(a).values for a in marked if a in batch.schema}
+    if bounds is None:  # pragma: no cover - driver is always in spec.scans
+        raise ParallelFallback("driver table missing from payload")
+    job = {
+        "backend": backend,
+        "semiring": db.semiring,
+        "query": plan._working,
+        "catalog": {name: batches[name][1].schema for name in tables},
+        "sizes": {name: scan.est_rows for scan in spec.scans for name in [scan.name]},
+        "tables": tables,
+        "values": values,
+        "scan_names": [s.name for s in spec.scans],
+        "modes": spec.modes,
+        "kind": spec.kind,
+    }
+    try:
+        blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ParallelFallback(f"job spec not picklable: {exc}") from exc
+    return next(_JOB_IDS), blob, bounds
+
+
+def execute_parallel(plan, db):
+    """Run ``plan`` sharded over ``db``; returns ``(batch, run_info)`` or
+    raises :class:`ParallelFallback` for the serial encoded re-run."""
+    spec = plan._parallel_spec
+    if spec is None:
+        raise ParallelFallback(
+            plan._parallel_reason or "query is not shard-parallelizable"
+        )
+    workers = max(1, effective_workers())
+    backend = kernels.active_backend()
+    np = kernels.numpy_or_none()
+    morsels = max(2, workers * MORSELS_PER_WORKER)
+    batches: Dict[str, Tuple[Any, Any]] = {}
+    for scan in spec.scans:
+        if scan.name in batches:
+            continue
+        rel = db.relation(scan.name)
+        batch = enc.encoded_scan(db, scan.name, rel)
+        if batch is None:
+            raise ParallelFallback(
+                f"table {scan.name!r} disqualifies the encoded tier"
+            )
+        if (batch.np is None) != (np is None):
+            raise ParallelFallback("backend changed since the table was encoded")
+        batches[scan.name] = (rel, batch)
+
+    sig = (
+        tuple(sorted((name, id(rel)) for name, (rel, _b) in batches.items())),
+        morsels,
+        backend,
+    )
+    cached = plan._parallel_job
+    if cached is not None and cached[0] == sig:
+        _sig, _rels, key, blob, bounds = cached
+    else:
+        key, blob, bounds = _build_job(
+            plan, db, spec, batches, workers, morsels, backend, np
+        )
+        # hold the relations so their ids stay unambiguous while cached
+        plan._parallel_job = (sig, [rel for rel, _b in batches.values()], key, blob, bounds)
+
+    pool = _get_pool(workers, backend)
+    tasks = [
+        (key, blob, i, int(start), int(stop))
+        for i, (start, stop) in enumerate(bounds)
+    ]
+    try:
+        results = pool.map(_run_morsel, tasks)
+    except Exception as exc:
+        _drop_pool(workers, backend)  # the pool may be poisoned; respawn next time
+        raise ParallelFallback(f"worker pool failure: {exc}") from exc
+    payloads = []
+    for r in results:
+        if r[0] != "ok":
+            raise ParallelFallback(f"worker: {r[1]}")
+        if r[1] != backend:
+            raise ParallelFallback(
+                f"worker ran backend {r[1]!r}, parent expected {backend!r}"
+            )
+        payloads.append(r[2])
+    if spec.kind == "group":
+        result = _merge_group_payloads(plan.root, db.semiring, payloads, np)
+    else:
+        result = _merge_spju_payloads(plan.root.schema, db.semiring, payloads)
+    return result, ParallelRunInfo(workers, len(bounds), backend)
+
+
+# ---------------------------------------------------------------------------
+# serving-layer hook
+# ---------------------------------------------------------------------------
+
+
+def admission_weight(db) -> int:
+    """How many pool slots a query against ``db`` should occupy: a query
+    big enough to auto-select the parallel tier fans out over
+    ``effective_workers()`` processes, so the serving layer's admission
+    gate counts it as that many concurrent units of work."""
+    try:
+        workers = effective_workers()
+        if workers < 2:
+            return 1
+        if db.semiring.machine_repr is None:
+            return 1
+        biggest = 0
+        for _name, rel in db:
+            size = len(rel)
+            if size > biggest:
+                biggest = size
+        return workers if biggest >= PARALLEL_MIN_ROWS else 1
+    except Exception:
+        return 1

@@ -1189,7 +1189,11 @@ class GroupedAggregate(PhysicalOp):
         return ColumnarKRelation._from_clean(semiring, out_schema, columns, annotations)
 
     def _run_encoded(self, batch: EncodedBatch) -> ColumnarKRelation:
-        """Grouped aggregation by code-indexed accumulation.
+        group_rows, totals_list, entries = self.encoded_group_states(batch)
+        return self.finish_groups(batch.semiring, group_rows, totals_list, entries)
+
+    def encoded_group_states(self, batch: EncodedBatch):
+        """Per-group partial states by code-indexed accumulation.
 
         One grouped reduction over the combined group key yields every
         group's raw annotation total; per aggregated attribute, one
@@ -1199,6 +1203,15 @@ class GroupedAggregate(PhysicalOp):
         object construction only per *group* (and per distinct value in
         it), never per row.  COUNT(*) reuses the raw totals (footnote 6:
         SUM over the constant 1 is the annotation sum).
+
+        Returns ``(group_rows, totals_list, entries)``: the decoded group
+        key tuple, the raw (pre-``delta``) annotation total, and per
+        aggregated attribute one ``value -> scalar`` dict per group.
+        Groups whose total is ``0_K`` are *kept* — under the parallel
+        tier, partial states for the same group merge by ``+_K`` across
+        morsels (grouping is multilinear in the annotations, so any row
+        partition is exact, and the merge *is* semiring union), and a
+        total that is zero in one morsel may be nonzero in another.
         """
         semiring = batch.semiring
         np = batch.np
@@ -1346,15 +1359,89 @@ class GroupedAggregate(PhysicalOp):
                         target[pos][value] = scalar
                 entries[attr] = target
 
-        out_schema = self.schema
-        columns: Dict[str, List[Any]] = {}
-        for attr, col in zip(group_attrs, gcols):
+        decoded = []
+        for col in gcols:
             codes = (
                 col.codes[rep].tolist()
                 if np is not None
                 else list(map(col.codes.__getitem__, rep_list))
             )
-            columns[attr] = list(map(col.values.__getitem__, codes))
+            decoded.append(list(map(col.values.__getitem__, codes)))
+        group_rows = list(zip(*decoded))
+        return group_rows, totals_list, entries
+
+    def object_group_states(self, batch: ColumnarKRelation):
+        """Per-group partial states over the boxed object representation.
+
+        The pure-Python-backend twin of :meth:`encoded_group_states` for
+        the parallel tier's workers when a morsel fell back to the object
+        path: the accumulation *is* ``TensorSpace.set_agg`` (identical to
+        the serial object path), with the tensors decomposed back into
+        their ``value -> scalar`` entry dicts so partial states stay
+        mergeable scalars, never boxed result objects.
+        """
+        semiring = batch.semiring
+        group_attrs = self.group_attributes
+        agg_ops.check_group_by(
+            batch.schema, group_attrs, self.aggregations, self.count_attr, semiring
+        )
+        _require_plain_columns(batch, group_attrs, "GROUP BY")
+        spaces = {
+            attr: tensor_space(semiring, monoid)
+            for attr, monoid in self.aggregations.items()
+        }
+        single_group_attr = len(group_attrs) == 1
+        keys = _hash_keys(batch, group_attrs)
+        anns = batch.annotations
+        buckets: Dict[Any, List[int]] = {}
+        for i, key in enumerate(keys):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [i]
+            else:
+                bucket.append(i)
+        agg_cols = {attr: batch.column(attr) for attr in self.aggregations}
+        for attr, monoid in self.aggregations.items():
+            validate_monoid_column(agg_cols[attr], monoid, attr)
+        sum_many = semiring.sum_many
+        group_rows: List[Tuple[Any, ...]] = []
+        totals_list: List[Any] = []
+        entries: Dict[str, List[Dict[Any, Any]]] = {a: [] for a in self.aggregations}
+        for key, members in buckets.items():
+            group_rows.append((key,) if single_group_attr else tuple(key))
+            member_anns = list(map(anns.__getitem__, members))
+            for attr in self.aggregations:
+                col = agg_cols[attr]
+                tensor = spaces[attr].set_agg(
+                    zip(map(col.__getitem__, members), member_anns)
+                )
+                entries[attr].append(dict(tensor._entries))
+            if len(member_anns) == 1:
+                totals_list.append(member_anns[0])
+            else:
+                totals_list.append(sum_many(member_anns))
+        return group_rows, totals_list, entries
+
+    def finish_groups(self, semiring, group_rows, totals_list, entries):
+        """Build the output batch from (merged) per-group states.
+
+        The shared tail of the serial encoded path and the parallel
+        tier's parent-side merge: entry dicts become tensors, COUNT(*)
+        columns derive from the raw totals, and row annotations are
+        ``delta`` of the totals.  ``entries`` dicts must already be
+        normalised (no monoid-identity values, no zero scalars) — both
+        producers above and the cross-morsel merge guarantee that.
+        """
+        specs = dict(self.aggregations)
+        if self.count_attr is not None:
+            specs[self.count_attr] = SUM
+        spaces = {
+            attr: tensor_space(semiring, monoid) for attr, monoid in specs.items()
+        }
+        is_zero = semiring.is_zero
+        columns: Dict[str, List[Any]] = {}
+        for i, attr in enumerate(self.group_attributes):
+            columns[attr] = [row[i] for row in group_rows]
         for attr in self.aggregations:
             space = spaces[attr]
             columns[attr] = [Tensor(space, e) for e in entries[attr]]
@@ -1366,7 +1453,7 @@ class GroupedAggregate(PhysicalOp):
         delta = semiring.delta
         annotations = [delta(t) for t in totals_list]
         return ColumnarKRelation._from_clean(
-            semiring, out_schema, columns, annotations
+            semiring, self.schema, columns, annotations
         )
 
     def label(self) -> str:

@@ -94,6 +94,12 @@ class ProvenanceServer:
         self._stats_lock = threading.Lock()
         self._counters = {"queries": 0, "updates": 0, "errors": 0,
                           "rejected": 0, "connections": 0}
+        # per-tier execution counters are process-global (they count
+        # every plan execution, not just this server's); baseline them at
+        # construction so /stats reports the traffic *this* server saw
+        from repro.plan import tier_counts
+
+        self._tier_baseline = tier_counts()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: "set[asyncio.Task]" = set()
 
@@ -263,6 +269,14 @@ class ProvenanceServer:
             req["annotations"] == "circuit"
             or snap.semiring.machine_repr is None
         )
+        # a query the parallel tier would shard occupies its worker
+        # processes, not one thread — weight admission accordingly
+        if heavy:
+            weight = 1
+        else:
+            from repro.plan.parallel import admission_weight
+
+            weight = admission_weight(snap)
 
         def work():
             start = time.perf_counter()
@@ -280,7 +294,7 @@ class ProvenanceServer:
             )
             return encoded
 
-        response = await self.pool.run(work, heavy=heavy)
+        response = await self.pool.run(work, heavy=heavy, weight=weight)
         response["version"] = snap.version
         response["engine"] = req["engine"]
         self._count("queries")
@@ -384,11 +398,17 @@ class ProvenanceServer:
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
             counters = dict(self._counters)
+        from repro.plan import tier_counts
+
+        now = tier_counts()
         return {
             "version": self.manager.version,
             "writes": self.manager.writes,
             "views": sorted(self._views),
             "pool": self.pool.stats(),
+            "tiers": {
+                k: now[k] - self._tier_baseline.get(k, 0) for k in now
+            },
             **counters,
         }
 

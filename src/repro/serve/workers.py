@@ -71,18 +71,37 @@ class WorkerPool:
         self.rejected = 0
         self.heavy_rejected = 0
 
-    async def run(self, fn: Callable[..., Any], *args: Any, heavy: bool = False) -> Any:
+    async def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        heavy: bool = False,
+        weight: int = 1,
+    ) -> Any:
         """Run ``fn(*args)`` on a worker thread, or raise :class:`ServerOverloaded`.
 
         Admission is decided *before* queueing (non-blocking acquires):
         a rejected request costs the client one round-trip, never a slot.
+
+        ``weight`` is how many admission units the request occupies —
+        a query the parallel tier fans out over N worker *processes* is
+        N units of concurrent machine work even though it holds one pool
+        thread, so it takes N permits (capped at the pool size so a
+        single request can always be admitted on an idle server).
         """
-        if not self._admission.acquire(blocking=False):
-            with self._stats_lock:
-                self.rejected += 1
-            raise ServerOverloaded("server at capacity: worker queue full")
+        weight = max(1, min(int(weight), self.workers))
+        acquired = 0
+        for _ in range(weight):
+            if not self._admission.acquire(blocking=False):
+                for _ in range(acquired):
+                    self._admission.release()
+                with self._stats_lock:
+                    self.rejected += 1
+                raise ServerOverloaded("server at capacity: worker queue full")
+            acquired += 1
         if heavy and not self._heavy.acquire(blocking=False):
-            self._admission.release()
+            for _ in range(acquired):
+                self._admission.release()
             with self._stats_lock:
                 self.heavy_rejected += 1
             raise ServerOverloaded(
@@ -97,7 +116,8 @@ class WorkerPool:
         finally:
             if heavy:
                 self._heavy.release()
-            self._admission.release()
+            for _ in range(acquired):
+                self._admission.release()
 
     def stats(self) -> Dict[str, int]:
         with self._stats_lock:

@@ -1,0 +1,216 @@
+"""Unit tests for the morsel-driven parallel tier.
+
+The property suite (``tests/property/test_parallel_tier.py``) certifies
+semantic equivalence over random workloads; this file pins the plumbing:
+worker-pool backend inheritance, tier auto-selection around the row
+threshold, EXPLAIN reporting (sharding decision and honest fallback
+reasons), the aggregated int64 reduction-bound guard, per-tier execution
+counters, and the serving-layer admission weight.
+"""
+
+import pytest
+
+from repro.core import (
+    Distinct,
+    GroupBy,
+    KDatabase,
+    KRelation,
+    NaturalJoin,
+    Project,
+    Select,
+    AttrEq,
+    Table,
+    Union,
+)
+from repro.exceptions import QueryError
+from repro.monoids import SUM
+from repro.plan import (
+    ParallelFallback,
+    compile_plan,
+    effective_workers,
+    set_backend,
+    set_default_workers,
+    tier_counts,
+)
+from repro.plan import parallel
+from repro.plan.encoded import _INT64_MAX
+from repro.plan.kernels import HAVE_NUMPY, available_backends
+from repro.semirings import NAT, NX
+
+
+@pytest.fixture(autouse=True)
+def _restore_workers():
+    yield
+    set_default_workers(None)
+
+
+def sales_db(rows: int = 24) -> KDatabase:
+    groups = ["g0", "g1", "g2", "g3"]
+    r = KRelation.from_rows(
+        NAT,
+        ("g", "v"),
+        [((groups[i % 4], i % 7), 1 + i % 3) for i in range(rows)],
+    )
+    s = KRelation.from_rows(NAT, ("g",), [((g,), 2) for g in groups[:3]])
+    return KDatabase(NAT, {"R": r, "S": s})
+
+
+GROUP_QUERY = GroupBy(
+    NaturalJoin(Table("R"), Table("S")), ["g"], {"v": SUM}, count_attr="n"
+)
+
+
+# ---------------------------------------------------------------------------
+# worker pools: backend inheritance (spawned children re-import from scratch)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", list(available_backends()))
+def test_spawned_workers_inherit_forced_backend(backend):
+    pool = parallel._get_pool(1, backend)
+    assert pool.apply(parallel._worker_backend) == backend
+
+
+def test_forced_python_parent_never_runs_numpy_children():
+    """Regression: a parent pinned to the pure-Python backend must not
+    silently execute morsels on NumPy in spawned workers."""
+    set_backend("python")
+    try:
+        set_default_workers(2)
+        db = sales_db()
+        plan = compile_plan(GROUP_QUERY, db, tier="parallel")
+        result = plan.execute()
+        assert plan._last_tier == "parallel (2 workers × 4 morsels, python)"
+        assert result == compile_plan(GROUP_QUERY, db, tier="object").execute()
+    finally:
+        set_backend(None)
+
+
+# ---------------------------------------------------------------------------
+# tier selection
+# ---------------------------------------------------------------------------
+
+
+def test_auto_selects_parallel_above_row_threshold(monkeypatch):
+    set_default_workers(2)
+    db = sales_db(rows=24)
+    assert compile_plan(GROUP_QUERY, db).tier == "encoded"
+    monkeypatch.setattr(parallel, "PARALLEL_MIN_ROWS", 10)
+    assert compile_plan(GROUP_QUERY, db).tier == "parallel"
+    # a single worker cannot pay for pool dispatch: stays serial
+    set_default_workers(1)
+    assert compile_plan(GROUP_QUERY, db).tier == "encoded"
+
+
+def test_forced_parallel_requires_machine_representation():
+    db = KDatabase(
+        NX, {"R": KRelation.from_rows(NX, ("g",), [(("a",), NX.variable("x"))])}
+    )
+    with pytest.raises(QueryError, match="parallel tier"):
+        compile_plan(Table("R"), db, tier="parallel")
+
+
+def test_worker_count_env_override(monkeypatch):
+    set_default_workers(None)
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+    assert effective_workers() == 3
+    set_default_workers(7)
+    assert effective_workers() == 7
+
+
+# ---------------------------------------------------------------------------
+# execution + EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_execution_matches_serial_and_reports_in_explain():
+    set_default_workers(2)
+    db = sales_db()
+    plan = compile_plan(GROUP_QUERY, db, tier="parallel")
+    rendered = plan.explain()
+    assert "tier: parallel" in rendered
+    assert "parallel: 2 workers × 4 morsels (driver: Scan R" in rendered
+    assert plan.execute() == compile_plan(GROUP_QUERY, db, tier="object").execute()
+    assert plan._last_tier.startswith("parallel (2 workers × 4 morsels")
+
+
+def test_unparallelizable_query_falls_back_with_reason():
+    set_default_workers(2)
+    db = sales_db()
+    query = Distinct(Table("R"))  # δ on the driver path is non-linear
+    plan = compile_plan(query, db, tier="parallel")
+    assert "parallel: unavailable" in plan.explain()
+    assert plan.execute() == query.evaluate(db)
+    assert "parallel fallback" in plan._last_tier
+
+
+def test_self_union_replicated_side_counts_once():
+    """Σ_m (A_m ∪ B) would add B once *per morsel*; the ``once`` scan
+    mode must keep the non-driver union side single-counted."""
+    set_default_workers(2)
+    db = sales_db()
+    query = Union(
+        Project(Select(Table("R"), [AttrEq("g", "g0")]), ("g",)),
+        Project(Table("R"), ("g",)),
+    )
+    plan = compile_plan(query, db, tier="parallel")
+    assert plan.execute() == query.evaluate(db)
+    assert plan._last_tier.startswith("parallel (")
+
+
+def test_tier_counters_track_executions():
+    set_default_workers(2)
+    db = sales_db()
+    before = tier_counts()
+    compile_plan(GROUP_QUERY, db, tier="object").execute()
+    compile_plan(GROUP_QUERY, db, tier="encoded").execute()
+    compile_plan(GROUP_QUERY, db, tier="parallel").execute()
+    after = tier_counts()
+    assert after["object"] - before["object"] == 1
+    assert after["encoded"] - before["encoded"] == 1
+    assert after["parallel"] - before["parallel"] == 1
+
+
+# ---------------------------------------------------------------------------
+# the aggregated int64 reduction-bound guard
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="guard applies to NumPy int64 only")
+def test_merged_reduction_bound_mirrors_serial_guard():
+    import numpy as np
+
+    machine = NAT.machine_repr
+    # the whole input would overflow int64 even though each morsel fits
+    with pytest.raises(ParallelFallback):
+        parallel.check_merged_reduction_bound(
+            np, machine, total_rows=1 << 32, bound=1 << 32
+        )
+    # exactly at the bound: allowed (mirrors check_reduction_bound)
+    parallel.check_merged_reduction_bound(
+        np, machine, total_rows=1, bound=_INT64_MAX
+    )
+    # pure-Python backend / float semirings: exact or saturating, no guard
+    parallel.check_merged_reduction_bound(
+        None, machine, total_rows=1 << 40, bound=1 << 40
+    )
+
+
+# ---------------------------------------------------------------------------
+# serving-layer admission weight
+# ---------------------------------------------------------------------------
+
+
+def test_admission_weight(monkeypatch):
+    set_default_workers(4)
+    small = sales_db()
+    assert parallel.admission_weight(small) == 1  # below the row threshold
+    monkeypatch.setattr(parallel, "PARALLEL_MIN_ROWS", 10)
+    assert parallel.admission_weight(small) == 4
+    set_default_workers(1)
+    assert parallel.admission_weight(small) == 1  # serial either way
+    set_default_workers(4)
+    symbolic = KDatabase(
+        NX, {"R": KRelation.from_rows(NX, ("g",), [(("a",), NX.variable("x"))])}
+    )
+    assert parallel.admission_weight(symbolic) == 1  # heavy gate's domain
