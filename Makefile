@@ -5,12 +5,20 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-serve bench-json bench examples
+.PHONY: check test chaos bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-resilience bench-serve bench-json bench examples
 
-check: test bench-smoke bench-parallel-smoke serve-smoke
+check: test bench-smoke bench-parallel-smoke serve-smoke chaos
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+
+# the fault-injection gate: every seeded fault (worker kills, kernel
+# errors, latency, shm damage, torn snapshot writes) must recover to the
+# interpreter's exact answer with zero leaked shm segments, across both
+# kernel backends, plus the recovery-latency smoke run
+chaos:
+	$(PYPATH) $(PY) -m pytest tests/chaos -x -q
+	$(PYPATH) $(PY) benchmarks/bench_resilience.py --smoke
 
 bench-smoke:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --smoke
@@ -51,6 +59,13 @@ bench-parallel:
 bench-parallel-smoke:
 	$(PYPATH) $(PY) benchmarks/bench_parallel.py --smoke
 
+# the recovery-latency gate: 1M rows with one injected worker kill per
+# run; the recovered p50 must stay within 3x the clean p50 (in-process
+# morsel salvage + background pool respawn keep the crash off the
+# critical path), and every recovered answer must equal the clean one
+bench-resilience:
+	$(PYPATH) $(PY) benchmarks/bench_resilience.py
+
 # the full serving-layer measurement (qps + p50/p99 under a live writer)
 bench-serve:
 	$(PYPATH) $(PY) benchmarks/bench_serve.py
@@ -61,6 +76,7 @@ bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_ivm.py --json BENCH_ivm.json
 	$(PYPATH) $(PY) benchmarks/bench_vectorized.py --json BENCH_vectorized.json
 	$(PYPATH) $(PY) benchmarks/bench_parallel.py --json BENCH_parallel.json
+	$(PYPATH) $(PY) benchmarks/bench_resilience.py --json BENCH_resilience.json
 	$(PYPATH) $(PY) benchmarks/bench_serve.py --json BENCH_serve.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the

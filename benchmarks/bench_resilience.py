@@ -1,0 +1,215 @@
+"""Resilience benchmark: what one worker crash costs, in wall-clock.
+
+The recovery machinery's claim is that a crash costs *latency, not
+answers*.  This benchmark quantifies the latency half: the 1M-row join +
+group-by from the parallel-tier benchmark runs repeatedly with **one
+injected worker kill per execution** (``faults.inject("kill_worker")``,
+fresh seed per repeat — a genuinely ``os._exit``-dead worker, a broken
+pool, in-process salvage of the lost morsels, a background pool
+respawn), and its p50/p99 are compared against the clean-run p50/p99 of
+the same prepared plan.  Every faulted result is asserted bit-for-bit
+equal to the clean reference before anything is reported.
+
+The enforced gate: **faulted p50 ≤ 3× clean p50**.  Recovery pays the
+lost morsels' in-process recomputation while the pool respawns off the
+critical path; if that ever costs more than 3× a clean run at this
+scale, recovery is doing something pathological (retrying the world,
+blocking on the respawn) and the gate fails the build.
+
+Run modes:
+
+``python benchmarks/bench_resilience.py``
+    the gate: 1M rows, 2 workers, 5 clean + 5 faulted repeats.
+
+``python benchmarks/bench_resilience.py --smoke``
+    50k rows, correctness + recovery-counter assertions only (the 3×
+    gate is meaningless at a size where pool respawn dominates).
+
+``python benchmarks/bench_resilience.py --json [PATH]``
+    full run + write ``BENCH_resilience.json`` (the committed artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from bench_parallel import scale_db, scale_query
+
+from repro import faults
+from repro.plan import compile_plan, set_default_workers
+from repro.plan import parallel
+
+WORKERS = 2
+REPEATS = 5
+GATE_OVERHEAD = 3.0  # faulted p50 must stay within 3x clean p50
+
+
+def _pct(samples: List[float], p: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+
+def measure(n: int, repeats: int) -> Dict[str, object]:
+    start = time.perf_counter()
+    db = scale_db(n)
+    query = scale_query()
+    print(f"  built {n} rows in {time.perf_counter() - start:.1f}s")
+
+    set_default_workers(WORKERS)
+    try:
+        plan = compile_plan(query, db, tier="parallel")
+        reference = plan.execute()  # warm: encodings, shm images, pools
+        assert plan._last_tier.startswith("parallel ("), plan._last_tier
+
+        clean: List[float] = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = plan.execute()
+            clean.append(time.perf_counter() - t0)
+            assert result == reference
+
+        faults.reset_counters()
+        faulted: List[float] = []
+        for seed in range(repeats):
+            # settle: the previous repeat's kill left the pool respawning
+            # in the background.  One untimed run absorbs the residual
+            # spawn wait so each timed repeat measures ONE crash from a
+            # healthy baseline — per-crash recovery latency, not
+            # back-to-back crash throughput.
+            assert plan.execute() == reference
+            with faults.inject("kill_worker", seed=seed):
+                t0 = time.perf_counter()
+                result = plan.execute()
+                faulted.append(time.perf_counter() - t0)
+            assert result == reference, (
+                f"recovered run (seed {seed}) disagrees with clean — "
+                "do not trust the timings"
+            )
+            assert plan._last_tier.startswith("parallel ("), (
+                f"faulted run fell back to {plan._last_tier!r} — recovery "
+                "never happened"
+            )
+        ledger = faults.counters()
+        assert ledger["faults_injected"] == repeats, ledger
+        assert ledger["morsel_retries"] >= repeats, ledger
+        assert ledger["pool_rebuilds"] >= repeats, ledger
+    finally:
+        set_default_workers(None)
+        faults.reset_counters()
+
+    return {
+        "rows": n,
+        "workers": WORKERS,
+        "repeats": repeats,
+        "clean_p50_ms": round(_pct(clean, 0.50) * 1e3, 3),
+        "clean_p99_ms": round(_pct(clean, 0.99) * 1e3, 3),
+        "faulted_p50_ms": round(_pct(faulted, 0.50) * 1e3, 3),
+        "faulted_p99_ms": round(_pct(faulted, 0.99) * 1e3, 3),
+        "recovery_overhead_p50": round(
+            _pct(faulted, 0.50) / _pct(clean, 0.50), 2
+        ),
+        "kills_injected": repeats,
+        "pool_rebuilds": ledger["pool_rebuilds"],
+        "morsel_retries": ledger["morsel_retries"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest face (explicit `pytest benchmarks/bench_resilience.py` runs)
+# ---------------------------------------------------------------------------
+
+
+def test_recovered_run_is_exact_and_counted():
+    result = measure(20_000, repeats=2)
+    assert result["morsel_retries"] >= 2
+    assert result["pool_rebuilds"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# CLI face (`make bench-resilience` / the chaos CI step)
+# ---------------------------------------------------------------------------
+
+
+def run(n: int, repeats: int, *, enforce: bool) -> Dict[str, object]:
+    result = measure(n, repeats)
+    print(f"== resilience benchmark: one injected worker kill per run "
+          f"(n={n}, {WORKERS} workers) ==")
+    print(f"  clean     p50 {result['clean_p50_ms']:>9.1f}ms   "
+          f"p99 {result['clean_p99_ms']:>9.1f}ms")
+    print(f"  recovered p50 {result['faulted_p50_ms']:>9.1f}ms   "
+          f"p99 {result['faulted_p99_ms']:>9.1f}ms   "
+          f"({result['recovery_overhead_p50']}x)")
+    print(f"  {result['kills_injected']} kills -> "
+          f"{result['pool_rebuilds']} pool rebuilds, "
+          f"{result['morsel_retries']} morsel retries, 0 wrong answers")
+    overhead = result["recovery_overhead_p50"]
+    if not enforce:
+        result["gate_enforced"] = False
+        print("OK: smoke — exact recovery + counter assertions held")
+    elif overhead > GATE_OVERHEAD:
+        result["gate_enforced"] = True
+        result["gate_passed"] = False
+        print(
+            f"FAIL: recovery overhead {overhead}x exceeds the "
+            f"{GATE_OVERHEAD}x gate",
+            file=sys.stderr,
+        )
+    else:
+        result["gate_enforced"] = True
+        result["gate_passed"] = True
+        print(f"OK: recovery overhead {overhead}x within the "
+              f"{GATE_OVERHEAD}x gate")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="50k rows, correctness + counters only (for make chaos)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_resilience.json",
+        default=None,
+        metavar="PATH",
+        help="write the recovery-latency artifact "
+             "(default: BENCH_resilience.json)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="fact-table rows")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (50_000 if args.smoke else 1_000_000)
+    repeats = 3 if args.smoke else REPEATS
+    result = run(n, repeats, enforce=not args.smoke)
+
+    ok = result.get("gate_passed", True)
+    if args.json is not None:
+        report = {
+            "benchmark": "bench_resilience",
+            "cores": os.cpu_count() or 1,
+            "gates": {
+                "recovery_overhead_p50_max": GATE_OVERHEAD,
+                "gate_enforced": result.get("gate_enforced", False),
+                "passed": ok,
+            },
+            "workloads": {f"join_group_nat_{n}_one_kill": result},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    parallel.shutdown_pools()
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

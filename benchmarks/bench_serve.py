@@ -152,6 +152,14 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
             t.join()
         writer.join()
         wall = time.perf_counter() - wall
+
+        # the server's own resilience ledger for this run (deltas since
+        # start): injected faults, morsel retries, breaker trips,
+        # deadline expiries — all zero on a healthy benchmark host
+        probe = http.client.HTTPConnection(*handle.address, timeout=30)
+        probe.request("GET", "/stats")
+        server_stats = json.loads(probe.getresponse().read())
+        probe.close()
     finally:
         handle.close()
 
@@ -176,6 +184,9 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
         "p99_ms": round(pct(0.99) * 1e3, 3),
         "writes": writer_out.get("writes", 0),
         "rejected_503": sum(s.rejected for s in stats),
+        "timeouts_408": server_stats.get("timeouts", 0),
+        "resilience": server_stats.get("resilience", {}),
+        "breaker": server_stats.get("breaker", {}).get("state", "closed"),
         "violations": violations,
         "errors": errors,
     }
@@ -191,6 +202,15 @@ def report(result: Dict[str, object]) -> bool:
         f"  {result['requests']} queries, {result['qps']} qps, "
         f"p50 {result['p50_ms']}ms, p99 {result['p99_ms']}ms, "
         f"{result['rejected_503']} shed (503)"
+    )
+    res = result.get("resilience", {})
+    print(
+        f"  resilience: faults={res.get('faults_injected', 0)} "
+        f"retries={res.get('morsel_retries', 0)} "
+        f"breaker_trips={res.get('breaker_trips', 0)} "
+        f"deadline_expiries={res.get('deadline_expiries', 0)} "
+        f"timeouts_408={result.get('timeouts_408', 0)} "
+        f"(breaker {result.get('breaker', 'closed')})"
     )
     ok = True
     if result["errors"]:

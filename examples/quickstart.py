@@ -218,6 +218,28 @@ def main() -> None:
         for line in parallel_plan.explain().splitlines():
             if line.startswith(("tier:", "parallel:")):
                 print(f"  {line}")
+
+        # -- 11. fault tolerance: a worker crash costs latency, not -------
+        #       answers
+        # `repro.faults` arms deterministic fault points; kill_worker is a
+        # real os._exit in a pool worker (exactly like SIGKILL/OOM).  The
+        # parent salvages the lost morsels in-process — exact because
+        # morsel results are partial semiring sums, so recomputing a lost
+        # subset and merging with + is indistinguishable from having
+        # computed it the first time — and respawns the pool off the
+        # critical path.  The resilience ledger records what recovery did.
+        from repro import faults
+
+        faults.reset_counters()
+        with faults.inject("kill_worker", seed=7):
+            recovered = parallel_plan.execute()
+        assert recovered == encoded_plan.execute()  # exact, despite the kill
+        ledger = faults.counters()
+        print("\none injected worker kill, same answer:")
+        print(f"  kills={ledger['faults_injected']} "
+              f"morsel_retries={ledger['morsel_retries']} "
+              f"pool_rebuilds={ledger['pool_rebuilds']}")
+        faults.reset_counters()
     finally:
         set_default_workers(None)
 

@@ -180,6 +180,7 @@ class Query(abc.ABC):
         mode: str = "standard",
         engine: str = "interpreted",
         annotations: str = "expanded",
+        deadline=None,
     ):
         """Run the query.
 
@@ -218,11 +219,24 @@ class Query(abc.ABC):
         The compiled plan is cached on the query object and reused while
         the database's :attr:`~repro.core.database.KDatabase.version`
         stamp is unchanged (any relation mutation recompiles).
+
+        ``deadline`` is an optional wall-clock budget — a
+        :class:`repro.deadline.Deadline` or a number of seconds.  The
+        planned engine checks it cooperatively at every operator (and
+        per morsel on the parallel tier); the other engines check it at
+        evaluation entry and exit.  Expiry raises
+        :class:`~repro.exceptions.DeadlineExceeded`.
         """
         if engine not in ("interpreted", "planned"):
             raise QueryError(f"unknown evaluation engine {engine!r}")
         if annotations not in ("expanded", "circuit"):
             raise QueryError(f"unknown annotation representation {annotations!r}")
+        if deadline is not None and not hasattr(deadline, "check"):
+            from repro.deadline import Deadline  # local: tiny, no cycle
+
+            deadline = Deadline.after(float(deadline))
+        if deadline is not None:
+            deadline.check("query start")
         if annotations == "circuit":
             if engine != "planned" or mode != "standard":
                 raise QueryError(
@@ -231,15 +245,24 @@ class Query(abc.ABC):
                 )
             from repro.plan.circuit_exec import evaluate_circuit_backed  # local: plan imports core
 
-            return evaluate_circuit_backed(self, db)
+            result = evaluate_circuit_backed(self, db)
+            if deadline is not None:
+                deadline.check("query end")
+            return result
         if mode == "standard":
             if engine == "planned":
-                return self._cached_plan(db).execute(db)
-            return self._eval_standard(db)
+                return self._cached_plan(db).execute(db, deadline=deadline)
+            result = self._eval_standard(db)
+            if deadline is not None:
+                deadline.check("query end")
+            return result
         if mode == "extended":
             km = km_semiring(db.semiring)
             result = self._eval_extended(db, km)
-            return nested.collapse_km_relation(result, db.semiring)
+            collapsed = nested.collapse_km_relation(result, db.semiring)
+            if deadline is not None:
+                deadline.check("query end")
+            return collapsed
         raise QueryError(f"unknown evaluation mode {mode!r}")
 
     #: Per-query plan cache capacity (distinct databases; the circuit image

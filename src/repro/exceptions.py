@@ -50,6 +50,20 @@ class UnresolvableEqualityError(ReproError):
     """
 
 
+class DeadlineExceeded(ReproError):
+    """A query ran past its wall-clock budget and was cooperatively
+    cancelled (see :mod:`repro.deadline`).  The serving layer maps this
+    to HTTP 408; the partially-computed work is discarded, never
+    returned."""
+
+
+class SnapshotCorrupt(ReproError):
+    """A persisted snapshot file failed an integrity check — truncated,
+    bit-flipped, checksum mismatch, or an interrupted write.  Restore
+    paths catch this and rebuild from the source data instead of trusting
+    partial state (see :func:`repro.io.serialize.load_file`)."""
+
+
 class ParseError(ReproError):
     """The SQL front end failed to tokenize or parse a query string."""
 

@@ -15,9 +15,10 @@ are process-local, so cross-run consistency is enforced by
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
-__all__ = ["ViewSnapshot"]
+__all__ = ["ViewSnapshot", "save_view", "load_view"]
 
 
 class ViewSnapshot:
@@ -59,3 +60,48 @@ class ViewSnapshot:
             f"<ViewSnapshot head={self.head} over {self.semiring_name} "
             f"for {self.query_text!r}>"
         )
+
+
+def save_view(view, path: "str | os.PathLike") -> str:
+    """Persist a :class:`~repro.ivm.view.MaterializedView`'s state
+    crash-safely (temp file + fsync + atomic rename + checksummed header
+    — see :func:`repro.io.serialize.dump_file`).  Returns the path."""
+    from repro.io import serialize  # local: io imports ivm lazily
+
+    return serialize.dump_file(view, path)
+
+
+def load_view(db, query, path: "str | os.PathLike", *, rebuild_on_corrupt: bool = True):
+    """Restore a materialised view from a :func:`save_view` file.
+
+    The restore path is where crash-safety pays off: a snapshot damaged
+    in any way (truncation, bit-flip, checksum mismatch, an interrupted
+    write that left a torn file) surfaces as the typed
+    :class:`~repro.exceptions.SnapshotCorrupt` — and, by default, the
+    view is **rebuilt from the live database** instead
+    (``MaterializedView.create`` without a snapshot re-evaluates the
+    query; the ``snapshot_rebuilds`` resilience counter records the
+    fallback).  Pass ``rebuild_on_corrupt=False`` to surface the
+    corruption to the caller instead.  A *missing* file always raises
+    ``FileNotFoundError`` — absence is an operator error, not damage to
+    route around silently.
+    """
+    from repro.exceptions import SnapshotCorrupt
+    from repro.io import serialize
+    from repro.ivm.view import MaterializedView
+
+    try:
+        snap = serialize.load_file(path)
+        if not isinstance(snap, ViewSnapshot):
+            raise SnapshotCorrupt(
+                f"snapshot {os.fspath(path)!r} holds a "
+                f"{type(snap).__name__}, not view state"
+            )
+        return MaterializedView.create(db, query, snapshot=snap)
+    except SnapshotCorrupt:
+        if not rebuild_on_corrupt:
+            raise
+        from repro import faults
+
+        faults.bump("snapshot_rebuilds")
+        return MaterializedView.create(db, query)

@@ -28,8 +28,11 @@ from repro.plan.encoded import EncodedBatch, encoded_scan
 from repro.plan.explain import explain
 from repro.plan.kernels import active_backend, available_backends, set_backend
 from repro.plan.parallel import (
+    ParallelCrash,
     ParallelFallback,
+    breaker_state,
     effective_workers,
+    reset_breaker,
     set_default_workers,
 )
 from repro.plan.rules import RuleJoinPlan
@@ -48,8 +51,11 @@ __all__ = [
     "active_backend",
     "available_backends",
     "set_backend",
+    "ParallelCrash",
     "ParallelFallback",
+    "breaker_state",
     "effective_workers",
+    "reset_breaker",
     "set_default_workers",
     "RuleJoinPlan",
 ]

@@ -52,6 +52,7 @@ from repro.core.query import (
 )
 from repro.core.rewrites import optimize
 from repro.core.schema import Schema
+from repro.deadline import Deadline
 from repro.exceptions import QueryError, ReproError, SchemaError
 from repro.plan import kernels
 from repro.plan.encoded import EncodedBatch
@@ -125,12 +126,21 @@ class PhysicalPlan:
         self._parallel_spec = None
         self._parallel_reason: "str | None" = None
         self._parallel_job = None
+        # per-execution wall-clock budget in seconds, set by
+        # compile_plan(deadline=): each execute() gets a fresh Deadline
+        self._deadline_budget: "float | None" = None
 
-    def execute(self, db=None) -> KRelation:
-        """Run the plan and return the logical result relation."""
-        return self.execute_batch(db).to_krelation()
+    def execute(self, db=None, *, deadline=None) -> KRelation:
+        """Run the plan and return the logical result relation.
 
-    def execute_batch(self, db=None, *, tier: "str | None" = None):
+        ``deadline`` is an optional :class:`repro.deadline.Deadline`
+        checked cooperatively at every operator boundary (and per morsel
+        on the parallel tier); expiry raises
+        :class:`~repro.exceptions.DeadlineExceeded`.
+        """
+        return self.execute_batch(db, deadline=deadline).to_krelation()
+
+    def execute_batch(self, db=None, *, tier: "str | None" = None, deadline=None):
         """Run the plan and return the raw columnar batch.
 
         Rows may repeat with separate annotations (the ``+_K`` merge is
@@ -154,13 +164,24 @@ class PhysicalPlan:
         """
         effective = tier if tier is not None else self.tier
         run_db = db if db is not None else self.db
+        if deadline is None and self._deadline_budget is not None:
+            deadline = Deadline.after(self._deadline_budget)
+        elif deadline is not None and not isinstance(deadline, Deadline):
+            # a bare number of seconds is accepted at every entry point
+            deadline = Deadline.after(float(deadline))
         suffix = ""
         if effective == "parallel":
             from repro.plan import parallel as _parallel
 
             try:
-                result, info = _parallel.execute_parallel(self, run_db)
+                result, info = _parallel.execute_parallel(
+                    self, run_db, deadline=deadline
+                )
             except _parallel.ParallelFallback as exc:
+                # crash degradation, breaker pinning, or static
+                # disqualification: re-run serial encoded (exact by
+                # construction).  DeadlineExceeded propagates — an
+                # expired budget must not silently restart the work.
                 suffix = f" (parallel fallback: {exc})"
                 effective = "encoded"
             else:
@@ -174,6 +195,7 @@ class PhysicalPlan:
             run_db,
             self._scan_cache,
             encoded=effective == "encoded",
+            deadline=deadline,
         )
         result = self.root.execute(ctx)
         if ctx.used_encoded:
@@ -226,7 +248,12 @@ class PhysicalPlan:
             from repro.plan import parallel as _parallel
 
             spec = self._parallel_spec
-            if spec is not None:
+            blocking = _parallel.breaker_blocking()
+            if spec is not None and blocking is not None:
+                lines.append(
+                    f"parallel: degraded — {blocking}; runs serial encoded"
+                )
+            elif spec is not None:
                 workers = max(1, _parallel.effective_workers())
                 morsels = max(2, workers * _parallel.MORSELS_PER_WORKER)
                 driver = spec.scans[spec.driver_pos]
@@ -266,12 +293,24 @@ class _CannotCompile(Exception):
 
 
 def compile_plan(
-    query: Query, db, *, rewrite: bool = True, tier: "str | None" = None
+    query: Query,
+    db,
+    *,
+    rewrite: bool = True,
+    tier: "str | None" = None,
+    deadline: "float | None" = None,
 ) -> PhysicalPlan:
     """Compile ``query`` into a :class:`PhysicalPlan` against ``db``.
 
     ``rewrite=False`` skips the logical rewrite pass (used by golden tests
     to pin plan shapes before/after pushdown).
+
+    ``deadline`` attaches a per-execution wall-clock budget in seconds:
+    every ``execute()``/``execute_batch()`` of the returned plan starts a
+    fresh :class:`~repro.deadline.Deadline` and raises
+    :class:`~repro.exceptions.DeadlineExceeded` at the first cooperative
+    checkpoint past expiry.  A per-call ``deadline=`` on execute overrides
+    the compiled budget.
 
     ``tier`` selects the execution tier: ``None`` (default) auto-selects —
     the morsel-driven parallel tier when the semiring declares a
@@ -343,6 +382,11 @@ def compile_plan(
     plan._working = working
     plan._parallel_spec = parallel_spec
     plan._parallel_reason = parallel_reason
+    if deadline is not None:
+        budget = float(deadline)
+        if budget < 0:
+            raise QueryError(f"deadline budget must be non-negative, got {budget}")
+        plan._deadline_budget = budget
     return plan
 
 

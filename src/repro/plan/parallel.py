@@ -53,6 +53,29 @@ that reach the driver path through the non-driver side of a union are
 seeded with their full table in morsel 0 and an empty slice everywhere
 else (every allowed operator maps empty inputs to empty outputs, so the
 branch vanishes from the other morsels).
+
+**Failure model.**  Workers are expendable: every morsel is dispatched
+as its own future on a spawned :class:`~concurrent.futures.ProcessPoolExecutor`,
+so a worker that dies mid-morsel (SIGKILL, OOM, an injected
+``kill_worker`` fault) surfaces as :class:`BrokenProcessPool` on the
+unfinished futures only.  The parent then rebuilds the warm pool and
+retries *just the unfinished morsels* — recomputing a morsel subset and
+re-merging is exact by the same multilinearity argument that justified
+sharding — with bounded retries and exponential backoff
+(:data:`PARALLEL_MAX_RETRIES`, :data:`PARALLEL_RETRY_BACKOFF_S`); when
+retries exhaust, the whole query degrades to the serial encoded tier,
+which recomputes from the intact in-process tables.  Published segments
+carry an adler32 integrity checksum verified when a worker first maps
+them: a dropped or corrupted segment is *detected* (never silently
+computed over), the poisoned table images are republished from the
+in-process batches, and the dispatch retried.  Repeated crash
+degradations trip a circuit breaker (:func:`breaker_state`) that pins
+the serial tier for a cool-down, so a persistently failing pool stops
+taxing every query with doomed retries.  Cooperative deadlines ship the
+remaining budget into each morsel; workers check it per morsel and per
+operator.  Every segment this process creates is tracked and unlinked in
+``finally``/``atexit`` paths (:func:`cleanup`, :func:`live_segments`),
+so crashes never leak ``/dev/shm`` space.
 """
 
 from __future__ import annotations
@@ -62,8 +85,14 @@ import itertools
 import os
 import pickle
 import threading
+import time
+import zlib
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import faults
+from repro.deadline import Deadline, DeadlineExceeded
+from repro.faults import InjectedFault
 
 from repro.core.schema import Schema
 from repro.plan import encoded as enc
@@ -83,15 +112,25 @@ from repro.plan.physical import (
 )
 
 __all__ = [
+    "BREAKER_COOLDOWN_S",
+    "BREAKER_THRESHOLD",
     "MORSELS_PER_WORKER",
+    "PARALLEL_MAX_RETRIES",
     "PARALLEL_MIN_ROWS",
+    "PARALLEL_RETRY_BACKOFF_S",
+    "ParallelCrash",
     "ParallelFallback",
     "ParallelSpec",
     "admission_weight",
     "analyze_plan",
+    "breaker_blocking",
+    "breaker_state",
     "check_merged_reduction_bound",
+    "cleanup",
     "effective_workers",
     "execute_parallel",
+    "live_segments",
+    "reset_breaker",
     "set_default_workers",
     "shutdown_pools",
 ]
@@ -104,6 +143,23 @@ PARALLEL_MIN_ROWS = 200_000
 #: pool instead of serialising behind the largest shard.
 MORSELS_PER_WORKER = 2
 
+#: Worker-crash recovery budget: how many times the unfinished morsels
+#: of one execution are redispatched after a pool break before the query
+#: degrades to the serial encoded tier.
+PARALLEL_MAX_RETRIES = int(os.environ.get("REPRO_PARALLEL_RETRIES", "2") or 2)
+
+#: Base of the exponential backoff between redispatches (seconds):
+#: attempt ``k`` sleeps ``PARALLEL_RETRY_BACKOFF_S * 2**k``.
+PARALLEL_RETRY_BACKOFF_S = float(
+    os.environ.get("REPRO_PARALLEL_BACKOFF_S", "0.05") or 0.05
+)
+
+#: Consecutive crash degradations before the circuit breaker opens.
+BREAKER_THRESHOLD = int(os.environ.get("REPRO_BREAKER_THRESHOLD", "3") or 3)
+
+#: Seconds the breaker stays open before admitting one half-open trial.
+BREAKER_COOLDOWN_S = float(os.environ.get("REPRO_BREAKER_COOLDOWN_S", "30") or 30)
+
 #: Process-wide override set by :func:`set_default_workers` (tests,
 #: benchmarks); ``None`` defers to ``REPRO_PARALLEL_WORKERS`` / cores.
 _DEFAULT_WORKERS: Optional[int] = None
@@ -113,6 +169,17 @@ class ParallelFallback(Exception):
     """This execution cannot (or should not) run sharded; the plan falls
     back to the serial encoded tier for the *whole* query — the parallel
     analogue of the per-operator :class:`~repro.plan.encoded.EncodedFallback`."""
+
+
+class ParallelCrash(ParallelFallback):
+    """A :class:`ParallelFallback` caused by worker/pool *crashes* that
+    survived the retry budget (as opposed to static analysis or data
+    disqualification).  Only these count against the circuit breaker."""
+
+
+class _ShmIntegrityError(Exception):
+    """A worker failed to map a published segment, or its checksum did
+    not match — the segment was dropped or corrupted after publication."""
 
 
 class _WorkerValuesUnavailable(Exception):
@@ -372,6 +439,10 @@ _POOLS: Dict[Tuple[int, str], Any] = {}
 _POOL_LOCK = threading.Lock()
 _JOB_IDS = itertools.count(1)
 _SHM_BLOCKS: List[Any] = []
+#: Every segment name this process ever created — the leak audit trail
+#: behind :func:`live_segments` (names are tiny; unlinked names simply
+#: stop existing on disk).
+_SHM_CREATED: Set[str] = set()
 
 
 def _pool_init(backend: str) -> None:
@@ -395,10 +466,14 @@ def _get_pool(workers: int, backend: str):
             pool = _POOLS.get(key)
             if pool is None:
                 import multiprocessing as mp
+                from concurrent.futures import ProcessPoolExecutor
 
                 ctx = mp.get_context("spawn")
-                pool = ctx.Pool(
-                    processes=workers, initializer=_pool_init, initargs=(backend,)
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=ctx,
+                    initializer=_pool_init,
+                    initargs=(backend,),
                 )
                 _POOLS[key] = pool
     return pool
@@ -408,16 +483,45 @@ def _drop_pool(workers: int, backend: str) -> None:
     with _POOL_LOCK:
         pool = _POOLS.pop((workers, backend), None)
     if pool is not None:
-        pool.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_warmup() -> None:
+    """No-op task: submitting it forces a worker process to finish
+    spawning and importing (the expensive part of a pool rebuild)."""
+    return None
+
+
+def _warm_pool_async(workers: int, backend: str) -> None:
+    """Respawn a dropped pool off the critical path.
+
+    A worker crash drops the whole ProcessPoolExecutor; respawning it
+    costs hundreds of milliseconds of fork/exec/import that would
+    otherwise land inside whichever query happens to run next.  A daemon
+    thread pays that bill now, in the background, so the next query finds
+    warm workers.  Races are benign: ``_get_pool`` is lock-protected and
+    a concurrent shutdown just makes the warmup submissions fail."""
+
+    def warm() -> None:
+        try:
+            pool = _get_pool(workers, backend)
+            for fut in [pool.submit(_pool_warmup) for _ in range(workers)]:
+                fut.result(timeout=60)
+        except Exception:
+            pass
+
+    threading.Thread(
+        target=warm, name="repro-pool-warmup", daemon=True
+    ).start()
 
 
 def shutdown_pools() -> None:
-    """Terminate every warm worker pool (atexit, and available to tests)."""
+    """Shut down every warm worker pool (atexit, and available to tests)."""
     with _POOL_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
     for pool in pools:
-        pool.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _unlink_shm() -> None:
@@ -430,8 +534,131 @@ def _unlink_shm() -> None:
     _SHM_BLOCKS.clear()
 
 
+def cleanup() -> None:
+    """Shut down pools and unlink every tracked shared-memory segment.
+
+    Safe at any time: database-cached table images that referenced the
+    unlinked segments self-heal on next use (workers detect the missing
+    segment, the parent republishes from the in-process batches).
+    """
+    shutdown_pools()
+    _unlink_shm()
+
+
+def live_segments() -> List[str]:
+    """Names of segments this process created that still exist on disk.
+
+    The shm-leak regression oracle: after :func:`cleanup` this must be
+    empty, *including* after worker crashes mid-job (the parent owns
+    every segment's lifetime; workers only ever map them).  Returns ``[]``
+    on platforms without a ``/dev/shm`` to audit.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        name for name in _SHM_CREATED if os.path.exists(os.path.join(root, name))
+    )
+
+
 atexit.register(_unlink_shm)
 atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# the circuit breaker: repeated crash degradations pin the serial tier
+# ---------------------------------------------------------------------------
+
+_BREAKER_LOCK = threading.Lock()
+_BREAKER = {"state": "closed", "failures": 0, "opened_at": 0.0, "trial": False}
+
+
+def breaker_state() -> Dict[str, Any]:
+    """The breaker as observable state: ``state`` (``closed`` / ``open`` /
+    ``half-open``), consecutive ``failures``, and ``cooldown_remaining``
+    seconds (0 unless open)."""
+    with _BREAKER_LOCK:
+        state = _BREAKER["state"]
+        remaining = 0.0
+        if state == "open":
+            remaining = max(
+                0.0, BREAKER_COOLDOWN_S - (time.monotonic() - _BREAKER["opened_at"])
+            )
+            if remaining == 0.0:
+                state = "half-open"
+        return {
+            "state": state,
+            "failures": _BREAKER["failures"],
+            "cooldown_remaining": round(remaining, 3),
+        }
+
+
+def breaker_blocking() -> Optional[str]:
+    """The human-readable reason parallel execution is currently pinned
+    serial, or ``None`` when the breaker admits work (closed, or open but
+    cooled down enough for a half-open trial)."""
+    state = breaker_state()
+    if state["state"] == "open":
+        return (
+            f"circuit breaker open after {state['failures']} crash "
+            f"degradations (cooldown {state['cooldown_remaining']:.1f}s)"
+        )
+    return None
+
+
+def reset_breaker() -> None:
+    """Force the breaker closed (tests)."""
+    with _BREAKER_LOCK:
+        _BREAKER.update(state="closed", failures=0, opened_at=0.0, trial=False)
+
+
+def _breaker_admit() -> None:
+    """Gate one parallel execution; raises :class:`ParallelFallback` when
+    the breaker is open and still cooling down.  An open breaker past its
+    cooldown admits exactly one half-open trial at a time."""
+    with _BREAKER_LOCK:
+        if _BREAKER["state"] == "closed":
+            return
+        if _BREAKER["state"] == "open":
+            elapsed = time.monotonic() - _BREAKER["opened_at"]
+            if elapsed < BREAKER_COOLDOWN_S:
+                raise ParallelFallback(
+                    f"circuit breaker open after {_BREAKER['failures']} crash "
+                    f"degradations (cooldown "
+                    f"{BREAKER_COOLDOWN_S - elapsed:.1f}s remaining)"
+                )
+            _BREAKER["state"] = "half-open"
+            _BREAKER["trial"] = False
+        if _BREAKER["trial"]:
+            raise ParallelFallback("circuit breaker half-open; trial in flight")
+        _BREAKER["trial"] = True
+
+
+def _breaker_success() -> None:
+    with _BREAKER_LOCK:
+        _BREAKER.update(state="closed", failures=0, opened_at=0.0, trial=False)
+
+
+def _breaker_failure() -> None:
+    with _BREAKER_LOCK:
+        _BREAKER["failures"] += 1
+        _BREAKER["trial"] = False
+        tripping = (
+            _BREAKER["state"] == "half-open"
+            or _BREAKER["failures"] >= BREAKER_THRESHOLD
+        )
+        if tripping:
+            _BREAKER["state"] = "open"
+            _BREAKER["opened_at"] = time.monotonic()
+    if tripping:
+        faults.bump("breaker_trips")
+
+
+def _breaker_release() -> None:
+    """A half-open trial ended without a crash verdict (deadline expiry,
+    deterministic fallback): free the trial slot without counting it."""
+    with _BREAKER_LOCK:
+        _BREAKER["trial"] = False
 
 
 # ---------------------------------------------------------------------------
@@ -447,7 +674,18 @@ def _publish_array(np, arr) -> Tuple[Any, Dict[str, Any]]:
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
     view[...] = arr
     _SHM_BLOCKS.append(shm)
-    return shm, {"shm": shm.name, "n": int(arr.shape[0]), "dtype": str(arr.dtype)}
+    _SHM_CREATED.add(shm.name)
+    # integrity checksum over exactly the payload bytes (the segment may
+    # be page-rounded): a worker that maps a dropped/corrupted segment
+    # *detects* it instead of computing over garbage
+    check = zlib.adler32(shm.buf[: arr.nbytes]) & 0xFFFFFFFF
+    return shm, {
+        "shm": shm.name,
+        "n": int(arr.shape[0]),
+        "dtype": str(arr.dtype),
+        "nbytes": int(arr.nbytes),
+        "adler32": check,
+    }
 
 
 def _release_blocks(blocks) -> None:
@@ -559,7 +797,9 @@ def _cached_table_payload(db, name, rel, batch, np, partition):
     to the encoding cache so every snapshot of one lineage shares it and
     relation identity invalidates it.  ``partition`` is ``None`` for
     replicated tables or ``(morsels, attrs)`` for the driver's
-    pre-partitioned image."""
+    pre-partitioned image.  Returns ``(spec, bounds, order)``; ``order``
+    is kept so in-process salvage can reproduce the exact morsel slices
+    without republishing anything."""
     if np is None:
         order = None
         if partition is not None:
@@ -567,7 +807,7 @@ def _cached_table_payload(db, name, rel, batch, np, partition):
         else:
             bounds = None
         spec, _blocks = _table_payload(batch, np, order)
-        return spec, bounds
+        return spec, bounds, order
     cache = getattr(db, "_encoded_cache", None)
     images = None
     if isinstance(cache, dict) and cache.get("backend") == "numpy":
@@ -576,7 +816,7 @@ def _cached_table_payload(db, name, rel, batch, np, partition):
     if images is not None:
         entry = images.get(key)
         if entry is not None and entry[0] is rel:
-            return entry[1], entry[2]
+            return entry[1], entry[2], entry[3]
     order = None
     bounds = None
     if partition is not None:
@@ -585,9 +825,9 @@ def _cached_table_payload(db, name, rel, batch, np, partition):
     if images is not None:
         entry = images.get(key)
         if entry is not None:
-            _release_blocks(entry[3])
-        images[key] = (rel, spec, bounds, blocks)
-    return spec, bounds
+            _release_blocks(entry[4])
+        images[key] = (rel, spec, bounds, order, blocks)
+    return spec, bounds, order
 
 
 # ---------------------------------------------------------------------------
@@ -660,8 +900,23 @@ def _attach_shm(name: str):
 
 def _attach_array(ref, np, shms: List[Any]):
     if isinstance(ref, dict):
-        shm = _attach_shm(ref["shm"])
+        try:
+            shm = _attach_shm(ref["shm"])
+        except FileNotFoundError as exc:
+            raise _ShmIntegrityError(
+                f"segment {ref['shm']!r} is gone (dropped before the worker "
+                "mapped it)"
+            ) from exc
         shms.append(shm)
+        nbytes = ref.get("nbytes")
+        expected = ref.get("adler32")
+        if nbytes is not None and expected is not None:
+            actual = zlib.adler32(shm.buf[:nbytes]) & 0xFFFFFFFF
+            if actual != expected:
+                raise _ShmIntegrityError(
+                    f"segment {ref['shm']!r} failed its integrity check "
+                    f"(adler32 {actual:#010x} != published {expected:#010x})"
+                )
         return np.ndarray((ref["n"],), dtype=np.dtype(ref["dtype"]), buffer=shm.buf)
     return ref
 
@@ -710,10 +965,20 @@ def _load_job(blob: bytes) -> Dict[str, Any]:
         )
     semiring = job["semiring"]
     shms: List[Any] = []
-    batches = {
-        name: _rebuild_batch(semiring, tspec, job["values"].get(name, {}), np, shms)
-        for name, tspec in job["tables"].items()
-    }
+    try:
+        batches = {
+            name: _rebuild_batch(semiring, tspec, job["values"].get(name, {}), np, shms)
+            for name, tspec in job["tables"].items()
+        }
+    except BaseException:
+        # a failed rebuild (missing/corrupt segment) must not strand the
+        # worker-side mappings already opened for this job
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        raise
     root = _compile(job["query"], job["catalog"], job["sizes"])
     scans: List[Any] = []
     _collect_scans(root, scans)
@@ -730,8 +995,25 @@ def _load_job(blob: bytes) -> Dict[str, Any]:
     }
 
 
-def _exec_morsel(state, morsel_index: int, start: int, stop: int):
-    ctx = ExecutionContext(None, {}, encoded=True)
+def _apply_directives(directives) -> None:
+    """Execute the fault directives the parent armed for this morsel.
+
+    ``kill_worker`` is the real thing — the process exits without Python
+    cleanup, exactly like a SIGKILL or OOM kill — so the parent's
+    recovery path is exercised against a genuinely dead worker.
+    """
+    for d in directives or ():
+        point = d.get("point")
+        if point == "kill_worker":
+            os._exit(17)
+        elif point == "kernel_error":
+            raise InjectedFault("injected kernel error (fault point kernel_error)")
+        elif point == "latency":
+            time.sleep(min(float(d.get("ms", 10)) / 1e3, faults.MAX_LATENCY_S))
+
+
+def _exec_morsel(state, morsel_index: int, start: int, stop: int, deadline=None):
+    ctx = ExecutionContext(None, {}, encoded=True, deadline=deadline)
     for scan, mode in zip(state["scans"], state["modes"]):
         batch = state["batches"][scan.name]
         if mode == "driver":
@@ -769,8 +1051,26 @@ def _exec_morsel(state, morsel_index: int, start: int, stop: int):
 
 
 def _run_morsel(task):
-    key, blob, morsel_index, start, stop = task
+    """One morsel in a pool worker.  Returns ``("ok", backend, payload)``
+    or ``("err", kind, message)`` where ``kind`` classifies recoverability:
+
+    ``"transient"``
+        an injected/transient crash class — the parent may retry the morsel;
+    ``"integrity"``
+        a missing or corrupted shared-memory segment — the parent
+        republishes the table images and retries;
+    ``"deadline"``
+        the cooperative deadline expired inside the worker;
+    ``"deterministic"``
+        everything else (unshipped dictionaries, backend mismatch, real
+        kernel bugs) — retrying cannot help, the query falls back serial.
+    """
+    key, blob, morsel_index, start, stop, deadline_s, directives = task
     try:
+        deadline = Deadline.after(deadline_s) if deadline_s is not None else None
+        if deadline is not None:
+            deadline.check(f"morsel {morsel_index} start")
+        _apply_directives(directives)
         state = _WORKER_JOBS.get(key)
         if state is None:
             state = _load_job(blob)
@@ -778,10 +1078,16 @@ def _run_morsel(task):
             while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
                 _k, old = _WORKER_JOBS.popitem(last=False)
                 _close_job(old)
-        payload = _exec_morsel(state, morsel_index, start, stop)
+        payload = _exec_morsel(state, morsel_index, start, stop, deadline)
         return ("ok", kernels.active_backend(), payload)
+    except InjectedFault as exc:
+        return ("err", "transient", f"{type(exc).__name__}: {exc}")
+    except _ShmIntegrityError as exc:
+        return ("err", "integrity", f"{type(exc).__name__}: {exc}")
+    except DeadlineExceeded as exc:
+        return ("err", "deadline", f"{type(exc).__name__}: {exc}")
     except Exception as exc:  # surfaced to the parent as a ParallelFallback
-        return ("err", f"{type(exc).__name__}: {exc}")
+        return ("err", "deterministic", f"{type(exc).__name__}: {exc}")
 
 
 # ---------------------------------------------------------------------------
@@ -860,6 +1166,7 @@ def _build_job(plan, db, spec, batches, workers, morsels, backend, np):
     tables: Dict[str, Any] = {}
     values: Dict[str, Dict[str, Any]] = {}
     bounds = None
+    order = None
     for scan in spec.scans:
         name = scan.name
         if name in tables:
@@ -868,9 +1175,12 @@ def _build_job(plan, db, spec, batches, workers, morsels, backend, np):
         partition = (
             (morsels, spec.partition_attrs) if name == driver_scan.name else None
         )
-        tspec, tbounds = _cached_table_payload(db, name, rel, batch, np, partition)
+        tspec, tbounds, torder = _cached_table_payload(
+            db, name, rel, batch, np, partition
+        )
         tables[name] = tspec
         if partition is not None:
+            order = torder
             bounds = (
                 tbounds if tbounds is not None else _chunk_bounds(len(batch), morsels)
             )
@@ -894,21 +1204,108 @@ def _build_job(plan, db, spec, batches, workers, morsels, backend, np):
         blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ParallelFallback(f"job spec not picklable: {exc}") from exc
-    return next(_JOB_IDS), blob, bounds
+    return next(_JOB_IDS), blob, bounds, order
 
 
-def execute_parallel(plan, db):
+def _arm_worker_directives(morsel_index: int, n_morsels: int) -> List[Dict[str, Any]]:
+    """Parent-side arming of worker faults for one dispatched morsel.
+
+    Budgets are consumed *here*, in the one process that owns them, and
+    the resulting directives ship inside the task tuple — so a retry of
+    the killed morsel finds the budget spent and succeeds, which is what
+    makes chaos runs deterministic.  The ``rng`` never crosses the
+    process boundary; anything random (latency duration) is drawn now.
+    """
+    directives: List[Dict[str, Any]] = []
+    for point in ("kill_worker", "kernel_error", "latency"):
+        recipe = faults.should_fire(point, morsel=morsel_index, n_morsels=n_morsels)
+        if recipe is None:
+            continue
+        if point == "latency" and "ms" not in recipe:
+            recipe["ms"] = recipe["rng"].randint(1, 50)
+        directives.append({k: v for k, v in recipe.items() if k != "rng"})
+    return directives
+
+
+def _inject_shm_faults() -> bool:
+    """The parent-side shm fault points: unlink (``drop_shm``) or
+    byte-flip (``corrupt_shm``) one published segment, chosen by the
+    firing's seeded rng.  Only fires when segments exist (the pure-Python
+    backend publishes none), so an armed spec waits for a real target
+    instead of burning its budget on a no-op.  Returns True if anything
+    fired — the caller then rotates the job key so warm workers re-attach
+    (and therefore *detect* the damage) instead of computing over their
+    cached, still-valid mappings.
+    """
+    fired = False
+    for point in ("drop_shm", "corrupt_shm"):
+        if not _SHM_BLOCKS or faults.active(point) is None:
+            continue
+        recipe = faults.should_fire(point)
+        if recipe is None:
+            continue
+        rng = recipe["rng"]
+        shm = _SHM_BLOCKS[rng.randrange(len(_SHM_BLOCKS))]
+        if point == "drop_shm":
+            try:
+                _SHM_BLOCKS.remove(shm)
+            except ValueError:  # pragma: no cover - concurrent cleanup
+                pass
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        elif shm.size:
+            offset = rng.randrange(shm.size)
+            shm.buf[offset] = shm.buf[offset] ^ 0xFF
+        fired = True
+    return fired
+
+
+def execute_parallel(plan, db, deadline: Optional[Deadline] = None):
     """Run ``plan`` sharded over ``db``; returns ``(batch, run_info)`` or
-    raises :class:`ParallelFallback` for the serial encoded re-run."""
+    raises :class:`ParallelFallback` for the serial encoded re-run.
+
+    This is the recovery seam: worker crashes redispatch only the
+    unfinished morsels (bounded retries, exponential backoff, pool
+    rebuild), shm integrity failures republish the table images once,
+    deadline expiry raises :class:`DeadlineExceeded` (never retried), and
+    exhausted retries raise :class:`ParallelCrash` — the only outcome the
+    circuit breaker counts.
+    """
     spec = plan._parallel_spec
     if spec is None:
         raise ParallelFallback(
             plan._parallel_reason or "query is not shard-parallelizable"
         )
+    _breaker_admit()
+    verdict = None
+    try:
+        result = _execute_attempts(plan, db, spec, deadline)
+        verdict = "success"
+        return result
+    except ParallelCrash:
+        verdict = "crash"
+        raise
+    finally:
+        if verdict == "success":
+            _breaker_success()
+        elif verdict == "crash":
+            _breaker_failure()
+        else:
+            _breaker_release()
+
+
+def _execute_attempts(plan, db, spec, deadline: Optional[Deadline]):
+    from concurrent.futures import TimeoutError as _FuturesTimeout
+
     workers = max(1, effective_workers())
     backend = kernels.active_backend()
     np = kernels.numpy_or_none()
     morsels = max(2, workers * MORSELS_PER_WORKER)
+    if deadline is not None:
+        deadline.check("parallel dispatch")
     batches: Dict[str, Tuple[Any, Any]] = {}
     for scan in spec.scans:
         if scan.name in batches:
@@ -930,38 +1327,235 @@ def execute_parallel(plan, db):
     )
     cached = plan._parallel_job
     if cached is not None and cached[0] == sig:
-        _sig, _rels, key, blob, bounds = cached
+        _sig, rels, key, blob, bounds, order = cached
     else:
-        key, blob, bounds = _build_job(
+        key, blob, bounds, order = _build_job(
             plan, db, spec, batches, workers, morsels, backend, np
         )
         # hold the relations so their ids stay unambiguous while cached
-        plan._parallel_job = (sig, [rel for rel, _b in batches.values()], key, blob, bounds)
+        rels = [rel for rel, _b in batches.values()]
+        plan._parallel_job = (sig, rels, key, blob, bounds, order)
+
+    if _inject_shm_faults():
+        # fresh job key: warm workers must re-attach (and checksum) the
+        # published segments instead of reusing cached mappings
+        key = next(_JOB_IDS)
+        plan._parallel_job = (sig, rels, key, blob, bounds, order)
 
     pool = _get_pool(workers, backend)
-    tasks = [
-        (key, blob, i, int(start), int(stop))
-        for i, (start, stop) in enumerate(bounds)
-    ]
-    try:
-        results = pool.map(_run_morsel, tasks)
-    except Exception as exc:
-        _drop_pool(workers, backend)  # the pool may be poisoned; respawn next time
-        raise ParallelFallback(f"worker pool failure: {exc}") from exc
-    payloads = []
-    for r in results:
-        if r[0] != "ok":
-            raise ParallelFallback(f"worker: {r[1]}")
-        if r[1] != backend:
-            raise ParallelFallback(
-                f"worker ran backend {r[1]!r}, parent expected {backend!r}"
+    n_morsels = len(bounds)
+    payloads: List[Any] = [None] * n_morsels
+    pending = [(i, int(start), int(stop)) for i, (start, stop) in enumerate(bounds)]
+    attempt = 0
+    republished = False
+    while pending:
+        if deadline is not None:
+            deadline.check("parallel dispatch")
+        tasks = []
+        for i, start, stop in pending:
+            deadline_s = (
+                max(0.0, deadline.remaining()) if deadline is not None else None
             )
-        payloads.append(r[2])
+            tasks.append(
+                (key, blob, i, start, stop, deadline_s,
+                 _arm_worker_directives(i, n_morsels))
+            )
+        try:
+            futures = [pool.submit(_run_morsel, t) for t in tasks]
+        except Exception as exc:  # pool already broken/shut down
+            _drop_pool(workers, backend)
+            faults.bump("pool_rebuilds")
+            pool = _get_pool(workers, backend)
+            futures = [pool.submit(_run_morsel, t) for t in tasks]
+        retry: List[Tuple[int, int, int]] = []
+        broken = False
+        integrity = False
+        failure_msg = ""
+        try:
+            for fut, (i, start, stop) in zip(futures, pending):
+                timeout = (
+                    max(0.0, deadline.remaining()) if deadline is not None else None
+                )
+                try:
+                    r = fut.result(timeout=timeout)
+                except _FuturesTimeout:
+                    deadline.check("parallel gather")
+                    raise DeadlineExceeded(  # pragma: no cover - clock race
+                        "query deadline expired while waiting on workers"
+                    )
+                except Exception as exc:
+                    # BrokenProcessPool (a worker died taking the pool
+                    # down) or any other transport failure: the morsel's
+                    # work is lost but recomputable
+                    broken = True
+                    failure_msg = f"{type(exc).__name__}: {exc}"
+                    retry.append((i, start, stop))
+                    continue
+                if r[0] == "ok":
+                    if r[1] != backend:
+                        raise ParallelFallback(
+                            f"worker ran backend {r[1]!r}, parent expected {backend!r}"
+                        )
+                    payloads[i] = r[2]
+                    continue
+                kind, msg = r[1], r[2]
+                failure_msg = msg
+                if kind == "transient":
+                    retry.append((i, start, stop))
+                elif kind == "integrity":
+                    integrity = True
+                    retry.append((i, start, stop))
+                elif kind == "deadline":
+                    raise DeadlineExceeded(msg)
+                else:
+                    raise ParallelFallback(f"worker: {msg}")
+        finally:
+            for fut in futures:
+                fut.cancel()
+        if not retry:
+            break
+        if integrity:
+            faults.bump("shm_integrity_failures")
+            if republished:
+                raise ParallelCrash(
+                    f"shm integrity failure persisted after republish: {failure_msg}"
+                )
+            republished = True
+            key, blob, bounds, order = _republish_job(
+                plan, db, spec, batches, workers, morsels, backend, np, sig
+            )
+            # same batches, deterministic partition: bounds are unchanged,
+            # so completed payloads stay valid and only `retry` redispatches
+            pending = retry
+            continue  # a republish retry does not consume the crash budget
+        if broken:
+            # A dead worker takes the whole ProcessPoolExecutor with it,
+            # and respawning one costs ~1s — far more than recomputing
+            # the lost morsels.  So the parent salvages them *in-process*
+            # against its own intact encoded batches (exact by
+            # multilinearity: same partition order, same bounds, same
+            # operators) and lets the pool rebuild lazily for the next
+            # query.  Transient worker errors below keep the redispatch
+            # path: the pool there is alive and the retry budget / breaker
+            # semantics depend on it.
+            _drop_pool(workers, backend)
+            faults.bump("pool_rebuilds")
+            faults.bump("morsel_retries", len(retry))
+            _salvage_morsels(
+                plan, spec, batches, order, retry, payloads, deadline
+            )
+            _warm_pool_async(workers, backend)
+            pending = []
+            continue
+        if attempt >= PARALLEL_MAX_RETRIES:
+            faults.bump("parallel_exhausted")
+            raise ParallelCrash(
+                f"{len(retry)} morsel(s) still failing after "
+                f"{attempt} redispatch(es): {failure_msg}"
+            )
+        faults.bump("morsel_retries", len(retry))
+        delay = PARALLEL_RETRY_BACKOFF_S * (2 ** attempt)
+        attempt += 1
+        if deadline is not None and deadline.remaining() <= delay:
+            deadline.check("retry backoff")  # raises once actually expired
+        elif delay > 0:
+            time.sleep(delay)
+        pending = retry
+
+    if any(p is None for p in payloads):  # pragma: no cover - invariant
+        raise ParallelCrash("morsel bookkeeping lost a payload")
     if spec.kind == "group":
         result = _merge_group_payloads(plan.root, db.semiring, payloads, np)
     else:
         result = _merge_spju_payloads(plan.root.schema, db.semiring, payloads)
-    return result, ParallelRunInfo(workers, len(bounds), backend)
+    return result, ParallelRunInfo(workers, n_morsels, backend)
+
+
+def _reorder_batch(batch, order):
+    """``batch`` with its rows permuted by ``order`` — the same image the
+    workers compute over, so published morsel bounds index it directly.
+    Dictionaries (values + index) are shared untouched; only codes and
+    annotations are gathered."""
+    if order is None:
+        return batch
+    np = batch.np
+    cols: Dict[str, Any] = {}
+    for attr in batch.schema.attributes:
+        col = batch.col(attr)
+        codes = (
+            col.codes[order]
+            if np is not None
+            else list(map(col.codes.__getitem__, order))
+        )
+        cols[attr] = enc.EncodedColumn(codes, col.values, col.index)
+    anns = (
+        batch.anns[order]
+        if np is not None
+        else list(map(batch.anns.__getitem__, order))
+    )
+    return enc.EncodedBatch(
+        batch.semiring,
+        batch.schema,
+        np,
+        cols,
+        anns,
+        batch.anns_one,
+        batch.ann_bound,
+    )
+
+
+def _salvage_morsels(plan, spec, batches, order, lost, payloads, deadline):
+    """Recompute ``lost`` morsels in the parent process.
+
+    When a worker dies it takes the whole pool down, and every unfinished
+    morsel's *work* is lost while its *inputs* survive untouched in this
+    process.  Recomputing those morsels here — against the driver image
+    permuted by the same deterministic ``order`` the workers saw, over
+    the same bounds, with the same operators — produces byte-identical
+    partial aggregates, and merging them is exact by multilinearity.
+    This keeps pool respawn (~1s of fork/exec/import) off the query's
+    critical path; the next query rebuilds the pool lazily.
+    """
+    driver_name = spec.scans[spec.driver_pos].name
+    local: Dict[str, Any] = {}
+    for name, (_rel, batch) in batches.items():
+        local[name] = _reorder_batch(batch, order) if name == driver_name else batch
+    state = {
+        "root": plan.root,
+        "scans": spec.scans,
+        "modes": spec.modes,
+        "batches": local,
+        "kind": spec.kind,
+    }
+    try:
+        for i, start, stop in lost:
+            if deadline is not None:
+                deadline.check(f"salvaging morsel {i}")
+            payloads[i] = _exec_morsel(state, i, start, stop, deadline)
+    except DeadlineExceeded:
+        raise
+    except Exception as exc:
+        raise ParallelFallback(f"in-process salvage failed: {exc}") from exc
+
+
+def _republish_job(plan, db, spec, batches, workers, morsels, backend, np, sig):
+    """Throw away every published table image (they are copies; the
+    in-process batches stay intact) and publish fresh segments, giving
+    the plan a fresh job key so workers re-attach and re-verify."""
+    cache = getattr(db, "_encoded_cache", None)
+    if isinstance(cache, dict):
+        images = cache.get("parallel_images")
+        if images:
+            for entry in images.values():
+                _release_blocks(entry[4])
+            images.clear()
+    key, blob, bounds, order = _build_job(
+        plan, db, spec, batches, workers, morsels, backend, np
+    )
+    plan._parallel_job = (
+        sig, [rel for rel, _b in batches.values()], key, blob, bounds, order
+    )
+    return key, blob, bounds, order
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ import itertools
 import operator as _pyop
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import faults
 from repro.core import aggregates as agg_ops
 from repro.core.query import AttrCompare, AttrEq, AttrEqAttr, Condition
 from repro.core.schema import Schema
@@ -112,6 +113,7 @@ class ExecutionContext:
         "encoded",
         "used_encoded",
         "fell_back",
+        "deadline",
     )
 
     def __init__(
@@ -119,6 +121,7 @@ class ExecutionContext:
         db,
         scan_cache: Dict[str, Tuple[Any, Any]],
         encoded: bool = False,
+        deadline=None,
     ):
         self.db = db
         self.results: Dict[int, Any] = {}
@@ -126,6 +129,9 @@ class ExecutionContext:
         self.encoded = encoded
         self.used_encoded = False
         self.fell_back = False
+        #: Optional :class:`repro.deadline.Deadline` checked at every
+        #: operator boundary — the cooperative-cancellation checkpoints.
+        self.deadline = deadline
 
 
 def _as_columnar(batch, ctx: "ExecutionContext | None" = None) -> ColumnarKRelation:
@@ -154,7 +160,16 @@ class PhysicalOp:
         memo = ctx.results
         key = id(self)
         if key not in memo:
+            # cooperative-cancellation checkpoints: once on entry (before
+            # this operator starts) and once on exit (so a deadline that
+            # expired *inside* a long-running child still cancels here,
+            # instead of only at the next operator's entry)
+            deadline = ctx.deadline
+            if deadline is not None:
+                deadline.check(self.label())
             memo[key] = self._run(ctx)
+            if deadline is not None:
+                deadline.check(self.label())
         return memo[key]
 
     def _run(self, ctx: ExecutionContext) -> ColumnarKRelation:
@@ -232,6 +247,10 @@ class Scan(PhysicalOp):
         self.name = name
 
     def _run(self, ctx: ExecutionContext):
+        # latency fault point: a seeded sleep lets the chaos suite drive
+        # deadline expiry through a realistically-slow scan (no-op when
+        # nothing is armed)
+        faults.sleep_point("latency", site="scan", table=self.name)
         rel = ctx.db.relation(self.name)
         entry = ctx.scan_cache.get(self.name)
         if entry is None or entry[0] is not rel:

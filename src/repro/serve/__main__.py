@@ -51,6 +51,9 @@ def main(argv=None) -> None:
                         help="queued requests before 503 backpressure")
     parser.add_argument("--heavy-slots", type=int, default=1,
                         help="concurrent symbolic-provenance queries")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        help="seconds to let in-flight queries finish on "
+                             "shutdown before cancelling (0 = immediate)")
     parser.add_argument("--demo", action="store_true",
                         help="preload the Figure 1 employee database")
     args = parser.parse_args(argv)
@@ -63,6 +66,7 @@ def main(argv=None) -> None:
         workers=args.workers,
         max_queue=args.max_queue,
         heavy_slots=args.heavy_slots,
+        drain_timeout=args.drain_timeout,
     )
 
     async def run() -> None:
@@ -82,7 +86,9 @@ def main(argv=None) -> None:
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
-        pass
+        # graceful drain: give in-flight query threads the configured
+        # grace period instead of dropping them mid-request
+        server.pool.shutdown(drain_timeout=args.drain_timeout)
 
 
 if __name__ == "__main__":

@@ -64,15 +64,27 @@ def _choice(payload: Mapping[str, Any], key: str, options, default: str) -> str:
     return value
 
 
-def parse_query_request(payload: Any) -> Dict[str, str]:
-    """Validate a ``POST /query`` body into evaluation keywords."""
+def parse_query_request(payload: Any) -> Dict[str, Any]:
+    """Validate a ``POST /query`` body into evaluation keywords.
+
+    ``timeout_ms`` (optional, positive number) becomes the request's
+    cooperative deadline; the ``x-timeout-ms`` header is the transport
+    equivalent and takes precedence at the dispatch layer.
+    """
     if not isinstance(payload, Mapping):
         raise BadRequest("query request body must be a JSON object")
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None:
+        if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, (int, float)):
+            raise BadRequest("query request: 'timeout_ms' must be a number")
+        if timeout_ms <= 0:
+            raise BadRequest("query request: 'timeout_ms' must be positive")
     return {
         "sql": _require(payload, "sql", str, "query request"),
         "engine": _choice(payload, "engine", _ENGINES, "planned"),
         "mode": _choice(payload, "mode", _MODES, "standard"),
         "annotations": _choice(payload, "annotations", _ANNOTATIONS, "expanded"),
+        "timeout_ms": timeout_ms,
     }
 
 

@@ -39,9 +39,11 @@ import threading
 import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro import faults
 from repro.caching import LRUDict
 from repro.core.database import KDatabase
-from repro.exceptions import ReproError
+from repro.deadline import Deadline
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.serve.schema import (
     BadRequest,
     deltas_from_json,
@@ -60,6 +62,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -83,9 +86,11 @@ class ProvenanceServer:
         workers: Optional[int] = None,
         max_queue: int = 32,
         heavy_slots: int = 1,
+        drain_timeout: float = 5.0,
     ):
         self.host = host
         self.port = port
+        self.drain_timeout = drain_timeout
         self.manager = SnapshotManager(db)
         self.pool = WorkerPool(workers=workers, max_queue=max_queue,
                                heavy_slots=heavy_slots)
@@ -93,13 +98,15 @@ class ProvenanceServer:
         self._writer_gate = asyncio.Lock()
         self._stats_lock = threading.Lock()
         self._counters = {"queries": 0, "updates": 0, "errors": 0,
-                          "rejected": 0, "connections": 0}
+                          "rejected": 0, "connections": 0, "timeouts": 0}
         # per-tier execution counters are process-global (they count
         # every plan execution, not just this server's); baseline them at
         # construction so /stats reports the traffic *this* server saw
         from repro.plan import tier_counts
 
         self._tier_baseline = tier_counts()
+        # same contract for the process-global resilience ledger
+        self._resilience_baseline = faults.counters()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: "set[asyncio.Task]" = set()
 
@@ -122,11 +129,19 @@ class ProvenanceServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # graceful drain: stop accepting, then give in-flight requests a
+        # grace period to finish before cancelling their connections —
+        # cancelling first would kill requests awaiting the executor and
+        # drop work that is milliseconds from a response
+        if self.drain_timeout and self.drain_timeout > 0:
+            grace_until = time.monotonic() + self.drain_timeout
+            while self.pool.in_flight() and time.monotonic() < grace_until:
+                await asyncio.sleep(0.01)
         for task in list(self._connections):  # drop open keep-alive clients
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        self.pool.shutdown()
+        self.pool.shutdown(drain_timeout=self.drain_timeout)
 
     # -- connection handling -------------------------------------------------
 
@@ -143,7 +158,9 @@ class ProvenanceServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body, prepared)
+                status, payload = await self._dispatch(
+                    method, path, body, prepared, headers
+                )
                 keep = headers.get("connection", "").lower() != "close"
                 await self._respond(writer, status, payload, keep)
                 if not keep:
@@ -200,7 +217,7 @@ class ProvenanceServer:
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep else 'close'}\r\n"
         )
-        if status == 503:
+        if status in (408, 503):
             head += "Retry-After: 1\r\n"
         writer.write(head.encode("latin1") + b"\r\n" + data)
         await writer.drain()
@@ -208,13 +225,18 @@ class ProvenanceServer:
     # -- routing -------------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes, prepared: LRUDict
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        prepared: LRUDict,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any]:
+        headers = headers or {}
         try:
             if method == "GET":
                 if path == "/health":
-                    return 200, {"status": "ok", "version": self.manager.version,
-                                 "semiring": self.manager.pin().semiring.name}
+                    return 200, self.health()
                 if path == "/stats":
                     return 200, self.stats()
                 if path.startswith("/views/"):
@@ -226,7 +248,7 @@ class ProvenanceServer:
                 except json.JSONDecodeError as exc:
                     return 400, {"error": f"request body is not valid JSON: {exc}"}
                 if path == "/query":
-                    return await self._query(payload, prepared)
+                    return await self._query(payload, prepared, headers)
                 if path == "/update":
                     return await self._update(payload)
                 if path == "/relations":
@@ -240,6 +262,13 @@ class ProvenanceServer:
             return 503, {"error": str(exc), "retry_after": exc.retry_after}
         except BadRequest as exc:
             return 400, {"error": str(exc)}
+        except DeadlineExceeded as exc:
+            # must precede the ReproError clause (it subclasses it): an
+            # expired budget is a timeout, not a malformed request.  The
+            # worker slot is already reclaimed — the evaluating thread
+            # raised at its next cooperative checkpoint
+            self._count("timeouts")
+            return 408, {"error": str(exc), "retry_after": 1.0}
         except ReproError as exc:
             # engine-level rejection of a well-formed HTTP request:
             # unknown table, schema mismatch, symbolic comparison, ...
@@ -259,8 +288,24 @@ class ProvenanceServer:
             prepared[sql] = query
         return query
 
-    async def _query(self, payload: Any, prepared: LRUDict) -> Tuple[int, Any]:
+    async def _query(
+        self,
+        payload: Any,
+        prepared: LRUDict,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any]:
         req = parse_query_request(payload)
+        timeout_ms = req.get("timeout_ms")
+        header_timeout = (headers or {}).get("x-timeout-ms")
+        if header_timeout:
+            try:
+                timeout_ms = float(header_timeout)
+            except ValueError:
+                raise BadRequest(
+                    f"x-timeout-ms header must be a number, got {header_timeout!r}"
+                ) from None
+            if timeout_ms <= 0:
+                raise BadRequest("x-timeout-ms header must be positive")
         snap = self.manager.pin()  # the whole request reads this version
         query = self._prepare(req["sql"], prepared)
         # symbolic annotation arithmetic is the expensive tier: polynomial
@@ -280,11 +325,15 @@ class ProvenanceServer:
 
         def work():
             start = time.perf_counter()
+            deadline = (
+                Deadline.after(timeout_ms / 1e3) if timeout_ms is not None else None
+            )
             result = query.evaluate(
                 snap,
                 mode=req["mode"],
                 engine=req["engine"],
                 annotations=req["annotations"],
+                deadline=deadline,
             )
             if hasattr(result, "lower"):  # CircuitResult → canonical N[X]
                 result = result.lower()
@@ -395,12 +444,31 @@ class ProvenanceServer:
         with self._stats_lock:
             self._counters[key] += 1
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness + degradation: ``status`` is ``"degraded"`` while the
+        parallel tier's circuit breaker pins queries to the serial path
+        (the server still answers everything — degraded, not down)."""
+        from repro.plan.parallel import breaker_state
+
+        breaker = breaker_state()
+        degraded = breaker["state"] == "open"
+        body: Dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
+            "version": self.manager.version,
+            "semiring": self.manager.pin().semiring.name,
+        }
+        if degraded:
+            body["breaker"] = breaker
+        return body
+
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
             counters = dict(self._counters)
         from repro.plan import tier_counts
+        from repro.plan.parallel import breaker_state
 
         now = tier_counts()
+        resilience = faults.counters()
         return {
             "version": self.manager.version,
             "writes": self.manager.writes,
@@ -409,6 +477,11 @@ class ProvenanceServer:
             "tiers": {
                 k: now[k] - self._tier_baseline.get(k, 0) for k in now
             },
+            "resilience": {
+                k: resilience[k] - self._resilience_baseline.get(k, 0)
+                for k in resilience
+            },
+            "breaker": breaker_state(),
             **counters,
         }
 

@@ -70,6 +70,11 @@ class WorkerPool:
         self.completed = 0
         self.rejected = 0
         self.heavy_rejected = 0
+        # in-flight tracking for graceful drain: _idle is set whenever no
+        # request holds a worker thread
+        self._in_flight = 0
+        self._idle = threading.Event()
+        self._idle.set()
 
     async def run(
         self,
@@ -107,9 +112,25 @@ class WorkerPool:
             raise ServerOverloaded(
                 "server at capacity: symbolic-provenance slots busy"
             )
-        loop = asyncio.get_running_loop()
+        with self._stats_lock:
+            self._in_flight += 1
+            self._idle.clear()
         try:
-            result = await loop.run_in_executor(self._executor, fn, *args)
+            future = self._executor.submit(fn, *args)
+        except BaseException:
+            self._land()
+            if heavy:
+                self._heavy.release()
+            for _ in range(acquired):
+                self._admission.release()
+            raise
+        # the decrement rides the *executor* future, not this coroutine:
+        # it fires on the worker thread at completion (or at cancellation
+        # of a queued future), so a graceful drain blocking the event
+        # loop in shutdown() still observes the pool going idle
+        future.add_done_callback(lambda _f: self._land())
+        try:
+            result = await asyncio.wrap_future(future)
             with self._stats_lock:
                 self.completed += 1
             return result
@@ -119,6 +140,17 @@ class WorkerPool:
             for _ in range(acquired):
                 self._admission.release()
 
+    def _land(self) -> None:
+        with self._stats_lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    def in_flight(self) -> int:
+        """Requests currently holding (or awaiting) a worker thread."""
+        with self._stats_lock:
+            return self._in_flight
+
     def stats(self) -> Dict[str, int]:
         with self._stats_lock:
             return {
@@ -126,7 +158,20 @@ class WorkerPool:
                 "completed": self.completed,
                 "rejected": self.rejected,
                 "heavy_rejected": self.heavy_rejected,
+                "in_flight": self._in_flight,
             }
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_timeout: Optional[float] = None) -> None:
+        """Stop the pool.
+
+        ``drain_timeout`` is the graceful-shutdown grace period in
+        seconds: wait up to that long for in-flight requests to finish,
+        *then* cancel whatever is still queued.  The previous behaviour
+        (``None``/0: immediate ``cancel_futures=True``) dropped every
+        in-flight query on the floor at shutdown — clients saw
+        connections die mid-request even though the work was milliseconds
+        from done.
+        """
+        if drain_timeout and drain_timeout > 0:
+            self._idle.wait(timeout=drain_timeout)
         self._executor.shutdown(wait=False, cancel_futures=True)

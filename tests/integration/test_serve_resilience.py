@@ -1,0 +1,249 @@
+"""Resilience behaviour of the serving layer.
+
+Deadlines become HTTP: a request carrying ``timeout_ms`` (body) or
+``x-timeout-ms`` (header) that exceeds its budget gets **408 + Retry-After**
+from the cooperative cancellation machinery, not a hung connection.
+Degradation becomes observable: ``/health`` reports ``degraded`` while
+the parallel tier's circuit breaker is open, and ``/stats`` serves the
+resilience-counter deltas since server start.  Shutdown becomes
+graceful: the worker pool drains in-flight queries inside the configured
+grace period instead of dropping them mid-request.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core import KDatabase, KRelation
+from repro.plan import parallel
+from repro.semirings import NAT
+from repro.serve import WorkerPool, start_in_thread
+
+SQL = "SELECT g, SUM(v) FROM R GROUP BY g"
+
+
+def serve_db():
+    rel = KRelation.from_rows(
+        NAT, ("g", "v"), [((f"g{i % 4}", i % 9), 1) for i in range(32)]
+    )
+    return KDatabase(NAT, {"R": rel})
+
+
+class Client:
+    def __init__(self, address):
+        self.conn = http.client.HTTPConnection(*address, timeout=30)
+
+    def request(self, method, path, payload=None, headers=None):
+        body = None if payload is None else json.dumps(payload)
+        self.conn.request(method, path, body, headers=headers or {})
+        response = self.conn.getresponse()
+        status, raw = response.status, response.read()
+        return status, json.loads(raw), dict(response.getheaders())
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture()
+def server():
+    parallel.reset_breaker()
+    faults.reset_counters()
+    handle = start_in_thread(serve_db())
+    try:
+        yield handle
+    finally:
+        handle.close()
+        parallel.reset_breaker()
+        faults.reset_counters()
+
+
+# ---------------------------------------------------------------------------
+# deadlines over HTTP
+# ---------------------------------------------------------------------------
+
+
+def test_expired_budget_returns_408_with_retry_after(server):
+    client = Client(server.address)
+    try:
+        # stall the scan well past the 10 ms budget (the sleep happens on
+        # the worker thread serving this one request)
+        with faults.inject("latency", ms=120, times=3):
+            status, body, headers = client.request(
+                "POST", "/query", {"sql": SQL, "timeout_ms": 10}
+            )
+        assert status == 408
+        assert "budget" in body["error"]
+        assert body["retry_after"] == 1.0
+        assert "Retry-After" in headers
+
+        # the connection survives 408 and the next request succeeds
+        status, body, _ = client.request("POST", "/query", {"sql": SQL})
+        assert status == 200 and body["rowcount"] == 4
+
+        status, stats, _ = client.request("GET", "/stats")
+        assert stats["timeouts"] == 1
+        assert stats["resilience"]["deadline_expiries"] >= 1
+    finally:
+        client.close()
+
+
+def test_header_timeout_takes_precedence_over_body(server):
+    client = Client(server.address)
+    try:
+        with faults.inject("latency", ms=120, times=3):
+            status, body, _ = client.request(
+                "POST",
+                "/query",
+                {"sql": SQL, "timeout_ms": 60_000},
+                headers={"x-timeout-ms": "10"},
+            )
+        assert status == 408, body
+    finally:
+        client.close()
+
+
+def test_generous_budget_answers_normally(server):
+    client = Client(server.address)
+    try:
+        status, body, _ = client.request(
+            "POST", "/query", {"sql": SQL, "timeout_ms": 60_000}
+        )
+        assert status == 200 and body["rowcount"] == 4
+        status, stats, _ = client.request("GET", "/stats")
+        assert stats["timeouts"] == 0
+    finally:
+        client.close()
+
+
+def test_invalid_timeouts_are_400(server):
+    client = Client(server.address)
+    try:
+        for bad in (0, -5, "soon", True):
+            status, body, _ = client.request(
+                "POST", "/query", {"sql": SQL, "timeout_ms": bad}
+            )
+            assert status == 400 and "timeout_ms" in body["error"]
+        status, body, _ = client.request(
+            "POST", "/query", {"sql": SQL}, headers={"x-timeout-ms": "never"}
+        )
+        assert status == 400 and "x-timeout-ms" in body["error"]
+        status, body, _ = client.request(
+            "POST", "/query", {"sql": SQL}, headers={"x-timeout-ms": "-3"}
+        )
+        assert status == 400
+    finally:
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# degraded-mode observability
+# ---------------------------------------------------------------------------
+
+
+def test_health_reports_degraded_while_breaker_is_open(server, monkeypatch):
+    client = Client(server.address)
+    try:
+        status, health, _ = client.request("GET", "/health")
+        assert status == 200 and health["status"] == "ok"
+        assert "breaker" not in health
+
+        monkeypatch.setattr(parallel, "BREAKER_THRESHOLD", 1)
+        parallel._breaker_failure()  # one crash degradation trips it
+        status, health, _ = client.request("GET", "/health")
+        assert status == 200  # degraded, not down: still serving
+        assert health["status"] == "degraded"
+        assert health["breaker"]["state"] == "open"
+
+        status, stats, _ = client.request("GET", "/stats")
+        assert stats["breaker"]["state"] == "open"
+        assert stats["resilience"]["breaker_trips"] == 1
+
+        parallel.reset_breaker()
+        status, health, _ = client.request("GET", "/health")
+        assert health["status"] == "ok"
+    finally:
+        client.close()
+
+
+def test_stats_exposes_the_full_resilience_ledger(server):
+    client = Client(server.address)
+    try:
+        status, stats, _ = client.request("GET", "/stats")
+        assert status == 200
+        assert set(stats["resilience"]) == {
+            "faults_injected",
+            "morsel_retries",
+            "pool_rebuilds",
+            "parallel_exhausted",
+            "shm_integrity_failures",
+            "breaker_trips",
+            "deadline_expiries",
+            "snapshot_rebuilds",
+        }
+        assert stats["breaker"]["state"] in ("closed", "open", "half-open")
+        assert "in_flight" in stats["pool"] or "workers" in stats["pool"]
+    finally:
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_shutdown_drains_in_flight_work_within_grace():
+    async def scenario():
+        pool = WorkerPool(workers=2)
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5)
+            return "done"
+
+        task = asyncio.ensure_future(pool.run(slow))
+        await asyncio.sleep(0.05)
+        assert started.wait(1) and pool.in_flight() == 1
+
+        # release shortly after shutdown begins: the drain must wait for
+        # the in-flight query instead of cancelling it
+        threading.Timer(0.1, release.set).start()
+        t0 = time.monotonic()
+        pool.shutdown(drain_timeout=5.0)
+        assert time.monotonic() - t0 < 4.0  # returned on idle, not timeout
+        assert await task == "done"
+        assert pool.in_flight() == 0
+        assert pool.stats()["completed"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_shutdown_grace_period_is_bounded():
+    async def scenario():
+        pool = WorkerPool(workers=1)
+        release = threading.Event()
+        task = asyncio.ensure_future(pool.run(release.wait, 10))
+        await asyncio.sleep(0.05)
+        t0 = time.monotonic()
+        pool.shutdown(drain_timeout=0.2)  # the blocker ignores the grace
+        assert 0.15 <= time.monotonic() - t0 < 2.0
+        release.set()
+        await task  # the already-running callable still finishes
+
+    asyncio.run(scenario())
+
+
+def test_stats_counts_in_flight(server):
+    client = Client(server.address)
+    try:
+        status, stats, _ = client.request("GET", "/stats")
+        assert status == 200
+        assert stats["pool"]["in_flight"] >= 0
+    finally:
+        client.close()

@@ -1,0 +1,218 @@
+"""Crash-safe snapshot files: every way the bytes can lie is detected.
+
+:func:`repro.io.serialize.dump_file` writes a checksummed, atomically
+installed snapshot; :func:`load_file` must turn *any* damage — header
+truncation, body truncation, a flipped byte, a stale checksum, a file
+that was never a snapshot, a torn write installed by a crash between
+write and rename — into the typed
+:class:`~repro.exceptions.SnapshotCorrupt`, never a bare pickle/JSON/
+``KeyError`` escaping mid-restore.  ``load_view`` then turns corruption
+into a rebuild from the live database (counted in the resilience
+ledger), because a damaged cache must cost recomputation, not wrong
+answers."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core import GroupBy, KDatabase, KRelation, Table
+from repro.exceptions import SnapshotCorrupt
+from repro.io.serialize import SNAPSHOT_MAGIC, dump_file, load_file
+from repro.ivm import MaterializedView, load_view, save_view
+from repro.monoids import SUM
+from repro.semirings import NAT
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    faults.reset_counters()
+    yield
+    faults.reset_counters()
+
+
+def sales_db():
+    rel = KRelation.from_rows(
+        NAT, ("g", "v"), [((f"g{i % 3}", i), 1 + i % 2) for i in range(9)]
+    )
+    return KDatabase(NAT, {"R": rel})
+
+
+QUERY = GroupBy(Table("R"), ["g"], {"v": SUM})
+
+
+def split(path):
+    raw = open(path, "rb").read()
+    newline = raw.find(b"\n")
+    return raw[:newline], raw[newline + 1 :]
+
+
+# ---------------------------------------------------------------------------
+# the happy path
+# ---------------------------------------------------------------------------
+
+
+def test_round_trip_restores_the_relation(tmp_path):
+    path = tmp_path / "r.snap"
+    rel = sales_db().relation("R")
+    assert dump_file(rel, path) == os.fspath(path)
+    assert load_file(path) == rel
+
+
+def test_file_is_self_describing(tmp_path):
+    path = tmp_path / "r.snap"
+    dump_file(sales_db().relation("R"), path)
+    header, body = split(path)
+    meta = json.loads(header)
+    assert meta["magic"] == SNAPSHOT_MAGIC
+    assert meta["length"] == len(body)
+
+
+def test_no_temp_files_survive_a_successful_write(tmp_path):
+    dump_file(sales_db().relation("R"), tmp_path / "r.snap")
+    assert glob.glob(str(tmp_path / "*.tmp")) == []
+
+
+def test_missing_file_is_not_corruption(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_file(tmp_path / "never-written.snap")
+
+
+# ---------------------------------------------------------------------------
+# the corruption matrix
+# ---------------------------------------------------------------------------
+
+
+def _write(path, data: bytes):
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def test_truncated_body_is_detected(tmp_path):
+    path = tmp_path / "r.snap"
+    dump_file(sales_db().relation("R"), path)
+    header, body = split(path)
+    _write(path, header + b"\n" + body[: len(body) // 2])
+    with pytest.raises(SnapshotCorrupt, match="truncated or partially written"):
+        load_file(path)
+
+
+def test_truncated_header_is_detected(tmp_path):
+    path = tmp_path / "r.snap"
+    dump_file(sales_db().relation("R"), path)
+    header, _body = split(path)
+    _write(path, header[: len(header) // 2])  # no newline survives
+    with pytest.raises(SnapshotCorrupt, match="no header line"):
+        load_file(path)
+
+
+def test_flipped_body_byte_is_detected(tmp_path):
+    path = tmp_path / "r.snap"
+    dump_file(sales_db().relation("R"), path)
+    header, body = split(path)
+    flipped = bytearray(body)
+    flipped[len(flipped) // 2] ^= 0xFF
+    _write(path, header + b"\n" + bytes(flipped))
+    with pytest.raises(SnapshotCorrupt, match="sha256 mismatch"):
+        load_file(path)
+
+
+def test_stale_checksum_is_detected(tmp_path):
+    path = tmp_path / "r.snap"
+    dump_file(sales_db().relation("R"), path)
+    header, body = split(path)
+    meta = json.loads(header)
+    meta["sha256"] = "0" * 64
+    _write(path, json.dumps(meta).encode() + b"\n" + body)
+    with pytest.raises(SnapshotCorrupt, match="sha256 mismatch"):
+        load_file(path)
+
+
+def test_foreign_file_is_detected(tmp_path):
+    path = tmp_path / "r.snap"
+    _write(path, b'{"not": "a snapshot"}\n{"kind": "x"}')
+    with pytest.raises(SnapshotCorrupt, match="bad magic"):
+        load_file(path)
+    _write(path, b"\x00\xff\x00\xff\n\x00")
+    with pytest.raises(SnapshotCorrupt, match="unreadable header"):
+        load_file(path)
+
+
+def test_verified_body_that_cannot_decode_is_still_typed(tmp_path):
+    """Checksum fine, payload hostile: the decode failure stays typed."""
+    path = tmp_path / "r.snap"
+    body = b'{"kind": "mystery", "data": {}}'
+    import hashlib
+
+    header = json.dumps(
+        {"magic": SNAPSHOT_MAGIC, "length": len(body),
+         "sha256": hashlib.sha256(body).hexdigest()}
+    ).encode()
+    _write(path, header + b"\n" + body)
+    with pytest.raises(SnapshotCorrupt, match="failed to decode"):
+        load_file(path)
+
+
+def test_injected_torn_write_models_a_crash_before_rename(tmp_path):
+    """The ``truncate_snapshot`` fault truncates the temp file *after*
+    the data fsync and *before* the atomic rename — the installed file
+    looks present but is torn, and load detects it."""
+    path = tmp_path / "r.snap"
+    with faults.inject("truncate_snapshot", keep=25):
+        dump_file(sales_db().relation("R"), path)
+    assert faults.counters()["faults_injected"] == 1
+    assert os.path.exists(path)  # installed — that's the point
+    with pytest.raises(SnapshotCorrupt):
+        load_file(path)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_seeded_torn_writes_are_always_detected(tmp_path, seed):
+    path = tmp_path / "r.snap"
+    with faults.inject("truncate_snapshot", seed=seed):
+        dump_file(sales_db().relation("R"), path)
+    with pytest.raises(SnapshotCorrupt):
+        load_file(path)
+
+
+# ---------------------------------------------------------------------------
+# view restore: corruption costs a rebuild, never a wrong answer
+# ---------------------------------------------------------------------------
+
+
+def test_save_load_view_round_trip(tmp_path):
+    db = sales_db()
+    view = MaterializedView.create(db, QUERY)
+    path = save_view(view, tmp_path / "totals.snap")
+    restored = load_view(db, QUERY, path)
+    assert restored.result() == view.result() == QUERY.evaluate(db)
+    assert faults.counters()["snapshot_rebuilds"] == 0
+
+
+def test_corrupt_view_snapshot_rebuilds_from_the_database(tmp_path):
+    db = sales_db()
+    path = save_view(MaterializedView.create(db, QUERY), tmp_path / "t.snap")
+    header, body = split(path)
+    _write(path, header + b"\n" + body[:-7])
+    restored = load_view(db, QUERY, path)
+    assert restored.result() == QUERY.evaluate(db)
+    assert faults.counters()["snapshot_rebuilds"] == 1
+
+
+def test_corrupt_view_snapshot_can_surface_instead(tmp_path):
+    db = sales_db()
+    path = save_view(MaterializedView.create(db, QUERY), tmp_path / "t.snap")
+    _write(path, b"garbage")
+    with pytest.raises(SnapshotCorrupt):
+        load_view(db, QUERY, path, rebuild_on_corrupt=False)
+    assert faults.counters()["snapshot_rebuilds"] == 0
+
+
+def test_snapshot_holding_the_wrong_object_is_corruption(tmp_path):
+    db = sales_db()
+    path = dump_file(db.relation("R"), tmp_path / "notaview.snap")
+    restored = load_view(db, QUERY, path)  # rebuilds: relation ≠ view state
+    assert restored.result() == QUERY.evaluate(db)
+    assert faults.counters()["snapshot_rebuilds"] == 1

@@ -68,7 +68,7 @@ GROUP_QUERY = GroupBy(
 @pytest.mark.parametrize("backend", list(available_backends()))
 def test_spawned_workers_inherit_forced_backend(backend):
     pool = parallel._get_pool(1, backend)
-    assert pool.apply(parallel._worker_backend) == backend
+    assert pool.submit(parallel._worker_backend).result() == backend
 
 
 def test_forced_python_parent_never_runs_numpy_children():
