@@ -5,9 +5,9 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test chaos bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-resilience bench-serve bench-json bench examples
+.PHONY: check test chaos bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-resilience bench-serve bench-obs bench-obs-smoke bench-json bench examples
 
-check: test bench-smoke bench-parallel-smoke serve-smoke chaos
+check: test bench-smoke bench-parallel-smoke serve-smoke bench-obs-smoke chaos
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -70,6 +70,16 @@ bench-resilience:
 bench-serve:
 	$(PYPATH) $(PY) benchmarks/bench_serve.py
 
+# the telemetry-overhead gate: on the 100k-row encoded join + group-by,
+# tracing-disabled overhead <= 3% and fully traced <= 15% vs the
+# uninstrumented baseline (paired-ratio medians, so drift cancels)
+bench-obs:
+	$(PYPATH) $(PY) benchmarks/bench_obs.py
+
+# 10k rows, loose bars — keeps the off-switch honest in `make check`
+bench-obs-smoke:
+	$(PYPATH) $(PY) benchmarks/bench_obs.py --smoke
+
 # run every workload and refresh the committed perf-trajectory artifacts
 bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
@@ -78,6 +88,7 @@ bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_parallel.py --json BENCH_parallel.json
 	$(PYPATH) $(PY) benchmarks/bench_resilience.py --json BENCH_resilience.json
 	$(PYPATH) $(PY) benchmarks/bench_serve.py --json BENCH_serve.json
+	$(PYPATH) $(PY) benchmarks/bench_obs.py --json BENCH_obs.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

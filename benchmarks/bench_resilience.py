@@ -41,6 +41,7 @@ from typing import Dict, List
 from bench_parallel import scale_db, scale_query
 
 from repro import faults
+from repro.obs import metrics as obs_metrics
 from repro.plan import compile_plan, set_default_workers
 from repro.plan import parallel
 
@@ -94,7 +95,7 @@ def measure(n: int, repeats: int) -> Dict[str, object]:
                 f"faulted run fell back to {plan._last_tier!r} — recovery "
                 "never happened"
             )
-        ledger = faults.counters()
+        ledger = obs_metrics.resilience_counters()
         assert ledger["faults_injected"] == repeats, ledger
         assert ledger["morsel_retries"] >= repeats, ledger
         assert ledger["pool_rebuilds"] >= repeats, ledger

@@ -15,6 +15,12 @@ writer folds deltas in continuously.  Two things are measured and one is
   and ``B`` from different versions, a half-published catalog, a stale
   plan cache entry) breaks the equality and **fails the run** (exit 1).
 
+A dedicated scraper thread hammers ``GET /metrics`` throughout the run
+and validates every response as Prometheus text exposition (well-formed
+samples, counters monotonically non-decreasing scrape to scrape) — a
+malformed or regressing scrape fails the run the same way a torn read
+does.
+
 Run modes:
 
 ``python benchmarks/bench_serve.py --smoke``
@@ -33,6 +39,7 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import re
 import statistics
 import sys
 import threading
@@ -45,6 +52,79 @@ from repro.serve import start_in_thread
 
 BASE = 512  # rows per relation before the writer starts
 UNION_SQL = "SELECT K FROM A UNION SELECT K FROM B"
+
+#: One Prometheus text-format sample: metric name, optional label set,
+#: a float value (label values may contain escaped quotes).
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' [^ ]+$'
+)
+
+
+def validate_prometheus(text: str, previous: Dict[str, float]) -> List[str]:
+    """Structural errors in one ``/metrics`` scrape (empty list = valid).
+
+    Checks text-exposition well-formedness line by line and, for
+    counter-typed series (``*_total`` / ``*_count`` / ``*_bucket`` /
+    ``*_sum``), monotonic non-decrease against ``previous`` (updated in
+    place) — a counter that moves backwards under load means torn or
+    unlocked registry state.
+    """
+    errors: List[str] = []
+    if not text.endswith("\n"):
+        errors.append("exposition does not end with a newline")
+    for line in text.splitlines():
+        if not line or line.startswith("# "):
+            continue
+        if not _SAMPLE_RE.match(line):
+            errors.append(f"malformed sample line: {line!r}")
+            continue
+        series, _, value_text = line.rpartition(" ")
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(f"non-numeric sample value: {line!r}")
+            continue
+        name = series.split("{", 1)[0]
+        if name.endswith(("_total", "_count", "_bucket", "_sum")):
+            last = previous.get(series)
+            if last is not None and value < last:
+                errors.append(
+                    f"counter went backwards: {series} {last} -> {value}"
+                )
+            previous[series] = value
+    return errors
+
+
+def _scraper(address, stop: threading.Event, out: Dict[str, object]):
+    """Scrape ``GET /metrics`` continuously, validating every response."""
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    previous: Dict[str, float] = {}
+    errors: List[str] = out.setdefault("errors", [])  # type: ignore[assignment]
+    try:
+        while not stop.is_set():
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            content_type = response.getheader("Content-Type") or ""
+            if response.status != 200:
+                errors.append(f"/metrics returned HTTP {response.status}")
+                return
+            if not content_type.startswith("text/plain"):
+                errors.append(f"/metrics Content-Type {content_type!r}")
+                return
+            scrape_errors = validate_prometheus(text, previous)
+            if scrape_errors:
+                errors.extend(scrape_errors[:5])
+                return
+            out["scrapes"] = out.get("scrapes", 0) + 1
+            time.sleep(0.005)
+    except Exception as exc:  # noqa: BLE001
+        errors.append(f"scraper: {type(exc).__name__}: {exc}")
+    finally:
+        conn.close()
 
 
 def lockstep_db(base: int = BASE) -> KDatabase:
@@ -135,6 +215,7 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
         stop = threading.Event()
         stats = [ReaderStats() for _ in range(readers)]
         writer_out: Dict[str, int] = {}
+        scraper_out: Dict[str, object] = {}
         threads = [
             threading.Thread(
                 target=_reader, args=(handle.address, v0, base, stop, stats[i])
@@ -142,15 +223,20 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
             for i in range(readers)
         ]
         writer = threading.Thread(target=_writer, args=(handle.address, stop, writer_out))
+        scraper = threading.Thread(
+            target=_scraper, args=(handle.address, stop, scraper_out)
+        )
         wall = time.perf_counter()
         for t in threads:
             t.start()
         writer.start()
+        scraper.start()
         time.sleep(seconds)
         stop.set()
         for t in threads:
             t.join()
         writer.join()
+        scraper.join()
         wall = time.perf_counter() - wall
 
         # the server's own resilience ledger for this run (deltas since
@@ -168,6 +254,10 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
     errors = [e for s in stats for e in s.errors]
     if "error" in writer_out:
         errors.append(f"writer: {writer_out['error']}")
+    scrapes = scraper_out.get("scrapes", 0)
+    errors.extend(f"/metrics scrape: {e}" for e in scraper_out.get("errors", []))
+    if not scrapes:
+        errors.append("/metrics scrape: no successful scrapes completed")
 
     def pct(p: float) -> float:
         if not latencies:
@@ -184,6 +274,7 @@ def run(seconds: float, readers: int, base: int = BASE) -> Dict[str, object]:
         "p99_ms": round(pct(0.99) * 1e3, 3),
         "writes": writer_out.get("writes", 0),
         "rejected_503": sum(s.rejected for s in stats),
+        "metrics_scrapes": scrapes,
         "timeouts_408": server_stats.get("timeouts", 0),
         "resilience": server_stats.get("resilience", {}),
         "breaker": server_stats.get("breaker", {}).get("state", "closed"),
@@ -201,7 +292,8 @@ def report(result: Dict[str, object]) -> bool:
     print(
         f"  {result['requests']} queries, {result['qps']} qps, "
         f"p50 {result['p50_ms']}ms, p99 {result['p99_ms']}ms, "
-        f"{result['rejected_503']} shed (503)"
+        f"{result['rejected_503']} shed (503), "
+        f"{result.get('metrics_scrapes', 0)} /metrics scrapes validated"
     )
     res = result.get("resilience", {})
     print(

@@ -229,12 +229,13 @@ def main() -> None:
         # computed it the first time — and respawns the pool off the
         # critical path.  The resilience ledger records what recovery did.
         from repro import faults
+        from repro.obs import metrics
 
         faults.reset_counters()
         with faults.inject("kill_worker", seed=7):
             recovered = parallel_plan.execute()
         assert recovered == encoded_plan.execute()  # exact, despite the kill
-        ledger = faults.counters()
+        ledger = metrics.resilience_counters()
         print("\none injected worker kill, same answer:")
         print(f"  kills={ledger['faults_injected']} "
               f"morsel_retries={ledger['morsel_retries']} "
@@ -242,6 +243,26 @@ def main() -> None:
         faults.reset_counters()
     finally:
         set_default_workers(None)
+
+    # -- 12. observability: EXPLAIN ANALYZE, spans, and /metrics ----------
+    # explain_analyze() runs the query inside a trace collector and
+    # renders the measured span tree (per-operator wall/CPU time, row
+    # counts, annotation-array bytes) next to the plan text.  Tracing is
+    # off unless a collector is open, so the instrumented engine costs
+    # one integer check per operator in normal runs (make bench-obs
+    # gates it <= 3%).
+    from repro.obs import explain_analyze
+
+    print("\nEXPLAIN ANALYZE for the grouped aggregation:")
+    print(explain_analyze(heavy, bags))
+
+    # every engine counter is also a Prometheus metric; the server from
+    # §9 exposes the same registry at GET /metrics, and POST /query
+    # accepts {"analyze": true} to get the span tree over the wire:
+    print("scrape the serving layer's metrics from a shell:")
+    print(f"  curl -s http://{host}:{port}/metrics")
+    print("  curl -s http://HOST:PORT/query "
+          "-d '{\"sql\": \"SELECT K FROM A\", \"analyze\": true}'")
 
 
 if __name__ == "__main__":

@@ -24,10 +24,12 @@ reproduce.  This module is the single switchboard:
   ``random.Random`` seeded per firing), so a failing chaos example
   replays exactly.
 
-* **Counters** (:func:`counters`) are the process-wide resilience
-  ledger: every injected fault, morsel retry, pool rebuild, breaker
-  trip, deadline expiry and snapshot rebuild increments here, and the
-  serving layer reports the deltas under ``/stats``.
+* **Counters**: every injected fault, morsel retry, pool rebuild,
+  breaker trip, deadline expiry and snapshot rebuild increments the
+  ``repro_resilience_events_total`` family in the process-wide metrics
+  registry (:mod:`repro.obs.metrics`); the serving layer exports it
+  cumulatively under ``/stats`` and ``/metrics``.  :func:`counters`
+  remains as a deprecated read shim over the registry.
 
 The injection points this build wires up:
 
@@ -52,8 +54,11 @@ import os
 import random
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "FaultSpec",
@@ -243,44 +248,45 @@ def sleep_point(point: str = "latency", **context: Any) -> float:
 
 
 # ---------------------------------------------------------------------------
-# the resilience ledger
+# the resilience ledger — stored in the repro.obs.metrics registry
 # ---------------------------------------------------------------------------
 
-_COUNTER_NAMES = (
-    "faults_injected",
-    "morsel_retries",
-    "pool_rebuilds",
-    "parallel_exhausted",
-    "shm_integrity_failures",
-    "breaker_trips",
-    "deadline_expiries",
-    "snapshot_rebuilds",
-)
-
-_COUNTERS: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+#: The event labels of ``repro_resilience_events_total`` (kept for
+#: callers that enumerate the ledger; the registry pre-seeds them all).
+_COUNTER_NAMES = _metrics.RESILIENCE_EVENT_NAMES
 
 
 def _bump_locked(name: str, n: int = 1) -> None:
-    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+    # called while holding _LOCK; the metric family's own lock nests
+    # safely under it because metrics code never calls back into faults
+    _metrics.RESILIENCE_EVENTS.inc(n, name)
 
 
 def bump(name: str, n: int = 1) -> None:
     """Increment a resilience counter (thread-safe)."""
-    with _LOCK:
-        _bump_locked(name, n)
+    _metrics.RESILIENCE_EVENTS.inc(n, name)
 
 
 def counters() -> Dict[str, int]:
-    """A snapshot of every resilience counter."""
-    with _LOCK:
-        return dict(_COUNTERS)
+    """A snapshot of every resilience counter.
+
+    .. deprecated::
+        Read :func:`repro.obs.metrics.resilience_counters` (or scrape
+        ``repro_resilience_events_total``) instead; this shim survives
+        for older callers and will go away.
+    """
+    warnings.warn(
+        "faults.counters() is deprecated; use "
+        "repro.obs.metrics.resilience_counters()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _metrics.resilience_counters()
 
 
 def reset_counters() -> None:
     """Zero the ledger (tests)."""
-    with _LOCK:
-        for name in list(_COUNTERS):
-            _COUNTERS[name] = 0
+    _metrics.reset_resilience()
 
 
 # Arm env-declared faults at import: spawned worker processes re-import

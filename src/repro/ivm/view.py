@@ -44,6 +44,7 @@ from repro.ivm.snapshot import ViewSnapshot
 from repro.ivm.state import GroupedState, RelationState, SingletonState
 from repro.monoids.counting import AVG
 from repro.monoids.numeric import SUM
+from repro.obs import trace as _trace
 from repro.plan.circuit_exec import (
     CircuitResult,
     circuit_database,
@@ -220,7 +221,9 @@ class MaterializedView:
         either the pre- or post-delta version, never a half-applied one.
         """
         deltas = self._normalized(deltas)
-        with self.db._lock:
+        with self.db._lock, _trace.span(
+            "ivm.apply", tables=",".join(sorted(deltas))
+        ) as tspan:
             if self.db.version != self._version:
                 raise QueryError(
                     f"base database moved from version {self._version} to "
@@ -239,6 +242,8 @@ class MaterializedView:
             else:
                 lifted = None
                 batch = plan.execute_batch(self.db, deltas)
+            if tspan is not None:
+                tspan.attrs["delta_rows"] = len(batch)
             if len(batch):
                 self._head.absorb(batch)
                 self._result_cache = None

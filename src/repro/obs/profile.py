@@ -1,0 +1,114 @@
+"""Sampling profiler hook: attach cProfile/tracemalloc to one in N queries.
+
+The serving layer (and any embedder) wraps query execution in
+:func:`maybe_profile`.  Normally that is a no-op costing one integer
+check; when sampling is configured (:func:`configure` or the
+``REPRO_PROFILE_EVERY_N`` / ``REPRO_PROFILE_DIR`` environment
+variables), every Nth wrapped call runs under :mod:`cProfile` and
+:mod:`tracemalloc` and dumps two artifacts into the configured
+directory:
+
+    <dir>/<tag>-<seq>.pstats        # cProfile stats (pstats format)
+    <dir>/<tag>-<seq>.tracemalloc   # top allocation sites, text
+
+Sampling is process-wide and thread-safe; overlapping profiled calls
+are collapsed (cProfile cannot nest), so under concurrency at most one
+call is profiled at a time and the others proceed unprofiled.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["configure", "configured", "maybe_profile"]
+
+_LOCK = threading.Lock()
+_EVERY_N = 0          # 0 = disabled
+_DIRECTORY = "."
+_CALLS = 0            # wrapped calls seen since configure()
+_SEQ = 0              # artifacts written (names stay unique)
+_BUSY = False         # a profiled call is in flight (cProfile cannot nest)
+
+
+def configure(every_n: Optional[int] = None,
+              directory: Optional[str] = None) -> None:
+    """Set the sampling rate and artifact directory.
+
+    ``every_n=0`` (or None with no environment override) disables
+    sampling.  Falls back to ``REPRO_PROFILE_EVERY_N`` and
+    ``REPRO_PROFILE_DIR`` for unspecified arguments.
+    """
+    global _EVERY_N, _DIRECTORY, _CALLS
+    if every_n is None:
+        every_n = int(os.environ.get("REPRO_PROFILE_EVERY_N", "0") or 0)
+    if directory is None:
+        directory = os.environ.get("REPRO_PROFILE_DIR", ".")
+    if every_n < 0:
+        raise ValueError(f"every_n must be >= 0, got {every_n}")
+    with _LOCK:
+        _EVERY_N = every_n
+        _DIRECTORY = directory
+        _CALLS = 0
+
+
+def configured() -> int:
+    """The current sampling rate (0 when disabled)."""
+    return _EVERY_N
+
+
+@contextmanager
+def maybe_profile(tag: str = "query"):
+    """Profile this call if it is the Nth since :func:`configure`.
+
+    Yields the artifact basename (``<tag>-<seq>``) when profiling this
+    call, else None.  Artifacts are written on exit even if the body
+    raises, so slow *failing* queries leave evidence too.
+    """
+    if not _EVERY_N:
+        yield None
+        return
+    global _CALLS, _SEQ, _BUSY
+    with _LOCK:
+        _CALLS += 1
+        fire = _CALLS % _EVERY_N == 0 and not _BUSY
+        if fire:
+            _BUSY = True
+            _SEQ += 1
+            seq = _SEQ
+    if not fire:
+        yield None
+        return
+    basename = f"{tag}-{seq}"
+    profiler = cProfile.Profile()
+    started_tracemalloc = not tracemalloc.is_tracing()
+    if started_tracemalloc:
+        tracemalloc.start()
+    profiler.enable()
+    try:
+        yield basename
+    finally:
+        profiler.disable()
+        snapshot = tracemalloc.take_snapshot()
+        if started_tracemalloc:
+            tracemalloc.stop()
+        try:
+            _dump(profiler, snapshot, basename)
+        finally:
+            with _LOCK:
+                _BUSY = False
+
+
+def _dump(profiler: cProfile.Profile, snapshot, basename: str) -> None:
+    os.makedirs(_DIRECTORY, exist_ok=True)
+    profiler.dump_stats(os.path.join(_DIRECTORY, basename + ".pstats"))
+    top = snapshot.statistics("lineno")[:25]
+    lines = [f"top allocation sites for {basename}:"]
+    lines.extend(str(stat) for stat in top)
+    path = os.path.join(_DIRECTORY, basename + ".tracemalloc")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")

@@ -30,7 +30,7 @@ exception types with near-identical messages.
 
 from __future__ import annotations
 
-import threading
+import warnings
 from typing import Any, Dict, Mapping, Tuple
 
 from repro.core.query import (
@@ -76,26 +76,34 @@ from repro.plan.physical import (
 )
 from repro.core.query import AttrCompare
 from repro.core.relation import KRelation
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = ["PhysicalPlan", "compile_plan", "tier_counts"]
 
 
-# process-wide per-tier execution counters: which tier actually served
-# each execute_batch call (the serving layer reports the delta since the
-# server started, so operators can see which tier carries traffic)
-_TIER_LOCK = threading.Lock()
-_TIER_COUNTS = {"object": 0, "encoded": 0, "parallel": 0}
-
-
 def _note_tier(tier: str) -> None:
-    with _TIER_LOCK:
-        _TIER_COUNTS[tier] += 1
+    # which tier actually served each execute_batch call — the
+    # repro_tier_executions_total counter family, exported cumulatively
+    # by the serving layer under /stats and /metrics
+    _metrics.TIER_EXECUTIONS.inc(1, tier)
 
 
 def tier_counts() -> Dict[str, int]:
-    """Snapshot of how many plan executions each tier has served."""
-    with _TIER_LOCK:
-        return dict(_TIER_COUNTS)
+    """Snapshot of how many plan executions each tier has served.
+
+    .. deprecated::
+        Read :func:`repro.obs.metrics.tier_executions` (or scrape
+        ``repro_tier_executions_total``) instead; this shim survives for
+        older callers and will go away.
+    """
+    warnings.warn(
+        "plan.compiler.tier_counts() is deprecated; use "
+        "repro.obs.metrics.tier_executions()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _metrics.tier_executions()
 
 
 class PhysicalPlan:
@@ -161,7 +169,22 @@ class PhysicalPlan:
         tier for the whole query and reports the reason via
         ``explain()``'s ``[last run: ...]`` — mirroring how per-operator
         ``EncodedFallback`` degrades to the object path.
+
+        Under an open trace (:func:`repro.obs.trace.collect`) the whole
+        execution runs inside a ``plan.execute`` span whose ``tier``
+        attribute is the same string ``explain()`` prints as
+        ``[last run: ...]``; operator and morsel spans nest beneath it.
         """
+        if not _trace._ACTIVE:
+            return self._execute_batch_impl(db, tier=tier, deadline=deadline)
+        with _trace.span("plan.execute",
+                         tier_requested=tier if tier is not None else self.tier):
+            result = self._execute_batch_impl(db, tier=tier, deadline=deadline)
+            _trace.add_attrs(tier=self._last_tier)
+            return result
+
+    def _execute_batch_impl(self, db=None, *, tier: "str | None" = None,
+                            deadline=None):
         effective = tier if tier is not None else self.tier
         run_db = db if db is not None else self.db
         if deadline is None and self._deadline_budget is not None:
@@ -184,12 +207,15 @@ class PhysicalPlan:
                 # expired budget must not silently restart the work.
                 suffix = f" (parallel fallback: {exc})"
                 effective = "encoded"
+                _trace.add_attrs(fallback=str(exc))
             else:
                 self._last_tier = (
                     f"parallel ({info.workers} workers × {info.morsels} "
                     f"morsels, {info.backend})"
                 )
                 _note_tier("parallel")
+                _trace.add_attrs(workers=info.workers, morsels=info.morsels,
+                                 backend=info.backend)
                 return result
         ctx = ExecutionContext(
             run_db,

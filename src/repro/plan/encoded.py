@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.schema import Schema
+from repro.obs import trace as _trace
 from repro.plan import kernels
 from repro.plan.columnar import ColumnarKRelation
 
@@ -320,7 +321,15 @@ def encoded_scan(db, name: str, rel) -> Optional[EncodedBatch]:
     entry = tables.get(name)
     if entry is not None and entry[0] is rel:
         return entry[1]
-    batch = encode_relation(rel)
+    # encode misses are the expensive path — worth a span of their own
+    # (cache hits above stay untouched: no span, no check beyond _ACTIVE)
+    with _trace.span(f"encode {name}") as span:
+        batch = encode_relation(rel)
+        if span is not None and batch is not None:
+            span.attrs["rows"] = len(batch)
+            nbytes = getattr(batch.anns, "nbytes", None)
+            if nbytes is not None:
+                span.attrs["ann_bytes"] = int(nbytes)
     tables[name] = (rel, batch)
     return batch
 

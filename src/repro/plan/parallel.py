@@ -95,6 +95,7 @@ from repro.deadline import Deadline, DeadlineExceeded
 from repro.faults import InjectedFault
 
 from repro.core.schema import Schema
+from repro.obs import trace as _trace
 from repro.plan import encoded as enc
 from repro.plan import kernels
 from repro.plan.columnar import ColumnarKRelation
@@ -1065,7 +1066,7 @@ def _run_morsel(task):
         everything else (unshipped dictionaries, backend mismatch, real
         kernel bugs) — retrying cannot help, the query falls back serial.
     """
-    key, blob, morsel_index, start, stop, deadline_s, directives = task
+    key, blob, morsel_index, start, stop, deadline_s, directives, traced = task
     try:
         deadline = Deadline.after(deadline_s) if deadline_s is not None else None
         if deadline is not None:
@@ -1078,7 +1079,17 @@ def _run_morsel(task):
             while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
                 _k, old = _WORKER_JOBS.popitem(last=False)
                 _close_job(old)
-        payload = _exec_morsel(state, morsel_index, start, stop, deadline)
+        if traced:
+            # the parent's trace cannot cross the process boundary: open
+            # a local collector and ship the span tree home inside the
+            # payload (popped and grafted parent-side before the merge)
+            with _trace.collect(f"morsel {morsel_index}",
+                                morsel=morsel_index) as root:
+                payload = _exec_morsel(state, morsel_index, start, stop,
+                                       deadline)
+            payload["spans"] = root.to_dict()
+        else:
+            payload = _exec_morsel(state, morsel_index, start, stop, deadline)
         return ("ok", kernels.active_backend(), payload)
     except InjectedFault as exc:
         return ("err", "transient", f"{type(exc).__name__}: {exc}")
@@ -1358,7 +1369,8 @@ def _execute_attempts(plan, db, spec, deadline: Optional[Deadline]):
             )
             tasks.append(
                 (key, blob, i, start, stop, deadline_s,
-                 _arm_worker_directives(i, n_morsels))
+                 _arm_worker_directives(i, n_morsels),
+                 bool(_trace._ACTIVE))
             )
         try:
             futures = [pool.submit(_run_morsel, t) for t in tasks]
@@ -1464,6 +1476,12 @@ def _execute_attempts(plan, db, spec, deadline: Optional[Deadline]):
 
     if any(p is None for p in payloads):  # pragma: no cover - invariant
         raise ParallelCrash("morsel bookkeeping lost a payload")
+    for i, p in enumerate(payloads):
+        # worker span trees ride home inside the payloads; strip them
+        # before the merge (graft is a no-op once the collector closed)
+        spans = p.pop("spans", None)
+        if spans is not None:
+            _trace.graft(spans, morsel=i)
     if spec.kind == "group":
         result = _merge_group_payloads(plan.root, db.semiring, payloads, np)
     else:
@@ -1531,7 +1549,10 @@ def _salvage_morsels(plan, spec, batches, order, lost, payloads, deadline):
         for i, start, stop in lost:
             if deadline is not None:
                 deadline.check(f"salvaging morsel {i}")
-            payloads[i] = _exec_morsel(state, i, start, stop, deadline)
+            # in-parent recompute: a regular span (the parent's trace
+            # context is live here, unlike in a pool worker)
+            with _trace.span(f"salvage morsel {i}", morsel=i):
+                payloads[i] = _exec_morsel(state, i, start, stop, deadline)
     except DeadlineExceeded:
         raise
     except Exception as exc:

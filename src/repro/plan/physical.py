@@ -51,6 +51,7 @@ from repro.monoids.counting import AVG
 from repro.monoids.numeric import SUM
 from repro.plan import encoded as enc
 from repro.plan import kernels
+from repro.obs import trace as _trace
 from repro.plan.columnar import ColumnarKRelation
 from repro.plan.encoded import EncodedBatch, EncodedFallback, encoded_scan
 from repro.semimodules.tensor import Tensor, tensor_space
@@ -157,6 +158,31 @@ class PhysicalOp:
         self.est_rows = est_rows
 
     def execute(self, ctx: ExecutionContext) -> ColumnarKRelation:
+        # one module-global integer check while tracing is off; the
+        # untraced twin is also the baseline benchmarks/bench_obs.py
+        # patches in to measure the instrumentation overhead
+        if not _trace._ACTIVE:
+            return self._execute_untraced(ctx)
+        memo = ctx.results
+        key = id(self)
+        if key not in memo:
+            deadline = ctx.deadline
+            if deadline is not None:
+                deadline.check(self.label())
+            with _trace.span(self.label()) as span:
+                result = self._run(ctx)
+                if span is not None:
+                    span.attrs["rows_out"] = len(result)
+                    anns = getattr(result, "anns", None)
+                    nbytes = getattr(anns, "nbytes", None)
+                    if nbytes is not None:
+                        span.attrs["ann_bytes"] = int(nbytes)
+            memo[key] = result
+            if deadline is not None:
+                deadline.check(self.label())
+        return memo[key]
+
+    def _execute_untraced(self, ctx: ExecutionContext) -> ColumnarKRelation:
         memo = ctx.results
         key = id(self)
         if key not in memo:

@@ -79,12 +79,16 @@ def parse_query_request(payload: Any) -> Dict[str, Any]:
             raise BadRequest("query request: 'timeout_ms' must be a number")
         if timeout_ms <= 0:
             raise BadRequest("query request: 'timeout_ms' must be positive")
+    analyze = payload.get("analyze", False)
+    if not isinstance(analyze, bool):
+        raise BadRequest("query request: 'analyze' must be a boolean")
     return {
         "sql": _require(payload, "sql", str, "query request"),
         "engine": _choice(payload, "engine", _ENGINES, "planned"),
         "mode": _choice(payload, "mode", _MODES, "standard"),
         "annotations": _choice(payload, "annotations", _ANNOTATIONS, "expanded"),
         "timeout_ms": timeout_ms,
+        "analyze": analyze,
     }
 
 

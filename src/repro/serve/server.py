@@ -20,30 +20,40 @@ Architecture (one process, no third-party dependencies):
   plan cache keys on ``(database root, version)`` — so a client reusing
   a connection re-plans only when the database actually moved.
 
-Routes (all bodies JSON)::
+Routes (all bodies JSON unless noted)::
 
     GET  /health           liveness + current version
-    GET  /stats            counters, pool stats, view list
-    POST /query            {"sql", "engine"?, "mode"?, "annotations"?}
+    GET  /stats            counters (cumulative), pool stats, view list
+    GET  /metrics          Prometheus text exposition of the registry
+    POST /query            {"sql", "engine"?, "mode"?, "annotations"?,
+                            "analyze"?}
     POST /update           {"relations": {name: {"rows": [...]}}}
     POST /relations        {"name", "relation": {"columns", "rows"}}
     POST /views            {"name", "sql"}
     GET  /views/<name>     maintained view contents
+
+Every response — including 408/503/500 error paths — carries an
+``x-request-id`` header (the client's, honored, or a generated one);
+error bodies repeat it as ``trace_id`` and the slow-query log records
+it, so client logs, server logs and traces correlate on one id.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro import faults
 from repro.caching import LRUDict
 from repro.core.database import KDatabase
 from repro.deadline import Deadline
 from repro.exceptions import DeadlineExceeded, ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.serve.schema import (
     BadRequest,
     deltas_from_json,
@@ -53,6 +63,8 @@ from repro.serve.schema import (
 )
 from repro.serve.snapshot import SnapshotManager
 from repro.serve.workers import ServerOverloaded, WorkerPool
+
+log = logging.getLogger("repro.serve")
 
 __all__ = ["ProvenanceServer", "ServerHandle", "start_in_thread"]
 
@@ -74,6 +86,27 @@ PREPARED_SLOTS = 64
 MAX_BODY_BYTES = 16 << 20
 
 
+class PlainText:
+    """A non-JSON response body (``GET /metrics`` exposition text)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str,
+                 content_type: str = "text/plain; version=0.0.4; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
+
+
+def _route_label(method: str, path: str) -> str:
+    """The bounded-cardinality route label for request metrics."""
+    if path.startswith("/views/"):
+        path = "/views/:name"
+    elif path not in ("/health", "/stats", "/metrics", "/query", "/update",
+                      "/relations", "/views"):
+        path = ":other"
+    return f"{method} {path}"
+
+
 class ProvenanceServer:
     """The server object: routing, snapshot handoff, view maintenance."""
 
@@ -87,10 +120,14 @@ class ProvenanceServer:
         max_queue: int = 32,
         heavy_slots: int = 1,
         drain_timeout: float = 5.0,
+        slow_query_ms: float = 500.0,
     ):
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
+        #: Queries slower than this are logged (WARNING) with their
+        #: trace id, so the slow-query log joins against client logs.
+        self.slow_query_ms = slow_query_ms
         self.manager = SnapshotManager(db)
         self.pool = WorkerPool(workers=workers, max_queue=max_queue,
                                heavy_slots=heavy_slots)
@@ -99,14 +136,6 @@ class ProvenanceServer:
         self._stats_lock = threading.Lock()
         self._counters = {"queries": 0, "updates": 0, "errors": 0,
                           "rejected": 0, "connections": 0, "timeouts": 0}
-        # per-tier execution counters are process-global (they count
-        # every plan execution, not just this server's); baseline them at
-        # construction so /stats reports the traffic *this* server saw
-        from repro.plan import tier_counts
-
-        self._tier_baseline = tier_counts()
-        # same contract for the process-global resilience ledger
-        self._resilience_baseline = faults.counters()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: "set[asyncio.Task]" = set()
 
@@ -158,11 +187,18 @@ class ProvenanceServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                # honor the client's correlation id, else mint one; it
+                # reaches every response header (error paths included),
+                # error bodies, traces, and the slow-query log
+                request_id = headers.get("x-request-id") or obs_trace.new_trace_id()
                 status, payload = await self._dispatch(
-                    method, path, body, prepared, headers
+                    method, path, body, prepared, headers, request_id
+                )
+                obs_metrics.SERVE_REQUESTS.inc(
+                    1, _route_label(method, path), str(status)
                 )
                 keep = headers.get("connection", "").lower() != "close"
-                await self._respond(writer, status, payload, keep)
+                await self._respond(writer, status, payload, keep, request_id)
                 if not keep:
                     break
         except (
@@ -209,14 +245,24 @@ class ProvenanceServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
-    async def _respond(self, writer, status: int, payload: Any, keep: bool) -> None:
-        data = json.dumps(payload, default=str).encode("utf-8")
+    async def _respond(self, writer, status: int, payload: Any, keep: bool,
+                       request_id: Optional[str] = None) -> None:
+        if isinstance(payload, PlainText):
+            data = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload, default=str).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep else 'close'}\r\n"
         )
+        if request_id is not None:
+            # header values must stay CR/LF-free; the id is client input
+            clean = request_id.replace("\r", "").replace("\n", "")[:128]
+            head += f"x-request-id: {clean}\r\n"
         if status in (408, 503):
             head += "Retry-After: 1\r\n"
         writer.write(head.encode("latin1") + b"\r\n" + data)
@@ -231,51 +277,60 @@ class ProvenanceServer:
         body: bytes,
         prepared: LRUDict,
         headers: Optional[Dict[str, str]] = None,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Any]:
         headers = headers or {}
+        rid = request_id or obs_trace.new_trace_id()
         try:
             if method == "GET":
                 if path == "/health":
                     return 200, self.health()
                 if path == "/stats":
                     return 200, self.stats()
+                if path == "/metrics":
+                    return 200, PlainText(obs_metrics.render_prometheus())
                 if path.startswith("/views/"):
                     return await self._read_view(path[len("/views/"):])
-                return 404, {"error": f"no route GET {path}"}
+                return 404, {"error": f"no route GET {path}", "trace_id": rid}
             if method == "POST":
                 try:
                     payload = json.loads(body) if body else {}
                 except json.JSONDecodeError as exc:
-                    return 400, {"error": f"request body is not valid JSON: {exc}"}
+                    return 400, {
+                        "error": f"request body is not valid JSON: {exc}",
+                        "trace_id": rid,
+                    }
                 if path == "/query":
-                    return await self._query(payload, prepared, headers)
+                    return await self._query(payload, prepared, headers, rid)
                 if path == "/update":
                     return await self._update(payload)
                 if path == "/relations":
                     return await self._add_relation(payload)
                 if path == "/views":
                     return await self._create_view(payload)
-                return 404, {"error": f"no route POST {path}"}
-            return 405, {"error": f"method {method} not allowed"}
+                return 404, {"error": f"no route POST {path}", "trace_id": rid}
+            return 405, {"error": f"method {method} not allowed", "trace_id": rid}
         except ServerOverloaded as exc:
             self._count("rejected")
-            return 503, {"error": str(exc), "retry_after": exc.retry_after}
+            return 503, {"error": str(exc), "retry_after": exc.retry_after,
+                         "trace_id": rid}
         except BadRequest as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc), "trace_id": rid}
         except DeadlineExceeded as exc:
             # must precede the ReproError clause (it subclasses it): an
             # expired budget is a timeout, not a malformed request.  The
             # worker slot is already reclaimed — the evaluating thread
             # raised at its next cooperative checkpoint
             self._count("timeouts")
-            return 408, {"error": str(exc), "retry_after": 1.0}
+            return 408, {"error": str(exc), "retry_after": 1.0, "trace_id": rid}
         except ReproError as exc:
             # engine-level rejection of a well-formed HTTP request:
             # unknown table, schema mismatch, symbolic comparison, ...
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+            return 400, {"error": f"{type(exc).__name__}: {exc}", "trace_id": rid}
         except Exception as exc:  # pragma: no cover - defensive boundary
             self._count("errors")
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            log.exception("request %s failed (trace %s)", path, rid)
+            return 500, {"error": f"{type(exc).__name__}: {exc}", "trace_id": rid}
 
     # -- read path -----------------------------------------------------------
 
@@ -293,6 +348,7 @@ class ProvenanceServer:
         payload: Any,
         prepared: LRUDict,
         headers: Optional[Dict[str, str]] = None,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Any]:
         req = parse_query_request(payload)
         timeout_ms = req.get("timeout_ms")
@@ -323,24 +379,53 @@ class ProvenanceServer:
 
             weight = admission_weight(snap)
 
+        analyze = req["analyze"] or obs_trace.enabled()
+        rid = request_id or obs_trace.new_trace_id()
+        sql = req["sql"]
+        slow_ms = self.slow_query_ms
+
         def work():
+            # runs start-to-finish on one pool thread, so the collector's
+            # contextvar scope is exactly this request's evaluation
             start = time.perf_counter()
             deadline = (
                 Deadline.after(timeout_ms / 1e3) if timeout_ms is not None else None
             )
-            result = query.evaluate(
-                snap,
-                mode=req["mode"],
-                engine=req["engine"],
-                annotations=req["annotations"],
-                deadline=deadline,
-            )
+
+            def evaluate():
+                with obs_profile.maybe_profile("query"):
+                    return query.evaluate(
+                        snap,
+                        mode=req["mode"],
+                        engine=req["engine"],
+                        annotations=req["annotations"],
+                        deadline=deadline,
+                    )
+
+            root = None
+            if analyze:
+                with obs_trace.collect("request", trace_id=rid,
+                                       sql=sql, engine=req["engine"]) as root:
+                    result = evaluate()
+            else:
+                result = evaluate()
             if hasattr(result, "lower"):  # CircuitResult → canonical N[X]
                 result = result.lower()
             encoded = relation_to_json(result)
-            encoded["elapsed_ms"] = round(
-                (time.perf_counter() - start) * 1e3, 3
-            )
+            elapsed = time.perf_counter() - start
+            obs_metrics.QUERY_SECONDS.observe(elapsed)
+            elapsed_ms = elapsed * 1e3
+            encoded["elapsed_ms"] = round(elapsed_ms, 3)
+            if slow_ms and elapsed_ms >= slow_ms:
+                log.warning(
+                    "slow query (%.1fms, trace %s): %s", elapsed_ms, rid, sql
+                )
+            if root is not None and req["analyze"]:
+                encoded["analyze"] = {
+                    "trace_id": root.trace_id,
+                    "text": obs_trace.render(root),
+                    "spans": root.to_dict(),
+                }
             return encoded
 
         response = await self.pool.run(work, heavy=heavy, weight=weight)
@@ -462,25 +547,23 @@ class ProvenanceServer:
         return body
 
     def stats(self) -> Dict[str, Any]:
+        """Cumulative counters (Prometheus semantics, same registry as
+        ``GET /metrics``): ``tiers`` and ``resilience`` report
+        process-lifetime totals — compute deltas client-side, exactly as
+        a Prometheus ``rate()`` would.  Earlier builds baselined them at
+        server construction; mixing since-start and since-construction
+        windows in one payload proved error-prone."""
         with self._stats_lock:
             counters = dict(self._counters)
-        from repro.plan import tier_counts
         from repro.plan.parallel import breaker_state
 
-        now = tier_counts()
-        resilience = faults.counters()
         return {
             "version": self.manager.version,
             "writes": self.manager.writes,
             "views": sorted(self._views),
             "pool": self.pool.stats(),
-            "tiers": {
-                k: now[k] - self._tier_baseline.get(k, 0) for k in now
-            },
-            "resilience": {
-                k: resilience[k] - self._resilience_baseline.get(k, 0)
-                for k in resilience
-            },
+            "tiers": obs_metrics.tier_executions(),
+            "resilience": obs_metrics.resilience_counters(),
             "breaker": breaker_state(),
             **counters,
         }

@@ -20,6 +20,7 @@ on CI); the tier-1 suite collects it too.
 import pytest
 
 from repro import faults
+from repro.obs import metrics as obs_metrics
 from repro.core import (
     AttrEq,
     GroupBy,
@@ -137,7 +138,7 @@ def test_double_fault_kill_then_kernel_error(backend):
     with faults.inject("kill_worker", seed=3):
         with faults.inject("kernel_error", seed=5):
             assert plan.execute() == oracle
-    assert faults.counters()["faults_injected"] == 2
+    assert obs_metrics.resilience_counters()["faults_injected"] == 2
 
 
 # ---------------------------------------------------------------------------
@@ -152,7 +153,7 @@ def test_damaged_segments_never_damage_answers(backend, point, seed):
         pytest.skip("the pure-Python backend publishes no shared memory")
     parallel.cleanup()
     assert_exact(GROUP_QUERY, chaos_db(), point, seed)
-    assert faults.counters()["shm_integrity_failures"] >= 1
+    assert obs_metrics.resilience_counters()["shm_integrity_failures"] >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -167,7 +168,7 @@ def test_exhaustion_degrades_serially_and_exactly(backend):
     with faults.inject("kernel_error", morsel=0, times=50):
         assert plan.execute() == oracle
     assert "parallel fallback" in plan._last_tier
-    assert faults.counters()["parallel_exhausted"] == 1
+    assert obs_metrics.resilience_counters()["parallel_exhausted"] == 1
 
 
 def test_tight_deadline_under_latency_cancels_or_answers_exactly(backend):
@@ -204,7 +205,7 @@ def test_torn_snapshots_rebuild_to_the_exact_view(tmp_path, seed):
         load_file(path)
     restored = load_view(db, GROUP_QUERY, path)
     assert restored.result() == GROUP_QUERY.evaluate(db)
-    assert faults.counters()["snapshot_rebuilds"] == 1
+    assert obs_metrics.resilience_counters()["snapshot_rebuilds"] == 1
 
 
 # ---------------------------------------------------------------------------

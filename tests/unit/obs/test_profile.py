@@ -1,0 +1,110 @@
+"""Unit tests for the sampling profiler hook."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import profile
+
+
+@pytest.fixture(autouse=True)
+def _disabled_after(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE_EVERY_N", raising=False)
+    monkeypatch.delenv("REPRO_PROFILE_DIR", raising=False)
+    yield
+    profile.configure(0)
+
+
+def test_disabled_by_default_and_noop():
+    profile.configure(0)
+    assert profile.configured() == 0
+    with profile.maybe_profile() as basename:
+        assert basename is None
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ValueError):
+        profile.configure(-1)
+
+
+def test_environment_fallback(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_PROFILE_EVERY_N", "7")
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+    profile.configure()
+    assert profile.configured() == 7
+    assert profile._DIRECTORY == str(tmp_path)
+
+
+def test_every_nth_call_fires_and_dumps_artifacts(tmp_path):
+    profile.configure(3, str(tmp_path))
+    fired = []
+    for _ in range(6):
+        with profile.maybe_profile("unit") as basename:
+            if basename is not None:
+                fired.append(basename)
+                sum(range(100))  # give the profiler something to see
+    assert len(fired) == 2  # calls 3 and 6 of 6
+    for basename in fired:
+        pstats_path = tmp_path / f"{basename}.pstats"
+        malloc_path = tmp_path / f"{basename}.tracemalloc"
+        assert pstats_path.exists() and pstats_path.stat().st_size > 0
+        assert malloc_path.read_text().startswith(
+            f"top allocation sites for {basename}:"
+        )
+    # artifact names are unique across firings
+    assert len(set(fired)) == 2
+
+
+def test_profiled_artifacts_survive_a_raising_body(tmp_path):
+    profile.configure(1, str(tmp_path))
+    fired = {}
+    with pytest.raises(RuntimeError):
+        with profile.maybe_profile("boom") as basename:
+            assert basename is not None
+            fired["basename"] = basename
+            raise RuntimeError("query failed")
+    assert (tmp_path / f"{fired['basename']}.pstats").exists()
+    assert (tmp_path / f"{fired['basename']}.tracemalloc").exists()
+    # the busy flag was released: the next call can fire again
+    with profile.maybe_profile("after") as basename:
+        assert basename is not None
+
+
+def test_overlapping_profiled_calls_collapse_to_one(tmp_path):
+    """cProfile cannot nest: while one call is profiled, concurrent
+    wrapped calls proceed unprofiled."""
+    profile.configure(1, str(tmp_path))
+    entered = threading.Event()
+    release = threading.Event()
+    inner_basenames = []
+    outer = {}
+
+    def holder():
+        with profile.maybe_profile("outer") as basename:
+            outer["basename"] = basename
+            entered.set()
+            release.wait(timeout=10)
+
+    t = threading.Thread(target=holder)
+    t.start()
+    try:
+        assert entered.wait(timeout=10)
+        with profile.maybe_profile("inner") as basename:
+            inner_basenames.append(basename)
+    finally:
+        release.set()
+        t.join()
+    assert outer["basename"] is not None
+    assert inner_basenames == [None]
+    assert (tmp_path / f"{outer['basename']}.pstats").exists()
+
+
+def test_pstats_artifact_is_loadable(tmp_path):
+    import pstats
+
+    profile.configure(1, str(tmp_path))
+    with profile.maybe_profile("load") as basename:
+        sorted(range(1000), key=lambda x: -x)
+    stats = pstats.Stats(os.path.join(str(tmp_path), basename + ".pstats"))
+    assert stats.total_calls > 0
