@@ -5,9 +5,9 @@
 PY       := python
 PYPATH   := PYTHONPATH=src
 
-.PHONY: check test chaos bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-resilience bench-serve bench-obs bench-obs-smoke bench-json bench examples
+.PHONY: check test chaos bench-smoke serve-smoke bench-planner bench-symbolic bench-ivm bench-vectorized bench-parallel bench-parallel-smoke bench-resilience bench-serve bench-obs bench-obs-smoke bench-durability bench-durability-smoke bench-json bench examples
 
-check: test bench-smoke bench-parallel-smoke serve-smoke bench-obs-smoke chaos
+check: test bench-smoke bench-parallel-smoke serve-smoke bench-obs-smoke bench-durability-smoke chaos
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -80,6 +80,18 @@ bench-obs:
 bench-obs-smoke:
 	$(PYPATH) $(PY) benchmarks/bench_obs.py --smoke
 
+# the durability gate: the WAL write path (fsync=batch) must stay within
+# 1.3x the bare in-memory update stream (100k rows, 20-row batches,
+# median of paired repeats), a 100k-record WAL tail must replay in <= 5s,
+# and a crash-reopen must recover every acknowledged record
+bench-durability:
+	$(PYPATH) $(PY) benchmarks/bench_durability.py
+
+# 5k rows, zero-acked-loss assertions only — keeps the WAL + recovery
+# wiring green in `make check` and on CI
+bench-durability-smoke:
+	$(PYPATH) $(PY) benchmarks/bench_durability.py --smoke
+
 # run every workload and refresh the committed perf-trajectory artifacts
 bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_planner.py --json BENCH_planner.json
@@ -89,6 +101,7 @@ bench-json:
 	$(PYPATH) $(PY) benchmarks/bench_resilience.py --json BENCH_resilience.json
 	$(PYPATH) $(PY) benchmarks/bench_serve.py --json BENCH_serve.json
 	$(PYPATH) $(PY) benchmarks/bench_obs.py --json BENCH_obs.json
+	$(PYPATH) $(PY) benchmarks/bench_durability.py --json BENCH_durability.json
 
 # bench_*.py does not match pytest's default python_files pattern, so the
 # files are named explicitly via the shell glob

@@ -1,0 +1,330 @@
+"""Durability benchmark: what the write-ahead log costs, and recovery pays.
+
+The WAL's claim (``src/repro/wal/``) is that durability costs a bounded
+constant factor on the write path and a bounded, linear recovery time —
+never acknowledged data.  Three measurements, three gates:
+
+* **write overhead** — the same 100k-row update stream runs against a
+  bare in-memory :class:`KDatabase` and against a
+  :class:`DurabilityManager` with ``fsync=batch`` (the serving default:
+  appends land in the OS page cache, a flusher thread groups the
+  fsyncs off the critical path — on a dup'd descriptor, outside the
+  append lock, so a multi-ms device sync never stalls writers).  The
+  stream arrives in 20-row batches: the granularity of a serving-tier
+  ``POST /update``, so each of the 5000 acknowledgements pays the real
+  per-record cost (encode, checksum, buffered write).  Gate: **durable
+  wall-clock ≤ 1.3× the in-memory stream**.
+
+* **recovery latency** — a 100k-record WAL tail (built through raw
+  :class:`WriteAheadLog` appends, so the build is I/O-bound rather than
+  quadratic) must replay through :meth:`DurabilityManager.open` in
+  **≤ 5 s**.  This is the bound the coalescing replay in
+  ``repro.wal.manager._replay`` exists to meet.
+
+* **acked-write loss** — after the timed stream the manager is abandoned
+  *without* ``close()`` (a process crash, minus the SIGKILL: the bytes
+  are in the page cache, exactly the kill -9 state) and the directory is
+  re-opened: **every acknowledged record must be recovered**.  The
+  subprocess version of this gate — real processes, real ``kill -9``,
+  torn tails — lives in ``tests/chaos/test_durability_chaos.py``.
+
+Run modes:
+
+``python benchmarks/bench_durability.py``
+    the gates: 100k rows / 100k records, enforced.
+
+``python benchmarks/bench_durability.py --smoke``
+    5k rows, correctness + zero-loss assertions only (constant factors
+    are meaningless at a size where interpreter startup dominates).
+
+``python benchmarks/bench_durability.py --json [PATH]``
+    full run + write ``BENCH_durability.json`` (the committed artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.core import KDatabase, KRelation
+from repro.core.schema import Schema
+from repro.semirings import NAT
+from repro.wal import DurabilityManager, WriteAheadLog
+
+BATCH_ROWS = 20  # rows per update batch (one WAL record per batch)
+GATE_WRITE_OVERHEAD = 1.3  # durable stream <= 1.3x the in-memory stream
+GATE_RECOVERY_S = 5.0  # 100k-record tail replays in <= 5s
+
+SCHEMA = Schema(("k", "v"))
+
+
+def _pct(samples: List[float], p: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+
+def _batches(n_rows: int) -> List[KRelation]:
+    """The update stream: ``n_rows`` unique rows in BATCH_ROWS chunks."""
+    out = []
+    for start in range(0, n_rows, BATCH_ROWS):
+        pairs = [((f"k{i}", i % 9973), 1)
+                 for i in range(start, min(start + BATCH_ROWS, n_rows))]
+        out.append(KRelation.from_rows(NAT, SCHEMA, pairs))
+    return out
+
+
+def measure_write(n_rows: int, repeats: int = 3) -> Dict[str, object]:
+    """The same stream, bare vs durable; plus the zero-loss audit.
+
+    The two streams run as *paired* repeats (memory then durable, fresh
+    state each time) and the gate reads the **median** pairwise ratio —
+    a single run's ratio swings ±10% with page-cache and flusher-timing
+    noise, the median of paired runs does not.
+    """
+    batches = _batches(n_rows)
+    empty = KRelation.from_rows(NAT, SCHEMA, [])
+
+    memory_ss: List[float] = []
+    durable_ss: List[float] = []
+    ratios: List[float] = []
+    acked = lost = expected_rows = 0
+    for repeat in range(repeats):
+        db = KDatabase(NAT)
+        db.add("R", empty)
+        t0 = time.perf_counter()
+        for delta in batches:
+            db.update({"R": delta})
+        memory_s = time.perf_counter() - t0
+        expected_rows = len(db.relation("R"))
+
+        workdir = tempfile.mkdtemp(prefix="bench-durability-")
+        try:
+            manager = DurabilityManager.open(
+                workdir, semiring=NAT, fsync="batch"
+            )
+            manager.add("R", empty)
+            t0 = time.perf_counter()
+            for delta in batches:
+                manager.update({"R": delta})
+            durable_s = time.perf_counter() - t0
+            acked = manager.stats()["last_lsn"]
+            # crash, not close: leave the flusher mid-cycle, unfsynced
+            manager._wal._flusher_stop.set()
+
+            recovered = DurabilityManager.open(workdir)
+            try:
+                assert recovered.recovery["last_lsn"] == acked
+                assert len(recovered.db.relation("R")) == expected_rows, (
+                    "acknowledged rows were lost across the crash-reopen"
+                )
+            finally:
+                recovered.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        memory_ss.append(memory_s)
+        durable_ss.append(durable_s)
+        ratios.append(durable_s / memory_s)
+
+    memory_s = _pct(memory_ss, 0.50)
+    durable_s = _pct(durable_ss, 0.50)
+    overhead = _pct(ratios, 0.50)
+    per_batch_overhead_us = (durable_s - memory_s) / len(batches) * 1e6
+    return {
+        "rows": n_rows,
+        "batches": len(batches),
+        "batch_rows": BATCH_ROWS,
+        "repeats": repeats,
+        "fsync": "batch",
+        "memory_stream_s": round(memory_s, 4),
+        "durable_stream_s": round(durable_s, 4),
+        "write_overhead": round(overhead, 3),
+        "per_batch_overhead_us": round(per_batch_overhead_us, 1),
+        "memory_rows_per_s": round(n_rows / memory_s),
+        "durable_rows_per_s": round(n_rows / durable_s),
+        "acked_records": acked,
+        "acked_records_lost": lost,
+    }
+
+
+def measure_recovery(n_records: int) -> Dict[str, object]:
+    """Boot latency over an ``n_records`` WAL tail (no covering checkpoint).
+
+    The tail is laid down through raw :class:`WriteAheadLog` appends —
+    pre-encoded JSON records, ``fsync=none`` — so building the fixture is
+    a disk write, not ``n`` database unions; what gets timed is purely
+    :meth:`DurabilityManager.open`.
+    """
+    workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        manager = DurabilityManager.open(workdir, semiring=NAT, fsync="none")
+        manager.add("R", KRelation.from_rows(NAT, SCHEMA, []))
+        next_lsn = manager.stats()["last_lsn"] + 1
+        manager._wal.close()  # the raw log below continues the sequence
+
+        wal = WriteAheadLog(workdir, next_lsn=next_lsn, fsync="none")
+        for i in range(n_records):
+            record = {
+                "op": "update",
+                "relations": {"R": {
+                    "semiring": "N",
+                    "schema": ["k", "v"],
+                    "rows": [{"values": [f"k{i}", i % 9973],
+                              "annotation": 1}],
+                }},
+            }
+            wal.append(json.dumps(record, separators=(",", ":")).encode())
+        wal.close()
+
+        t0 = time.perf_counter()
+        recovered = DurabilityManager.open(workdir)
+        recovery_s = time.perf_counter() - t0
+        try:
+            assert recovered.recovery["records_replayed"] == n_records + 1
+            assert len(recovered.db.relation("R")) == n_records
+        finally:
+            recovered.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "records": n_records,
+        "recovery_s": round(recovery_s, 4),
+        "records_per_s": round(n_records / recovery_s),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest face (explicit `pytest benchmarks/bench_durability.py` runs)
+# ---------------------------------------------------------------------------
+
+
+def test_durable_stream_recovers_every_acked_record():
+    result = measure_write(2_000, repeats=1)
+    assert result["acked_records_lost"] == 0
+    assert result["acked_records"] == result["batches"] + 1  # + add R
+
+
+def test_recovery_replays_the_whole_tail():
+    result = measure_recovery(2_000)
+    assert result["records_per_s"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI face (`make bench-durability` / the CI step)
+# ---------------------------------------------------------------------------
+
+
+def run(n_rows: int, n_records: int, *, enforce: bool) -> Dict[str, object]:
+    write = measure_write(n_rows, repeats=3 if enforce else 1)
+    recovery = measure_recovery(n_records)
+    print(f"== durability benchmark: WAL fsync=batch vs bare in-memory "
+          f"({n_rows} rows, {write['batches']} batches of "
+          f"{BATCH_ROWS}, median of {write['repeats']}) ==")
+    print(f"  in-memory {write['memory_stream_s']:>8.3f}s  "
+          f"({write['memory_rows_per_s']:>9,} rows/s)")
+    print(f"  durable   {write['durable_stream_s']:>8.3f}s  "
+          f"({write['durable_rows_per_s']:>9,} rows/s)   "
+          f"{write['write_overhead']}x, "
+          f"+{write['per_batch_overhead_us']:.0f}us/batch")
+    print(f"  crash-reopen: {write['acked_records']} acked records, "
+          f"{write['acked_records_lost']} lost")
+    print(f"  recovery: {recovery['records']} WAL records replayed in "
+          f"{recovery['recovery_s']}s "
+          f"({recovery['records_per_s']:,} records/s)")
+
+    failures = []
+    if enforce:
+        if write["write_overhead"] > GATE_WRITE_OVERHEAD:
+            failures.append(
+                f"write overhead {write['write_overhead']}x exceeds the "
+                f"{GATE_WRITE_OVERHEAD}x gate"
+            )
+        if recovery["recovery_s"] > GATE_RECOVERY_S:
+            failures.append(
+                f"recovery took {recovery['recovery_s']}s, gate is "
+                f"{GATE_RECOVERY_S}s"
+            )
+    if write["acked_records_lost"]:  # enforced even in smoke
+        failures.append(
+            f"{write['acked_records_lost']} acked records lost"
+        )
+
+    result = {
+        "write": write,
+        "recovery": recovery,
+        "gate_enforced": enforce,
+        "gate_passed": not failures,
+    }
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+    elif enforce:
+        print(f"OK: overhead {write['write_overhead']}x <= "
+              f"{GATE_WRITE_OVERHEAD}x, recovery {recovery['recovery_s']}s "
+              f"<= {GATE_RECOVERY_S}s, zero acked loss")
+    else:
+        print("OK: smoke — zero acked-write loss across the crash-reopen")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="5k rows, zero-loss assertions only (for make check)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_durability.json",
+        default=None,
+        metavar="PATH",
+        help="write the durability artifact (default: BENCH_durability.json)",
+    )
+    parser.add_argument("--rows", type=int, default=None,
+                        help="update-stream rows")
+    parser.add_argument("--records", type=int, default=None,
+                        help="WAL tail length for the recovery timing")
+    args = parser.parse_args(argv)
+
+    n_rows = args.rows if args.rows is not None else (
+        5_000 if args.smoke else 100_000
+    )
+    n_records = args.records if args.records is not None else (
+        5_000 if args.smoke else 100_000
+    )
+    result = run(n_rows, n_records, enforce=not args.smoke)
+
+    ok = result["gate_passed"]
+    if args.json is not None:
+        report = {
+            "benchmark": "bench_durability",
+            "cores": os.cpu_count() or 1,
+            "gates": {
+                "write_overhead_max": GATE_WRITE_OVERHEAD,
+                "recovery_s_max": GATE_RECOVERY_S,
+                "acked_records_lost_max": 0,
+                "gate_enforced": result["gate_enforced"],
+                "passed": ok,
+            },
+            "workloads": {
+                f"update_stream_nat_{n_rows}": result["write"],
+                f"wal_replay_{n_records}": result["recovery"],
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,23 @@ class SnapshotCorrupt(ReproError):
     partial state (see :func:`repro.io.serialize.load_file`)."""
 
 
+class WalCorrupt(ReproError):
+    """The write-ahead log failed an integrity check *mid-log* — a record
+    with a damaged frame or checksum that valid data (or another segment)
+    follows.  Unlike a torn final record, which recovery truncates and
+    continues past (a crash mid-append is expected), mid-log corruption
+    means acknowledged history is damaged; recovery refuses to guess and
+    surfaces this instead (see :func:`repro.wal.log.scan_wal`)."""
+
+
+class WalWriteError(ReproError):
+    """An append or fsync against the write-ahead log failed (disk error,
+    injected ``fsync_error``/``wal_torn_tail`` fault, closed log).  The
+    write was **not** acknowledged and the database was not mutated; the
+    serving layer maps this to HTTP 503 (see
+    :class:`repro.wal.manager.DurabilityManager`)."""
+
+
 class ParseError(ReproError):
     """The SQL front end failed to tokenize or parse a query string."""
 

@@ -40,6 +40,13 @@ The injection points this build wires up:
 ``drop_shm``          a published shared-memory segment unlinked early
 ``corrupt_shm``       one byte of a published segment flipped
 ``truncate_snapshot`` a snapshot file truncated before the atomic rename
+``wal_torn_tail``     a WAL append crashes mid-record (prefix on disk,
+                      write not acknowledged) — recovery must truncate
+``wal_corrupt_record`` one byte of an *acknowledged* WAL record flipped
+                      after the write (latent media corruption) —
+                      recovery must refuse with ``WalCorrupt``
+``fsync_error``       a WAL fsync raises (dying disk / full volume) —
+                      the writer reports unwritable, the server 503s
 ====================  =====================================================
 
 Worker-side faults (``kill_worker``, ``kernel_error``, ``latency``) are
@@ -82,6 +89,9 @@ POINTS = frozenset(
         "drop_shm",
         "corrupt_shm",
         "truncate_snapshot",
+        "wal_torn_tail",
+        "wal_corrupt_record",
+        "fsync_error",
     }
 )
 

@@ -244,21 +244,41 @@ def _value_from_jsonable(data: Any) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def relation_to_jsonable(rel: KRelation) -> Any:
-    """Encode a whole K-relation (schema, rows, annotations)."""
-    if rel.semiring.name not in SEMIRING_REGISTRY:
-        raise SerializationError(f"unregistered semiring {rel.semiring.name}")
-    return {
-        "semiring": rel.semiring.name,
-        "schema": list(rel.schema.attributes),
-        "rows": [
-            {
-                "values": [_value_to_jsonable(t[a]) for a in rel.schema.attributes],
-                "annotation": annotation_to_jsonable(rel.semiring, k),
-            }
-            for t, k in rel.items()
-        ],
-    }
+#: Values JSON emits verbatim — exact ``type`` membership, not
+#: ``isinstance``, so the fast row path below never misroutes a subclass.
+_PLAIN_VALUE_TYPES = frozenset([str, int, float, bool, type(None)])
+
+
+def relation_to_jsonable(rel: KRelation, *, sort_rows: bool = True) -> Any:
+    """Encode a whole K-relation (schema, rows, annotations).
+
+    ``sort_rows=False`` skips the canonical support ordering and emits
+    rows in storage order — decode is order-insensitive (duplicate rows
+    merge with ``+_K``), but fingerprints are not, so only hot paths
+    that never compare encodings byte-for-byte (the WAL append path,
+    gated at ≤ 1.3× in-memory in ``benchmarks/bench_durability.py``)
+    should pass it.
+    """
+    semiring = rel.semiring
+    if semiring.name not in SEMIRING_REGISTRY:
+        raise SerializationError(f"unregistered semiring {semiring.name}")
+    attrs = rel.schema.attributes
+    rows = []
+    for t, k in (rel._rows.items() if not sort_rows else rel.items()):
+        # Tup stores values keyed by its sorted attribute names; when the
+        # schema order coincides, the stored tuple is already the row and
+        # the per-attribute lookups (a linear scan each) can be skipped
+        if t._attrs == attrs:
+            values = [
+                v if type(v) in _PLAIN_VALUE_TYPES else _value_to_jsonable(v)
+                for v in t._values
+            ]
+        else:
+            values = [_value_to_jsonable(t[a]) for a in attrs]
+        rows.append(
+            {"values": values, "annotation": annotation_to_jsonable(semiring, k)}
+        )
+    return {"semiring": semiring.name, "schema": list(attrs), "rows": rows}
 
 
 def relation_from_jsonable(data: Any) -> KRelation:

@@ -81,12 +81,22 @@ def load_view(db, query, path: "str | os.PathLike", *, rebuild_on_corrupt: bool 
     view is **rebuilt from the live database** instead
     (``MaterializedView.create`` without a snapshot re-evaluates the
     query; the ``snapshot_rebuilds`` resilience counter records the
-    fallback).  Pass ``rebuild_on_corrupt=False`` to surface the
-    corruption to the caller instead.  A *missing* file always raises
-    ``FileNotFoundError`` — absence is an operator error, not damage to
-    route around silently.
+    fallback).  An *intact* snapshot that no longer **matches** — the
+    recorded query text, schema, semiring, or database fingerprint
+    differs because the database moved on while the file sat on disk
+    (WAL replay past a checkpoint does exactly this) — rebuilds the same
+    way: a stale snapshot is as unusable as a damaged one, it just fails
+    a different check.  Pass ``rebuild_on_corrupt=False`` to surface
+    either condition to the caller instead.  A *missing* file always
+    raises ``FileNotFoundError`` — absence is an operator error, not
+    damage to route around silently.
     """
-    from repro.exceptions import SnapshotCorrupt
+    from repro.exceptions import (
+        QueryError,
+        SchemaError,
+        SemiringError,
+        SnapshotCorrupt,
+    )
     from repro.io import serialize
     from repro.ivm.view import MaterializedView
 
@@ -98,7 +108,7 @@ def load_view(db, query, path: "str | os.PathLike", *, rebuild_on_corrupt: bool 
                 f"{type(snap).__name__}, not view state"
             )
         return MaterializedView.create(db, query, snapshot=snap)
-    except SnapshotCorrupt:
+    except (SnapshotCorrupt, QueryError, SchemaError, SemiringError):
         if not rebuild_on_corrupt:
             raise
         from repro import faults

@@ -145,6 +145,9 @@ class MaterializedView:
             self._restore(snapshot)
         else:
             self._materialise(core_plan)
+        #: Whether this view's state came off disk instead of evaluation
+        #: (the serving layer's boot log distinguishes the two).
+        self.restored_from_snapshot = snapshot is not None
         self._version = db.version
 
     #: The documented constructor (mirrors ``Query.evaluate`` keywords).

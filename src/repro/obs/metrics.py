@@ -41,6 +41,12 @@ __all__ = [
     "RESILIENCE_EVENTS",
     "SERVE_REQUESTS",
     "TIER_EXECUTIONS",
+    "WAL_APPENDED_BYTES",
+    "WAL_CHECKPOINTS",
+    "WAL_FSYNC_SECONDS",
+    "WAL_LAG_RECORDS",
+    "WAL_RECORDS",
+    "WAL_REPLAYED_RECORDS",
     "render_prometheus",
     "resilience_counters",
     "tier_executions",
@@ -404,6 +410,7 @@ RESILIENCE_EVENT_NAMES = (
     "breaker_trips",
     "deadline_expiries",
     "snapshot_rebuilds",
+    "wal_torn_tails",
 )
 
 RESILIENCE_EVENTS = REGISTRY.counter(
@@ -425,12 +432,62 @@ QUERY_SECONDS = REGISTRY.histogram(
     "Wall-clock seconds per served query evaluation.",
 )
 
+# -- the durability subsystem (repro.wal) -----------------------------------
+
+#: The WAL record ops this build writes (pre-seeded label values).
+WAL_RECORD_OPS = ("update", "add", "create_view")
+
+#: Records appended to the write-ahead log, by operation.
+WAL_RECORDS = REGISTRY.counter(
+    "repro_wal_records_total",
+    "Write-ahead-log records appended, by operation.",
+    ("op",),
+)
+
+#: Bytes appended to the write-ahead log (frames + payloads).
+WAL_APPENDED_BYTES = REGISTRY.counter(
+    "repro_wal_appended_bytes_total",
+    "Bytes appended to the write-ahead log, frames included.",
+)
+
+#: Records replayed from the WAL tail during recovery-on-boot.
+WAL_REPLAYED_RECORDS = REGISTRY.counter(
+    "repro_wal_records_replayed_total",
+    "WAL records replayed during crash recovery.",
+)
+
+#: Checkpoints written (full snapshot + segment truncation).
+WAL_CHECKPOINTS = REGISTRY.counter(
+    "repro_wal_checkpoints_total",
+    "Durability checkpoints written.",
+)
+
+#: Wall-clock seconds per WAL fsync (the durable-write latency floor).
+WAL_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "Wall-clock seconds per write-ahead-log fsync.",
+    buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+             0.05, 0.1, 0.25, 0.5, 1.0),
+)
+
+#: Records appended since the last checkpoint (replay debt on crash).
+WAL_LAG_RECORDS = REGISTRY.gauge(
+    "repro_wal_lag_records",
+    "WAL records appended since the last checkpoint (recovery replay debt).",
+)
+
 # pre-seed every known label set so scrapes see explicit zeros
 for _tier in ("object", "encoded", "parallel"):
     TIER_EXECUTIONS.labels(_tier)
 for _event in RESILIENCE_EVENT_NAMES:
     RESILIENCE_EVENTS.labels(_event)
+for _op in WAL_RECORD_OPS:
+    WAL_RECORDS.labels(_op)
 QUERY_SECONDS._child(())  # label-less: render zero buckets from scrape one
+WAL_FSYNC_SECONDS._child(())
+for _family in (WAL_APPENDED_BYTES, WAL_REPLAYED_RECORDS, WAL_CHECKPOINTS):
+    _family._child(())
+WAL_LAG_RECORDS._child(())
 
 
 def tier_executions() -> Dict[str, int]:

@@ -3,10 +3,11 @@
 A long-lived, many-client front end over the engine: asyncio HTTP/JSON
 routing, snapshot-isolated reads off the version-stamped
 :class:`~repro.core.database.KDatabase`, a CPU worker pool with
-admission control, per-connection prepared queries, and incrementally
-maintained materialised views.  Run it::
+admission control, per-connection prepared queries, incrementally
+maintained materialised views, and (with ``--data-dir``) durable writes
+through the :mod:`repro.wal` write-ahead log.  Run it::
 
-    python -m repro.serve --demo --port 8737
+    python -m repro.serve --demo --port 8737 --data-dir ./data
 
 then::
 

@@ -4,17 +4,27 @@ With ``--demo`` the server starts over the paper's running example (the
 Figure 1 employee/department database in ``N``), so a curl round-trip
 works immediately; without it the catalog starts empty and clients
 create tables via ``POST /relations``.
+
+With ``--data-dir`` the server becomes durable: the directory holds a
+write-ahead log plus periodic checkpoints, recovery runs **before the
+port binds** (a client that can connect only ever sees recovered
+state), and every acknowledged write survives ``kill -9`` — see
+``docs/architecture.md`` §Durability.  SIGTERM and SIGINT both take the
+same graceful path: stop accepting, drain in-flight requests for
+``--drain-timeout`` seconds, flush the WAL, write a final checkpoint.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 
 from repro.core.database import KDatabase
 from repro.core.relation import KRelation
 from repro.semirings.natural import NAT
 from repro.serve.server import ProvenanceServer
+from repro.wal import FSYNC_POLICIES, DurabilityManager
 
 
 def demo_database() -> KDatabase:
@@ -56,9 +66,43 @@ def main(argv=None) -> None:
                              "shutdown before cancelling (0 = immediate)")
     parser.add_argument("--demo", action="store_true",
                         help="preload the Figure 1 employee database")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable mode: WAL + checkpoints live here; "
+                             "recovery runs before the port binds")
+    parser.add_argument("--fsync", choices=FSYNC_POLICIES, default="batch",
+                        help="WAL fsync policy: 'always' survives power "
+                             "loss per write, 'batch' (default) groups "
+                             "fsyncs (~10ms window), 'none' leaves flushing "
+                             "to the OS — all three survive kill -9")
+    parser.add_argument("--checkpoint-interval", type=float, default=60.0,
+                        help="seconds between background checkpoints "
+                             "(0 disables; writes still reach the WAL)")
+    parser.add_argument("--segment-bytes", type=int, default=16 << 20,
+                        help="WAL segment roll size in bytes")
     args = parser.parse_args(argv)
 
     db = demo_database() if args.demo else KDatabase(NAT)
+    durability = None
+    if args.data_dir:
+        durability = DurabilityManager.open(
+            args.data_dir,
+            initial_db=db,
+            fsync=args.fsync,
+            segment_bytes=args.segment_bytes,
+            checkpoint_interval_s=args.checkpoint_interval or None,
+        )
+        db = durability.db  # a non-empty directory overrides --demo
+        r = durability.recovery
+        print(
+            f"recovered {args.data_dir}: {r['source']}, checkpoint lsn "
+            f"{r['checkpoint_lsn']}, {r['records_replayed']} records "
+            f"replayed"
+            + (f", torn tail truncated ({r['truncated_bytes']}B)"
+               if r["torn_tail"] else "")
+            + f" in {r['duration_s']}s",
+            flush=True,
+        )
+
     server = ProvenanceServer(
         db,
         args.host,
@@ -67,28 +111,68 @@ def main(argv=None) -> None:
         max_queue=args.max_queue,
         heavy_slots=args.heavy_slots,
         drain_timeout=args.drain_timeout,
+        durability=durability,
     )
+    if durability is not None:
+        outcomes = server.restore_views()
+        if outcomes:
+            summary = ", ".join(f"{n} ({how})" for n, how in outcomes.items())
+            print(f"views recovered: {summary}", flush=True)
 
     async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                # SIGTERM (systemd, docker stop, kill) and ^C both take
+                # the drain + WAL-flush path below instead of dying with
+                # a traceback mid-request
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass  # non-POSIX loop: KeyboardInterrupt still works
         await server.start()
         print(
             f"repro.serve listening on http://{server.host}:{server.port} "
             f"(semiring {db.semiring.name}, {len(db.names())} relations, "
-            f"{server.pool.workers} workers)"
+            f"{server.pool.workers} workers"
+            + (f", durable at {args.data_dir}" if durability else "")
+            + ")",
+            flush=True,
         )
         print(
             "try:  curl -s "
             f"http://{server.host}:{server.port}/query "
-            "-d '{\"sql\": \"SELECT Dept, SUM(Sal) FROM Emp GROUP BY Dept\"}'"
+            "-d '{\"sql\": \"SELECT Dept, SUM(Sal) FROM Emp GROUP BY Dept\"}'",
+            flush=True,
         )
-        await server.serve_forever()
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stop.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {serving, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if serving in done:
+                return await serving  # crashed: propagate
+            print("shutdown: draining in-flight requests", flush=True)
+            await server.aclose()
+        finally:
+            for task in (serving, waiter):
+                task.cancel()
+            await asyncio.gather(serving, waiter, return_exceptions=True)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
-        # graceful drain: give in-flight query threads the configured
-        # grace period instead of dropping them mid-request
+        # non-POSIX fallback: the signal handler above normally wins
         server.pool.shutdown(drain_timeout=args.drain_timeout)
+    finally:
+        if durability is not None:
+            durability.close(checkpoint=True)
+            print(
+                f"wal flushed, final checkpoint at lsn "
+                f"{durability.stats()['last_lsn']}",
+                flush=True,
+            )
 
 
 if __name__ == "__main__":

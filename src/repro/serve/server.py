@@ -18,7 +18,14 @@ Architecture (one process, no third-party dependencies):
 * **prepared queries**: each connection keeps a bounded SQL → compiled
   :class:`~repro.core.query.Query` cache, and the query object's own
   plan cache keys on ``(database root, version)`` — so a client reusing
-  a connection re-plans only when the database actually moved.
+  a connection re-plans only when the database actually moved;
+* **durability** (optional): mounted on a
+  :class:`~repro.wal.manager.DurabilityManager`, every write is
+  WAL-appended *before* the snapshot publish — the append is the
+  acknowledgement point, so a crash replays exactly the acknowledged
+  prefix on the next boot.  ``/health`` and ``/stats`` report recovery
+  and checkpoint state; an unwritable log turns every write into a 503
+  while reads keep serving.
 
 Routes (all bodies JSON unless noted)::
 
@@ -43,14 +50,18 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.caching import LRUDict
 from repro.core.database import KDatabase
 from repro.deadline import Deadline
-from repro.exceptions import DeadlineExceeded, ReproError
+from repro.exceptions import DeadlineExceeded, ReproError, WalWriteError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (wal imports obs)
+    from repro.wal.manager import DurabilityManager
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
@@ -121,16 +132,27 @@ class ProvenanceServer:
         heavy_slots: int = 1,
         drain_timeout: float = 5.0,
         slow_query_ms: float = 500.0,
+        retry_after_base: float = 1.0,
+        retry_after_max: float = 30.0,
+        durability: "Optional[DurabilityManager]" = None,
     ):
+        if durability is not None and db is not durability.db:
+            raise ValueError(
+                "durability manager must wrap the same database the "
+                "server serves (pass db=manager.db)"
+            )
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
         #: Queries slower than this are logged (WARNING) with their
         #: trace id, so the slow-query log joins against client logs.
         self.slow_query_ms = slow_query_ms
+        self.durability = durability
         self.manager = SnapshotManager(db)
         self.pool = WorkerPool(workers=workers, max_queue=max_queue,
-                               heavy_slots=heavy_slots)
+                               heavy_slots=heavy_slots,
+                               retry_after_base=retry_after_base,
+                               retry_after_max=retry_after_max)
         self._views: Dict[str, Any] = {}
         self._writer_gate = asyncio.Lock()
         self._stats_lock = threading.Lock()
@@ -138,6 +160,10 @@ class ProvenanceServer:
                           "rejected": 0, "connections": 0, "timeouts": 0}
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: "set[asyncio.Task]" = set()
+        if durability is not None:
+            # checkpoints snapshot registered view states alongside the
+            # database, so a restart restores instead of re-evaluating
+            durability.set_view_supplier(lambda: self._views)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -264,7 +290,15 @@ class ProvenanceServer:
             clean = request_id.replace("\r", "").replace("\n", "")[:128]
             head += f"x-request-id: {clean}\r\n"
         if status in (408, 503):
-            head += "Retry-After: 1\r\n"
+            # the hint the handler computed from pool pressure (integer
+            # seconds per RFC 9110, rounded up so it never reads "0")
+            hint = 1.0
+            if isinstance(payload, Mapping):
+                try:
+                    hint = float(payload.get("retry_after") or 1.0)
+                except (TypeError, ValueError):
+                    hint = 1.0
+            head += f"Retry-After: {max(1, math.ceil(hint))}\r\n"
         writer.write(head.encode("latin1") + b"\r\n" + data)
         await writer.drain()
 
@@ -323,6 +357,14 @@ class ProvenanceServer:
             # raised at its next cooperative checkpoint
             self._count("timeouts")
             return 408, {"error": str(exc), "retry_after": 1.0, "trace_id": rid}
+        except WalWriteError as exc:
+            # must also precede the ReproError clause: the write-ahead
+            # log refused the append (disk failure, injected fault), so
+            # the write was never acknowledged and never applied — the
+            # server is unavailable for writes, not the request malformed
+            self._count("errors")
+            return 503, {"error": f"durability: {exc}", "retry_after": 5.0,
+                         "unwritable": True, "trace_id": rid}
         except ReproError as exc:
             # engine-level rejection of a well-formed HTTP request:
             # unknown table, schema mismatch, symbolic comparison, ...
@@ -443,7 +485,13 @@ class ProvenanceServer:
             views = list(self._views.values())
 
             def work():
-                published = self.manager.update(deltas)
+                if self.durability is not None:
+                    # WAL-append first (the acknowledgement point), apply
+                    # to the root, then publish the next snapshot
+                    self.durability.update(deltas)
+                    published = self.manager.refresh()
+                else:
+                    published = self.manager.update(deltas)
                 # each view owns a private clone of the catalog; folding
                 # the same deltas keeps every clone at the same contents
                 for view in views:
@@ -467,6 +515,9 @@ class ProvenanceServer:
             )
 
             def work():
+                if self.durability is not None:
+                    self.durability.add(name, relation)
+                    return self.manager.refresh().version
                 return self.manager.add(name, relation).version
 
             version = await self.pool.run(work)
@@ -502,8 +553,50 @@ class ProvenanceServer:
                 return MaterializedView.create(view_db, compile_sql(sql))
 
             view = await self.pool.run(work, heavy=heavy)
+            if self.durability is not None:
+                # log the definition before registering: a crash after
+                # the append rebuilds the view on boot, a crash before it
+                # leaves the client's 503 honest (view never existed)
+                self.durability.create_view(name, sql)
             self._views[name] = view
         return 201, {"name": name, "version": self.manager.version}
+
+    def restore_views(self) -> Dict[str, str]:
+        """Rebuild every durably-registered view after recovery.
+
+        Called once on boot (before serving) when the server is mounted
+        on a durability manager.  Each definition recovered from the WAL
+        / views manifest is restored from its checkpoint state snapshot
+        when one matches the recovered database (fingerprint-checked —
+        a stale or damaged snapshot falls back to re-evaluating the
+        query; :func:`repro.ivm.snapshot.load_view` counts the fallback
+        in the ``snapshot_rebuilds`` ledger).  Returns ``name ->
+        "restored" | "rebuilt"`` for the boot log.
+        """
+        if self.durability is None:
+            return {}
+        from repro.ivm import MaterializedView
+        from repro.ivm.snapshot import load_view
+        from repro.sql.compiler import compile_sql
+
+        outcomes: Dict[str, str] = {}
+        for name, sql in sorted(self.durability.view_defs.items()):
+            snap = self.manager.pin()
+            view_db = KDatabase(snap.semiring, dict(iter(snap)))
+            query = compile_sql(sql)
+            path = self.durability.view_state_path(name)
+            try:
+                view = load_view(view_db, query, path)
+                outcomes[name] = (
+                    "restored" if view.restored_from_snapshot else "rebuilt"
+                )
+            except FileNotFoundError:
+                # registered after the last checkpoint: only the WAL
+                # create_view record survived, so evaluate from scratch
+                view = MaterializedView.create(view_db, query)
+                outcomes[name] = "rebuilt"
+            self._views[name] = view
+        return outcomes
 
     async def _read_view(self, name: str) -> Tuple[int, Any]:
         view = self._views.get(name)
@@ -531,8 +624,9 @@ class ProvenanceServer:
 
     def health(self) -> Dict[str, Any]:
         """Liveness + degradation: ``status`` is ``"degraded"`` while the
-        parallel tier's circuit breaker pins queries to the serial path
-        (the server still answers everything — degraded, not down)."""
+        parallel tier's circuit breaker pins queries to the serial path,
+        or while the write-ahead log is unwritable (reads keep serving,
+        writes 503) — degraded, not down."""
         from repro.plan.parallel import breaker_state
 
         breaker = breaker_state()
@@ -544,6 +638,15 @@ class ProvenanceServer:
         }
         if degraded:
             body["breaker"] = breaker
+        if self.durability is not None:
+            body["durability"] = {
+                "unwritable": not self.durability.healthy,
+                "last_lsn": self.durability.stats()["last_lsn"],
+                "lag_records": self.durability.lag_records(),
+                "recovery": dict(self.durability.recovery),
+            }
+            if not self.durability.healthy:
+                body["status"] = "degraded"
         return body
 
     def stats(self) -> Dict[str, Any]:
@@ -557,7 +660,7 @@ class ProvenanceServer:
             counters = dict(self._counters)
         from repro.plan.parallel import breaker_state
 
-        return {
+        body = {
             "version": self.manager.version,
             "writes": self.manager.writes,
             "views": sorted(self._views),
@@ -567,6 +670,9 @@ class ProvenanceServer:
             "breaker": breaker_state(),
             **counters,
         }
+        if self.durability is not None:
+            body["durability"] = self.durability.stats()
+        return body
 
 
 # ---------------------------------------------------------------------------
@@ -610,6 +716,8 @@ def start_in_thread(db: KDatabase, host: str = "127.0.0.1", port: int = 0,
     def runner() -> None:
         asyncio.set_event_loop(loop)
         server = ProvenanceServer(db, host, port, **kwargs)
+        if server.durability is not None:
+            server.restore_views()  # recovered views exist before serving
         # the server's writer gate must be created on this loop
         loop.run_until_complete(server.start())
         box["server"] = server

@@ -51,6 +51,8 @@ class WorkerPool:
         workers: Optional[int] = None,
         max_queue: int = 32,
         heavy_slots: int = 1,
+        retry_after_base: float = 1.0,
+        retry_after_max: float = 30.0,
     ):
         import os
 
@@ -60,7 +62,13 @@ class WorkerPool:
             raise ValueError(f"workers must be positive, got {workers}")
         if heavy_slots <= 0:
             raise ValueError(f"heavy_slots must be positive, got {heavy_slots}")
+        if retry_after_base <= 0:
+            raise ValueError(
+                f"retry_after_base must be positive, got {retry_after_base}"
+            )
         self.workers = workers
+        self.retry_after_base = float(retry_after_base)
+        self.retry_after_max = float(retry_after_max)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -102,7 +110,10 @@ class WorkerPool:
                     self._admission.release()
                 with self._stats_lock:
                     self.rejected += 1
-                raise ServerOverloaded("server at capacity: worker queue full")
+                raise ServerOverloaded(
+                    "server at capacity: worker queue full",
+                    retry_after=self.retry_after(),
+                )
             acquired += 1
         if heavy and not self._heavy.acquire(blocking=False):
             for _ in range(acquired):
@@ -110,7 +121,8 @@ class WorkerPool:
             with self._stats_lock:
                 self.heavy_rejected += 1
             raise ServerOverloaded(
-                "server at capacity: symbolic-provenance slots busy"
+                "server at capacity: symbolic-provenance slots busy",
+                retry_after=self.retry_after(),
             )
         with self._stats_lock:
             self._in_flight += 1
@@ -150,6 +162,22 @@ class WorkerPool:
         """Requests currently holding (or awaiting) a worker thread."""
         with self._stats_lock:
             return self._in_flight
+
+    def retry_after(self) -> float:
+        """The backoff hint for a rejected request, derived from pressure.
+
+        A fixed ``Retry-After: 1`` synchronises every rejected client
+        into retry waves that land together and bounce again.  Scaling
+        the hint with the ratio of in-flight work to worker threads
+        (base × (1 + in_flight/workers), capped) makes the hint honest:
+        a barely-full pool invites a quick retry, a deeply backed-up one
+        pushes the herd further out.
+        """
+        with self._stats_lock:
+            pressure = self._in_flight / float(self.workers)
+        return round(
+            min(self.retry_after_max, self.retry_after_base * (1.0 + pressure)), 3
+        )
 
     def stats(self) -> Dict[str, int]:
         with self._stats_lock:

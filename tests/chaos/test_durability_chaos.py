@@ -1,0 +1,274 @@
+"""Durability chaos: ``kill -9`` a real serving process, recover, audit.
+
+Unlike :mod:`tests.integration.test_serve_durability` (in-process, can
+reach into the manager), this suite launches ``python -m repro.serve
+--data-dir`` as a genuine subprocess, drives an HTTP write stream against
+it, and SIGKILLs it mid-burst.  The invariant after restart is the
+durability contract verbatim:
+
+* **acked never lost** — every update the server answered 200 for is in
+  the recovered database;
+* **no torn batches** — the recovered state is a contiguous prefix of
+  the submitted stream, at most one write past the last acknowledgement
+  (the single request that was in flight when the process died);
+
+across both fsync policies that make sense under ``kill -9`` (the page
+cache survives process death, so ``always`` and ``batch`` must both hold
+— only power loss separates them), with checkpoints racing the kill, and
+with a seeded ``wal_torn_tail`` injected via ``REPRO_FAULTS`` so the
+recovery path itself runs under damage.  A final test takes the graceful
+exit: SIGTERM must drain, flush the WAL, write a checkpoint, exit 0.
+"""
+
+import http.client
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.wal import DurabilityManager
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+LISTENING = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+
+ROWS = {"columns": ["k", "v"], "rows": []}
+
+
+def launch(data_dir, *args, env_extra=None):
+    """Start ``python -m repro.serve`` durable on an OS-assigned port."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.serve",
+         "--port", "0", "--workers", "2", "--data-dir", str(data_dir),
+         *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    lines = []
+    for _ in range(50):
+        line = proc.stdout.readline()
+        if not line:  # process died before binding
+            proc.wait(timeout=10)
+            raise AssertionError(
+                "server exited before listening:\n" + "".join(lines)
+            )
+        lines.append(line)
+        match = LISTENING.search(line)
+        if match:
+            return proc, int(match.group(1))
+    raise AssertionError("no listening line in:\n" + "".join(lines))
+
+
+def reap(proc):
+    """Collect the process and its remaining output, whatever its state."""
+    if proc.returncode is None:
+        try:
+            proc.kill()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    try:
+        out, _ = proc.communicate(timeout=30)
+    except ValueError:  # pragma: no cover - already communicated
+        out = ""
+    return out
+
+
+def request(port, method, path, payload=None, timeout=10):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def write_until_death(port, *, stop_after=None):
+    """Stream single-row updates until the server stops answering 200.
+
+    Returns the count of *acknowledged* updates: row ``("k<i>", i)`` was
+    acked for every ``i < count``, so the ack stream is by construction a
+    contiguous prefix and the recovered database can be audited against
+    it row by row.
+    """
+    acked = 0
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        for i in range(100_000):
+            payload = {"relations": {"R": {"rows": [
+                {"values": [f"k{i}", i]}]}}}
+            try:
+                conn.request("POST", "/update", json.dumps(payload))
+                response = conn.getresponse()
+                response.read()  # drain, or keep-alive jams the next send
+                if response.status != 200:
+                    break
+            except (OSError, http.client.HTTPException):
+                break  # the process died under us: exactly the point
+            acked += 1
+            if stop_after is not None and acked >= stop_after:
+                break
+    finally:
+        conn.close()
+    return acked
+
+
+def recovered_indices(data_dir):
+    """The ``v`` column of R after recovery, as a sorted list of ints."""
+    manager = DurabilityManager.open(data_dir)
+    try:
+        rows = sorted(
+            tuple(t[c] for c in ("k", "v"))
+            for t, _ in manager.db.relation("R").items()
+        )
+        assert all(k == f"k{v}" for k, v in rows)  # no torn/garbled rows
+        return sorted(v for _, v in rows), manager.recovery
+    finally:
+        manager.close()
+
+
+@pytest.mark.parametrize(
+    "fsync,checkpoint_interval,seed",
+    [
+        ("always", "60", 11),
+        ("always", "0.2", 12),  # checkpoints race the kill
+        ("batch", "60", 13),
+        ("batch", "0.2", 14),
+    ],
+)
+def test_sigkill_mid_burst_never_loses_acked_writes(
+    tmp_path, fsync, checkpoint_interval, seed
+):
+    proc, port = launch(
+        tmp_path, "--fsync", fsync,
+        "--checkpoint-interval", checkpoint_interval,
+    )
+    try:
+        status, _ = request(port, "POST", "/relations",
+                            {"name": "R", "relation": ROWS})
+        assert status == 201
+        rng = random.Random(seed)
+        killer = threading.Timer(rng.uniform(0.15, 0.6), proc.kill)
+        killer.start()
+        try:
+            acked = write_until_death(port)
+        finally:
+            killer.cancel()
+    finally:
+        reap(proc)
+
+    values, recovery = recovered_indices(tmp_path)
+    assert acked > 0, "the kill landed before any write was acknowledged"
+    # acked never lost: every 200-acked row is back
+    assert values[: acked] == list(range(acked))
+    # no torn batches: a contiguous prefix, at most the one in-flight
+    # request past the last ack (applied before its response was sent)
+    assert values == list(range(len(values)))
+    assert len(values) <= acked + 1
+    assert recovery["last_lsn"] >= acked + 1  # +1 for the create of R
+
+
+def test_torn_tail_in_subprocess_still_recovers_acked_prefix(tmp_path):
+    # a prior healthy process leaves durable state behind...
+    proc, port = launch(tmp_path, "--fsync", "always")
+    try:
+        request(port, "POST", "/relations", {"name": "R", "relation": ROWS})
+        acked_before = write_until_death(port, stop_after=20)
+        assert acked_before == 20
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    finally:
+        reap(proc)
+
+    # ...the next process boots with a torn-tail fault armed: its first
+    # append crashes mid-record, leaving real torn bytes on disk
+    proc, port = launch(
+        tmp_path, "--fsync", "always",
+        env_extra={"REPRO_FAULTS": "wal_torn_tail:seed=5"},
+    )
+    try:
+        acked_after = write_until_death(port)  # stops at the 503
+        assert acked_after == 0  # the armed fault hit the first append
+        # the server survives the torn append; reads still answer
+        status, body = request(port, "POST", "/query",
+                               {"sql": "SELECT k, v FROM R"})
+        assert status == 200
+        assert len(body["rows"]) == acked_before
+        proc.kill()  # and then the process dies hard
+    finally:
+        reap(proc)
+
+    values, recovery = recovered_indices(tmp_path)
+    assert recovery["torn_tail"] is True
+    assert recovery["truncated_bytes"] > 0
+    assert values == list(range(acked_before))  # nothing acked was lost
+
+
+def test_sigterm_drains_flushes_and_checkpoints(tmp_path):
+    proc, port = launch(tmp_path, "--fsync", "batch")
+    try:
+        request(port, "POST", "/relations", {"name": "R", "relation": ROWS})
+        assert write_until_death(port, stop_after=10) == 10
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        reap(proc)
+    assert proc.returncode == 0
+    assert "shutdown: draining in-flight requests" in out
+    assert "wal flushed, final checkpoint at lsn 11" in out
+
+    values, recovery = recovered_indices(tmp_path)
+    assert values == list(range(10))
+    # the exit checkpoint covered the whole log: nothing left to replay
+    assert recovery["records_replayed"] == 0
+    assert recovery["checkpoint_lsn"] == 11
+
+
+def test_restart_loop_is_stable_across_repeated_kills(tmp_path):
+    """Crash-restart-crash: each generation recovers the last one's acks."""
+    total_acked = 0
+    for generation in range(3):
+        proc, port = launch(tmp_path, "--fsync", "batch")
+        try:
+            if generation == 0:
+                status, _ = request(port, "POST", "/relations",
+                                    {"name": "R", "relation": ROWS})
+                assert status == 201
+            else:
+                _, health = request(port, "GET", "/health")
+                assert health["status"] == "ok"
+            # the stream continues where the last generation left off
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                for i in range(total_acked, total_acked + 15):
+                    payload = {"relations": {"R": {"rows": [
+                        {"values": [f"k{i}", i]}]}}}
+                    conn.request("POST", "/update", json.dumps(payload))
+                    response = conn.getresponse()
+                    response.read()
+                    assert response.status == 200
+                    total_acked += 1
+            finally:
+                conn.close()
+            proc.kill()
+        finally:
+            reap(proc)
+        values, _ = recovered_indices(tmp_path)
+        assert values == list(range(total_acked))

@@ -184,6 +184,7 @@ def test_stats_exposes_the_full_resilience_ledger(server):
             "breaker_trips",
             "deadline_expiries",
             "snapshot_rebuilds",
+            "wal_torn_tails",
         }
         assert stats["breaker"]["state"] in ("closed", "open", "half-open")
         assert "in_flight" in stats["pool"] or "workers" in stats["pool"]

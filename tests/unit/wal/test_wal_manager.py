@@ -1,0 +1,302 @@
+"""The durability manager: recovery, checkpoints, pruning, fallback.
+
+The contract under test is the write-ahead discipline end to end: every
+mutation the manager acknowledged is reproduced by :meth:`open` on a
+fresh process (same directory), whatever mix of checkpoints and WAL tail
+is on disk — including a corrupt *latest* checkpoint (fall back one,
+replay a longer tail) and checkpoint-triggered segment pruning (the
+retained checkpoints' tails must survive the unlinks).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core.database import KDatabase
+from repro.core.relation import KRelation
+from repro.core.schema import Schema
+from repro.exceptions import SemiringError, WalCorrupt, WalWriteError
+from repro.io.serialize import database_fingerprint
+from repro.semirings import INT, NAT
+from repro.wal import DurabilityManager, list_checkpoints, list_segments
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    faults.reset_counters()
+    yield
+    faults.reset_counters()
+
+
+def rel(rows, semiring=NAT, schema=("a", "b")):
+    return KRelation.from_rows(
+        semiring, Schema(schema), [(tuple(r), 1) for r in rows]
+    )
+
+
+def fresh(tmp_path, **kwargs):
+    kwargs.setdefault("semiring", NAT)
+    kwargs.setdefault("fsync", "always")
+    return DurabilityManager.open(tmp_path, **kwargs)
+
+
+# -- opening -----------------------------------------------------------------
+
+
+def test_fresh_directory_writes_checkpoint_zero(tmp_path):
+    manager = fresh(tmp_path)
+    assert manager.recovery["source"] == "fresh"
+    assert [lsn for lsn, _ in list_checkpoints(tmp_path)] == [0]
+    manager.close()
+
+
+def test_fresh_directory_requires_a_semiring(tmp_path):
+    with pytest.raises(ValueError, match="initial_db or semiring"):
+        DurabilityManager.open(tmp_path)
+
+
+def test_nonempty_directory_is_authoritative_over_initial_db(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    manager.close()
+    other = KDatabase(NAT)
+    other.add("IGNORED", rel([(9, 9)]))
+    manager = DurabilityManager.open(tmp_path, initial_db=other)
+    assert manager.db.names() == ("R",)
+    manager.close()
+
+
+def test_acknowledged_writes_survive_reopen(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    for i in range(10):
+        manager.update({"R": rel([(i, i + 1)])})
+    fingerprint = database_fingerprint(manager.db)
+    manager.close()
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.recovery["source"] == "checkpoint+wal"
+    assert recovered.recovery["records_replayed"] == 11
+    assert database_fingerprint(recovered.db) == fingerprint
+    recovered.close()
+
+
+def test_replay_coalesces_but_preserves_deletions_in_z(tmp_path):
+    manager = fresh(tmp_path, semiring=INT)
+    manager.add("R", rel([(1, 1), (2, 2)], semiring=INT))
+    # delete (1,1) the Z way: a delta carrying the additive inverse
+    delete = KRelation.from_rows(INT, Schema(("a", "b")), [((1, 1), -1)])
+    manager.update({"R": delete})
+    fingerprint = database_fingerprint(manager.db)
+    manager.close()
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert database_fingerprint(recovered.db) == fingerprint
+    support = {tuple(t[a] for a in ("a", "b"))
+               for t, _ in recovered.db.relation("R").items()}
+    assert support == {(2, 2)}
+    recovered.close()
+
+
+def test_update_validates_before_logging(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    lsn_before = manager.stats()["last_lsn"]
+    with pytest.raises(Exception):
+        manager.update({"MISSING": rel([(1, 2)])})
+    with pytest.raises(SemiringError):
+        manager.add("S", rel([(1, 2)], semiring=INT))
+    # neither bad batch reached the log
+    assert manager.stats()["last_lsn"] == lsn_before
+    manager.close()
+
+
+def test_empty_update_is_a_no_op(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    assert manager.update({}) is None
+    manager.close()
+
+
+# -- checkpoints and pruning -------------------------------------------------
+
+
+def test_checkpoint_skips_when_nothing_changed(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    assert manager.checkpoint() is not None
+    assert manager.checkpoint() is None  # no new records
+    assert manager.checkpoint(force=True) is not None
+    manager.close()
+
+
+def test_checkpoint_resets_lag_and_shortens_replay(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    for i in range(5):
+        manager.update({"R": rel([(i, i)])})
+    assert manager.lag_records() == 6
+    manager.checkpoint()
+    assert manager.lag_records() == 0
+    manager.update({"R": rel([(9, 9)])})
+    manager.close()
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.recovery["records_replayed"] == 1  # only the tail
+    recovered.close()
+
+
+def test_two_checkpoints_kept_and_old_segments_pruned(tmp_path):
+    manager = fresh(tmp_path, segment_bytes=4096)
+    manager.add("R", rel([(0, 0)]))
+    for round_no in range(4):
+        for i in range(60):
+            manager.update({"R": rel([(round_no, i)])})
+        manager.checkpoint()
+    checkpoints = [lsn for lsn, _ in list_checkpoints(tmp_path)]
+    assert len(checkpoints) == DurabilityManager.KEEP_CHECKPOINTS
+    # every surviving segment is needed by the oldest kept checkpoint
+    oldest_kept = min(checkpoints)
+    segments = list_segments(tmp_path)
+    assert len(segments) >= 1
+    for (first, _), (next_first, _) in zip(segments, segments[1:]):
+        assert next_first > oldest_kept + 1  # else it would have been pruned
+    fingerprint = database_fingerprint(manager.db)
+    manager.close()
+    recovered = DurabilityManager.open(tmp_path)
+    assert database_fingerprint(recovered.db) == fingerprint
+    recovered.close()
+
+
+def test_corrupt_latest_checkpoint_falls_back_to_the_previous(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    manager.checkpoint()
+    manager.update({"R": rel([(1, 1)])})
+    latest = manager.checkpoint()
+    manager.update({"R": rel([(2, 2)])})  # tail past the latest checkpoint
+    fingerprint = database_fingerprint(manager.db)
+    manager.close()
+
+    with open(latest, "r+b") as fh:
+        fh.seek(120)
+        fh.write(b"\x00\x00\x00\x00")
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.recovery["checkpoints_skipped"] == 1
+    # the older checkpoint's WAL tail was never pruned, so the replay
+    # covers everything the damaged snapshot held — and what followed it
+    assert database_fingerprint(recovered.db) == fingerprint
+    recovered.close()
+
+
+def test_all_checkpoints_corrupt_with_full_history_replays_from_empty(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    manager.update({"R": rel([(1, 1)])})
+    fingerprint = database_fingerprint(manager.db)
+    manager.close()
+    for _, path in list_checkpoints(tmp_path):
+        with open(path, "r+b") as fh:
+            fh.seek(50)
+            fh.write(b"\xff\xff")
+    # semiring cannot come off the corrupt snapshots: caller must supply it
+    with pytest.raises(WalCorrupt, match="semiring"):
+        DurabilityManager.open(tmp_path)
+    recovered = DurabilityManager.open(tmp_path, semiring=NAT)
+    assert recovered.recovery["source"] == "full-replay"
+    assert database_fingerprint(recovered.db) == fingerprint
+    recovered.close()
+
+
+def test_view_definitions_survive_checkpoint_and_replay(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    manager.create_view("before", "SELECT a FROM R")
+    manager.checkpoint()  # definition now lives in the views manifest
+    manager.create_view("after", "SELECT b FROM R")  # only in the WAL tail
+    manager.close()
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.view_defs == {
+        "before": "SELECT a FROM R",
+        "after": "SELECT b FROM R",
+    }
+    recovered.close()
+
+
+def test_damaged_views_manifest_degrades_to_wal_definitions(tmp_path, caplog):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(1, 2)]))
+    manager.create_view("v", "SELECT a FROM R")
+    manager.checkpoint()
+    manager.close()
+    manifests = [p for p in os.listdir(tmp_path) if p.endswith(".views.json")]
+    for name in manifests:
+        with open(os.path.join(tmp_path, name), "w") as fh:
+            fh.write("{not json")
+    recovered = DurabilityManager.open(tmp_path)  # boots, warns
+    assert recovered.db.names() == ("R",)
+    recovered.close()
+
+
+# -- failure wiring ----------------------------------------------------------
+
+
+def test_unwritable_log_surfaces_and_database_stays_clean(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    version = manager.db.version
+    with faults.inject("wal_torn_tail", seed=2):
+        with pytest.raises(WalWriteError):
+            manager.update({"R": rel([(1, 1)])})
+    assert manager.db.version == version  # never applied
+    assert not manager.healthy
+    assert manager.stats()["unwritable"] is True
+    with pytest.raises(WalWriteError):
+        manager.update({"R": rel([(2, 2)])})
+    manager._wal.close()
+
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.recovery["torn_tail"] is True
+    assert database_fingerprint(recovered.db) == database_fingerprint(manager.db)
+    recovered.close()
+
+
+def test_latent_record_corruption_refuses_recovery(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    with faults.inject("wal_corrupt_record", seed=4):
+        manager.update({"R": rel([(1, 1)])})  # acked; damage is latent
+    manager.update({"R": rel([(2, 2)])})
+    manager.close()
+    with pytest.raises(WalCorrupt):
+        DurabilityManager.open(tmp_path)
+
+
+def test_stats_reports_the_whole_durability_story(tmp_path):
+    manager = fresh(tmp_path, fsync="batch")
+    manager.add("R", rel([(0, 0)]))
+    manager.update({"R": rel([(1, 1)])})
+    stats = manager.stats()
+    assert stats["fsync"] == "batch"
+    assert stats["last_lsn"] == 2
+    assert stats["checkpoint_lsn"] == 0
+    assert stats["lag_records"] == 2
+    assert stats["records_appended"] == 2
+    assert stats["unwritable"] is False
+    assert stats["recovery"]["source"] == "fresh"
+    assert json.dumps(stats)  # the whole block is JSON-safe for /stats
+    manager.close()
+
+
+def test_close_with_checkpoint_leaves_an_empty_tail(tmp_path):
+    manager = fresh(tmp_path)
+    manager.add("R", rel([(0, 0)]))
+    manager.close(checkpoint=True)
+    recovered = DurabilityManager.open(tmp_path)
+    assert recovered.recovery["records_replayed"] == 0
+    assert recovered.db.names() == ("R",)
+    recovered.close()
